@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite (imported by every module).
+
+Each module reproduces one figure of the paper: a module-scoped fixture
+runs the experiment sweep once (saving the series table under
+``benchmarks/results/``), and the ``test_bench_*`` functions both assert
+the figure's qualitative *shape* (who wins, roughly by how much) and feed
+pytest-benchmark a representative operation for timing.
+
+Scale with ``REPRO_BENCH_SCALE=<factor> pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import format_table, save_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(result: ExperimentResult, name: str) -> ExperimentResult:
+    """Print a figure table and persist it under benchmarks/results/."""
+    print("\n" + format_table(result))
+    save_result(result, RESULTS_DIR, name)
+    return result
+
+
+def geometric_mean_ratio(numerator, denominator) -> float:
+    """Geometric mean of pointwise series ratios (shape comparisons)."""
+    ratios = [
+        n / d for n, d in zip(numerator.y, denominator.y) if d > 0 and n > 0
+    ]
+    if not ratios:
+        return float("nan")
+    product = 1.0
+    for r in ratios:
+        product *= r
+    return product ** (1.0 / len(ratios))

@@ -1,0 +1,1 @@
+"""Pytest hook file: keeps benchmarks/ importable as a rootdir test path."""

@@ -1,0 +1,145 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Pseudo-record threshold θ (Section IV-A): smaller θ means a deeper
+   pseudo hierarchy and fewer accessed records, at higher build cost.
+2. Skyline algorithm used for DG layer construction (Section II says
+   "any skyline algorithm" works; this quantifies the choice).
+3. N-Way partition width (Section IV-C): 1-way degenerates to a single
+   (useless in 10-d) DG, while too many ways weaken the per-DG ordering.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.core.builder import build_dominant_graph
+from repro.core.layers import compute_layers
+from repro.data.generators import make_dataset
+from repro.skyline import ALGORITHMS, as_mask_function
+
+from bench_utils import emit
+
+
+@pytest.fixture(scope="module")
+def ablation_tables():
+    return {
+        "theta": emit(E.ablation_theta(), "ablation_theta"),
+        "nway": emit(E.ablation_nway(), "ablation_nway"),
+    }
+
+
+def test_bench_theta_ablation(benchmark, ablation_tables):
+    series = ablation_tables["theta"].series_by_label("A-Traveler")
+    # Shape: the smallest theta accesses no more than the largest.
+    assert series.y[0] <= series.y[-1] * 1.3
+    dataset = make_dataset("U", E.scale(2000), 5, seed=0)
+    from repro.core.builder import build_extended_graph
+
+    benchmark.pedantic(
+        build_extended_graph, args=(dataset,), kwargs={"theta": 8},
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_nway_ablation(benchmark, ablation_tables):
+    table = ablation_tables["nway"]
+    computed = table.series_by_label("F-computed")
+    touched = table.series_by_label("touched")
+    # Shape: more ways -> weaker per-stream bounds -> more full-record F
+    # evaluations; and the 1-way configuration degenerates structurally
+    # (a 10-d DG has almost no dominance), touching nearly every record.
+    assert computed.y == sorted(computed.y)
+    n = E.scale(800)
+    assert touched.y[0] >= 0.8 * n
+    dataset = make_dataset("U", E.scale(800), 10, seed=0)
+    from repro.core.nway import NWayTraveler
+
+    traveler = NWayTraveler(dataset, NWayTraveler.even_split(10, 5), theta=8)
+    benchmark(traveler.top_k, E.canonical_query(10), 50)
+
+
+SKYLINE_CASES = [name for name in sorted(ALGORITHMS) if name != "nn"]
+
+
+@pytest.mark.parametrize("name", SKYLINE_CASES)
+def test_bench_skyline_layer_construction(benchmark, name):
+    dataset = make_dataset("U", E.scale(1000), 3, seed=0)
+    mask_fn = as_mask_function(ALGORITHMS[name])
+    benchmark.pedantic(
+        compute_layers, args=(dataset.values,), kwargs={"skyline": mask_fn},
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_skyline_nn_small(benchmark):
+    # NN's region recursion is exponential in dimensionality; bench it on
+    # the 2-d case it is designed for.
+    dataset = make_dataset("U", E.scale(500), 2, seed=0)
+    benchmark.pedantic(
+        ALGORITHMS["nn"], args=(dataset.values,), rounds=3, iterations=1
+    )
+
+
+def test_bench_dg_build_for_reference(benchmark):
+    dataset = make_dataset("U", E.scale(1000), 3, seed=0)
+    benchmark.pedantic(build_dominant_graph, args=(dataset,), rounds=3, iterations=1)
+
+
+def test_bench_page_layout_ablation(benchmark):
+    """Storage ablation: page I/Os per query under different layouts.
+
+    The θ threshold is page-derived; this quantifies the page-level
+    payoff of storing DG layers contiguously versus a heap file.
+    """
+    import numpy as np
+
+    from repro.bench.harness import sweep
+    from repro.core.advanced import AdvancedTraveler
+    from repro.core.builder import build_extended_graph
+    from repro.storage import (
+        PagedDataset,
+        layer_clustered_layout,
+        row_order_layout,
+    )
+    from bench_utils import emit
+
+    n = E.scale(1000)
+    base = make_dataset("U", n, 3, seed=0)
+    reference = build_extended_graph(base, theta=E.DEFAULT_THETA)
+    per_page = 16
+    function = E.canonical_query(3)
+    rng = np.random.default_rng(0)
+    shuffled = list(range(n))
+    rng.shuffle(shuffled)
+    layouts = {
+        "layer-clustered": layer_clustered_layout(reference, per_page),
+        "row-order": row_order_layout(range(n), per_page),
+        "random": {rid: i // per_page for i, rid in enumerate(shuffled)},
+    }
+
+    travelers = {}
+    paged_sets = {}
+    for name, layout in layouts.items():
+        paged = PagedDataset(base, layout=layout, pool_pages=4)
+        travelers[name] = AdvancedTraveler(
+            build_extended_graph(paged, theta=E.DEFAULT_THETA)
+        )
+        paged_sets[name] = paged
+
+    def io_for(name, k):
+        paged_sets[name].reset_io()
+        travelers[name].top_k(function, k)
+        return paged_sets[name].io_stats.io_count
+
+    table = sweep(
+        title=f"Ablation: page layout (U3, n={n}, pool=4 pages)",
+        x_label="k",
+        xs=[10, 50, 100],
+        runners={name: (lambda k, nm=name: io_for(nm, k)) for name in layouts},
+        y_label="page I/Os per query",
+    )
+    emit(table, "ablation_page_layout")
+    clustered = table.series_by_label("layer-clustered")
+    randomized = table.series_by_label("random")
+    assert all(c <= r for c, r in zip(clustered.y, randomized.y))
+
+    benchmark(travelers["layer-clustered"].top_k, function, 50)

@@ -1,0 +1,87 @@
+"""Fig. 7 — comparison with non-layer top-k algorithms (Experiment 2, part 2).
+
+Four panels: accessed records and response time vs k, on U3 and Server,
+against TA, CA, RankCube and PREFER.  Per the paper, CA's access metric
+counts only random accesses.
+
+Paper shape: the Traveler accesses far fewer records than TA (the widest
+gap in the figure) and its response time is the lowest overall.
+"""
+
+import pytest
+
+from repro.baselines.ca import CombinedAlgorithm
+from repro.baselines.prefer import PreferIndex
+from repro.baselines.rankcube import RankCubeIndex
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.bench import experiments as E
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.data.generators import make_dataset
+
+from bench_utils import emit, geometric_mean_ratio
+
+
+@pytest.fixture(scope="module")
+def fig7_tables():
+    return {
+        "accessed_u3": emit(E.fig7_nonlayer(metric="accessed"), "fig7a_accessed_u3"),
+        "accessed_server": emit(
+            E.fig7_nonlayer(metric="accessed", use_server=True),
+            "fig7b_accessed_server",
+        ),
+        "time_u3": emit(E.fig7_nonlayer(metric="time"), "fig7c_time_u3"),
+        "time_server": emit(
+            E.fig7_nonlayer(metric="time", use_server=True), "fig7d_time_server"
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def u3_dataset():
+    return make_dataset("U", E.scale(2000), 3, seed=0)
+
+
+def test_bench_dg_query(benchmark, fig7_tables, u3_dataset):
+    # Shape (Fig. 7a/b): DG accesses far fewer records than TA on the
+    # synthetic panel; on the tie-heavy Server stand-in TA terminates
+    # almost immediately (top records top every list), so there we only
+    # require DG to stay at least comparable (EXPERIMENTS.md).
+    table = fig7_tables["accessed_u3"]
+    assert geometric_mean_ratio(
+        table.series_by_label("TA"), table.series_by_label("DG")
+    ) > 2.0
+    server = fig7_tables["accessed_server"]
+    assert geometric_mean_ratio(
+        server.series_by_label("TA"), server.series_by_label("DG")
+    ) > 0.8
+    traveler = AdvancedTraveler(
+        build_extended_graph(u3_dataset, theta=E.DEFAULT_THETA)
+    )
+    benchmark(traveler.top_k, E.canonical_query(3), 50)
+
+
+def test_bench_ta_query(benchmark, u3_dataset):
+    ta = ThresholdAlgorithm(u3_dataset)
+    benchmark(ta.top_k, E.canonical_query(3), 50)
+
+
+def test_bench_ca_query(benchmark, u3_dataset):
+    ca = CombinedAlgorithm(u3_dataset)
+    benchmark(ca.top_k, E.canonical_query(3), 50)
+
+
+def test_bench_rankcube_query(benchmark, u3_dataset):
+    cube = RankCubeIndex(u3_dataset)
+    benchmark(cube.top_k, E.canonical_query(3), 50)
+
+
+def test_bench_prefer_query(benchmark, fig7_tables, u3_dataset):
+    # Shape (Fig. 7c/d): DG response time beats TA's on both panels.
+    for key in ("time_u3", "time_server"):
+        table = fig7_tables[key]
+        dg = table.series_by_label("DG")
+        ta = table.series_by_label("TA")
+        assert geometric_mean_ratio(ta, dg) > 1.0, key
+    prefer = PreferIndex(u3_dataset)
+    benchmark(prefer.top_k, E.canonical_query(3), 50)

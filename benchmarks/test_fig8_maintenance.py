@@ -1,0 +1,72 @@
+"""Fig. 8 — DG maintenance cost (Experiment 3).
+
+Two panels: cumulative insertion and deletion time versus batch size on
+U3 / G3 / R3, plus the paper's closing comparison: the same insertion
+batch absorbed incrementally by DG versus re-constructing ONION and AppRI
+(the paper reports ~19,000s and ~13,000s re-construction vs 14s for DG at
+its scale).
+
+Paper shape: maintenance time grows roughly linearly in the batch size
+and stays orders of magnitude below layer re-construction.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.core.builder import build_dominant_graph
+from repro.core.maintenance import delete_record, insert_record
+from repro.data.generators import make_dataset
+
+from bench_utils import emit, geometric_mean_ratio
+
+
+@pytest.fixture(scope="module")
+def fig8_tables():
+    return {
+        "insert": emit(E.fig8_maintenance("insert"), "fig8a_insert"),
+        "delete": emit(E.fig8_maintenance("delete"), "fig8b_delete"),
+        "rebuild": emit(E.fig8_rebuild_comparison(), "fig8_rebuild_comparison"),
+    }
+
+
+def test_bench_insert(benchmark, fig8_tables):
+    # Shape: cumulative time is non-decreasing in the batch size for
+    # every dataset family.
+    for key in ("insert", "delete"):
+        for series in fig8_tables[key].series:
+            assert series.y == sorted(series.y), (key, series.label)
+
+    n = E.scale(2000)
+    dataset = make_dataset("U", n + 64, 3, seed=1)
+    state = {"next": n, "graph": build_dominant_graph(dataset, record_ids=range(n))}
+
+    def insert_one():
+        if state["next"] >= len(dataset):
+            state["graph"] = build_dominant_graph(dataset, record_ids=range(n))
+            state["next"] = n
+        insert_record(state["graph"], state["next"])
+        state["next"] += 1
+
+    benchmark.pedantic(insert_one, rounds=30, iterations=1)
+
+
+def test_bench_delete(benchmark, fig8_tables):
+    # Shape: DG's incremental maintenance beats both layer-baseline
+    # re-construction strategies for the same batch.
+    table = fig8_tables["rebuild"]
+    dg = table.series_by_label("DG")
+    for rival in ("ONION", "AppRI-rebuild"):
+        ratio = geometric_mean_ratio(table.series_by_label(rival), dg)
+        assert ratio > 1.0, (rival, ratio)
+
+    n = E.scale(2000)
+    dataset = make_dataset("U", n, 3, seed=2)
+    state = {"victims": [], "graph": None}
+
+    def delete_one():
+        if not state["victims"]:
+            state["graph"] = build_dominant_graph(dataset)
+            state["victims"] = list(range(0, n, max(1, n // 64)))
+        delete_record(state["graph"], state["victims"].pop())
+
+    benchmark.pedantic(delete_one, rounds=30, iterations=1)

@@ -1,0 +1,74 @@
+"""Fig. 9 — high dimensionality and the worst case (Experiment 4).
+
+Panels (a, b): the N-Way Traveler (two DGs over 5 dimensions each) versus
+TA and CA on 10-dimensional uniform data; the paper reports an
+orders-of-magnitude advantage in accessed records over TA.
+
+Panels (c, d): the Advanced Traveler on a 5-dimensional dataset where
+*every* record is a skyline point — DG's worst case — versus TA and CA;
+the paper's point is that the pseudo-record technique keeps the Traveler
+competitive even there.
+"""
+
+import pytest
+
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.bench import experiments as E
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.nway import NWayTraveler
+from repro.data.generators import all_skyline, make_dataset
+
+from bench_utils import emit, geometric_mean_ratio
+
+
+@pytest.fixture(scope="module")
+def fig9_tables():
+    return {
+        "highdim_accessed": emit(E.fig9_highdim(), "fig9a_highdim_accessed"),
+        "highdim_time": emit(E.fig9_highdim(metric="time"), "fig9b_highdim_time"),
+        "worst_accessed": emit(E.fig9_worstcase(), "fig9c_worst_accessed"),
+        "worst_time": emit(E.fig9_worstcase(metric="time"), "fig9d_worst_time"),
+    }
+
+
+def test_bench_nway_query_10d(benchmark, fig9_tables):
+    # Shape (Fig. 9a): N-Way accesses at least 3x fewer records than TA
+    # on 10-dimensional data (paper: orders of magnitude).
+    table = fig9_tables["highdim_accessed"]
+    nway = table.series_by_label("N-Way")
+    ta = table.series_by_label("TA")
+    assert geometric_mean_ratio(ta, nway) > 3.0
+
+    dataset = make_dataset("U", E.scale(1000), 10, seed=0)
+    traveler = NWayTraveler(
+        dataset, NWayTraveler.even_split(10, 2), theta=E.DEFAULT_THETA
+    )
+    benchmark(traveler.top_k, E.canonical_query(10), 50)
+
+
+def test_bench_ta_query_10d(benchmark):
+    dataset = make_dataset("U", E.scale(1000), 10, seed=0)
+    ta = ThresholdAlgorithm(dataset)
+    benchmark(ta.top_k, E.canonical_query(10), 50)
+
+
+def test_bench_advanced_traveler_worstcase(benchmark, fig9_tables):
+    # Shape (Fig. 9c): in the all-skyline worst case, the Advanced
+    # Traveler still does not access more records than TA.
+    table = fig9_tables["worst_accessed"]
+    advanced = table.series_by_label("A-Traveler")
+    ta = table.series_by_label("TA")
+    assert geometric_mean_ratio(advanced, ta) < 1.25
+
+    dataset = all_skyline(E.scale(1000), 5, seed=0)
+    traveler = AdvancedTraveler(
+        build_extended_graph(dataset, theta=E.DEFAULT_THETA)
+    )
+    benchmark(traveler.top_k, E.canonical_query(5), 50)
+
+
+def test_bench_ta_query_worstcase(benchmark):
+    dataset = all_skyline(E.scale(1000), 5, seed=0)
+    ta = ThresholdAlgorithm(dataset)
+    benchmark(ta.top_k, E.canonical_query(5), 50)

@@ -1,0 +1,78 @@
+"""High-dimensional top-k with the N-Way Traveler (paper Section IV-C).
+
+Product catalogues routinely score items on ten or more normalized feature
+columns.  With little dominance in 10-d, a single DG collapses toward one
+giant layer; the N-Way Traveler splits the dimensions into groups, builds
+one DG per group, and drives them TA-style with a global threshold.
+
+This example ranks a 10-attribute product catalogue with 1-way, 2-way and
+5-way partitions and with plain TA, comparing the accessed-record counts
+(the paper's Fig. 9a setting: two DGs over 5 dimensions each).
+
+Run:  python examples/high_dimensional.py
+"""
+
+import numpy as np
+
+from repro import Dataset, LinearFunction, NWayTraveler
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.metrics.timing import Timer
+
+N_PRODUCTS = 2000
+DIMS = 10
+FEATURES = (
+    "battery", "display", "camera", "storage", "cpu",
+    "build", "audio", "thermals", "warranty", "price_value",
+)
+
+
+def make_catalogue() -> Dataset:
+    rng = np.random.default_rng(3)
+    # Two latent quality factors plus noise: realistic mild correlation.
+    factors = rng.uniform(size=(N_PRODUCTS, 2))
+    loadings = rng.uniform(0.2, 0.8, size=(2, DIMS))
+    noise = rng.uniform(size=(N_PRODUCTS, DIMS)) * 0.6
+    values = factors @ loadings + noise
+    return Dataset(values / values.max(axis=0), attribute_names=FEATURES)
+
+
+def main() -> None:
+    catalogue = make_catalogue()
+    # A reviewer's weighting, heaviest on battery/display/camera.
+    weights = np.array([18, 16, 14, 12, 10, 8, 7, 6, 5, 4], dtype=float)
+    preference = LinearFunction(weights / weights.sum())
+    k = 10
+
+    print(f"Catalogue: {N_PRODUCTS} products x {DIMS} features; top-{k} query\n")
+    results = {}
+    for ways in (1, 2, 5):
+        with Timer() as build:
+            traveler = NWayTraveler(
+                catalogue, NWayTraveler.even_split(DIMS, ways), theta=16
+            )
+        with Timer() as query:
+            result = traveler.top_k(preference, k)
+        results[f"{ways}-way DG"] = result
+        layer1 = sum(len(g.layer(0)) for g in traveler.graphs)
+        print(f"{ways}-way: build {build.elapsed:6.2f}s, query "
+              f"{query.elapsed * 1000:7.1f}ms, accessed {result.stats.computed:5d} "
+              f"records (first layers hold {layer1})")
+
+    ta = ThresholdAlgorithm(catalogue)
+    with Timer() as query:
+        ta_result = ta.top_k(preference, k)
+    results["TA"] = ta_result
+    print(f"TA   :               query {query.elapsed * 1000:7.1f}ms, "
+          f"accessed {ta_result.stats.computed:5d} records")
+
+    signatures = {name: r.score_multiset() for name, r in results.items()}
+    reference = next(iter(signatures.values()))
+    agree = all(np.allclose(sig, reference) for sig in signatures.values())
+    print(f"\nAll methods agree on the top-{k}: {agree}")
+    print("\nBest products:")
+    for rid, score in results["2-way DG"]:
+        print(f"  product#{rid:4d} score={score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Paged storage: measuring the DG's disk behaviour.
+
+The paper derives its pseudo-record threshold from page geometry
+(θ = page bytes / record bytes) — an implicitly disk-resident design.
+This example makes that concrete: records live on fixed-size pages behind
+a small LRU buffer pool, and the same top-k query is run under three page
+layouts.  Storing DG layers contiguously — the layout the index itself
+suggests — turns the Traveler's layer-ordered accesses into page hits.
+
+Run:  python examples/paged_storage.py
+"""
+
+import numpy as np
+
+from repro import AdvancedTraveler, LinearFunction, build_extended_graph
+from repro.data.generators import uniform
+from repro.storage import (
+    PagedDataset,
+    layer_clustered_layout,
+    records_per_page,
+    row_order_layout,
+)
+
+N_RECORDS = 3000
+DIMS = 3
+POOL_PAGES = 4
+K = 25
+
+
+def main() -> None:
+    base = uniform(N_RECORDS, DIMS, seed=21)
+    per_page = records_per_page(DIMS)
+    print(f"{N_RECORDS} records, {per_page} per {4096}-byte page, "
+          f"{POOL_PAGES}-page LRU buffer pool\n")
+
+    # Build once on the in-memory dataset to derive the layer layout.
+    reference = build_extended_graph(base, theta=16)
+    preference = LinearFunction([0.5, 0.3, 0.2])
+
+    rng = np.random.default_rng(21)
+    shuffled = list(range(N_RECORDS))
+    rng.shuffle(shuffled)
+    layouts = {
+        "layer-clustered (DG order)": layer_clustered_layout(reference, per_page),
+        "row-order (heap file)": row_order_layout(range(N_RECORDS), per_page),
+        "random placement": {r: i // per_page for i, r in enumerate(shuffled)},
+    }
+
+    print(f"top-{K} query under each layout:")
+    for name, layout in layouts.items():
+        paged = PagedDataset(base, layout=layout, pool_pages=POOL_PAGES)
+        graph = build_extended_graph(paged, theta=16)
+        paged.reset_io()
+        result = AdvancedTraveler(graph).top_k(preference, K)
+        stats = paged.io_stats
+        print(f"  {name:28s} {stats.io_count:4d} page I/Os "
+              f"({stats.hits} hits / {stats.misses} misses; "
+              f"{result.stats.computed} records scored)")
+
+    print("\nThe record-access count is identical in all three runs — the "
+          "index decides\nwhat to read; the layout decides what that costs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments whose setuptools lacks the `wheel` package (legacy editable
+installs go through `setup.py develop`, which needs no wheel build).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — Dominant Graph top-k indexing (ICDE 2008) reproduction.
+
+Public API quick tour::
+
+    from repro import Dataset, LinearFunction, build_extended_graph, AdvancedTraveler
+
+    ds = Dataset(rows)                              # records, larger = better
+    graph = build_extended_graph(ds)                # offline DG index
+    result = AdvancedTraveler(graph).top_k(LinearFunction(weights), k=10)
+    result.ids, result.scores, result.stats.computed
+
+Subpackages
+-----------
+- :mod:`repro.core` — Dominant Graph, Traveler algorithms, maintenance.
+- :mod:`repro.skyline` — seven skyline algorithms + cardinality estimators.
+- :mod:`repro.spatial` — MBR / R-tree substrate.
+- :mod:`repro.baselines` — TA, CA, NRA, ONION, AppRI, PREFER, LPTA,
+  RankCube, naive scan.
+- :mod:`repro.data` — the paper's synthetic workloads and the Server
+  dataset stand-in.
+- :mod:`repro.cluster` — K-Means (pseudo-record construction).
+- :mod:`repro.metrics` — access counters and timing.
+- :mod:`repro.bench` — experiment harness reproducing the paper's figures.
+"""
+
+from repro.core import (
+    AdvancedTraveler,
+    BasicTraveler,
+    Dataset,
+    DecomposableFunction,
+    DominantGraph,
+    LinearFunction,
+    MinFunction,
+    NWayTraveler,
+    ProductFunction,
+    ScoringFunction,
+    TopKResult,
+    WeightedPowerFunction,
+    build_dominant_graph,
+    build_extended_graph,
+    delete_many,
+    delete_record,
+    insert_many,
+    insert_record,
+    iter_ranked,
+    load_graph,
+    mark_deleted,
+    save_graph,
+    top_k_progressive,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvancedTraveler",
+    "BasicTraveler",
+    "Dataset",
+    "DecomposableFunction",
+    "DominantGraph",
+    "LinearFunction",
+    "MinFunction",
+    "NWayTraveler",
+    "ProductFunction",
+    "ScoringFunction",
+    "TopKResult",
+    "WeightedPowerFunction",
+    "__version__",
+    "build_dominant_graph",
+    "build_extended_graph",
+    "delete_many",
+    "delete_record",
+    "insert_many",
+    "insert_record",
+    "iter_ranked",
+    "load_graph",
+    "mark_deleted",
+    "save_graph",
+    "top_k_progressive",
+]

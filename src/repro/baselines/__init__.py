@@ -1,0 +1,38 @@
+"""Baseline top-k algorithms the paper evaluates against (Section VI).
+
+Sorted-list family (Fagin et al.): :mod:`~repro.baselines.ta`,
+:mod:`~repro.baselines.ca`, :mod:`~repro.baselines.nra` over the shared
+:mod:`~repro.baselines.sorted_lists` substrate.
+
+Layer family: :mod:`~repro.baselines.onion` (convex-hull layers) and
+:mod:`~repro.baselines.appri` (robust min-rank layers).
+
+View family: :mod:`~repro.baselines.prefer` and :mod:`~repro.baselines.lpta`.
+
+Plus :mod:`~repro.baselines.rankcube` (block-ordered scan) and the
+:mod:`~repro.baselines.naive` full scan every test compares against.
+"""
+
+from repro.baselines.appri import AppRIIndex
+from repro.baselines.ca import CombinedAlgorithm
+from repro.baselines.lpta import LPTAIndex
+from repro.baselines.naive import naive_top_k
+from repro.baselines.nra import NoRandomAccess
+from repro.baselines.onion import OnionIndex
+from repro.baselines.prefer import PreferIndex
+from repro.baselines.rankcube import RankCubeIndex
+from repro.baselines.sorted_lists import SortedLists
+from repro.baselines.ta import ThresholdAlgorithm
+
+__all__ = [
+    "AppRIIndex",
+    "CombinedAlgorithm",
+    "LPTAIndex",
+    "NoRandomAccess",
+    "OnionIndex",
+    "PreferIndex",
+    "RankCubeIndex",
+    "SortedLists",
+    "ThresholdAlgorithm",
+    "naive_top_k",
+]

@@ -1,0 +1,65 @@
+"""Partial-information score bounds shared by NRA and CA.
+
+Under sorted access a record is known only in the dimensions whose lists
+have surfaced it.  For an aggregate monotone F:
+
+- upper bound: unknown attributes can be at most the current depth value
+  of their list (lists descend), so ``ub = F(known ⊔ depth_values)``;
+- lower bound: unknown attributes are at least the dataset's per-dimension
+  minimum, so ``lb = F(known ⊔ floor)``.
+
+:class:`PartialScores` tracks the known fragments and evaluates both
+bounds; it deliberately does *not* touch the dataset's full vectors — that
+would be a random access, which is exactly what NRA forbids and CA
+rations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functions import ScoringFunction
+
+
+class PartialScores:
+    """Known attribute fragments of the records seen under sorted access."""
+
+    def __init__(self, dims: int, floor: np.ndarray) -> None:
+        self._dims = dims
+        self._floor = np.asarray(floor, dtype=np.float64)
+        self._known: dict = {}
+
+    def observe(self, record_id: int, dim: int, value: float) -> None:
+        """Record that list ``dim`` surfaced this record with ``value``."""
+        fragment = self._known.get(record_id)
+        if fragment is None:
+            fragment = np.full(self._dims, np.nan)
+            self._known[record_id] = fragment
+        fragment[dim] = value
+
+    def observe_full(self, record_id: int, vector: np.ndarray) -> None:
+        """Record a random access: the whole vector is now known."""
+        self._known[record_id] = np.asarray(vector, dtype=np.float64).copy()
+
+    def seen(self) -> list:
+        """Ids of all records surfaced so far."""
+        return list(self._known)
+
+    def is_resolved(self, record_id: int) -> bool:
+        """True when every attribute of the record is known."""
+        fragment = self._known[record_id]
+        return not np.isnan(fragment).any()
+
+    def upper_bound(
+        self, record_id: int, function: ScoringFunction, depth_values: np.ndarray
+    ) -> float:
+        """Best possible score: unknown attributes at the depth values."""
+        fragment = self._known[record_id]
+        filled = np.where(np.isnan(fragment), depth_values, fragment)
+        return function(filled)
+
+    def lower_bound(self, record_id: int, function: ScoringFunction) -> float:
+        """Worst possible score: unknown attributes at the column minima."""
+        fragment = self._known[record_id]
+        filled = np.where(np.isnan(fragment), self._floor, fragment)
+        return function(filled)

@@ -1,0 +1,33 @@
+"""Naive full-scan top-k: the correctness oracle and the floor baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.functions import ScoringFunction
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+def naive_top_k(dataset: Dataset, function: ScoringFunction, k: int) -> TopKResult:
+    """Exact top-k by scoring every record (cost = |D| computations).
+
+    Ties are broken by smaller record id, the convention shared by every
+    algorithm in the repository.
+
+    Examples
+    --------
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[1.0, 0.0], [0.0, 2.0], [3.0, 3.0]])
+    >>> naive_top_k(ds, LinearFunction([1.0, 1.0]), 2).ids
+    (2, 1)
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    stats = AccessCounter()
+    scores = function.score_many(dataset.values)
+    stats.computed = len(dataset)
+    order = np.lexsort((np.arange(len(dataset)), -scores))[:k]
+    pairs = [(float(scores[i]), int(i)) for i in order]
+    return TopKResult.from_pairs(pairs, stats, algorithm="naive-scan")

@@ -1,0 +1,93 @@
+"""NRA — No Random Access (Fagin et al.; related-work extension).
+
+NRA consumes only sorted accesses, maintaining for every seen record the
+lower/upper score bounds of :mod:`repro.baselines.bounds`.  After each
+round it takes the k best lower bounds as the tentative answer and stops
+when no other record — seen or unseen — can have an upper bound exceeding
+the tentative k-th lower bound.
+
+NRA certifies the top-k *set* without ever learning exact scores; the
+returned result carries exact scores recomputed for presentation only
+(not charged to the counter), as the paper's applications (data streams)
+care about the ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bounds import PartialScores
+from repro.baselines.sorted_lists import SortedLists
+from repro.core.dataset import Dataset
+from repro.core.functions import ScoringFunction
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+class NoRandomAccess:
+    """NRA over per-dimension ranked lists.
+
+    Examples
+    --------
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[1.0, 5.0], [2.0, 4.0], [0.0, 0.0]])
+    >>> NoRandomAccess(ds).top_k(LinearFunction([0.5, 0.5]), 1).ids
+    (0,)
+    """
+
+    name = "nra"
+
+    def __init__(self, dataset: Dataset, lists: SortedLists | None = None) -> None:
+        self._dataset = dataset
+        self._lists = lists if lists is not None else SortedLists(dataset)
+
+    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+        """Answer a top-k query using sorted accesses only."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        lists = self._lists
+        stats = AccessCounter()
+        n, dims = len(lists), lists.dims
+        partial = PartialScores(dims, lists.floor_vector())
+
+        answer_ids: list = []
+        for depth in range(n):
+            for dim in range(dims):
+                rid, value = lists.entry(dim, depth)
+                stats.count_sequential()
+                partial.observe(rid, dim, value)
+            depth_values = lists.depth_values(depth)
+            threshold = function(depth_values)
+
+            seen = partial.seen()
+            lower = {rid: partial.lower_bound(rid, function) for rid in seen}
+            ranked = sorted(seen, key=lambda r: (-lower[r], r))
+            tentative = ranked[:k]
+            if len(tentative) < k:
+                continue
+            kth_lower = lower[tentative[-1]]
+            if kth_lower < threshold:
+                continue  # an unseen record could still beat the k-th
+            contenders = ranked[k:]
+            if all(
+                partial.upper_bound(rid, function, depth_values) <= kth_lower
+                for rid in contenders
+            ):
+                answer_ids = tentative
+                break
+        else:
+            seen = partial.seen()
+            lower = {rid: partial.lower_bound(rid, function) for rid in seen}
+            answer_ids = sorted(seen, key=lambda r: (-lower[r], r))[:k]
+
+        if not answer_ids:  # loop never produced k candidates (k > n)
+            seen = partial.seen()
+            lower = {rid: partial.lower_bound(rid, function) for rid in seen}
+            answer_ids = sorted(seen, key=lambda r: (-lower[r], r))[:k]
+
+        # Presentation-only exact scores (NRA certifies the set, not values).
+        pairs = sorted(
+            ((function(self._dataset.vector(rid)), rid) for rid in answer_ids),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        return TopKResult.from_pairs(pairs, stats, algorithm=self.name)

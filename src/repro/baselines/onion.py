@@ -1,0 +1,179 @@
+"""ONION — convex-hull layer index (Chang et al., SIGMOD'00; paper ref [5]).
+
+Offline, ONION peels the dataset into convex-hull layers: layer 1 is the
+hull of D, layer i the hull of what remains.  For a *linear* query the
+optimum over any set lies on its hull, so the top-k answer is contained in
+the first k layers; the online phase therefore scores layers 1..k in full
+("when the algorithm accesses the nth layer, all records before the nth
+layer need to be accessed", Section VII).
+
+The hull substrate is ``scipy.spatial.ConvexHull`` — the same Qhull
+library the paper's authors used.  Degenerate blocks (rank-deficient or
+too few points) are retried with joggle ("QJ") and ultimately become a
+single final layer, which preserves the containment guarantee (a superset
+layer never loses answers).
+
+ONION supports linear functions only — one of the two DG advantages the
+paper highlights (the other being maintenance cost: deleting from layer n
+forces re-computing every deeper hull, which
+:meth:`OnionIndex.delete_and_rebuild` reproduces faithfully).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+def convex_hull_layers(values: np.ndarray) -> list:
+    """Peel ``values`` into convex-hull layers (lists of row indices).
+
+    Examples
+    --------
+    >>> layers = convex_hull_layers(np.array(
+    ...     [[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0], [2.0, 2.0]]))
+    >>> [sorted(layer.tolist()) for layer in layers]
+    [[0, 1, 2, 3], [4]]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    remaining = np.arange(values.shape[0], dtype=np.intp)
+    dims = values.shape[1]
+    layers: list = []
+    while remaining.size:
+        if remaining.size <= dims + 1:
+            layers.append(remaining)
+            break
+        block = values[remaining]
+        vertices = _hull_vertices(block)
+        if vertices is None or vertices.size == remaining.size:
+            layers.append(remaining)
+            break
+        layers.append(remaining[vertices])
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[vertices] = False
+        remaining = remaining[mask]
+    return layers
+
+
+def _hull_vertices(block: np.ndarray) -> np.ndarray | None:
+    """Hull vertex indices of a block, joggling degenerate inputs."""
+    if block.shape[1] == 1:
+        # The 1-d hull is the pair of extremes (all ties included).
+        column = block[:, 0]
+        mask = (column == column.max()) | (column == column.min())
+        return np.flatnonzero(mask).astype(np.intp)
+    try:
+        return np.asarray(ConvexHull(block).vertices, dtype=np.intp)
+    except QhullError:
+        try:
+            return np.asarray(ConvexHull(block, qhull_options="QJ").vertices, dtype=np.intp)
+        except QhullError:
+            return None
+
+
+class OnionIndex:
+    """Convex-hull layer index answering linear top-k queries.
+
+    Examples
+    --------
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5], [3.0, 3.0]])
+    >>> onion = OnionIndex(ds)
+    >>> onion.top_k(LinearFunction([0.5, 0.5]), 1).ids
+    (3,)
+    """
+
+    name = "onion"
+
+    def __init__(self, dataset: Dataset, record_ids=None) -> None:
+        self._dataset = dataset
+        if record_ids is None:
+            ids = np.arange(len(dataset), dtype=np.intp)
+        else:
+            ids = np.asarray(sorted(set(int(r) for r in record_ids)), dtype=np.intp)
+            if ids.size == 0:
+                raise ValueError("record_ids must select at least one record")
+        local_layers = convex_hull_layers(dataset.values[ids])
+        self._layers = [ids[layer] for layer in local_layers]
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    def layer_sizes(self) -> list:
+        """Record count per hull layer, outermost first."""
+        return [int(layer.size) for layer in self._layers]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def top_k(self, function: LinearFunction, k: int) -> TopKResult:
+        """Score layers 1..k in full and report the best k records."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not isinstance(function, LinearFunction):
+            raise TypeError(
+                "ONION only supports linear query functions (paper Section I); "
+                f"got {type(function).__name__}"
+            )
+        stats = AccessCounter()
+        best: list = []  # (-score, record_id)
+        for layer in self._layers[: min(k, len(self._layers))]:
+            scores = function.score_many(self._dataset.values[layer])
+            stats.computed += int(layer.size)
+            for rid, score in zip(layer, scores):
+                bisect.insort(best, (-float(score), int(rid)))
+            del best[k:]
+        pairs = [(-neg, rid) for neg, rid in best[:k]]
+        return TopKResult.from_pairs(pairs, stats, algorithm=self.name)
+
+    def delete_and_rebuild(self, record_id: int) -> None:
+        """Deletion as the paper describes it: re-peel every affected layer.
+
+        "If we delete a record R in the nth convex hull layer, all mth
+        layers need to be re-computed, where m >= n."  Layers above n are
+        kept; everything from layer n down is re-peeled from scratch.
+        """
+        home = next(
+            (i for i, layer in enumerate(self._layers) if record_id in layer), None
+        )
+        if home is None:
+            raise KeyError(f"record {record_id} is not indexed")
+        kept = self._layers[:home]
+        tail_ids = np.concatenate(self._layers[home:])
+        tail_ids = tail_ids[tail_ids != record_id]
+        if tail_ids.size:
+            # Re-peel the tail in the original coordinate space.
+            sub_layers = convex_hull_layers(self._dataset.values[tail_ids])
+            kept = kept + [tail_ids[layer] for layer in sub_layers]
+        self._layers = kept
+
+    def insert_and_rebuild(self, record_id: int) -> None:
+        """Insertion: locate the first layer whose hull the record escapes,
+        then re-peel from there (everything deeper can change)."""
+        for i, layer in enumerate(self._layers):
+            if record_id in layer:
+                raise ValueError(f"record {record_id} already indexed")
+        point = self._dataset.vector(record_id)
+        home = len(self._layers)
+        for i, layer in enumerate(self._layers):
+            block = np.vstack([self._dataset.values[layer], point[None, :]])
+            vertices = _hull_vertices(block)
+            if vertices is None or (block.shape[0] - 1) in vertices:
+                home = i
+                break
+        tail = self._layers[home:]
+        tail_ids = (
+            np.concatenate(tail + [np.asarray([record_id], dtype=np.intp)])
+            if tail
+            else np.asarray([record_id], dtype=np.intp)
+        )
+        sub_layers = convex_hull_layers(self._dataset.values[tail_ids])
+        self._layers = self._layers[:home] + [tail_ids[layer] for layer in sub_layers]

@@ -1,0 +1,169 @@
+"""PREFER — view-based top-k (Hristidis et al., SIGMOD'01; paper ref [6]).
+
+PREFER materializes *view sequences*: full rankings of the relation under
+a handful of linear view vectors ``v``.  A query ``q`` is answered from
+the view most similar to it by scanning the view's ranking prefix and
+maintaining a *watermark*: given that every unscanned record ``u``
+satisfies ``v·u <= s`` (``s`` = view score of the last scanned record) and
+lies inside the data's bounding box, the largest query score any of them
+can reach is::
+
+    W(s) = max  q·u   subject to  v·u <= s,  low <= u <= high
+
+— a one-constraint LP over a box, solved exactly by the fractional
+greedy in :func:`watermark_bound` (raise coordinates in decreasing
+``q_i / v_i`` order).  Once the current k-th best query score reaches the
+watermark, the scan stops.
+
+The original PREFER system precomputes watermark tables offline; the
+closed-form evaluation here is the documented substitution (DESIGN.md) —
+same accesses, same stopping point, no tables.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.baselines.appri import sample_query_vectors
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+def watermark_bound(
+    query: np.ndarray,
+    view: np.ndarray,
+    budget_score: float,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> float:
+    """Exact maximum of ``q·u`` over ``{u in box : v·u <= budget_score}``.
+
+    Greedy fractional solution of the single-constraint LP: free dimensions
+    (``v_i = 0``) are maxed outright; the rest are raised from ``low``
+    toward ``high`` in decreasing ``q_i / v_i`` order until the budget is
+    spent.
+
+    Examples
+    --------
+    >>> watermark_bound(np.array([1.0, 1.0]), np.array([1.0, 1.0]), 1.0,
+    ...                 np.zeros(2), np.ones(2))
+    1.0
+    """
+    u = low.astype(np.float64).copy()
+    free = view <= 0.0
+    u[free] = high[free]
+    budget = budget_score - float(view @ u)
+    if budget < 0.0:
+        # The budget cannot even cover the box floor: the constraint set is
+        # empty below `low`; clamp to the floor bound.
+        return float(query @ u)
+    priced = np.flatnonzero(~free)
+    efficiency = query[priced] / view[priced]
+    for idx in priced[np.argsort(-efficiency)]:
+        room = high[idx] - u[idx]
+        cost = room * view[idx]
+        if cost <= budget:
+            u[idx] = high[idx]
+            budget -= cost
+        else:
+            u[idx] += budget / view[idx]
+            budget = 0.0
+            break
+    return float(query @ u)
+
+
+class PreferIndex:
+    """Materialized ranked views with watermark-based query processing.
+
+    Parameters
+    ----------
+    dataset:
+        The record set.
+    view_vectors:
+        Explicit linear view vectors; defaults to a deterministic spread
+        over the weight simplex (corners, midpoints, centroid — the
+        coverage PREFER's offline view selection aims for).
+
+    Examples
+    --------
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5], [3.0, 3.0]])
+    >>> PreferIndex(ds).top_k(LinearFunction([0.5, 0.5]), 1).ids
+    (3,)
+    """
+
+    name = "prefer"
+
+    def __init__(
+        self, dataset: Dataset, view_vectors: np.ndarray | None = None
+    ) -> None:
+        self._dataset = dataset
+        if view_vectors is None:
+            view_vectors = sample_query_vectors(dataset.dims, extra=0)
+        self._views = np.asarray(view_vectors, dtype=np.float64)
+        if self._views.ndim != 2 or self._views.shape[1] != dataset.dims:
+            raise ValueError("view vectors must be (V, m)")
+        values = dataset.values
+        n = len(dataset)
+        self._orders = []
+        self._view_scores = []
+        for v in self._views:
+            scores = values @ v
+            order = np.lexsort((np.arange(n), -scores))
+            self._orders.append(order)
+            self._view_scores.append(scores[order])
+        self._low = values.min(axis=0)
+        self._high = values.max(axis=0)
+
+    @property
+    def num_views(self) -> int:
+        return self._views.shape[0]
+
+    def best_view(self, function: LinearFunction) -> int:
+        """Index of the view with the largest cosine similarity to ``q``."""
+        q = function.weights
+        norms = np.linalg.norm(self._views, axis=1) * (np.linalg.norm(q) or 1.0)
+        similarity = (self._views @ q) / np.where(norms > 0, norms, 1.0)
+        return int(np.argmax(similarity))
+
+    def top_k(self, function: LinearFunction, k: int) -> TopKResult:
+        """Scan the most similar view until the watermark certifies top-k."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not isinstance(function, LinearFunction):
+            raise TypeError(
+                "PREFER only supports linear query functions; got "
+                f"{type(function).__name__}"
+            )
+        stats = AccessCounter()
+        view_index = self.best_view(function)
+        order = self._orders[view_index]
+        view_scores = self._view_scores[view_index]
+        view_vector = self._views[view_index]
+        q = function.weights
+
+        best: list = []  # (-score, record_id)
+        n = order.shape[0]
+        for position in range(n):
+            rid = int(order[position])
+            stats.count_sequential()
+            score = function(self._dataset.vector(rid))
+            stats.count_computed(rid)
+            bisect.insort(best, (-score, rid))
+            del best[k:]
+            if len(best) < k:
+                continue
+            watermark = watermark_bound(
+                q,
+                view_vector,
+                float(view_scores[position]),
+                self._low,
+                self._high,
+            )
+            if -best[k - 1][0] >= watermark:
+                break
+        pairs = [(-neg, rid) for neg, rid in best[:k]]
+        return TopKResult.from_pairs(pairs, stats, algorithm=self.name)

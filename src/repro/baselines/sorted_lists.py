@@ -1,0 +1,64 @@
+"""Per-dimension ranked lists: the substrate of TA, CA and NRA.
+
+Fagin's middleware model assumes ``m`` lists, each ranking all records by
+one attribute in descending order, supporting *sorted access* (read the
+next (record, value) pair of a list) and *random access* (fetch any
+record's full vector by id).  :class:`SortedLists` materializes those lists
+from a :class:`~repro.core.dataset.Dataset` once, offline; the online
+algorithms charge every access to their
+:class:`~repro.metrics.counters.AccessCounter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+
+
+class SortedLists:
+    """Descending per-dimension ranked lists over a dataset.
+
+    Examples
+    --------
+    >>> lists = SortedLists(Dataset([[1.0, 5.0], [2.0, 4.0]]))
+    >>> lists.entry(0, 0)   # best record in dimension 0
+    (1, 2.0)
+    >>> lists.entry(1, 0)   # best record in dimension 1
+    (0, 5.0)
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        values = dataset.values
+        # Stable descending sort; ties resolved by ascending record id.
+        self._orders = [
+            np.lexsort((np.arange(len(dataset)), -values[:, d]))
+            for d in range(dataset.dims)
+        ]
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def dims(self) -> int:
+        return self._dataset.dims
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    def entry(self, dim: int, depth: int) -> tuple:
+        """``(record_id, value)`` at position ``depth`` of list ``dim``."""
+        rid = int(self._orders[dim][depth])
+        return rid, float(self._dataset.values[rid, dim])
+
+    def depth_values(self, depth: int) -> np.ndarray:
+        """Per-dimension values at one depth — the TA threshold vector."""
+        return np.array(
+            [self.entry(d, depth)[1] for d in range(self.dims)], dtype=np.float64
+        )
+
+    def floor_vector(self) -> np.ndarray:
+        """Per-dimension minima: the worst possible unknown attribute."""
+        return self._dataset.values.min(axis=0)

@@ -1,0 +1,7 @@
+"""Benchmark harness: experiment definitions reproducing the paper's
+figures, plus series/table reporting shared by `benchmarks/`."""
+
+from repro.bench.harness import ExperimentResult, Series, sweep
+from repro.bench.report import format_table, save_result
+
+__all__ = ["ExperimentResult", "Series", "format_table", "save_result", "sweep"]

@@ -1,0 +1,553 @@
+"""Experiment definitions — one per figure of the paper's Section VI.
+
+Every function returns :class:`~repro.bench.harness.ExperimentResult`
+objects holding the same series the paper plots.  The paper ran 1,000K
+records in C++ on 2008 hardware; defaults here are pure-Python-sized and
+multiply by the ``REPRO_BENCH_SCALE`` environment variable, so
+``REPRO_BENCH_SCALE=10 pytest benchmarks/`` reruns everything an order of
+magnitude larger.  Comparisons are relative between algorithms at equal
+scale, which is what the figures show (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, Sequence
+
+from repro.baselines.appri import AppRIIndex
+from repro.baselines.ca import CombinedAlgorithm
+from repro.baselines.onion import OnionIndex
+from repro.baselines.prefer import PreferIndex
+from repro.baselines.rankcube import RankCubeIndex
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.bench.harness import ExperimentResult, sweep
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.cost import estimated_cost, predicted_cost
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.maintenance import delete_record, insert_record
+from repro.core.nway import NWayTraveler
+from repro.core.pseudo import extend_with_pseudo_levels
+from repro.core.traveler import BasicTraveler
+from repro.data.generators import all_skyline, make_dataset
+from repro.data.server import server_dataset
+from repro.metrics.timing import Timer
+
+#: The k sweep every query figure uses (paper x axes run 10..100).
+DEFAULT_KS = (10, 25, 50, 75, 100)
+
+#: Pseudo-level threshold used by the experiments.  The paper's page-sized
+#: θ (~85-128) matches million-record first layers; at reproduction scale
+#: the first layer holds a few hundred records, so θ is scaled down to
+#: keep the pseudo hierarchy multi-level (same L1/θ ratio regime).
+DEFAULT_THETA = 16
+
+
+def scale(n: int, floor: int = 100) -> int:
+    """Apply the REPRO_BENCH_SCALE multiplier to a default record count."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(floor, int(n * factor))
+
+
+def canonical_query(dims: int) -> LinearFunction:
+    """The evaluation's canonical linear query: descending weights.
+
+    Deliberately asymmetric — equal weights would coincide with PREFER's
+    centroid view (an unrealistically perfect match) and would tie every
+    record of the all-skyline worst-case dataset (whose rows share one
+    coordinate sum).
+    """
+    weights = list(range(dims, 0, -1))
+    total = float(sum(weights))
+    return LinearFunction([w / total for w in weights])
+
+
+def _best_time(run: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for a query-sized operation."""
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as timer:
+            run()
+        best = min(best, timer.elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Experiment 1 — Fig. 5: Basic vs Advanced Traveler (pseudo records)
+# ----------------------------------------------------------------------
+def fig5_pseudo_records(
+    kind: str,
+    n: int | None = None,
+    dims: int = 5,
+    ks: Sequence[int] = DEFAULT_KS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Accessed records, Basic vs Advanced Traveler, on U5/G5/R5."""
+    n = n if n is not None else scale(2000)
+    dataset = make_dataset(kind, n, dims, seed=seed)
+    function = canonical_query(dims)
+    basic = BasicTraveler(build_dominant_graph(dataset))
+    advanced = AdvancedTraveler(build_extended_graph(dataset, theta=DEFAULT_THETA, seed=seed))
+    return sweep(
+        title=f"Fig.5 ({kind}{dims}, n={n}): accessed records vs k",
+        x_label="k",
+        xs=list(ks),
+        runners={
+            "B-Traveler": lambda k: basic.top_k(function, k).stats.computed,
+            "A-Traveler": lambda k: advanced.top_k(function, k).stats.computed,
+        },
+        y_label="number of accessed records",
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 2 — Fig. 6: comparison with layer-based indexes
+# ----------------------------------------------------------------------
+def fig6_construction(
+    sizes: Sequence[int] | None = None,
+    dims: int = 3,
+    use_server: bool = False,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Index construction time: DG vs ONION vs AppRI, varying |D|."""
+    if sizes is None:
+        base = scale(500)
+        sizes = [base, base * 2, base * 4]
+    sizes = [int(s) for s in sizes]
+
+    def dataset_for(n: int) -> Dataset:
+        if use_server:
+            return server_dataset(n, seed=seed)
+        return make_dataset("U", n, dims, seed=seed)
+
+    def build_dg(n: int) -> float:
+        ds = dataset_for(n)
+        with Timer() as timer:
+            build_extended_graph(ds, theta=DEFAULT_THETA, seed=seed)
+        return timer.elapsed
+
+    def build_onion(n: int) -> float:
+        ds = dataset_for(n)
+        with Timer() as timer:
+            OnionIndex(ds)
+        return timer.elapsed
+
+    def build_appri(n: int) -> float:
+        ds = dataset_for(n)
+        with Timer() as timer:
+            AppRIIndex(ds, seed=seed)
+        return timer.elapsed
+
+    name = "Server" if use_server else f"U{dims}"
+    return sweep(
+        title=f"Fig.6(a/b) ({name}): construction time vs |D|",
+        x_label="|D|",
+        xs=sizes,
+        runners={"DG": build_dg, "ONION": build_onion, "AppRI": build_appri},
+        y_label="construction time (seconds)",
+    )
+
+
+def fig6_query(
+    n: int | None = None,
+    dims: int = 3,
+    ks: Sequence[int] = DEFAULT_KS,
+    use_server: bool = False,
+    metric: str = "accessed",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Accessed records (Fig. 6c/d) or response time (Fig. 6e/f) vs k."""
+    n = n if n is not None else scale(2000)
+    dataset = server_dataset(n, seed=seed) if use_server else make_dataset(
+        "U", n, dims, seed=seed
+    )
+    function = canonical_query(dataset.dims)
+    dg = AdvancedTraveler(build_extended_graph(dataset, theta=DEFAULT_THETA, seed=seed))
+    onion = OnionIndex(dataset)
+    appri = AppRIIndex(dataset, seed=seed)
+    name = "Server" if use_server else f"U{dims}"
+
+    if metric == "accessed":
+        runners = {
+            "DG": lambda k: dg.top_k(function, k).stats.computed,
+            "ONION": lambda k: onion.top_k(function, k).stats.computed,
+            "AppRI": lambda k: appri.top_k(function, k).stats.computed,
+        }
+        y_label = "number of accessed records"
+        fig = "Fig.6(c/d)"
+    elif metric == "time":
+        runners = {
+            "DG": lambda k: _best_time(lambda: dg.top_k(function, k)),
+            "ONION": lambda k: _best_time(lambda: onion.top_k(function, k)),
+            "AppRI": lambda k: _best_time(lambda: appri.top_k(function, k)),
+        }
+        y_label = "query response time (seconds)"
+        fig = "Fig.6(e/f)"
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return sweep(
+        title=f"{fig} ({name}, n={n}): {y_label} vs k",
+        x_label="k",
+        xs=list(ks),
+        runners=runners,
+        y_label=y_label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 2 — Fig. 7: comparison with non-layer-based algorithms
+# ----------------------------------------------------------------------
+def fig7_nonlayer(
+    n: int | None = None,
+    dims: int = 3,
+    ks: Sequence[int] = DEFAULT_KS,
+    use_server: bool = False,
+    metric: str = "accessed",
+    seed: int = 0,
+) -> ExperimentResult:
+    """DG vs TA / CA / RankCube / PREFER (Fig. 7a-d).
+
+    Per the paper, TA's metric counts its scored records, while "in CA, we
+    only count the number of random access times".
+    """
+    n = n if n is not None else scale(2000)
+    dataset = server_dataset(n, seed=seed) if use_server else make_dataset(
+        "U", n, dims, seed=seed
+    )
+    function = canonical_query(dataset.dims)
+    dg = AdvancedTraveler(build_extended_graph(dataset, theta=DEFAULT_THETA, seed=seed))
+    ta = ThresholdAlgorithm(dataset)
+    ca = CombinedAlgorithm(dataset, lists=ta.lists)
+    rankcube = RankCubeIndex(dataset)
+    prefer = PreferIndex(dataset)
+    name = "Server" if use_server else f"U{dims}"
+
+    if metric == "accessed":
+        runners = {
+            "DG": lambda k: dg.top_k(function, k).stats.computed,
+            "TA": lambda k: ta.top_k(function, k).stats.computed,
+            "CA": lambda k: ca.top_k(function, k).stats.random,
+            "RCube": lambda k: rankcube.top_k(function, k).stats.computed,
+            "PREFER": lambda k: prefer.top_k(function, k).stats.computed,
+        }
+        y_label = "number of accessed records"
+        fig = "Fig.7(a/b)"
+    elif metric == "time":
+        runners = {
+            "DG": lambda k: _best_time(lambda: dg.top_k(function, k)),
+            "TA": lambda k: _best_time(lambda: ta.top_k(function, k)),
+            "CA": lambda k: _best_time(lambda: ca.top_k(function, k)),
+            "RCube": lambda k: _best_time(lambda: rankcube.top_k(function, k)),
+            "PREFER": lambda k: _best_time(lambda: prefer.top_k(function, k)),
+        }
+        y_label = "query response time (seconds)"
+        fig = "Fig.7(c/d)"
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return sweep(
+        title=f"{fig} ({name}, n={n}): {y_label} vs k",
+        x_label="k",
+        xs=list(ks),
+        runners=runners,
+        y_label=y_label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 3 — Fig. 8: DG maintenance
+# ----------------------------------------------------------------------
+def fig8_maintenance(
+    operation: str,
+    kinds: Sequence[str] = ("U", "G", "R"),
+    n: int | None = None,
+    batches: Sequence[int] | None = None,
+    dims: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Cumulative insertion/deletion time vs batch size (Fig. 8a/b).
+
+    The paper inserts/deletes 1K..10K records into 1,000K-record datasets
+    (0.1%..1%); the scaled default touches the same fractions of the
+    scaled base.
+    """
+    if operation not in ("insert", "delete"):
+        raise ValueError("operation must be 'insert' or 'delete'")
+    n = n if n is not None else scale(2000)
+    if batches is None:
+        step = max(2, n // 100)
+        batches = [step * i for i in range(1, 6)]
+    batches = sorted(int(b) for b in batches)
+    max_batch = batches[-1]
+
+    def runner_for(kind: str) -> Callable[[int], float]:
+        # One graph per dataset kind; checkpoints record cumulative time,
+        # like the paper's "running time vs number of operations" curves.
+        if operation == "insert":
+            dataset = make_dataset(kind, n + max_batch, dims, seed=seed)
+            graph = build_dominant_graph(dataset, record_ids=range(n))
+            pending = list(range(n, n + max_batch))
+        else:
+            dataset = make_dataset(kind, n, dims, seed=seed)
+            graph = build_dominant_graph(dataset)
+            rng = random.Random(seed)
+            pending = rng.sample(range(n), max_batch)
+        state = {"done": 0, "elapsed": 0.0}
+
+        def run(batch: int) -> float:
+            while state["done"] < batch:
+                rid = pending[state["done"]]
+                with Timer() as timer:
+                    if operation == "insert":
+                        insert_record(graph, rid)
+                    else:
+                        delete_record(graph, rid)
+                state["elapsed"] += timer.elapsed
+                state["done"] += 1
+            return state["elapsed"]
+
+        return run
+
+    return sweep(
+        title=f"Fig.8 ({operation}, n={n}, m={dims}): cumulative time vs batch",
+        x_label=f"records {operation}d",
+        xs=batches,
+        runners={f"{kind}_{dims}": runner_for(kind) for kind in kinds},
+        y_label="processing time (seconds)",
+    )
+
+
+def fig8_rebuild_comparison(
+    n: int | None = None,
+    batch: int | None = None,
+    dims: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """DG incremental maintenance vs ONION/AppRI re-construction.
+
+    Reproduces the paper's closing numbers for Experiment 3 (19,000s ONION
+    vs 14s DG for the same insertion batch, at their scale): the layer
+    baselines have no incremental path, so each insertion re-peels/re-ranks
+    the affected suffix (ONION) or the full index (AppRI).
+    """
+    n = n if n is not None else scale(400)
+    batch = batch if batch is not None else max(5, n // 40)
+    dataset = make_dataset("U", n + batch, dims, seed=seed)
+
+    def dg_time(b: int) -> float:
+        graph = build_dominant_graph(dataset, record_ids=range(n))
+        with Timer() as timer:
+            for rid in range(n, n + b):
+                insert_record(graph, rid)
+        return timer.elapsed
+
+    def onion_time(b: int) -> float:
+        onion = OnionIndex(
+            Dataset(dataset.values[: n + b], attribute_names=dataset.attribute_names),
+            record_ids=range(n),
+        )
+        with Timer() as timer:
+            for rid in range(n, n + b):
+                onion.insert_and_rebuild(rid)
+        return timer.elapsed
+
+    def appri_time(b: int) -> float:
+        with Timer() as timer:
+            for extra in range(1, b + 1):
+                AppRIIndex(
+                    Dataset(dataset.values[: n + extra]), extra_queries=16, seed=seed
+                )
+        return timer.elapsed
+
+    # ONION indexes only the pre-batch records, inserting the rest; AppRI
+    # (no documented incremental path) rebuilds per insertion.
+    return sweep(
+        title=f"Experiment 3 (U{dims}, n={n}): maintenance vs re-construction",
+        x_label="records inserted",
+        xs=[batch],
+        runners={"DG": dg_time, "ONION": onion_time, "AppRI-rebuild": appri_time},
+        y_label="processing time (seconds)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 4 — Fig. 9: high dimension and the worst case
+# ----------------------------------------------------------------------
+def fig9_highdim(
+    n: int | None = None,
+    dims: int = 10,
+    ways: int = 2,
+    ks: Sequence[int] = DEFAULT_KS,
+    metric: str = "accessed",
+    seed: int = 0,
+) -> ExperimentResult:
+    """N-Way Traveler vs TA/CA on 10-dimensional uniform data (Fig. 9a/b)."""
+    n = n if n is not None else scale(1000)
+    dataset = make_dataset("U", n, dims, seed=seed)
+    function = canonical_query(dims)
+    nway = NWayTraveler(
+        dataset, NWayTraveler.even_split(dims, ways), theta=DEFAULT_THETA, seed=seed
+    )
+    ta = ThresholdAlgorithm(dataset)
+    ca = CombinedAlgorithm(dataset, lists=ta.lists)
+    return _traveler_vs_lists(
+        f"Fig.9(a/b) (U{dims}, n={n}, {ways}-way)",
+        nway, ta, ca, function, ks, metric, traveler_label="N-Way",
+    )
+
+
+def fig9_worstcase(
+    n: int | None = None,
+    dims: int = 5,
+    ks: Sequence[int] = DEFAULT_KS,
+    metric: str = "accessed",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Advanced Traveler vs TA/CA when every record is a skyline point."""
+    n = n if n is not None else scale(1000)
+    dataset = all_skyline(n, dims, seed=seed)
+    function = canonical_query(dims)
+    advanced = AdvancedTraveler(build_extended_graph(dataset, theta=DEFAULT_THETA, seed=seed))
+    ta = ThresholdAlgorithm(dataset)
+    ca = CombinedAlgorithm(dataset, lists=ta.lists)
+    return _traveler_vs_lists(
+        f"Fig.9(c/d) (all-skyline, n={n}, m={dims})",
+        advanced, ta, ca, function, ks, metric, traveler_label="A-Traveler",
+    )
+
+
+def _traveler_vs_lists(
+    title: str,
+    traveler,
+    ta: ThresholdAlgorithm,
+    ca: CombinedAlgorithm,
+    function: LinearFunction,
+    ks: Sequence[int],
+    metric: str,
+    traveler_label: str,
+) -> ExperimentResult:
+    if metric == "accessed":
+        runners = {
+            traveler_label: lambda k: traveler.top_k(function, k).stats.computed,
+            "TA": lambda k: ta.top_k(function, k).stats.computed,
+            "CA": lambda k: ca.top_k(function, k).stats.random,
+        }
+        y_label = "number of accessed records"
+    elif metric == "time":
+        runners = {
+            traveler_label: lambda k: _best_time(lambda: traveler.top_k(function, k)),
+            "TA": lambda k: _best_time(lambda: ta.top_k(function, k)),
+            "CA": lambda k: _best_time(lambda: ca.top_k(function, k)),
+        }
+        y_label = "query response time (seconds)"
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return sweep(
+        title=f"{title}: {y_label} vs k",
+        x_label="k",
+        xs=list(ks),
+        runners=runners,
+        y_label=y_label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost-model validation (Theorems 3.1 / 3.2)
+# ----------------------------------------------------------------------
+def cost_model(
+    n: int | None = None,
+    dims: int = 3,
+    ks: Sequence[int] = DEFAULT_KS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measured Basic-Traveler cost vs Theorem 3.1/3.2 predictions."""
+    n = n if n is not None else scale(2000)
+    dataset = make_dataset("U", n, dims, seed=seed)
+    function = canonical_query(dims)
+    basic = BasicTraveler(build_dominant_graph(dataset))
+    return sweep(
+        title=f"Theorem 3.2 validation (U{dims}, n={n})",
+        x_label="k",
+        xs=list(ks),
+        runners={
+            "measured": lambda k: basic.top_k(function, k).stats.computed,
+            "thm3.1-exact": lambda k: predicted_cost(dataset, function, k),
+            "thm3.2-estimate": lambda k: estimated_cost(n, dims, k),
+        },
+        y_label="number of accessed records",
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ----------------------------------------------------------------------
+def ablation_theta(
+    thetas: Sequence[int] = (8, 32, 128, 512),
+    n: int | None = None,
+    dims: int = 5,
+    k: int = 50,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Pseudo-level threshold θ vs accessed records (Section IV-A choice)."""
+    n = n if n is not None else scale(2000)
+    dataset = make_dataset("U", n, dims, seed=seed)
+    function = canonical_query(dims)
+    base = build_dominant_graph(dataset)
+
+    def run(theta: int) -> float:
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=theta, seed=seed)
+        return AdvancedTraveler(graph).top_k(function, k).stats.computed
+
+    result = sweep(
+        title=f"Ablation: θ (U{dims}, n={n}, k={k}), first layer={len(base.layer(0))}",
+        x_label="theta",
+        xs=list(thetas),
+        runners={"A-Traveler": run},
+        y_label="number of accessed records",
+    )
+    return result
+
+
+def ablation_nway(
+    ways_options: Sequence[int] = (1, 2, 5),
+    n: int | None = None,
+    dims: int = 10,
+    k: int = 50,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Dimension-partition width ablation (Section IV-C choice).
+
+    Two series expose the trade-off: full-record F evaluations (the
+    TA-comparable "random access" count) grow with the number of ways —
+    more streams surface more distinct candidates before the combined
+    bound β converges — while the records *touched* by graph traversal
+    show the 1-way degeneration: a single 10-d DG has almost no dominance,
+    so its stream walks essentially the whole dataset.
+    """
+    n = n if n is not None else scale(800)
+    dataset = make_dataset("U", n, dims, seed=seed)
+    function = canonical_query(dims)
+    cache: dict = {}
+
+    def stats_for(ways: int):
+        if ways not in cache:
+            traveler = NWayTraveler(
+                dataset, NWayTraveler.even_split(dims, ways),
+                theta=DEFAULT_THETA, seed=seed,
+            )
+            cache[ways] = traveler.top_k(function, k).stats
+        return cache[ways]
+
+    return sweep(
+        title=f"Ablation: N-way split (U{dims}, n={n}, k={k})",
+        x_label="ways",
+        xs=list(ways_options),
+        runners={
+            "F-computed": lambda ways: stats_for(ways).computed,
+            "touched": lambda ways: stats_for(ways).computed
+            + stats_for(ways).examined,
+        },
+        y_label="records (full F evaluations / total touched)",
+    )

@@ -1,0 +1,71 @@
+"""Generic experiment harness: run algorithm sweeps, collect series.
+
+Every figure in the paper is a set of *series* (one per algorithm) over a
+shared x-axis (k, database size, or batch size).  :func:`sweep` runs a
+callable per (algorithm, x) pair and collects whatever metric the caller
+extracts; :class:`ExperimentResult` carries the series plus axis labels so
+the reporting layer can print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class Series:
+    """One algorithm's curve: y values over the experiment's x axis."""
+
+    label: str
+    y: list = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure: labelled series over a common x axis."""
+
+    title: str
+    x_label: str
+    x: list
+    series: list
+    y_label: str = "value"
+
+    def series_by_label(self, label: str) -> Series:
+        """The series with the given label (KeyError when absent)."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.title!r}")
+
+    def as_rows(self) -> list:
+        """Rows of (x, y_1, ..., y_S) ready for tabulation."""
+        return [
+            [x] + [s.y[i] for s in self.series]
+            for i, x in enumerate(self.x)
+        ]
+
+
+def sweep(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    runners: dict,
+    y_label: str = "value",
+) -> ExperimentResult:
+    """Run ``runners[label](x)`` for every label and x; collect the numbers.
+
+    Parameters
+    ----------
+    runners:
+        Mapping ``label -> callable(x) -> float``.  Each callable performs
+        one measurement (a query, a build, a maintenance batch) and
+        returns the metric value to record.
+    """
+    series = [Series(label=label) for label in runners]
+    for x in xs:
+        for s, runner in zip(series, runners.values()):
+            s.y.append(float(runner(x)))
+    return ExperimentResult(
+        title=title, x_label=x_label, x=list(xs), series=series, y_label=y_label
+    )

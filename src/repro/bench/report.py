@@ -1,0 +1,50 @@
+"""Plain-text reporting for reproduced figures.
+
+Benchmarks print each figure as an aligned table (x column + one column
+per algorithm) and append it to ``benchmarks/results/<name>.txt`` so the
+numbers that EXPERIMENTS.md cites are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import ExperimentResult
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned plain-text table."""
+    headers = [result.x_label] + [s.label for s in result.series]
+    rows = [[_fmt(v) for v in row] for row in result.as_rows()]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        f"== {result.title} ==",
+        f"   ({result.y_label})",
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_result(result: ExperimentResult, directory: str, name: str) -> str:
+    """Write the table to ``directory/name.txt``; return the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(format_table(result) + "\n")
+    return path
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)

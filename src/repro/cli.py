@@ -1,0 +1,289 @@
+"""Command-line interface: build, query, inspect, and maintain DG indexes.
+
+A small operational surface over the library, in the shape a downstream
+user expects from an index tool::
+
+    python -m repro generate --kind U --n 10000 --dims 3 --out data.npz
+    python -m repro build    --data data.npz --out index.npz --theta 16
+    python -m repro query    --index index.npz --weights 0.5,0.3,0.2 --k 10
+    python -m repro inspect  --index index.npz --validate
+    python -m repro insert   --index index.npz --limit 100
+    python -m repro delete   --index index.npz --record-id 81
+    python -m repro compare  --data data.npz --k 10 --queries 20
+    python -m repro experiment --name fig5 --kind U
+
+Datasets are stored as ``.npz`` archives with ``values`` and
+``attribute_names`` keys; indexes use the :mod:`repro.core.io` format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.io import load_graph, save_graph
+from repro.core.maintenance import delete_record, insert_record
+from repro.data.generators import make_dataset
+from repro.data.server import server_dataset
+from repro.metrics.timing import Timer
+
+
+def save_dataset(dataset: Dataset, path: str) -> str:
+    """Write a dataset to a ``.npz`` archive (values + attribute names)."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez_compressed(
+        path,
+        values=dataset.values,
+        attribute_names=np.asarray(dataset.attribute_names, dtype=str),
+    )
+    return path
+
+
+def load_dataset(path: str) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return Dataset(
+            archive["values"],
+            attribute_names=[str(a) for a in archive["attribute_names"]],
+        )
+
+
+def _parse_weights(text: str) -> LinearFunction:
+    try:
+        weights = [float(w) for w in text.split(",") if w.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"bad --weights {text!r}: {exc}")
+    if not weights:
+        raise SystemExit("--weights must list at least one number")
+    return LinearFunction(weights)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic dataset archive (`repro generate`)."""
+    if args.kind.lower() == "server":
+        dataset = server_dataset(args.n, seed=args.seed)
+    else:
+        dataset = make_dataset(args.kind, args.n, args.dims, seed=args.seed)
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {len(dataset)} x {dataset.dims} records to {path}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build and persist a DG index (`repro build`)."""
+    dataset = load_dataset(args.data)
+    with Timer() as timer:
+        if args.plain:
+            graph = build_dominant_graph(dataset)
+        else:
+            graph = build_extended_graph(dataset, theta=args.theta, seed=args.seed)
+    path = save_graph(graph, args.out)
+    print(
+        f"built DG over {len(dataset)} records in {timer.elapsed:.2f}s: "
+        f"{graph.num_layers} layers, {graph.num_pseudo} pseudo records, "
+        f"{graph.edge_count()} edges -> {path}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer a linear top-k query against an index (`repro query`)."""
+    graph = load_graph(args.index)
+    function = _parse_weights(args.weights)
+    if function.dims != graph.dataset.dims:
+        raise SystemExit(
+            f"--weights has {function.dims} entries, index has "
+            f"{graph.dataset.dims} attributes"
+        )
+    if args.explain:
+        from repro.core.explain import explain_top_k
+
+        profile = explain_top_k(graph, function, args.k)
+        print(profile.format())
+        return 0
+    traveler = AdvancedTraveler(graph)
+    with Timer() as timer:
+        result = traveler.top_k(function, args.k)
+    names = graph.dataset.attribute_names
+    print(f"top-{args.k} in {1000 * timer.elapsed:.2f}ms "
+          f"({result.stats.computed} records scored):")
+    for rank, (rid, score) in enumerate(result, start=1):
+        detail = ", ".join(
+            f"{name}={value:g}" for name, value in zip(names, graph.vector(rid))
+        )
+        print(f"  {rank:3d}. record {rid}  score={score:g}  [{detail}]")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Print index statistics, optionally validating (`repro inspect`)."""
+    graph = load_graph(args.index)
+    dataset = graph.dataset
+    print(f"index: {args.index}")
+    print(f"  records: {len(dataset)} x {dataset.dims} "
+          f"({', '.join(dataset.attribute_names)})")
+    print(f"  indexed: {len(graph)} ({graph.num_pseudo} pseudo)")
+    print(f"  layers:  {graph.num_layers}, edges: {graph.edge_count()}")
+    sizes = graph.layer_sizes()
+    preview = ", ".join(str(s) for s in sizes[:12])
+    suffix = ", ..." if len(sizes) > 12 else ""
+    print(f"  layer sizes: [{preview}{suffix}]")
+    if args.validate:
+        from repro.core.verify import format_issues, verify_graph
+
+        issues = verify_graph(graph)
+        print("  " + format_issues(issues).replace("\n", "\n  "))
+        return 1 if issues else 0
+    return 0
+
+
+def cmd_insert(args: argparse.Namespace) -> int:
+    """Index pending dataset rows incrementally (`repro insert`)."""
+    graph = load_graph(args.index)
+    indexed = set(graph.real_ids())
+    pending = [rid for rid in range(len(graph.dataset)) if rid not in indexed]
+    if args.record_id is not None:
+        pending = [args.record_id]
+    if not pending:
+        print("nothing to insert: every dataset row is already indexed")
+        return 0
+    with Timer() as timer:
+        for rid in pending[: args.limit]:
+            insert_record(graph, rid)
+    count = min(len(pending), args.limit)
+    save_graph(graph, args.index)
+    print(f"inserted {count} records in {timer.elapsed:.2f}s")
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    """Remove one record from a persisted index (`repro delete`)."""
+    graph = load_graph(args.index)
+    with Timer() as timer:
+        delete_record(graph, args.record_id)
+    save_graph(graph, args.index)
+    print(f"deleted record {args.record_id} in {1000 * timer.elapsed:.2f}ms")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the algorithm comparison matrix over a workload (`repro compare`)."""
+    from repro.bench.compare import compare_algorithms, format_report
+    from repro.data.queries import random_queries
+
+    dataset = load_dataset(args.data)
+    queries = random_queries(
+        dataset.dims, args.queries, alpha=args.alpha, seed=args.seed
+    )
+    reports = compare_algorithms(dataset, queries, args.k, seed=args.seed)
+    print(format_report(reports, args.k, len(queries)))
+    return 0 if all(r.correct for r in reports) else 1
+
+
+EXPERIMENTS = {
+    "fig5": lambda args: experiments.fig5_pseudo_records(args.kind),
+    "fig6-construction": lambda args: experiments.fig6_construction(),
+    "fig6-query": lambda args: experiments.fig6_query(),
+    "fig7": lambda args: experiments.fig7_nonlayer(),
+    "fig8-insert": lambda args: experiments.fig8_maintenance("insert"),
+    "fig8-delete": lambda args: experiments.fig8_maintenance("delete"),
+    "fig9-highdim": lambda args: experiments.fig9_highdim(),
+    "fig9-worst": lambda args: experiments.fig9_worstcase(),
+    "cost-model": lambda args: experiments.cost_model(),
+}
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Print one paper experiment's table (`repro experiment`)."""
+    result = EXPERIMENTS[args.name](args)
+    print(format_table(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dominant Graph top-k indexing (ICDE 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--kind", default="U",
+                   help="U | G | R | A | worst | server (paper Section VI)")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--dims", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(run=cmd_generate)
+
+    p = sub.add_parser("build", help="build a DG index over a dataset")
+    p.add_argument("--data", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--theta", type=int, default=None,
+                   help="pseudo-level threshold (default: page/record)")
+    p.add_argument("--plain", action="store_true",
+                   help="skip pseudo levels (plain DG)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(run=cmd_build)
+
+    p = sub.add_parser("query", help="answer a linear top-k query")
+    p.add_argument("--index", required=True)
+    p.add_argument("--weights", required=True,
+                   help="comma-separated non-negative weights")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--explain", action="store_true",
+                   help="print the per-layer traversal profile instead")
+    p.set_defaults(run=cmd_query)
+
+    p = sub.add_parser("inspect", help="print index statistics")
+    p.add_argument("--index", required=True)
+    p.add_argument("--validate", action="store_true",
+                   help="also run the full invariant check")
+    p.set_defaults(run=cmd_inspect)
+
+    p = sub.add_parser("insert", help="index not-yet-indexed dataset rows")
+    p.add_argument("--index", required=True)
+    p.add_argument("--record-id", type=int, default=None)
+    p.add_argument("--limit", type=int, default=1_000_000)
+    p.set_defaults(run=cmd_insert)
+
+    p = sub.add_parser("delete", help="remove one record from the index")
+    p.add_argument("--index", required=True)
+    p.add_argument("--record-id", type=int, required=True)
+    p.set_defaults(run=cmd_delete)
+
+    p = sub.add_parser("compare", help="compare all algorithms on a workload")
+    p.add_argument("--data", required=True)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--queries", type=int, default=20)
+    p.add_argument("--alpha", type=float, default=1.0,
+                   help="Dirichlet concentration of the query workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(run=cmd_compare)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("--name", choices=sorted(EXPERIMENTS), required=True)
+    p.add_argument("--kind", default="U")
+    p.set_defaults(run=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

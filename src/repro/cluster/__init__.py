@@ -1,0 +1,6 @@
+"""Clustering substrate: K-Means, used to group first-layer records into
+clusters when introducing pseudo records (paper Section IV-A)."""
+
+from repro.cluster.kmeans import KMeansResult, kmeans
+
+__all__ = ["KMeansResult", "kmeans"]

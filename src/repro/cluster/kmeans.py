@@ -1,0 +1,157 @@
+"""K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Section IV-A clusters the records of an oversized DG layer "by K-Means
+algorithm according to Euclidean distance" before introducing one pseudo
+parent per cluster.  No clustering library is assumed; this is a compact,
+deterministic, numpy-vectorized implementation sufficient for that use
+(layer sizes are at most a few thousand points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a K-Means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, m)`` final cluster centers.
+    assignments:
+        ``(n,)`` cluster index per input point.
+    inertia:
+        Sum of squared distances of points to their assigned center.
+    iterations:
+        Lloyd iterations performed before convergence or the cap.
+    """
+
+    centers: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the points assigned to one cluster."""
+        return np.flatnonzero(self.assignments == cluster)
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared-distance sampling."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a chosen center; any pick works.
+            centers[i] = points[int(rng.integers(n))]
+            continue
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centers[i] = points[choice]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((points - centers[i]) ** 2, axis=1)
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster ``points`` into ``n_clusters`` groups by Euclidean distance.
+
+    Parameters
+    ----------
+    points:
+        ``(n, m)`` array of points.
+    n_clusters:
+        Desired cluster count; clipped to ``n`` when larger.  Empty clusters
+        (possible under Lloyd updates) are re-seeded with the point farthest
+        from its current center, so every returned cluster is non-empty.
+    max_iter, tol:
+        Lloyd iteration cap and center-movement convergence threshold.
+    seed:
+        Seed for the deterministic RNG used by k-means++ and re-seeding.
+
+    Returns
+    -------
+    KMeansResult with non-empty clusters covering all points.
+
+    Examples
+    --------
+    >>> pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    >>> result = kmeans(pts, 2)
+    >>> sorted(len(result.members(c)) for c in range(result.n_clusters))
+    [2, 2]
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, m) array")
+    n = points.shape[0]
+    k = max(1, min(int(n_clusters), n))
+    rng = np.random.default_rng(seed)
+
+    centers = _plus_plus_init(points, k, rng)
+    assignments = np.zeros(n, dtype=np.intp)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        # Squared distances point->center via (a-b)^2 = a^2 - 2ab + b^2.
+        sq = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        assignments = np.argmin(sq, axis=1)
+
+        new_centers = centers.copy()
+        for c in range(k):
+            members = assignments == c
+            if members.any():
+                new_centers[c] = points[members].mean(axis=0)
+            else:
+                # Re-seed an empty cluster with the worst-served point.
+                worst = int(np.argmax(np.min(sq, axis=1)))
+                new_centers[c] = points[worst]
+        shift = float(np.max(np.sum((new_centers - centers) ** 2, axis=1)))
+        centers = new_centers
+        if shift <= tol:
+            break
+
+    sq = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ centers.T
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+    assignments = np.argmin(sq, axis=1)
+    inertia = float(np.take_along_axis(sq, assignments[:, None], axis=1).sum())
+
+    # Guarantee non-empty clusters for the caller (pseudo-record builder
+    # creates one parent per cluster and expects members).
+    for c in range(k):
+        if not (assignments == c).any():
+            donor = int(np.argmax(np.bincount(assignments, minlength=k)))
+            donors = np.flatnonzero(assignments == donor)
+            assignments[donors[0]] = c
+    return KMeansResult(
+        centers=centers,
+        assignments=assignments,
+        inertia=inertia,
+        iterations=iterations,
+    )

@@ -1,0 +1,69 @@
+"""Core contribution of the paper: the Dominant Graph index and its queries.
+
+The subpackage layout follows the paper's structure:
+
+- :mod:`repro.core.dataset` — the record set ``D`` (Section II, Table I).
+- :mod:`repro.core.functions` — aggregate monotone query functions
+  (Definition 2.1).
+- :mod:`repro.core.dominance` — the dominance relation (Definition 2.2).
+- :mod:`repro.core.layers` — maximal-layer decomposition (Definition 2.3).
+- :mod:`repro.core.graph` — the Dominant Graph itself (Definition 2.4).
+- :mod:`repro.core.builder` — offline DG construction.
+- :mod:`repro.core.traveler` — Basic Traveler (Algorithm 1).
+- :mod:`repro.core.cost` — the cost model (Theorems 3.1 and 3.2).
+- :mod:`repro.core.pseudo` — pseudo records / Extended DG (Section IV-A).
+- :mod:`repro.core.advanced` — Advanced Traveler (Algorithm 2).
+- :mod:`repro.core.nway` — N-Way Traveler (Algorithm 3, Section IV-C).
+- :mod:`repro.core.maintenance` — insertion/deletion (Section V).
+"""
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import (
+    DecomposableFunction,
+    LinearFunction,
+    MinFunction,
+    ProductFunction,
+    ScoringFunction,
+    WeightedPowerFunction,
+)
+from repro.core.graph import DominantGraph
+from repro.core.io import load_graph, save_graph
+from repro.core.maintenance import (
+    delete_many,
+    delete_record,
+    insert_many,
+    insert_record,
+    mark_deleted,
+)
+from repro.core.progressive import iter_ranked, top_k_progressive
+from repro.core.nway import NWayTraveler
+from repro.core.result import TopKResult
+from repro.core.traveler import BasicTraveler
+
+__all__ = [
+    "AdvancedTraveler",
+    "BasicTraveler",
+    "Dataset",
+    "DecomposableFunction",
+    "DominantGraph",
+    "LinearFunction",
+    "MinFunction",
+    "NWayTraveler",
+    "ProductFunction",
+    "ScoringFunction",
+    "TopKResult",
+    "WeightedPowerFunction",
+    "build_dominant_graph",
+    "build_extended_graph",
+    "delete_many",
+    "delete_record",
+    "insert_many",
+    "insert_record",
+    "iter_ranked",
+    "load_graph",
+    "mark_deleted",
+    "save_graph",
+    "top_k_progressive",
+]

@@ -1,0 +1,138 @@
+"""Advanced Traveler: Basic Traveler over the Extended DG (Algorithm 2).
+
+The only differences from Algorithm 1 — exactly as the paper states — are
+that pseudo records do not count toward ``k``:
+
+- the loop runs "while the number of *real* records in RS < k", and
+- the candidate-list truncation keeps the best ``k - n`` *real* candidates
+  (pseudo candidates are always kept, since discarding one could lock an
+  entire subtree whose real records are still needed).
+
+Pseudo records still pass through CL and RS — they are scored like anyone
+else ("accessed pseudo records also count" toward the cost metric in
+Experiment 1) and their membership in RS is what unlocks their children.
+
+On a plain DG (no pseudo records) the Advanced Traveler degenerates to the
+Basic Traveler, so it is the algorithm benchmarks call "DG".
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+class AdvancedTraveler:
+    """Algorithm 2 over an Extended (or plain) Dominant Graph.
+
+    Examples
+    --------
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.builder import build_extended_graph
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5]])
+    >>> result = AdvancedTraveler(build_extended_graph(ds, theta=2)).top_k(
+    ...     LinearFunction([0.5, 0.5]), k=2)
+    >>> sorted(result.ids)
+    [0, 1]
+    """
+
+    name = "advanced-traveler"
+
+    def __init__(self, graph: DominantGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> DominantGraph:
+        """The underlying index."""
+        return self._graph
+
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        where=None,
+    ) -> TopKResult:
+        """Answer a top-k query; only real records are reported/counted.
+
+        Parameters
+        ----------
+        function:
+            Any aggregate monotone scoring function.
+        k:
+            Number of answers.
+        where:
+            Optional selection predicate ``vector -> bool``.  Records
+            failing it are traversed like pseudo records — they keep
+            unlocking their subtrees (a non-matching record can still
+            dominate matching ones) but are neither reported nor counted
+            toward ``k``.  This is the constrained ranking(+selection)
+            query RankCube motivates, answered from the unmodified DG.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        graph = self._graph
+        stats = AccessCounter()
+        computed: set = set()
+        # CL holds (-score, record_id); index 0 is the best candidate.
+        candidates: list = []
+
+        def is_answer(rid: int) -> bool:
+            if graph.is_pseudo(rid):
+                return False
+            return where is None or bool(where(graph.vector(rid)))
+
+        answerable: dict = {}
+
+        def score_into_cl(rid: int) -> None:
+            pseudo = graph.is_pseudo(rid)
+            score = function(graph.vector(rid))
+            stats.count_computed(rid, pseudo=pseudo)
+            computed.add(rid)
+            answerable[rid] = is_answer(rid)
+            bisect.insort(candidates, (-score, rid))
+
+        def truncate(keep_answers: int) -> None:
+            """Drop all but the best ``keep_answers`` answerable candidates.
+
+            Pseudo and filtered-out records are always kept: discarding
+            one could lock a subtree whose answerable records are needed.
+            """
+            kept_answers = 0
+            kept: list = []
+            for entry in candidates:
+                if not answerable[entry[1]]:
+                    kept.append(entry)
+                elif kept_answers < keep_answers:
+                    kept.append(entry)
+                    kept_answers += 1
+            candidates[:] = kept
+
+        for rid in sorted(graph.layer(0)):
+            score_into_cl(rid)
+        truncate(k)
+
+        answers: list = []
+        in_result: set = set()
+        found = 0
+        while found < k and candidates:
+            neg_score, rid = candidates.pop(0)
+            in_result.add(rid)
+            if answerable[rid]:
+                answers.append((-neg_score, rid))
+                found += 1
+                if found == k:
+                    break
+            for child in sorted(graph.children_of(rid)):
+                if child in computed:
+                    continue
+                if any(parent not in in_result for parent in graph.parents_of(child)):
+                    continue
+                score_into_cl(child)
+            truncate(k - found)
+
+        return TopKResult.from_pairs(answers, stats, algorithm=self.name)

@@ -1,0 +1,177 @@
+"""The record set ``D``: an immutable, numpy-backed table of records.
+
+The paper's data model (Table I) is a record set ``D`` of cardinality |D|
+where every record has ``m`` numeric attributes and a top-k query prefers
+*larger* attribute values (Definition 2.2 uses ``>=`` / ``>``, the mirror
+image of the skyline literature's ``<=`` / ``<``; the two are equivalent).
+
+:class:`Dataset` wraps an ``(n, m)`` float array plus optional attribute
+names and record labels.  Records are identified by their row index
+(0..n-1); every index structure in the repository speaks record ids, never
+raw vectors, so the dataset is the single source of truth for values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class Dataset:
+    """An immutable set of ``m``-dimensional records, preferring larger values.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, m)``.  Copied and frozen; mutating the
+        source afterwards does not affect the dataset.
+    attribute_names:
+        Optional names for the ``m`` attributes (defaults to ``x1..xm``).
+    labels:
+        Optional per-record labels (e.g. the TIDs of the paper's running
+        example).  Purely cosmetic; algorithms use row indices.
+
+    Examples
+    --------
+    >>> d = Dataset([[1.0, 2.0], [3.0, 0.5]])
+    >>> len(d), d.dims
+    (2, 2)
+    >>> d.vector(1)
+    array([3. , 0.5])
+    """
+
+    def __init__(
+        self,
+        values: Sequence[Sequence[float]] | np.ndarray,
+        attribute_names: Sequence[str] | None = None,
+        labels: Sequence[object] | None = None,
+    ) -> None:
+        # np.array (not asarray): always copy, so freezing the copy below
+        # can never mutate the caller's array flags.
+        array = np.array(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"Dataset values must be a 2-d array of shape (n, m); got ndim={array.ndim}"
+            )
+        if array.shape[0] == 0:
+            raise ValueError("Dataset must contain at least one record")
+        if array.shape[1] == 0:
+            raise ValueError("Dataset records must have at least one attribute")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("Dataset values must be finite (no NaN/inf)")
+        array.setflags(write=False)
+        self._values = array
+
+        n, m = array.shape
+        if attribute_names is None:
+            attribute_names = tuple(f"x{i + 1}" for i in range(m))
+        else:
+            attribute_names = tuple(attribute_names)
+            if len(attribute_names) != m:
+                raise ValueError(
+                    f"Expected {m} attribute names, got {len(attribute_names)}"
+                )
+        self._attribute_names = attribute_names
+
+        if labels is not None:
+            labels = tuple(labels)
+            if len(labels) != n:
+                raise ValueError(f"Expected {n} labels, got {len(labels)}")
+        self._labels = labels
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        n, m = self._values.shape
+        return f"Dataset(n={n}, m={m}, attributes={list(self._attribute_names)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return (
+            self._values.shape == other._values.shape
+            and bool(np.array_equal(self._values, other._values))
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable by content summary
+        return hash((self._values.shape, self._values.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only ``(n, m)`` value matrix."""
+        return self._values
+
+    @property
+    def dims(self) -> int:
+        """Number of attributes ``m``."""
+        return self._values.shape[1]
+
+    @property
+    def attribute_names(self) -> tuple:
+        """Names of the ``m`` attributes."""
+        return self._attribute_names
+
+    @property
+    def labels(self) -> tuple | None:
+        """Optional per-record labels (``None`` when not supplied)."""
+        return self._labels
+
+    def label(self, record_id: int) -> object:
+        """Human-facing label of a record (falls back to its row index)."""
+        if self._labels is None:
+            return record_id
+        return self._labels[record_id]
+
+    def vector(self, record_id: int) -> np.ndarray:
+        """The attribute vector of one record (read-only view)."""
+        return self._values[record_id]
+
+    def take(self, record_ids: Iterable[int]) -> np.ndarray:
+        """Value matrix restricted to the given record ids, in order."""
+        ids = np.fromiter(record_ids, dtype=np.intp)
+        return self._values[ids]
+
+    def project(self, dimensions: Sequence[int]) -> "Dataset":
+        """A new dataset restricted to a subset of dimensions.
+
+        Used by the N-Way Traveler (Section IV-C), which builds one DG per
+        dimension set.  Record ids are preserved (rows are not reordered).
+        """
+        dims = list(dimensions)
+        if not dims:
+            raise ValueError("project() needs at least one dimension")
+        if any(d < 0 or d >= self.dims for d in dims):
+            raise ValueError(f"dimension out of range for m={self.dims}: {dims}")
+        names = tuple(self._attribute_names[d] for d in dims)
+        return Dataset(self._values[:, dims], attribute_names=names, labels=self._labels)
+
+    def with_appended(self, rows: np.ndarray) -> "Dataset":
+        """A new dataset with extra records appended (ids continue from n).
+
+        Convenience for the maintenance experiments, where fresh records are
+        drawn from a generator and inserted one by one.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.dims:
+            raise ValueError(
+                f"appended rows have {rows.shape[1]} attributes, dataset has {self.dims}"
+            )
+        labels = None
+        if self._labels is not None:
+            labels = self._labels + tuple(range(len(self), len(self) + len(rows)))
+        return Dataset(
+            np.vstack([self._values, rows]),
+            attribute_names=self._attribute_names,
+            labels=labels,
+        )

@@ -1,0 +1,123 @@
+"""EXPLAIN for top-k queries: where did the traversal actually go?
+
+``explain_top_k`` answers the operational questions the raw
+:class:`~repro.core.result.TopKResult` cannot: how deep into the graph
+did the query descend, how many records did each layer contribute to the
+search space, how much of the cost was pseudo-record overhead, and how
+close did the run come to the Theorem 3.2 ideal.  The CLI exposes it via
+``python -m repro query --explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.result import TopKResult
+from repro.metrics.timing import Timer
+
+
+@dataclass(frozen=True)
+class LayerAccess:
+    """Per-layer slice of a query's search space."""
+
+    layer: int
+    size: int
+    accessed: int
+    pseudo: int
+
+    @property
+    def fraction(self) -> float:
+        """Share of the layer the query touched."""
+        return self.accessed / self.size if self.size else 0.0
+
+
+@dataclass(frozen=True)
+class QueryExplain:
+    """Full traversal profile of one top-k query."""
+
+    result: TopKResult
+    per_layer: tuple
+    deepest_layer: int
+    pseudo_accessed: int
+    elapsed_seconds: float
+
+    @property
+    def total_accessed(self) -> int:
+        return self.result.stats.computed
+
+    def format(self) -> str:
+        """Aligned, human-readable profile."""
+        k = len(self.result)
+        lines = [
+            f"top-{k}: {self.total_accessed} records scored "
+            f"({self.pseudo_accessed} pseudo) in "
+            f"{1000 * self.elapsed_seconds:.2f}ms; descended to layer "
+            f"{self.deepest_layer + 1} of {len(self.per_layer)}",
+            f"{'layer':>5} {'size':>7} {'accessed':>9} {'pseudo':>7} {'share':>7}",
+        ]
+        for entry in self.per_layer:
+            if entry.accessed == 0 and entry.layer > self.deepest_layer:
+                continue
+            lines.append(
+                f"{entry.layer + 1:>5} {entry.size:>7} {entry.accessed:>9} "
+                f"{entry.pseudo:>7} {100 * entry.fraction:>6.1f}%"
+            )
+        untouched = sum(
+            1 for entry in self.per_layer
+            if entry.accessed == 0 and entry.layer > self.deepest_layer
+        )
+        if untouched:
+            lines.append(f"  ... {untouched} deeper layers untouched")
+        return "\n".join(lines)
+
+
+def explain_top_k(
+    graph: DominantGraph, function: ScoringFunction, k: int
+) -> QueryExplain:
+    """Run a top-k query and profile its search space per layer.
+
+    Examples
+    --------
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[2.0, 2.0], [1.0, 1.0], [3.0, 0.5]])
+    >>> profile = explain_top_k(build_dominant_graph(ds), LinearFunction([0.5, 0.5]), 1)
+    >>> profile.total_accessed
+    2
+    >>> profile.deepest_layer
+    0
+    """
+    traveler = AdvancedTraveler(graph)
+    with Timer() as timer:
+        result = traveler.top_k(function, k)
+    accessed_ids = result.stats.computed_ids
+
+    per_layer = []
+    deepest = 0
+    pseudo_accessed = 0
+    for index in range(graph.num_layers):
+        members = graph.layer(index)
+        touched = [rid for rid in members if rid in accessed_ids]
+        pseudo = sum(1 for rid in touched if graph.is_pseudo(rid))
+        pseudo_accessed += pseudo
+        if touched:
+            deepest = index
+        per_layer.append(
+            LayerAccess(
+                layer=index,
+                size=len(members),
+                accessed=len(touched),
+                pseudo=pseudo,
+            )
+        )
+    return QueryExplain(
+        result=result,
+        per_layer=tuple(per_layer),
+        deepest_layer=deepest,
+        pseudo_accessed=pseudo_accessed,
+        elapsed_seconds=timer.elapsed,
+    )

@@ -1,0 +1,275 @@
+"""Aggregate monotone query functions (Definition 2.1).
+
+A top-k preference query is parameterized by an *aggregate monotone*
+function ``F``: whenever every attribute of record ``X`` is at least the
+matching attribute of ``Y``, ``F(X) >= F(Y)``.  Monotonicity is the only
+property the Dominant Graph needs (Lemma 2.1); unlike ONION, AppRI, PREFER
+and LPTA, DG is *not* restricted to linear functions, so this module
+provides a family of monotone functions and a protocol for user-defined
+ones.
+
+All functions are vectorized: ``score_many`` evaluates an ``(n, m)`` block
+in one numpy call, and ``__call__`` scores a single vector.  The N-Way
+Traveler (Section IV-C) additionally needs a *decomposable* function
+``F(x) = G(f1(x_I1), ..., fn(x_In))`` with monotone ``G``; see
+:class:`DecomposableFunction`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ScoringFunction(Protocol):
+    """Protocol for aggregate monotone query functions.
+
+    Implementations must be monotone non-decreasing in every attribute;
+    :func:`repro.core.functions.check_monotone` spot-checks this property
+    and is used by the test suite on every bundled function.
+    """
+
+    def __call__(self, vector: np.ndarray) -> float:
+        """Score a single ``(m,)`` attribute vector."""
+        ...
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score an ``(n, m)`` block of records, returning ``(n,)`` scores."""
+        ...
+
+
+class LinearFunction:
+    """Weighted sum ``F(x) = sum_i w_i * x_i`` with non-negative weights.
+
+    This is the query class supported by every baseline in the paper's
+    evaluation ("to enable fair performance comparison, we only use linear
+    function in comparison study", Section VI).
+
+    Examples
+    --------
+    >>> f = LinearFunction([0.6, 0.4])                # the running example
+    >>> round(f(np.array([10.0, 5.0])), 6)
+    8.0
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-d sequence")
+        if np.any(w < 0):
+            raise ValueError("linear top-k weights must be non-negative for monotonicity")
+        self.weights = w
+        self.weights.setflags(write=False)
+
+    @property
+    def dims(self) -> int:
+        """Number of attributes the function consumes."""
+        return self.weights.size
+
+    def __call__(self, vector: np.ndarray) -> float:
+        return float(np.dot(self.weights, vector))
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score an ``(n, m)`` block in one matrix-vector product."""
+        return np.asarray(block, dtype=np.float64) @ self.weights
+
+    def restrict(self, dimensions: Sequence[int]) -> "LinearFunction":
+        """Partial sum over a dimension subset (N-Way sub-function f_i)."""
+        return LinearFunction(self.weights[list(dimensions)])
+
+    def __repr__(self) -> str:
+        return f"LinearFunction({self.weights.tolist()})"
+
+
+class ProductFunction:
+    """Product ``F(x) = prod_i x_i^{w_i}`` for non-negative data and weights.
+
+    Monotone on the non-negative orthant; an example of the non-linear
+    monotone queries that DG supports but ONION/PREFER/AppRI cannot.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0):
+            raise ValueError("product weights must be non-negative")
+        self.weights = w
+        self.weights.setflags(write=False)
+
+    @property
+    def dims(self) -> int:
+        return self.weights.size
+
+    def __call__(self, vector: np.ndarray) -> float:
+        v = np.asarray(vector, dtype=np.float64)
+        if np.any(v < 0):
+            raise ValueError("ProductFunction requires non-negative attributes")
+        return float(np.prod(np.power(v, self.weights)))
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score an ``(n, m)`` block of non-negative records at once."""
+        b = np.asarray(block, dtype=np.float64)
+        if np.any(b < 0):
+            raise ValueError("ProductFunction requires non-negative attributes")
+        return np.prod(np.power(b, self.weights), axis=1)
+
+    def __repr__(self) -> str:
+        return f"ProductFunction({self.weights.tolist()})"
+
+
+class MinFunction:
+    """Bottleneck aggregate ``F(x) = min_i x_i`` (monotone, non-linear)."""
+
+    def __call__(self, vector: np.ndarray) -> float:
+        return float(np.min(vector))
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Row-wise minimum of an ``(n, m)`` block."""
+        return np.min(np.asarray(block, dtype=np.float64), axis=1)
+
+    def __repr__(self) -> str:
+        return "MinFunction()"
+
+
+class WeightedPowerFunction:
+    """Weighted power mean ``F(x) = (sum_i w_i * x_i^p)^(1/p)`` with ``p > 0``.
+
+    Monotone for non-negative data; interpolates between weighted sum
+    (``p = 1``) and max-like behaviour as ``p`` grows.
+    """
+
+    def __init__(self, weights: Sequence[float], p: float = 2.0) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive for monotonicity")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        self.weights = w
+        self.weights.setflags(write=False)
+        self.p = float(p)
+
+    @property
+    def dims(self) -> int:
+        return self.weights.size
+
+    def __call__(self, vector: np.ndarray) -> float:
+        v = np.asarray(vector, dtype=np.float64)
+        if np.any(v < 0):
+            raise ValueError("WeightedPowerFunction requires non-negative attributes")
+        return float(np.power(np.dot(self.weights, np.power(v, self.p)), 1.0 / self.p))
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score an ``(n, m)`` block of non-negative records at once."""
+        b = np.asarray(block, dtype=np.float64)
+        if np.any(b < 0):
+            raise ValueError("WeightedPowerFunction requires non-negative attributes")
+        return np.power(np.power(b, self.p) @ self.weights, 1.0 / self.p)
+
+    def __repr__(self) -> str:
+        return f"WeightedPowerFunction({self.weights.tolist()}, p={self.p})"
+
+
+class DecomposableFunction:
+    """``F(x) = G(f1(x_I1), ..., fn(x_In))`` for the N-Way Traveler.
+
+    Section IV-C assumes the query function decomposes over ``n`` disjoint
+    dimension sets ``I_i`` with an aggregate monotone combiner ``G``.  The
+    common case — a linear function split by dimension sets with ``G = sum``
+    — is built by :meth:`from_linear`.
+
+    Parameters
+    ----------
+    dimension_sets:
+        Disjoint index sets covering a subset (usually all) of the m
+        dimensions.
+    sub_functions:
+        One scoring function per dimension set; ``f_i`` consumes vectors
+        restricted to ``I_i``.
+    combiner:
+        Monotone ``G`` mapping the tuple of sub-scores to the final score.
+        Defaults to the sum.
+    """
+
+    def __init__(
+        self,
+        dimension_sets: Sequence[Sequence[int]],
+        sub_functions: Sequence[ScoringFunction],
+        combiner: Callable[[np.ndarray], float] | None = None,
+    ) -> None:
+        if len(dimension_sets) != len(sub_functions):
+            raise ValueError("need one sub-function per dimension set")
+        if len(dimension_sets) == 0:
+            raise ValueError("need at least one dimension set")
+        flat: list[int] = []
+        for dims in dimension_sets:
+            flat.extend(dims)
+        if len(flat) != len(set(flat)):
+            raise ValueError("dimension sets must be disjoint")
+        self.dimension_sets = [tuple(d) for d in dimension_sets]
+        self.sub_functions = list(sub_functions)
+        self.combiner = combiner if combiner is not None else _sum_combiner
+
+    @classmethod
+    def from_linear(
+        cls, function: LinearFunction, dimension_sets: Sequence[Sequence[int]]
+    ) -> "DecomposableFunction":
+        """Split a linear function into per-set partial sums with G = sum."""
+        subs = [function.restrict(dims) for dims in dimension_sets]
+        return cls(dimension_sets, subs)
+
+    @property
+    def n_ways(self) -> int:
+        """Number of dimension sets (the "N" in N-Way)."""
+        return len(self.dimension_sets)
+
+    def sub_score(self, i: int, vector: np.ndarray) -> float:
+        """Score of the i-th sub-function on a *full* attribute vector."""
+        return self.sub_functions[i](vector[list(self.dimension_sets[i])])
+
+    def combine(self, sub_scores: Sequence[float]) -> float:
+        """Apply G to a tuple of per-set sub-scores (the β bound of Alg. 3)."""
+        return float(self.combiner(np.asarray(sub_scores, dtype=np.float64)))
+
+    def __call__(self, vector: np.ndarray) -> float:
+        subs = [self.sub_score(i, vector) for i in range(self.n_ways)]
+        return self.combine(subs)
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score an ``(n, m)`` block: sub-functions per set, then G."""
+        block = np.asarray(block, dtype=np.float64)
+        parts = np.empty((block.shape[0], self.n_ways), dtype=np.float64)
+        for i, (dims, f) in enumerate(zip(self.dimension_sets, self.sub_functions)):
+            parts[:, i] = f.score_many(block[:, list(dims)])
+        return np.array([self.combiner(row) for row in parts], dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"DecomposableFunction(n_ways={self.n_ways}, sets={self.dimension_sets})"
+
+
+def _sum_combiner(sub_scores: np.ndarray) -> float:
+    return float(np.sum(sub_scores))
+
+
+def check_monotone(
+    function: ScoringFunction,
+    dims: int,
+    trials: int = 200,
+    rng: np.random.Generator | None = None,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> bool:
+    """Spot-check Definition 2.1 on random dominated pairs.
+
+    Draws ``trials`` random vectors, bumps a random subset of coordinates
+    upward, and verifies the score does not decrease.  Returns ``True`` when
+    every trial passes.  This is a testing utility, not a proof.
+    """
+    rng = rng or np.random.default_rng(0)
+    for _ in range(trials):
+        x = rng.uniform(low, high, size=dims)
+        bump = rng.uniform(0.0, high - low, size=dims) * (rng.random(dims) < 0.5)
+        y = np.minimum(x + bump, high)
+        if function(y) < function(x) - 1e-12:
+            return False
+    return True

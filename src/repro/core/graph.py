@@ -1,0 +1,401 @@
+"""The Dominant Graph (Definition 2.4): layered partial-order index.
+
+A DG stores the maximal layers ``L_1..L_n`` of a record set and, between
+each pair of consecutive layers, the bipartite *parent-children* edges: a
+directed edge runs from ``R`` in ``L_i`` to ``R'`` in ``L_{i+1}`` exactly
+when ``R`` dominates ``R'``.  The DG is stored independently of the record
+set, as in the paper ("DG is stored independently as the indexing structure
+for the record set").
+
+The *Extended* DG (Section IV-A) prepends one or more *pseudo levels*:
+artificial records that dominate clusters of the layer below, introduced to
+prune first-layer evaluations.  Pseudo records live in the same structure;
+they are distinguished by :meth:`DominantGraph.is_pseudo`, and their
+vectors are owned by the graph (real vectors are owned by the dataset).
+
+The structure is mutable — Section V's maintenance algorithms move records
+between layers in place — so all invariants are re-checkable at any time
+via :meth:`DominantGraph.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.dominance import dominates
+
+
+class DominantGraph:
+    """Mutable Dominant Graph over a :class:`~repro.core.dataset.Dataset`.
+
+    Do not construct directly in application code; use
+    :func:`repro.core.builder.build_dominant_graph` or
+    :func:`repro.core.builder.build_extended_graph`.  The constructor takes
+    pre-computed layers and edges and trusts them (``validate()`` checks).
+
+    Record identifiers: real records use their dataset row index
+    (``0..n-1``); pseudo records are assigned ids ``n, n+1, ...`` by
+    :meth:`add_pseudo_record`.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._layers: list[set] = []
+        self._layer_of: dict = {}
+        self._parents: dict = {}
+        self._children: dict = {}
+        self._pseudo_vectors: dict = {}
+        self._next_pseudo_id = len(dataset)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        """The indexed record set."""
+        return self._dataset
+
+    @property
+    def num_layers(self) -> int:
+        """Total layer count, pseudo levels included."""
+        return len(self._layers)
+
+    @property
+    def num_pseudo(self) -> int:
+        """How many pseudo records the graph currently holds."""
+        return len(self._pseudo_vectors)
+
+    def layer(self, index: int) -> frozenset:
+        """Record ids of layer ``index`` (0-based; 0 is the topmost layer)."""
+        return frozenset(self._layers[index])
+
+    def layers(self) -> list:
+        """All layers, topmost first, as frozensets of record ids."""
+        return [frozenset(layer) for layer in self._layers]
+
+    def layer_of(self, record_id: int) -> int:
+        """0-based layer index of a record."""
+        return self._layer_of[record_id]
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._layer_of
+
+    def __len__(self) -> int:
+        """Number of indexed records, pseudo included."""
+        return len(self._layer_of)
+
+    def iter_records(self) -> Iterator[int]:
+        """All indexed record ids, in layer order."""
+        for layer in self._layers:
+            yield from sorted(layer)
+
+    def real_ids(self) -> list:
+        """Ids of indexed *real* (non-pseudo) records."""
+        return [rid for rid in self._layer_of if not self.is_pseudo(rid)]
+
+    def is_pseudo(self, record_id: int) -> bool:
+        """True for pseudo records (Extended DG artificial parents)."""
+        return record_id in self._pseudo_vectors
+
+    def vector(self, record_id: int) -> np.ndarray:
+        """Attribute vector of a record (real from the dataset, pseudo local)."""
+        pseudo = self._pseudo_vectors.get(record_id)
+        if pseudo is not None:
+            return pseudo
+        return self._dataset.vector(record_id)
+
+    def parents_of(self, record_id: int) -> frozenset:
+        """Ids of the record's parents (dominators in the previous layer)."""
+        return frozenset(self._parents.get(record_id, ()))
+
+    def children_of(self, record_id: int) -> frozenset:
+        """Ids of the record's children (dominated records in the next layer)."""
+        return frozenset(self._children.get(record_id, ()))
+
+    def edge_count(self) -> int:
+        """Total number of parent-child edges in the graph."""
+        return sum(len(kids) for kids in self._children.values())
+
+    # ------------------------------------------------------------------
+    # Mutation primitives (used by the builder and Section V maintenance)
+    # ------------------------------------------------------------------
+    def ensure_layers(self, count: int) -> None:
+        """Grow the layer list to at least ``count`` layers."""
+        while len(self._layers) < count:
+            self._layers.append(set())
+
+    def prepend_layer(self, record_ids: Iterable[int]) -> None:
+        """Insert a new topmost layer (used to stack pseudo levels)."""
+        ids = set(record_ids)
+        self._layers.insert(0, ids)
+        for rid, layer in list(self._layer_of.items()):
+            self._layer_of[rid] = layer + 1
+        for rid in ids:
+            self._layer_of[rid] = 0
+
+    def place_record(self, record_id: int, layer_index: int) -> None:
+        """Put a record into a layer (no edges yet; caller wires them)."""
+        if record_id in self._layer_of:
+            raise ValueError(f"record {record_id} already indexed")
+        self.ensure_layers(layer_index + 1)
+        self._layers[layer_index].add(record_id)
+        self._layer_of[record_id] = layer_index
+        self._parents.setdefault(record_id, set())
+        self._children.setdefault(record_id, set())
+
+    def move_record(self, record_id: int, new_layer: int) -> None:
+        """Move a record to another layer, dropping all its edges.
+
+        The caller is responsible for re-wiring edges afterwards (see
+        :mod:`repro.core.maintenance`, which rebuilds edges for every moved
+        record against its new neighbouring layers).
+        """
+        old_layer = self._layer_of[record_id]
+        if old_layer == new_layer:
+            return
+        self.drop_edges(record_id)
+        self._layers[old_layer].discard(record_id)
+        self.ensure_layers(new_layer + 1)
+        self._layers[new_layer].add(record_id)
+        self._layer_of[record_id] = new_layer
+
+    def remove_record(self, record_id: int) -> None:
+        """Remove a record and all of its edges from the index.
+
+        May leave an empty layer behind; callers performing multi-step
+        restructuring (Section V maintenance) finish with
+        :meth:`prune_empty_layers` once layer indices are stable.
+        """
+        layer = self._layer_of.pop(record_id)
+        self._layers[layer].discard(record_id)
+        self.drop_edges(record_id)
+        self._parents.pop(record_id, None)
+        self._children.pop(record_id, None)
+        self._pseudo_vectors.pop(record_id, None)
+
+    def update_pseudo_vector(self, record_id: int, vector: np.ndarray) -> None:
+        """Raise a pseudo record's vector (maintenance coverage repair).
+
+        The new vector must weakly dominate the old one coordinate-wise, so
+        every existing dominance the pseudo participates in as a parent is
+        preserved; callers re-wire affected level boundaries afterwards.
+        """
+        old = self._pseudo_vectors.get(record_id)
+        if old is None:
+            raise ValueError(f"record {record_id} is not a pseudo record")
+        vector = np.asarray(vector, dtype=np.float64).copy()
+        if vector.shape != old.shape:
+            raise ValueError("pseudo vector shape mismatch")
+        if np.any(vector < old):
+            raise ValueError("pseudo vectors may only be raised, never lowered")
+        vector.setflags(write=False)
+        self._pseudo_vectors[record_id] = vector
+
+    def add_pseudo_record(self, vector: np.ndarray) -> int:
+        """Register a pseudo record's vector and return its fresh id.
+
+        The record is *not* placed in a layer; callers follow up with
+        :meth:`place_record` / :meth:`prepend_layer`.
+        """
+        vector = np.asarray(vector, dtype=np.float64).copy()
+        if vector.shape != (self._dataset.dims,):
+            raise ValueError(
+                f"pseudo vector must have shape ({self._dataset.dims},), "
+                f"got {vector.shape}"
+            )
+        vector.setflags(write=False)
+        pid = self._next_pseudo_id
+        self._next_pseudo_id += 1
+        self._pseudo_vectors[pid] = vector
+        return pid
+
+    def register_pseudo_record(self, record_id: int, vector: np.ndarray) -> None:
+        """Register a pseudo record under an explicit id (deserialization).
+
+        Ids must not collide with dataset rows or existing pseudo records;
+        the internal id counter advances past the registered id so later
+        :meth:`add_pseudo_record` calls stay collision-free.
+        """
+        if record_id < len(self._dataset):
+            raise ValueError(
+                f"pseudo id {record_id} collides with a dataset row"
+            )
+        if record_id in self._pseudo_vectors:
+            raise ValueError(f"pseudo id {record_id} already registered")
+        vector = np.asarray(vector, dtype=np.float64).copy()
+        if vector.shape != (self._dataset.dims,):
+            raise ValueError(
+                f"pseudo vector must have shape ({self._dataset.dims},), "
+                f"got {vector.shape}"
+            )
+        vector.setflags(write=False)
+        self._pseudo_vectors[record_id] = vector
+        self._next_pseudo_id = max(self._next_pseudo_id, record_id + 1)
+
+    def convert_to_pseudo(self, record_id: int) -> None:
+        """Turn a real record into a pseudo one (mark-as-deleted, §V-B).
+
+        The record keeps its position and edges but is no longer reported
+        by the Advanced Traveler, which skips pseudo records when counting
+        answers.  Its vector is snapshotted into the graph so the record
+        set may drop the row independently.
+        """
+        if self.is_pseudo(record_id):
+            return
+        vector = self._dataset.vector(record_id).copy()
+        vector.setflags(write=False)
+        self._pseudo_vectors[record_id] = vector
+
+    def add_edge(self, parent: int, child: int) -> None:
+        """Add a parent -> child edge (consecutive layers, parent dominates)."""
+        self._children.setdefault(parent, set()).add(child)
+        self._parents.setdefault(child, set()).add(parent)
+
+    def remove_edge(self, parent: int, child: int) -> None:
+        """Remove one edge if present."""
+        self._children.get(parent, set()).discard(child)
+        self._parents.get(child, set()).discard(parent)
+
+    def drop_edges(self, record_id: int) -> None:
+        """Disconnect a record from all parents and children."""
+        for parent in self._parents.get(record_id, set()):
+            self._children.get(parent, set()).discard(record_id)
+        for child in self._children.get(record_id, set()):
+            self._parents.get(child, set()).discard(record_id)
+        self._parents[record_id] = set()
+        self._children[record_id] = set()
+
+    def prune_empty_layers(self) -> None:
+        """Delete empty layers and compact the layer indices."""
+        if all(layer for layer in self._layers):
+            return
+        self._layers = [layer for layer in self._layers if layer]
+        for index, layer in enumerate(self._layers):
+            for rid in layer:
+                self._layer_of[rid] = index
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self, check_layer_minimality: bool = True) -> None:
+        """Assert every Definition 2.3/2.4 invariant; raise on violation.
+
+        Checks:
+
+        1. layers partition the indexed ids; ``layer_of`` is consistent;
+        2. every edge connects consecutive layers and the parent dominates
+           the child;
+        3. no record dominates another inside one layer;
+        4. every record below the top layer has at least one parent;
+        5. (optional) across boundaries whose upper layer is purely real,
+           every record's parents include every dominator from the
+           previous layer — i.e. real-real edges are complete, not merely
+           sound.  Boundaries under a pseudo level are exempt: pseudo
+           parenting follows cluster membership (Section IV-A), which is
+           sound but intentionally sparse.
+        """
+        seen: set = set()
+        for index, layer in enumerate(self._layers):
+            assert layer, f"layer {index} is empty (call prune_empty_layers)"
+            for rid in layer:
+                assert rid not in seen, f"record {rid} in two layers"
+                seen.add(rid)
+                assert self._layer_of[rid] == index, (
+                    f"layer_of[{rid}]={self._layer_of[rid]} but found in layer {index}"
+                )
+        assert seen == set(self._layer_of), "layer_of and layers disagree"
+
+        for parent, kids in self._children.items():
+            for child in kids:
+                assert self._layer_of[child] == self._layer_of[parent] + 1, (
+                    f"edge {parent}->{child} does not span consecutive layers"
+                )
+                assert dominates(self.vector(parent), self.vector(child)), (
+                    f"edge {parent}->{child} without dominance"
+                )
+                assert parent in self._parents.get(child, set()), (
+                    f"edge {parent}->{child} missing reverse link"
+                )
+        for child, parents in self._parents.items():
+            for parent in parents:
+                assert child in self._children.get(parent, set()), (
+                    f"edge {parent}->{child} missing forward link"
+                )
+
+        for index, layer in enumerate(self._layers):
+            members = sorted(layer)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    va, vb = self.vector(a), self.vector(b)
+                    assert not dominates(va, vb) and not dominates(vb, va), (
+                        f"records {a} and {b} dominate within layer {index}"
+                    )
+            if index > 0:
+                for rid in layer:
+                    assert self._parents.get(rid), (
+                        f"record {rid} in layer {index} has no parent"
+                    )
+
+        if check_layer_minimality:
+            for index in range(1, len(self._layers)):
+                above = sorted(self._layers[index - 1])
+                if any(self.is_pseudo(p) for p in above):
+                    continue  # pseudo boundaries use sparse cluster edges
+                for rid in self._layers[index]:
+                    expected = {
+                        p for p in above if dominates(self.vector(p), self.vector(rid))
+                    }
+                    assert expected == self._parents.get(rid, set()), (
+                        f"record {rid}: stored parents {self._parents.get(rid)} != "
+                        f"dominators in previous layer {expected}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def layer_sizes(self) -> list:
+        """Record count per layer, topmost first."""
+        return [len(layer) for layer in self._layers]
+
+    def statistics(self) -> dict:
+        """Structural summary: sizes, fan-out, and width statistics.
+
+        Keys: ``records``, ``real_records``, ``pseudo_records``,
+        ``layers``, ``edges``, ``max_layer_width``, ``mean_layer_width``,
+        ``mean_parents`` (over records below the top layer),
+        ``max_parents``, and ``pseudo_levels`` (leading all-pseudo layers).
+        """
+        sizes = self.layer_sizes()
+        below_top = [
+            rid for rid in self._layer_of if self._layer_of[rid] > 0
+        ]
+        parent_counts = [len(self._parents.get(rid, ())) for rid in below_top]
+        pseudo_levels = 0
+        for layer in self._layers:
+            if layer and all(self.is_pseudo(rid) for rid in layer):
+                pseudo_levels += 1
+            else:
+                break
+        return {
+            "records": len(self),
+            "real_records": len(self) - self.num_pseudo,
+            "pseudo_records": self.num_pseudo,
+            "layers": self.num_layers,
+            "edges": self.edge_count(),
+            "max_layer_width": max(sizes) if sizes else 0,
+            "mean_layer_width": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "mean_parents": (
+                sum(parent_counts) / len(parent_counts) if parent_counts else 0.0
+            ),
+            "max_parents": max(parent_counts) if parent_counts else 0,
+            "pseudo_levels": pseudo_levels,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DominantGraph(records={len(self)}, layers={self.num_layers}, "
+            f"pseudo={self.num_pseudo}, edges={self.edge_count()})"
+        )

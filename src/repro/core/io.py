@@ -1,0 +1,117 @@
+"""Index persistence: save/load a Dominant Graph to disk.
+
+The DG is an offline-built index ("DG is stored independently as the
+indexing structure for the record set"), so a real deployment builds it
+once and ships it next to the data.  The on-disk format is a single
+``.npz`` archive holding the dataset values, the layer assignment, the
+edge list, and the pseudo-record vectors — all numpy arrays, so loading
+is one ``np.load`` with no custom parsing.
+
+Format (npz keys)
+-----------------
+``values``         (n, m) float64 — the dataset (attribute names too)
+``attribute_names`` (m,) str
+``record_ids``     (r,) intp — indexed ids, reals then pseudos
+``layer_of``       (r,) intp — 0-based layer per indexed id
+``edges``          (e, 2) intp — parent, child pairs
+``pseudo_ids``     (p,) intp — which indexed ids are pseudo
+``pseudo_vectors`` (p, m) float64 — their vectors
+``format_version`` () int
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.graph import DominantGraph
+
+FORMAT_VERSION = 1
+
+
+def save_graph(graph: DominantGraph, path: str) -> str:
+    """Serialize a graph (and its dataset) to ``path`` (.npz appended).
+
+    Returns the path actually written.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro.core.builder import build_dominant_graph
+    >>> ds = Dataset([[1.0, 2.0], [2.0, 1.0], [0.5, 0.5]])
+    >>> graph = build_dominant_graph(ds)
+    >>> path = save_graph(graph, tempfile.mktemp())
+    >>> load_graph(path).layer_sizes()
+    [2, 1]
+    """
+    record_ids = list(graph.iter_records())
+    layer_of = [graph.layer_of(rid) for rid in record_ids]
+    edges = [
+        (parent, child)
+        for parent in record_ids
+        for child in sorted(graph.children_of(parent))
+    ]
+    pseudo_ids = [rid for rid in record_ids if graph.is_pseudo(rid)]
+    pseudo_vectors = (
+        np.vstack([graph.vector(rid) for rid in pseudo_ids])
+        if pseudo_ids
+        else np.empty((0, graph.dataset.dims))
+    )
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez_compressed(
+        path,
+        values=graph.dataset.values,
+        attribute_names=np.asarray(graph.dataset.attribute_names, dtype=str),
+        record_ids=np.asarray(record_ids, dtype=np.intp),
+        layer_of=np.asarray(layer_of, dtype=np.intp),
+        edges=np.asarray(edges, dtype=np.intp).reshape(-1, 2),
+        pseudo_ids=np.asarray(pseudo_ids, dtype=np.intp),
+        pseudo_vectors=pseudo_vectors,
+        format_version=np.asarray(FORMAT_VERSION),
+    )
+    return path
+
+
+def load_graph(path: str, validate: bool = False) -> DominantGraph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` file (extension optional).
+    validate:
+        Run the full invariant check after loading (slow on big indexes;
+        useful when the file's provenance is uncertain).
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        dataset = Dataset(
+            archive["values"],
+            attribute_names=[str(a) for a in archive["attribute_names"]],
+        )
+        graph = DominantGraph(dataset)
+        pseudo_ids = archive["pseudo_ids"]
+        pseudo_vectors = archive["pseudo_vectors"]
+        # Re-register pseudo vectors under their original ids (they may be
+        # non-contiguous after maintenance merges).
+        for pid, vector in zip(pseudo_ids.tolist(), pseudo_vectors):
+            graph.register_pseudo_record(int(pid), vector)
+
+        for rid, layer in zip(archive["record_ids"].tolist(),
+                              archive["layer_of"].tolist()):
+            graph.place_record(int(rid), int(layer))
+        for parent, child in archive["edges"].tolist():
+            graph.add_edge(int(parent), int(child))
+    if validate:
+        graph.validate()
+    return graph

@@ -1,0 +1,239 @@
+"""N-Way Traveler: top-k in high dimension (paper Algorithm 3, §IV-C).
+
+High-dimensional data has little dominance, so a single DG degenerates
+toward one huge layer.  The N-Way Traveler splits the ``m`` dimensions into
+``n`` disjoint sets, builds one DG per set, and — exactly as the paper says
+— "combines TA algorithm and Basic Travel algorithm": each DG is traversed
+as a ranked stream ordered by its sub-function ``f_i``, while a TA-style
+threshold ``β = G(f_1(head_1), ..., f_n(head_n))`` upper-bounds the score
+of every record not yet seen.  The scan stops when the current k-th best
+score ``δ`` reaches ``β``.
+
+Why β is a valid bound: inside one DG, the head of the candidate list
+``CL_i`` upper-bounds ``f_i`` of every record not yet popped (the Basic
+Traveler's best-first invariant), and ``G`` is monotone, so any record
+absent from the global candidate list scores at most ``β``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Sequence
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import DecomposableFunction, LinearFunction, ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.layers import SkylineFunction
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+class _RankedStream:
+    """Lazy Basic-Traveler traversal of one DG, ordered by a sub-function.
+
+    Unlike Algorithm 1 there is no candidate-list truncation — the N-Way
+    driver does not know in advance how deep each stream must go — and
+    pseudo records are traversed but never emitted (their sub-scores still
+    upper-bound their subtrees, so the head remains a valid β component).
+    """
+
+    def __init__(
+        self,
+        graph: DominantGraph,
+        sub_function: ScoringFunction,
+        stats: AccessCounter,
+    ) -> None:
+        self._graph = graph
+        self._function = sub_function
+        self._stats = stats
+        self._heap: list = []  # (-sub_score, record_id)
+        self._computed: set = set()
+        self._popped: set = set()
+        for rid in sorted(graph.layer(0)):
+            self._push(rid)
+
+    def _push(self, rid: int) -> None:
+        score = self._function(self._graph.vector(rid))
+        self._stats.count_examined()
+        self._computed.add(rid)
+        heapq.heappush(self._heap, (-score, rid))
+
+    def head_score(self) -> float | None:
+        """Sub-score of the best unpopped record; None when exhausted."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def advance(self) -> int | None:
+        """Pop the head into RS_i, unlock its children; return its id."""
+        if not self._heap:
+            return None
+        _, rid = heapq.heappop(self._heap)
+        self._popped.add(rid)
+        for child in sorted(self._graph.children_of(rid)):
+            if child in self._computed:
+                continue
+            if any(p not in self._popped for p in self._graph.parents_of(child)):
+                continue
+            self._push(child)
+        return rid
+
+
+class NWayTraveler:
+    """Algorithm 3: parallel traversal of one DG per dimension set.
+
+    Parameters
+    ----------
+    dataset:
+        The record set.
+    dimension_sets:
+        Disjoint dimension index sets; one DG is built per set over the
+        projected data.  ``NWayTraveler.even_split`` builds the paper's
+        "divide m dimensions into n sets" layout.
+    extended:
+        Build Extended DGs (with pseudo levels) per dimension set; on the
+        high-dimensional data this algorithm targets, projected first
+        layers are typically large, so this defaults to True.
+    skyline, theta, seed:
+        Passed through to the per-set graph builders.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> ds = Dataset(rng.uniform(size=(50, 4)))
+    >>> nway = NWayTraveler(ds, NWayTraveler.even_split(4, 2))
+    >>> result = nway.top_k(LinearFunction([0.25] * 4), k=3)
+    >>> len(result)
+    3
+    """
+
+    name = "nway-traveler"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dimension_sets: Sequence[Sequence[int]],
+        extended: bool = True,
+        skyline: SkylineFunction | None = None,
+        theta: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not dimension_sets:
+            raise ValueError("need at least one dimension set")
+        self._dataset = dataset
+        self._dimension_sets = [tuple(int(d) for d in dims) for dims in dimension_sets]
+        flat = [d for dims in self._dimension_sets for d in dims]
+        if len(flat) != len(set(flat)):
+            raise ValueError("dimension sets must be disjoint")
+        self._graphs: list = []
+        for dims in self._dimension_sets:
+            projected = dataset.project(dims)
+            if extended:
+                graph = build_extended_graph(
+                    projected, theta=theta, skyline=skyline, seed=seed
+                )
+            else:
+                graph = build_dominant_graph(projected, skyline=skyline)
+            self._graphs.append(graph)
+
+    @staticmethod
+    def even_split(dims: int, ways: int) -> list:
+        """Split ``range(dims)`` into ``ways`` near-equal contiguous sets.
+
+        >>> NWayTraveler.even_split(10, 2)
+        [(0, 1, 2, 3, 4), (5, 6, 7, 8, 9)]
+        """
+        if ways <= 0 or ways > dims:
+            raise ValueError("ways must be in 1..dims")
+        base, extra = divmod(dims, ways)
+        sets, start = [], 0
+        for i in range(ways):
+            size = base + (1 if i < extra else 0)
+            sets.append(tuple(range(start, start + size)))
+            start += size
+        return sets
+
+    @property
+    def dimension_sets(self) -> list:
+        """The dimension partition this traveler was built with."""
+        return list(self._dimension_sets)
+
+    @property
+    def graphs(self) -> list:
+        """The per-set Dominant Graphs (projected-coordinate indexes)."""
+        return list(self._graphs)
+
+    def _decompose(self, function: ScoringFunction) -> DecomposableFunction:
+        if isinstance(function, DecomposableFunction):
+            if [tuple(d) for d in function.dimension_sets] != self._dimension_sets:
+                raise ValueError(
+                    "decomposable function's dimension sets do not match the "
+                    "traveler's partition"
+                )
+            return function
+        if isinstance(function, LinearFunction):
+            flat = sorted(d for dims in self._dimension_sets for d in dims)
+            if flat != list(range(function.dims)):
+                raise ValueError(
+                    "dimension sets must cover every weighted dimension to "
+                    "decompose a linear function"
+                )
+            return DecomposableFunction.from_linear(function, self._dimension_sets)
+        raise TypeError(
+            "NWayTraveler needs a DecomposableFunction (or a LinearFunction, "
+            f"which decomposes automatically); got {type(function).__name__}"
+        )
+
+    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+        """Answer a top-k query by parallel ranked traversal of the sub-DGs."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        decomposed = self._decompose(function)
+        stats = AccessCounter()
+        streams = [
+            _RankedStream(graph, sub, stats)
+            for graph, sub in zip(self._graphs, decomposed.sub_functions)
+        ]
+
+        scores: dict = {}
+        ranked: list = []  # (-F score, record_id), ascending
+
+        def see(rid: int) -> None:
+            """Compute F for a record the first time any stream surfaces it."""
+            if rid in scores:
+                return
+            score = function(self._dataset.vector(rid))
+            stats.count_computed(rid)
+            scores[rid] = score
+            bisect.insort(ranked, (-score, rid))
+
+        # Line 3: every first-layer (real) record is scored by F up front.
+        for graph in self._graphs:
+            for rid in sorted(graph.layer(0)):
+                if not graph.is_pseudo(rid):
+                    see(rid)
+
+        exhausted = False
+        while not exhausted:
+            heads = [stream.head_score() for stream in streams]
+            if any(head is None for head in heads):
+                # Some DG has streamed every record; the candidate list is
+                # complete and the current ranking is exact.
+                break
+            beta = decomposed.combine(heads)
+            delta = -ranked[k - 1][0] if len(ranked) >= k else float("-inf")
+            if delta >= beta:
+                break
+            for graph, stream in zip(self._graphs, streams):
+                rid = stream.advance()
+                if rid is None:
+                    exhausted = True
+                    break
+                if not graph.is_pseudo(rid):
+                    see(rid)
+
+        answers = [(-neg, rid) for neg, rid in ranked[:k]]
+        return TopKResult.from_pairs(answers, stats, algorithm=self.name)

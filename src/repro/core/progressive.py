@@ -1,0 +1,104 @@
+"""Progressive top-k: rank records lazily, without fixing k in advance.
+
+Algorithm 1 needs k up front only to bound its candidate list; dropping
+the truncation turns the Traveler into an *incremental* ranking operator
+— ask for one more answer and it expands exactly the newly unlocked
+children.  This is the natural extension for paginated result screens
+("next 10") and for rank-join-style consumers, and it is the engine the
+N-Way Traveler already uses per sub-graph.
+
+The generator yields ``(record_id, score)`` pairs in non-increasing score
+order (ties by id), never yields pseudo records, and touches only the
+part of the graph the consumed prefix required: stopping after ``i``
+answers costs the same search space as a top-``i`` query without
+truncation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.metrics.counters import AccessCounter
+
+
+def iter_ranked(
+    graph: DominantGraph,
+    function: ScoringFunction,
+    stats: AccessCounter | None = None,
+) -> Iterator:
+    """Yield ``(record_id, score)`` best-first over a (possibly Extended) DG.
+
+    Parameters
+    ----------
+    graph:
+        A plain or Extended Dominant Graph.
+    function:
+        Any aggregate monotone scoring function.
+    stats:
+        Optional counter; every scored record (pseudo included) is charged
+        one computation, exactly like the Traveler classes.
+
+    Examples
+    --------
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[1.0, 2.0], [2.0, 1.0], [0.2, 0.2]])
+    >>> graph = build_dominant_graph(ds)
+    >>> ranking = iter_ranked(graph, LinearFunction([0.5, 0.5]))
+    >>> next(ranking)
+    (0, 1.5)
+    """
+    if stats is None:
+        stats = AccessCounter()
+    heap: list = []  # (-score, record_id)
+    computed: set = set()
+    popped: set = set()
+
+    def score(rid: int) -> None:
+        value = function(graph.vector(rid))
+        stats.count_computed(rid, pseudo=graph.is_pseudo(rid))
+        computed.add(rid)
+        heapq.heappush(heap, (-value, rid))
+
+    if graph.num_layers:
+        for rid in sorted(graph.layer(0)):
+            score(rid)
+
+    while heap:
+        neg_score, rid = heapq.heappop(heap)
+        popped.add(rid)
+        for child in sorted(graph.children_of(rid)):
+            if child in computed:
+                continue
+            if any(parent not in popped for parent in graph.parents_of(child)):
+                continue
+            score(child)
+        if not graph.is_pseudo(rid):
+            yield rid, -neg_score
+
+
+def top_k_progressive(
+    graph: DominantGraph, function: ScoringFunction, k: int
+):
+    """Materialize the first k answers of :func:`iter_ranked`.
+
+    A convenience wrapper returning the same
+    :class:`~repro.core.result.TopKResult` shape as the Traveler classes;
+    unlike them it never truncates its candidate list, so its search space
+    can only be larger or equal (tests quantify the difference).
+    """
+    from repro.core.result import TopKResult
+
+    if k <= 0:
+        raise ValueError("k must be positive")
+    stats = AccessCounter()
+    pairs = []
+    for rid, value in iter_ranked(graph, function, stats):
+        pairs.append((value, rid))
+        if len(pairs) == k:
+            break
+    return TopKResult.from_pairs(pairs, stats, algorithm="progressive-traveler")

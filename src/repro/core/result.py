@@ -1,0 +1,83 @@
+"""Result object returned by every top-k algorithm in the repository.
+
+Bundles the answer (record ids in rank order, with scores) together with
+the :class:`~repro.metrics.counters.AccessCounter` that measured the work,
+so the benchmark harness can read the paper's metrics off any algorithm
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.metrics.counters import AccessCounter
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Top-k answer plus the access statistics of the run.
+
+    Attributes
+    ----------
+    ids:
+        Record ids in non-increasing score order (ties broken by id).
+    scores:
+        Matching query-function scores.
+    stats:
+        Access counter populated by the algorithm.
+    algorithm:
+        Human-readable name of the producing algorithm.
+    """
+
+    ids: tuple
+    scores: tuple
+    stats: AccessCounter = field(compare=False)
+    algorithm: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != len(self.scores):
+            raise ValueError("ids and scores must have equal length")
+        for earlier, later in zip(self.scores, self.scores[1:]):
+            if later > earlier + 1e-12:
+                raise ValueError("scores must be non-increasing")
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Sequence,
+        stats: AccessCounter,
+        algorithm: str = "",
+    ) -> "TopKResult":
+        """Build from an iterable of ``(score, record_id)`` pairs."""
+        ids = tuple(int(rid) for _, rid in pairs)
+        scores = tuple(float(score) for score, _ in pairs)
+        return cls(ids=ids, scores=scores, stats=stats, algorithm=algorithm)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator:
+        return iter(zip(self.ids, self.scores))
+
+    @property
+    def id_set(self) -> frozenset:
+        """The answer as an unordered set of record ids."""
+        return frozenset(self.ids)
+
+    def score_multiset(self) -> tuple:
+        """Sorted scores — the canonical, tie-insensitive answer signature.
+
+        Two correct top-k algorithms may return different id sets when
+        scores tie; their score multisets always agree, so tests compare
+        this.
+        """
+        return tuple(sorted(self.scores, reverse=True))
+
+    def __repr__(self) -> str:
+        name = self.algorithm or "TopKResult"
+        preview = ", ".join(
+            f"{rid}:{score:.4g}" for rid, score in list(self)[:5]
+        )
+        suffix = ", ..." if len(self) > 5 else ""
+        return f"{name}(k={len(self)}, [{preview}{suffix}], computed={self.stats.computed})"

@@ -1,0 +1,137 @@
+"""Basic Traveler: top-k query as DG traversal (paper Algorithm 1).
+
+The algorithm scores the first DG layer into a candidate list ``CL``, then
+repeatedly moves the best candidate into the result set ``RS`` and unlocks
+children whose parents are *all* already in ``RS`` (Lemma 2.1: a child can
+only be in the top-(n+1) once every parent is in the top-n).  After the
+n-th answer, only the best ``k - n`` candidates are kept (paper lines
+10-11); anything beaten by ``k - n`` candidates plus ``n`` answers cannot
+be in the top-k.
+
+The search space — the set of records scored — is exactly
+``S1 = S2 ∪ S3`` of Theorem 3.1, which :mod:`repro.core.cost` verifies.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+class _CandidateList:
+    """The sorted candidate list ``CL`` of Algorithm 1.
+
+    Kept as a list of ``(-score, record_id)`` in ascending order, so index
+    0 is the best candidate with deterministic id tie-breaking.  Sizes are
+    bounded by k, so bisect insertion is plenty fast.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, score: float, record_id: int) -> None:
+        bisect.insort(self._entries, (-score, record_id))
+
+    def pop_best(self) -> tuple:
+        """Remove and return ``(score, record_id)`` of the best candidate."""
+        neg_score, record_id = self._entries.pop(0)
+        return -neg_score, record_id
+
+    def truncate(self, keep: int) -> None:
+        """Keep only the ``keep`` best candidates (paper lines 10-11)."""
+        if keep < len(self._entries):
+            del self._entries[max(keep, 0):]
+
+    def entries(self) -> list:
+        """Snapshot of ``(score, record_id)`` pairs, best first."""
+        return [(-neg, rid) for neg, rid in self._entries]
+
+
+class BasicTraveler:
+    """Algorithm 1 over a plain Dominant Graph.
+
+    Parameters
+    ----------
+    graph:
+        A DG without pseudo records.  Graphs with pseudo levels must use
+        :class:`~repro.core.advanced.AdvancedTraveler`, which knows not to
+        count pseudo records as answers.
+
+    Examples
+    --------
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5]])
+    >>> result = BasicTraveler(build_dominant_graph(ds)).top_k(
+    ...     LinearFunction([0.5, 0.5]), k=2)
+    >>> sorted(result.ids)
+    [0, 1]
+    """
+
+    name = "basic-traveler"
+
+    def __init__(self, graph: DominantGraph) -> None:
+        if graph.num_pseudo:
+            raise ValueError(
+                "BasicTraveler requires a plain DG; use AdvancedTraveler for "
+                "graphs with pseudo records"
+            )
+        self._graph = graph
+
+    @property
+    def graph(self) -> DominantGraph:
+        """The underlying index."""
+        return self._graph
+
+    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+        """Answer a top-k query for any aggregate monotone ``function``.
+
+        Returns fewer than ``k`` answers only when the dataset holds fewer
+        than ``k`` records.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        graph = self._graph
+        stats = AccessCounter()
+        candidates = _CandidateList()
+        computed: set = set()
+
+        # Line 1: score the whole first layer into CL, capped at k.
+        for rid in sorted(graph.layer(0)):
+            score = function(graph.vector(rid))
+            stats.count_computed(rid)
+            computed.add(rid)
+            candidates.insert(score, rid)
+        candidates.truncate(k)
+
+        answers: list = []
+        in_result: set = set()
+        while len(answers) < k and len(candidates):
+            # Lines 2/12: move the best candidate into RS.
+            score, rid = candidates.pop_best()
+            answers.append((score, rid))
+            in_result.add(rid)
+            if len(answers) == k:
+                break
+            # Lines 5-9: unlock children whose parents are all answered.
+            for child in sorted(graph.children_of(rid)):
+                if child in computed:
+                    continue
+                if any(parent not in in_result for parent in graph.parents_of(child)):
+                    continue
+                child_score = function(graph.vector(child))
+                stats.count_computed(child)
+                computed.add(child)
+                candidates.insert(child_score, child)
+            # Lines 10-11: keep only the k-n best candidates.
+            candidates.truncate(k - len(answers))
+
+        return TopKResult.from_pairs(answers, stats, algorithm=self.name)

@@ -1,0 +1,151 @@
+"""Structured index verification: report problems instead of asserting.
+
+:meth:`DominantGraph.validate` is the developer tool — it asserts and
+stops at the first violation.  Operations needs the other shape: check a
+(possibly untrusted, possibly reloaded) index end to end and report
+*every* problem found, machine-readably.  ``verify_graph`` returns a list
+of :class:`Issue` records; an empty list means the index satisfies every
+Definition 2.3/2.4 invariant plus the Extended-DG coverage rules.
+
+Used by ``python -m repro inspect --validate`` through
+:func:`format_issues`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dominance import dominates
+from repro.core.graph import DominantGraph
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One invariant violation found in an index."""
+
+    code: str
+    message: str
+    record_id: int | None = None
+
+    def __str__(self) -> str:
+        suffix = f" (record {self.record_id})" if self.record_id is not None else ""
+        return f"[{self.code}] {self.message}{suffix}"
+
+
+def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
+    """Collect every invariant violation, up to ``max_issues``.
+
+    Checks, in order: layer bookkeeping, edge soundness (consecutive
+    layers + dominance + symmetric links), intra-layer dominance,
+    orphaned records, real-boundary edge completeness, and pseudo-level
+    placement.
+
+    Examples
+    --------
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.dataset import Dataset
+    >>> graph = build_dominant_graph(Dataset([[2.0, 2.0], [1.0, 1.0]]))
+    >>> verify_graph(graph)
+    []
+    """
+    issues: list = []
+
+    def add(code: str, message: str, record_id: int | None = None) -> bool:
+        issues.append(Issue(code=code, message=message, record_id=record_id))
+        return len(issues) >= max_issues
+
+    layers = [graph.layer(i) for i in range(graph.num_layers)]
+
+    # Layer bookkeeping.
+    seen: set = set()
+    for index, layer in enumerate(layers):
+        if not layer:
+            if add("empty-layer", f"layer {index} is empty"):
+                return issues
+        for rid in layer:
+            if rid in seen:
+                if add("duplicate", f"record in multiple layers", rid):
+                    return issues
+            seen.add(rid)
+            if graph.layer_of(rid) != index:
+                if add("layer-of", "layer_of disagrees with layer contents", rid):
+                    return issues
+
+    # Edge soundness.
+    for rid in graph.iter_records():
+        for child in graph.children_of(rid):
+            if graph.layer_of(child) != graph.layer_of(rid) + 1:
+                if add("edge-span", f"edge {rid}->{child} not consecutive", rid):
+                    return issues
+            if not dominates(graph.vector(rid), graph.vector(child)):
+                if add("edge-dominance", f"edge {rid}->{child} without dominance", rid):
+                    return issues
+            if rid not in graph.parents_of(child):
+                if add("edge-symmetry", f"edge {rid}->{child} missing reverse link", rid):
+                    return issues
+
+    # Intra-layer dominance and orphans.
+    for index, layer in enumerate(layers):
+        members = sorted(layer)
+        for i, a in enumerate(members):
+            va = graph.vector(a)
+            for b in members[i + 1:]:
+                vb = graph.vector(b)
+                if dominates(va, vb) or dominates(vb, va):
+                    if add("intra-layer", f"records {a} and {b} dominate in layer {index}"):
+                        return issues
+        if index > 0:
+            for rid in layer:
+                if not graph.parents_of(rid):
+                    if add("orphan", f"record in layer {index} has no parent", rid):
+                        return issues
+
+    # Real-boundary completeness (pseudo boundaries are intentionally sparse).
+    for index in range(1, len(layers)):
+        above = sorted(layers[index - 1])
+        if any(graph.is_pseudo(p) for p in above):
+            continue
+        for rid in layers[index]:
+            expected = {
+                p for p in above if dominates(graph.vector(p), graph.vector(rid))
+            }
+            if expected != set(graph.parents_of(rid)):
+                if add(
+                    "incomplete-parents",
+                    "stored parents differ from previous-layer dominators",
+                    rid,
+                ):
+                    return issues
+
+    # Pseudo placement: pseudo levels are a prefix of the layer list.
+    first_real = None
+    for index, layer in enumerate(layers):
+        has_pseudo = any(graph.is_pseudo(r) for r in layer)
+        all_pseudo = layer and all(graph.is_pseudo(r) for r in layer)
+        if first_real is None and not all_pseudo:
+            first_real = index
+        converted = {
+            r for r in layer if graph.is_pseudo(r) and r < len(graph.dataset)
+        }
+        if (
+            first_real is not None
+            and index >= first_real
+            and has_pseudo
+            and set(r for r in layer if graph.is_pseudo(r)) - converted
+        ):
+            # mark_deleted converts real records in place; those are fine.
+            if add(
+                "pseudo-below-real",
+                f"constructed pseudo record below the first real layer {first_real}",
+            ):
+                return issues
+    return issues
+
+
+def format_issues(issues: list) -> str:
+    """Readable multi-line report ('index OK' when the list is empty)."""
+    if not issues:
+        return "index OK: every invariant holds"
+    lines = [f"{len(issues)} issue(s) found:"]
+    lines.extend(f"  {issue}" for issue in issues)
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Workload substrate: the paper's synthetic distributions and the Server
+dataset stand-in (Section VI, "Data Sets")."""
+
+from repro.data.generators import (
+    all_skyline,
+    anticorrelated,
+    correlated,
+    gaussian,
+    make_dataset,
+    uniform,
+)
+from repro.data.server import server_dataset
+
+__all__ = [
+    "all_skyline",
+    "anticorrelated",
+    "correlated",
+    "gaussian",
+    "make_dataset",
+    "server_dataset",
+    "uniform",
+]

@@ -1,0 +1,68 @@
+"""Query-workload generators: batches of linear preference functions.
+
+The paper evaluates single canonical queries per figure; a robustness
+check (and the view-based baselines' whole premise) needs *workloads* —
+many preference vectors drawn from a model of user behaviour:
+
+- :func:`random_queries` — Dirichlet-distributed weights; ``alpha`` < 1
+  gives opinionated users (weight concentrated on few attributes),
+  ``alpha`` > 1 gives balanced ones.
+- :func:`clustered_queries` — users come in preference segments around a
+  few prototype vectors (the setting PREFER's view selection targets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functions import LinearFunction
+
+
+def random_queries(
+    dims: int, count: int, alpha: float = 1.0, seed: int = 0
+) -> list:
+    """``count`` Dirichlet(alpha) weight vectors as LinearFunctions.
+
+    Examples
+    --------
+    >>> qs = random_queries(3, 5, seed=1)
+    >>> len(qs), qs[0].dims
+    (5, 3)
+    >>> all(abs(sum(q.weights) - 1.0) < 1e-9 for q in qs)
+    True
+    """
+    if dims < 1 or count < 1:
+        raise ValueError("dims and count must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.full(dims, alpha), size=count)
+    return [LinearFunction(w) for w in weights]
+
+
+def clustered_queries(
+    dims: int,
+    count: int,
+    n_clusters: int = 3,
+    spread: float = 0.05,
+    seed: int = 0,
+) -> list:
+    """Queries drawn around ``n_clusters`` random preference prototypes.
+
+    Each query is a prototype plus Gaussian noise, re-normalized onto the
+    weight simplex (negative components clipped).
+    """
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be positive")
+    rng = np.random.default_rng(seed)
+    prototypes = rng.dirichlet(np.ones(dims), size=n_clusters)
+    queries = []
+    for i in range(count):
+        base = prototypes[i % n_clusters]
+        noisy = np.clip(base + rng.normal(scale=spread, size=dims), 0.0, None)
+        total = noisy.sum()
+        if total <= 0:
+            noisy = base.copy()
+            total = noisy.sum()
+        queries.append(LinearFunction(noisy / total))
+    return queries

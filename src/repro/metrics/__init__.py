@@ -1,0 +1,12 @@
+"""Instrumentation substrate: access counters and timing helpers.
+
+Every algorithm in this repository reports its work through an
+:class:`~repro.metrics.counters.AccessCounter`, which is how the paper's
+primary metric ("the number of accessed records", Definition 3.1) is
+measured uniformly across the Dominant Graph algorithms and all baselines.
+"""
+
+from repro.metrics.counters import AccessCounter
+from repro.metrics.timing import Timer
+
+__all__ = ["AccessCounter", "Timer"]

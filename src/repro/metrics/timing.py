@@ -1,0 +1,39 @@
+"""Minimal wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Begin (or restart) timing outside a ``with`` block."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        assert self._start is not None, "Timer.stop() called before start()"
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed

@@ -1,0 +1,135 @@
+"""Cost-based planner: choose a top-k algorithm from statistics.
+
+A miniature query optimizer over the repository's algorithms.  Costs are
+the paper's unit — expected records accessed per query — estimated from
+cheap dataset statistics:
+
+- **DG** (Advanced Traveler): Theorem 3.2, ``k + E[|skyline|]``, with the
+  skyline cardinality from the harmonic model (or measured exactly when
+  the caller already built a graph).
+- **TA**: the classic depth heuristic — TA scans until the per-list
+  threshold falls below the k-th score; under independent uniform
+  marginals that happens around depth ``n * (k / n)^(1/m)``, and TA
+  touches ~m records per depth step.
+- **Naive scan**: exactly ``n``.
+
+The planner picks the cheapest plan, materializes the algorithm on
+demand, and exposes the estimates for EXPLAIN-style introspection — a
+deliberately small model (uniform-ish marginals, no correlation term)
+whose purpose is choosing between asymptotically different strategies,
+not precise prediction; tests validate the *ranking* it induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.naive import naive_top_k
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import ScoringFunction
+from repro.core.result import TopKResult
+from repro.skyline.cardinality import expected_skyline_uniform
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """One candidate plan with its estimated per-query record accesses."""
+
+    algorithm: str
+    estimated_accesses: float
+
+
+def estimate_dg_accesses(n: int, dims: int, k: int) -> float:
+    """Theorem 3.2: ``k - 1 + E[|skyline(n, m)|]``."""
+    return (k - 1) + expected_skyline_uniform(n, dims)
+
+
+def estimate_ta_accesses(n: int, dims: int, k: int) -> float:
+    """Depth heuristic: TA stops near depth ``n * (k/n)^(1/m)``.
+
+    Rationale: with independent marginals, the threshold at depth d is
+    roughly the score of the record ranked ``n * (d/n)^m`` overall (all m
+    coordinates must be large simultaneously), so the k-th best score is
+    reached when ``(d/n)^m ≈ k/n``.  Each depth step costs one sorted
+    access per list and at most one new random access per list.
+    """
+    depth = n * (k / n) ** (1.0 / dims) if n else 0.0
+    return min(float(n), dims * depth)
+
+
+class Planner:
+    """Pick and run the cheapest top-k strategy for a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The record set queries will run against.
+    theta, seed:
+        Passed to the DG builder when the DG plan is materialized.
+
+    Examples
+    --------
+    >>> from repro.data.generators import uniform
+    >>> planner = Planner(uniform(500, 3, seed=0))
+    >>> planner.choose(k=10).algorithm
+    'dg'
+    >>> planner.choose(k=500).algorithm
+    'naive'
+    """
+
+    def __init__(
+        self, dataset: Dataset, theta: int | None = None, seed: int = 0
+    ) -> None:
+        self._dataset = dataset
+        self._theta = theta
+        self._seed = seed
+        self._dg: AdvancedTraveler | None = None
+        self._ta: ThresholdAlgorithm | None = None
+
+    def estimates(self, k: int) -> list:
+        """All candidate plans, cheapest first."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        n, dims = len(self._dataset), self._dataset.dims
+        k = min(k, n)
+        plans = [
+            PlanEstimate("dg", estimate_dg_accesses(n, dims, k)),
+            PlanEstimate("ta", estimate_ta_accesses(n, dims, k)),
+            PlanEstimate("naive", float(n)),
+        ]
+        return sorted(plans, key=lambda p: (p.estimated_accesses, p.algorithm))
+
+    def choose(self, k: int) -> PlanEstimate:
+        """The cheapest plan for a top-k query."""
+        return self.estimates(k)[0]
+
+    def explain(self, k: int) -> str:
+        """EXPLAIN-style, human-readable plan ranking."""
+        lines = [f"top-{k} over n={len(self._dataset)}, m={self._dataset.dims}:"]
+        for rank, plan in enumerate(self.estimates(k), start=1):
+            marker = "->" if rank == 1 else "  "
+            lines.append(
+                f" {marker} {plan.algorithm:<6} ~{plan.estimated_accesses:,.0f} "
+                "records"
+            )
+        return "\n".join(lines)
+
+    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+        """Run the chosen plan (indexes are built lazily and cached)."""
+        plan = self.choose(k)
+        if plan.algorithm == "dg":
+            if self._dg is None:
+                self._dg = AdvancedTraveler(
+                    build_extended_graph(
+                        self._dataset, theta=self._theta, seed=self._seed
+                    )
+                )
+            return self._dg.top_k(function, k)
+        if plan.algorithm == "ta":
+            if self._ta is None:
+                self._ta = ThresholdAlgorithm(self._dataset)
+            return self._ta.top_k(function, k)
+        return naive_top_k(self._dataset, function, k)

@@ -1,0 +1,76 @@
+"""Skyline substrate: every algorithm the paper cites for building DG layers.
+
+"To build a DG in the offline phase, we can use any skyline algorithm to
+find each layer of DG" (Section II).  This subpackage provides seven
+interchangeable implementations, each exposing::
+
+    skyline_indices(values: (n, m) array) -> sorted 1-d index array
+
+of the *maximal* rows (max-preferring dominance, Definition 2.2), plus the
+:func:`as_mask_function` adapter that turns any of them into the
+``block -> boolean mask`` shape the layer builder consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bitmap import bitmap_skyline
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.cardinality import (
+    expected_skyline_uniform,
+    montecarlo_skyline_uniform,
+)
+from repro.skyline.dnc import dnc_skyline
+from repro.skyline.index_method import index_skyline
+from repro.skyline.nn import nn_skyline
+from repro.skyline.sfs import sfs_skyline
+from repro.skyline.skyband import dominance_counts, k_skyband, skyband_sizes
+
+#: Name -> skyline_indices function, for the ablation benchmark.
+ALGORITHMS: dict = {
+    "sfs": sfs_skyline,
+    "bnl": bnl_skyline,
+    "dnc": dnc_skyline,
+    "bitmap": bitmap_skyline,
+    "index": index_skyline,
+    "nn": nn_skyline,
+    "bbs": bbs_skyline,
+}
+
+
+def as_mask_function(skyline_indices: Callable) -> Callable:
+    """Adapt a ``values -> indices`` skyline routine to ``values -> mask``.
+
+    The returned callable matches
+    :data:`repro.core.layers.SkylineFunction`, so any algorithm here can be
+    plugged into :func:`repro.core.builder.build_dominant_graph`.
+    """
+
+    def mask_function(values: np.ndarray) -> np.ndarray:
+        mask = np.zeros(values.shape[0], dtype=bool)
+        mask[np.asarray(skyline_indices(values), dtype=np.intp)] = True
+        return mask
+
+    return mask_function
+
+
+__all__ = [
+    "ALGORITHMS",
+    "as_mask_function",
+    "bbs_skyline",
+    "bitmap_skyline",
+    "bnl_skyline",
+    "dnc_skyline",
+    "dominance_counts",
+    "expected_skyline_uniform",
+    "index_skyline",
+    "k_skyband",
+    "montecarlo_skyline_uniform",
+    "nn_skyline",
+    "sfs_skyline",
+    "skyband_sizes",
+]

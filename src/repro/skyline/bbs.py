@@ -1,0 +1,83 @@
+"""Branch-and-Bound Skyline (Papadias et al., paper ref [9]).
+
+Textbook BBS on an R-tree: a min-heap is keyed by each entry's L1 MINDIST
+to the preference-optimal corner (for max-preferring data, the
+per-dimension maximum of the dataset).  Entries are expanded best-first;
+an entry whose best corner is dominated by an already-accepted skyline
+point is pruned — together with its entire subtree — and points reached
+un-dominated are guaranteed skyline members because everything that could
+dominate them has a smaller key and was processed first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.dominance import dominators_of
+from repro.spatial.rtree import RTree, RTreeNode
+
+
+def bbs_skyline(values: np.ndarray, rtree: RTree | None = None) -> np.ndarray:
+    """Sorted indices of the maximal rows via best-first R-tree traversal.
+
+    Parameters
+    ----------
+    values:
+        ``(n, m)`` record block.
+    rtree:
+        Optional pre-built R-tree over ``values`` (record ids = row
+        indices); bulk-loaded on the fly when omitted.
+
+    Examples
+    --------
+    >>> bbs_skyline(np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])).tolist()
+    [0, 2]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n, m = values.shape
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if rtree is None:
+        rtree = RTree.bulk_load(values)
+
+    corner = values.max(axis=0)
+    counter = itertools.count()
+
+    def entry_key(upper: np.ndarray) -> float:
+        # L1 distance of the entry's best corner to the optimal corner.
+        return float(np.sum(corner - upper))
+
+    skyline: list = []
+    skyline_block = np.empty((n, m), dtype=np.float64)
+    filled = 0
+
+    heap: list = []
+
+    def push_node(node: RTreeNode) -> None:
+        for entry in node.entries:
+            key = entry_key(entry.mbr.upper)
+            heapq.heappush(
+                heap, (key, next(counter), entry.record_id, entry.child, entry.mbr.upper)
+            )
+
+    push_node(rtree.root)
+    while heap:
+        _, _, record_id, child, upper = heapq.heappop(heap)
+        # Prune: if an accepted skyline point dominates the entry's best
+        # corner, nothing inside the entry can be maximal.
+        if filled and bool(dominators_of(upper, skyline_block[:filled]).any()):
+            continue
+        if record_id is not None:
+            point = values[record_id]
+            if filled and bool(dominators_of(point, skyline_block[:filled]).any()):
+                continue
+            skyline_block[filled] = point
+            filled += 1
+            skyline.append(int(record_id))
+        else:
+            push_node(child)
+
+    return np.asarray(sorted(skyline), dtype=np.intp)

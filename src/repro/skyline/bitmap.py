@@ -1,0 +1,51 @@
+"""Bitmap skyline (Tan, Eng and Ooi, paper ref [10]).
+
+Every record is encoded, per dimension, by the bitmap of records whose
+value in that dimension is >= its own.  A record ``p`` is then maximal iff
+the conjunction over dimensions of those bitmaps contains only records
+*equal* to ``p`` in every dimension: anything else in the intersection
+weakly dominates ``p`` with a strict inequality somewhere.
+
+The original packs bits into machine words; numpy boolean arrays give the
+same wide bitwise-AND behaviour with far simpler code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bitmap_skyline(values: np.ndarray) -> np.ndarray:
+    """Sorted indices of the maximal rows via per-dimension bitmaps.
+
+    Examples
+    --------
+    >>> bitmap_skyline(np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])).tolist()
+    [0, 2]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n, m = values.shape
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+
+    # Rank-compress each dimension so the "value >= v" bitmap is a suffix
+    # of the sorted order, as in the original bitmap organization.
+    orders = [np.argsort(values[:, d], kind="stable") for d in range(m)]
+    ranks = np.empty((n, m), dtype=np.intp)
+    for d in range(m):
+        ranks[orders[d], d] = np.arange(n)
+
+    skyline: list = []
+    for i in range(n):
+        # AND over dimensions of "records with value >= mine in dim d".
+        conjunction = np.ones(n, dtype=bool)
+        equality = np.ones(n, dtype=bool)
+        for d in range(m):
+            ge = values[:, d] >= values[i, d]
+            conjunction &= ge
+            equality &= values[:, d] == values[i, d]
+        # Maximal iff only exact duplicates (including itself) weakly
+        # dominate in every dimension.
+        if np.array_equal(conjunction, equality):
+            skyline.append(i)
+    return np.asarray(skyline, dtype=np.intp)

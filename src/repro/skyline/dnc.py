@@ -1,0 +1,63 @@
+"""Divide-and-Conquer skyline (Börzsönyi et al., paper ref [8]).
+
+The record set is split at the median of the first dimension into a "high"
+and a "low" half; each half's skyline is computed recursively, then merged:
+every low-half skyline candidate survives only if no high-half skyline
+record dominates it.  (High-half records cannot be dominated by low-half
+ones in the classic formulation, because the split dimension already
+separates them — ties on the split value are routed to the high half, so
+the property holds exactly.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import dominators_of, maximal_mask
+
+
+def dnc_skyline(values: np.ndarray, cutoff: int = 64) -> np.ndarray:
+    """Sorted indices of the maximal rows via divide and conquer.
+
+    Parameters
+    ----------
+    values:
+        ``(n, m)`` record block.
+    cutoff:
+        Below this size a block is solved by direct scan (the "main-memory
+        algorithm" of the original).
+
+    Examples
+    --------
+    >>> dnc_skyline(np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])).tolist()
+    [0, 2]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    indices = np.arange(values.shape[0], dtype=np.intp)
+    result = _solve(values, indices, cutoff)
+    return np.asarray(sorted(int(i) for i in result), dtype=np.intp)
+
+
+def _solve(values: np.ndarray, indices: np.ndarray, cutoff: int) -> np.ndarray:
+    block = values[indices]
+    if indices.size <= cutoff:
+        return indices[maximal_mask(block)]
+
+    pivot = float(np.median(block[:, 0]))
+    high = block[:, 0] >= pivot
+    # A degenerate split (all values equal on dim 0) falls back to a scan.
+    if high.all() or not high.any():
+        return indices[maximal_mask(block)]
+
+    high_sky = _solve(values, indices[high], cutoff)
+    low_sky = _solve(values, indices[~high], cutoff)
+
+    # Merge: a low-half skyline record survives unless dominated by a
+    # high-half skyline record.  (Non-skyline high records cannot dominate
+    # it either: they are themselves dominated by a high skyline record,
+    # and dominance is transitive.)
+    high_block = values[high_sky]
+    keep = [
+        rid for rid in low_sky if not dominators_of(values[rid], high_block).any()
+    ]
+    return np.concatenate([high_sky, np.asarray(keep, dtype=np.intp)])

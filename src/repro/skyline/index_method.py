@@ -1,0 +1,74 @@
+"""Index skyline (Tan, Eng and Ooi, paper ref [10]).
+
+Records are partitioned into ``m`` lists: a record lives in the list of its
+*largest* coordinate (the max-preferring mirror of the original's minimum
+coordinate), each list sorted descending by that coordinate.  Lists are
+consumed best-head-first; each popped record is checked against the current
+skyline, and the scan stops early once some accepted record strictly
+dominates the vector ``(h, ..., h)`` where ``h`` is the best remaining head
+value — every unseen record is bounded by ``h`` in all coordinates, so
+nothing further can be maximal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import dominators_of, maximal_mask
+
+
+def index_skyline(values: np.ndarray) -> np.ndarray:
+    """Sorted indices of the maximal rows via sorted per-dimension lists.
+
+    Examples
+    --------
+    >>> index_skyline(np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])).tolist()
+    [0, 2]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n, m = values.shape
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+
+    home = np.argmax(values, axis=1)
+    lists = []
+    for d in range(m):
+        members = np.flatnonzero(home == d)
+        members = members[np.argsort(-values[members, d], kind="stable")]
+        lists.append(list(members))
+    cursors = [0] * m
+
+    accepted: list = []
+    accepted_block = np.empty((n, m), dtype=np.float64)
+    filled = 0
+    while True:
+        # Best remaining head across lists (the value that bounds every
+        # coordinate of every unseen record).
+        best_dim, best_value = -1, -np.inf
+        for d in range(m):
+            if cursors[d] < len(lists[d]):
+                head = lists[d][cursors[d]]
+                value = values[head, d]
+                if value > best_value:
+                    best_dim, best_value = d, value
+        if best_dim < 0:
+            break
+        if filled and bool(
+            np.any(np.all(accepted_block[:filled] > best_value, axis=1))
+        ):
+            break  # early termination: a skyline point beats (h, ..., h)
+        idx = lists[best_dim][cursors[best_dim]]
+        cursors[best_dim] += 1
+        point = values[idx]
+        if filled and bool(dominators_of(point, accepted_block[:filled]).any()):
+            continue
+        accepted_block[filled] = point
+        filled += 1
+        accepted.append(int(idx))
+
+    # Tie cleanup: with equal maximum coordinates a dominated record can be
+    # popped before its dominator; one final scan over the (small) accepted
+    # set removes such victims.
+    accepted_ids = np.asarray(accepted, dtype=np.intp)
+    keep = maximal_mask(accepted_block[:filled])
+    return np.asarray(sorted(int(i) for i in accepted_ids[keep]), dtype=np.intp)

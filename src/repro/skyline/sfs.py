@@ -1,0 +1,41 @@
+"""Sort-Filter Skyline: the repository's default layer-peeling routine.
+
+Rows are visited in an order that is a topological order of dominance
+(descending coordinate sum: a dominator always has a strictly larger sum),
+so each row needs a single vectorized check against the accepted maximal
+set.  Worst case O(n * s) where s is the skyline size; in practice the
+fastest of the bundled algorithms on the paper's workloads, which is why
+the DG builder defaults to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import dominators_of
+
+
+def sfs_skyline(values: np.ndarray) -> np.ndarray:
+    """Sorted indices of the maximal rows of ``values``.
+
+    Examples
+    --------
+    >>> sfs_skyline(np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])).tolist()
+    [0, 2]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n, m = values.shape
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    order = np.argsort(-values.sum(axis=1), kind="stable")
+    buffer = np.empty((n, m), dtype=np.float64)
+    filled = 0
+    accepted: list = []
+    for idx in order:
+        point = values[idx]
+        if filled and bool(dominators_of(point, buffer[:filled]).any()):
+            continue
+        buffer[filled] = point
+        filled += 1
+        accepted.append(int(idx))
+    return np.asarray(sorted(accepted), dtype=np.intp)

@@ -1,0 +1,58 @@
+"""k-skyband and dominance-count queries.
+
+The k-skyband of a record set is the set of records dominated by fewer
+than k others.  Its connection to top-k queries is the reason it belongs
+in this repository: for *every* aggregate monotone function, the top-k
+answer is contained in the k-skyband (each of a record's dominators
+outranks it under every monotone F, so a record with >= k dominators can
+never place).  The 1-skyband is the skyline, i.e. the DG's first layer.
+
+The skyband therefore bounds the answer of the whole query class the DG
+serves, and `skyband_sizes` gives the function-free analogue of Theorem
+3.2's cost curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import dominators_of
+
+
+def dominance_counts(values: np.ndarray) -> np.ndarray:
+    """Number of dominators of each record (O(n^2) vectorized rows).
+
+    Examples
+    --------
+    >>> dominance_counts(np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 9.0]])).tolist()
+    [0, 1, 0]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    counts = np.empty(n, dtype=np.intp)
+    for i in range(n):
+        counts[i] = int(dominators_of(values[i], values).sum())
+    return counts
+
+
+def k_skyband(values: np.ndarray, k: int) -> np.ndarray:
+    """Sorted indices of records with fewer than ``k`` dominators.
+
+    ``k_skyband(values, 1)`` is the skyline.  For any aggregate monotone
+    F, the top-k answer set is a subset of ``k_skyband(values, k)``.
+
+    Examples
+    --------
+    >>> k_skyband(np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]]), 2).tolist()
+    [0, 1]
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    counts = dominance_counts(values)
+    return np.flatnonzero(counts < k)
+
+
+def skyband_sizes(values: np.ndarray, ks) -> list:
+    """|k-skyband| for each k — the function-free top-k answer envelope."""
+    counts = dominance_counts(values)
+    return [int(np.sum(counts < k)) for k in ks]

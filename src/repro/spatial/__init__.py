@@ -1,0 +1,12 @@
+"""Spatial indexing substrate: MBRs and an R-tree.
+
+The NN and BBS skyline algorithms the paper cites ([11], [9]) are defined
+over an R-tree; no spatial library is assumed, so this subpackage provides
+a from-scratch implementation with Guttman quadratic-split insertion and
+Sort-Tile-Recursive bulk loading.
+"""
+
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import RTree, RTreeEntry, RTreeNode
+
+__all__ = ["MBR", "RTree", "RTreeEntry", "RTreeNode"]

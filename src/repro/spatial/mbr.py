@@ -1,0 +1,97 @@
+"""Minimum bounding rectangles (hyper-rectangles) for the R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MBR:
+    """Axis-aligned minimum bounding rectangle in m dimensions.
+
+    Immutable; all combination operations return new MBRs.
+
+    Examples
+    --------
+    >>> a = MBR.from_point(np.array([1.0, 2.0]))
+    >>> b = MBR(np.array([0.0, 0.0]), np.array([3.0, 1.0]))
+    >>> a.union(b).upper.tolist()
+    [3.0, 2.0]
+    """
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower/upper must be matching 1-d arrays")
+        if np.any(lower > upper):
+            raise ValueError("MBR lower bound exceeds upper bound")
+        self.lower = lower
+        self.upper = upper
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        return cls(point.copy(), point.copy())
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "MBR":
+        """Tightest MBR covering a non-empty (n, m) point block."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            raise ValueError("cannot bound zero points")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @property
+    def dims(self) -> int:
+        return self.lower.shape[0]
+
+    def area(self) -> float:
+        """Hyper-volume of the rectangle."""
+        return float(np.prod(self.upper - self.lower))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (split tie-breaking heuristic)."""
+        return float(np.sum(self.upper - self.lower))
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest MBR covering both rectangles."""
+        return MBR(
+            np.minimum(self.lower, other.lower),
+            np.maximum(self.upper, other.upper),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area growth needed to absorb ``other`` (Guttman's ChooseLeaf)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "MBR") -> bool:
+        """True when the rectangles share any point."""
+        return bool(
+            np.all(self.lower <= other.upper) and np.all(other.lower <= self.upper)
+        )
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """True when the point lies inside (boundary inclusive)."""
+        return bool(np.all(self.lower <= point) and np.all(point <= self.upper))
+
+    def min_distance_sq(self, point: np.ndarray) -> float:
+        """Squared L2 MINDIST from a point to the rectangle (0 if inside)."""
+        gap = np.maximum(self.lower - point, 0.0) + np.maximum(point - self.upper, 0.0)
+        return float(np.dot(gap, gap))
+
+    def min_l1_to_origin_after_shift(self, reference: np.ndarray) -> float:
+        """L1 distance of the rectangle's best corner to ``reference``,
+        where "best" means the corner closest to ``reference`` from below.
+
+        BBS orders heap entries by the L1 MINDIST of an MBR to the origin
+        of the (mirrored) preference space; with max-preference data the
+        origin maps to the per-dimension maximum ``reference`` and the best
+        corner of an MBR is its ``upper`` corner.
+        """
+        return float(np.sum(np.maximum(reference - self.upper, 0.0)))
+
+    def __repr__(self) -> str:
+        return f"MBR({self.lower.tolist()}, {self.upper.tolist()})"

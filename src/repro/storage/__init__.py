@@ -1,0 +1,22 @@
+"""Paged-storage substrate: record files, buffer pool, I/O accounting.
+
+The paper's θ threshold is derived from disk-page geometry
+(θ = page_bytes / record_bytes) but its evaluation counts records, not
+pages.  This subpackage closes that loop: records live in fixed-size
+pages behind an LRU buffer pool, every record fetch is charged to the
+page it lives on, and the page *layout* is pluggable — so the I/O benefit
+of storing DG layers contiguously (the layout the index naturally
+suggests) is measurable against naive row order.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.layout import layer_clustered_layout, row_order_layout
+from repro.storage.paged import PagedDataset, records_per_page
+
+__all__ = [
+    "BufferPool",
+    "PagedDataset",
+    "layer_clustered_layout",
+    "records_per_page",
+    "row_order_layout",
+]

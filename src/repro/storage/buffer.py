@@ -1,0 +1,81 @@
+"""LRU buffer pool with hit/miss/eviction accounting.
+
+Simulates the memory hierarchy the paper's θ analysis assumes: fetching a
+record touches its page; pages already pooled are free (hit), others cost
+one I/O (miss) and may evict the least-recently-used resident page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferStats:
+    """Tally of page-level activity."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def io_count(self) -> int:
+        """Pages read from "disk" (the paper's unit of physical cost)."""
+        return self.misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        """Zero every tally."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache.
+
+    Parameters
+    ----------
+    capacity:
+        Number of resident pages; must be at least 1.
+
+    Examples
+    --------
+    >>> pool = BufferPool(capacity=2)
+    >>> [pool.access(p) for p in (1, 2, 1, 3)]
+    [False, False, True, False]
+    >>> (pool.stats.hits, pool.stats.misses, pool.stats.evictions)
+    (1, 3, 1)
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be at least 1")
+        self.capacity = capacity
+        self._resident: OrderedDict = OrderedDict()
+        self.stats = BufferStats()
+
+    def access(self, page_no: int) -> bool:
+        """Touch a page; returns True on a hit, False on a miss."""
+        if page_no in self._resident:
+            self._resident.move_to_end(page_no)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._resident) >= self.capacity:
+            self._resident.popitem(last=False)
+            self.stats.evictions += 1
+        self._resident[page_no] = True
+        return False
+
+    def resident_pages(self) -> list:
+        """Currently pooled page numbers, LRU first."""
+        return list(self._resident)
+
+    def clear(self) -> None:
+        """Drop every resident page (stats are kept; reset separately)."""
+        self._resident.clear()

@@ -1,0 +1,104 @@
+"""PagedDataset: a Dataset whose record fetches cost page I/Os.
+
+Drop-in replacement for :class:`~repro.core.dataset.Dataset` at *query*
+time: ``vector(record_id)`` first touches the record's page through the
+buffer pool, then returns the values.  Index construction and other
+offline bulk work should use the plain dataset (``.values`` access is
+deliberately left un-instrumented — offline scans are sequential and not
+what the paper's per-query cost model measures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.storage.buffer import BufferPool
+from repro.storage.layout import row_order_layout
+
+#: The paper's page size (matches repro.core.pseudo.DEFAULT_PAGE_BYTES).
+DEFAULT_PAGE_BYTES = 4096
+
+
+def records_per_page(dims: int, page_bytes: int = DEFAULT_PAGE_BYTES) -> int:
+    """How many m-attribute records fit one page (8-byte values + id).
+
+    This is exactly the paper's θ formula — the same constant governs the
+    pseudo-level threshold and the physical page fan-out.
+
+    >>> records_per_page(3)
+    128
+    """
+    return max(1, page_bytes // (8 * (dims + 1)))
+
+
+class PagedDataset(Dataset):
+    """A dataset served from fixed-size pages behind an LRU buffer pool.
+
+    Parameters
+    ----------
+    base:
+        The in-memory dataset holding the actual values.
+    layout:
+        ``record_id -> page_no`` map (default: row order).  Every record
+        of ``base`` must be mapped.
+    pool_pages:
+        Buffer-pool capacity in pages (default 8 — a small, honest cache).
+    page_bytes:
+        Page size used when deriving the default layout's fan-out.
+
+    Examples
+    --------
+    >>> base = Dataset([[1.0, 2.0], [3.0, 4.0]])
+    >>> paged = PagedDataset(base, pool_pages=1)
+    >>> _ = paged.vector(0); _ = paged.vector(1)
+    >>> paged.io_stats.misses   # both records share page 0
+    1
+    """
+
+    def __init__(
+        self,
+        base: Dataset,
+        layout: dict | None = None,
+        pool_pages: int = 8,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> None:
+        super().__init__(
+            base.values,
+            attribute_names=base.attribute_names,
+            labels=base.labels,
+        )
+        if layout is None:
+            layout = row_order_layout(
+                range(len(base)), records_per_page(base.dims, page_bytes)
+            )
+        missing = [rid for rid in range(len(base)) if rid not in layout]
+        if missing:
+            raise ValueError(
+                f"layout is missing {len(missing)} records (first: {missing[:3]})"
+            )
+        self._page_of = dict(layout)
+        self._pool = BufferPool(pool_pages)
+
+    @property
+    def io_stats(self):
+        """Buffer-pool statistics (hits / misses / evictions)."""
+        return self._pool.stats
+
+    @property
+    def num_pages(self) -> int:
+        return len(set(self._page_of.values()))
+
+    def page_of(self, record_id: int) -> int:
+        """Page number a record lives on."""
+        return self._page_of[record_id]
+
+    def vector(self, record_id: int) -> np.ndarray:
+        """Fetch one record, charging its page to the buffer pool."""
+        self._pool.access(self._page_of[record_id])
+        return super().vector(record_id)
+
+    def reset_io(self) -> None:
+        """Clear the pool and zero the statistics (per-query measurement)."""
+        self._pool.clear()
+        self._pool.stats.reset()

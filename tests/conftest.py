@@ -1,0 +1,71 @@
+"""Shared fixtures and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.result import TopKResult
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_dataset() -> Dataset:
+    """Hand-checkable 2-d dataset with known layers.
+
+    Layers (max-preferring):
+      L1 = {0 (4,1), 1 (1,4), 4 (3,3)}
+      L2 = {2 (2,2), 5 (0.5, 3.5)}  -- wait, see test_layers for the
+      derivation; values chosen so every test can verify by hand.
+    """
+    return Dataset(
+        [
+            [4.0, 1.0],   # 0: maximal
+            [1.0, 4.0],   # 1: maximal
+            [2.0, 2.0],   # 2: dominated by 4 -> layer 2
+            [0.5, 0.5],   # 3: dominated by 2 -> layer 3
+            [3.0, 3.0],   # 4: maximal
+            [0.5, 3.5],   # 5: dominated by 1 -> layer 2
+        ]
+    )
+
+
+@pytest.fixture
+def running_example() -> Dataset:
+    """The quickstart's 13-record dataset (spirit of the paper's Fig. 1)."""
+    rows = [
+        (150.0, 400.0), (200.0, 250.0), (300.0, 380.0), (350.0, 300.0),
+        (180.0, 350.0), (250.0, 270.0), (100.0, 200.0), (120.0, 330.0),
+        (260.0, 150.0), (90.0, 120.0), (80.0, 390.0), (140.0, 210.0),
+        (60.0, 60.0),
+    ]
+    return Dataset(rows, labels=[f"TID{i + 1}" for i in range(len(rows))])
+
+
+@pytest.fixture
+def linear2() -> LinearFunction:
+    return LinearFunction([0.6, 0.4])
+
+
+def brute_force_scores(dataset: Dataset, function, k: int) -> list:
+    """Reference top-k score multiset, descending."""
+    scores = sorted(function.score_many(dataset.values), reverse=True)
+    return scores[:k]
+
+
+def assert_correct_topk(
+    result: TopKResult, dataset: Dataset, function, k: int
+) -> None:
+    """Assert a result matches brute force up to score ties."""
+    expected = brute_force_scores(dataset, function, min(k, len(dataset)))
+    got = sorted(result.scores, reverse=True)
+    assert len(got) == len(expected), (
+        f"{result.algorithm}: expected {len(expected)} answers, got {len(got)}"
+    )
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)

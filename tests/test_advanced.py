@@ -1,0 +1,98 @@
+"""Unit tests for the Advanced Traveler (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.functions import LinearFunction, MinFunction
+from repro.data.generators import all_skyline, correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestAdvancedTraveler:
+    def test_rejects_nonpositive_k(self, small_dataset):
+        traveler = AdvancedTraveler(build_extended_graph(small_dataset, theta=4))
+        with pytest.raises(ValueError):
+            traveler.top_k(LinearFunction([0.5, 0.5]), -1)
+
+    def test_works_on_plain_graph(self, small_dataset):
+        # On a DG without pseudo records, Advanced == Basic.
+        traveler = AdvancedTraveler(build_dominant_graph(small_dataset))
+        f = LinearFunction([0.6, 0.4])
+        result = traveler.top_k(f, 3)
+        assert_correct_topk(result, small_dataset, f, 3)
+
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 60])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(250, 4, seed=21)
+        traveler = AdvancedTraveler(build_extended_graph(dataset, theta=8))
+        f = LinearFunction([0.4, 0.3, 0.2, 0.1])
+        assert_correct_topk(traveler.top_k(f, k), dataset, f, k)
+
+    def test_never_reports_pseudo_records(self):
+        dataset = all_skyline(150, 3, seed=1)
+        graph = build_extended_graph(dataset, theta=8)
+        result = AdvancedTraveler(graph).top_k(LinearFunction([0.5, 0.3, 0.2]), 20)
+        assert all(not graph.is_pseudo(rid) for rid in result.ids)
+        assert all(rid < len(dataset) for rid in result.ids)
+
+    def test_k_larger_than_dataset(self):
+        dataset = all_skyline(30, 3, seed=2)
+        graph = build_extended_graph(dataset, theta=4)
+        result = AdvancedTraveler(graph).top_k(LinearFunction([0.5, 0.3, 0.2]), 99)
+        assert len(result) == 30
+
+    def test_worst_case_all_skyline(self):
+        dataset = all_skyline(300, 5, seed=3)
+        graph = build_extended_graph(dataset, theta=8)
+        f = LinearFunction(np.arange(5, 0, -1) / 15.0)
+        assert_correct_topk(AdvancedTraveler(graph).top_k(f, 10), dataset, f, 10)
+
+    def test_nonlinear_function(self):
+        dataset = uniform(200, 3, seed=4)
+        graph = build_extended_graph(dataset, theta=8)
+        f = MinFunction()
+        assert_correct_topk(AdvancedTraveler(graph).top_k(f, 8), dataset, f, 8)
+
+    def test_mark_deleted_record_not_reported(self):
+        from repro.core.maintenance import mark_deleted
+
+        dataset = uniform(100, 2, seed=5)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.5, 0.5])
+        traveler = AdvancedTraveler(graph)
+        best = traveler.top_k(f, 1).ids[0]
+        mark_deleted(graph, best)
+        result = traveler.top_k(f, 5)
+        assert best not in result.ids
+        # remaining answers match brute force over the surviving records
+        survivors = [i for i in range(len(dataset)) if i != best]
+        expected = sorted(
+            f.score_many(dataset.values[survivors]), reverse=True
+        )[:5]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+    def test_access_counts_include_pseudo(self):
+        dataset = all_skyline(120, 3, seed=6)
+        graph = build_extended_graph(dataset, theta=8)
+        result = AdvancedTraveler(graph).top_k(LinearFunction([0.5, 0.3, 0.2]), 5)
+        assert result.stats.computed > len(result)
+        assert result.stats.pseudo_computed >= 1
+
+    def test_stats_fresh_per_query(self):
+        dataset = uniform(150, 3, seed=7)
+        traveler = AdvancedTraveler(build_extended_graph(dataset, theta=8))
+        f = LinearFunction([0.5, 0.3, 0.2])
+        a = traveler.top_k(f, 5)
+        b = traveler.top_k(f, 5)
+        assert a.stats is not b.stats
+        assert a.stats.computed == b.stats.computed
+
+    def test_deep_k_traverses_layers(self):
+        dataset = uniform(300, 2, seed=8)
+        graph = build_extended_graph(dataset, theta=8)
+        f = LinearFunction([0.8, 0.2])
+        result = AdvancedTraveler(graph).top_k(f, 150)
+        assert_correct_topk(result, dataset, f, 150)

@@ -1,0 +1,85 @@
+"""API-quality meta tests: docstrings and export hygiene.
+
+Deliverable-level guarantees: every public module, class, function and
+method in the package carries a docstring, and every name exported via
+``__all__`` resolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(member):
+            continue
+        defined_here = getattr(member, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        yield name, member
+
+
+@pytest.mark.parametrize("module_name", sorted(MODULES))
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", sorted(MODULES))
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, member in public_members(module):
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not (member.__doc__ and member.__doc__.strip()):
+                missing.append(name)
+            if inspect.isclass(member):
+                for attr_name, attr in vars(member).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr) and not (
+                        attr.__doc__ and attr.__doc__.strip()
+                    ):
+                        missing.append(f"{name}.{attr_name}")
+    assert not missing, f"{module_name}: missing docstrings on {missing}"
+
+
+@pytest.mark.parametrize("module_name", sorted(MODULES))
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+def test_package_all_sorted():
+    assert list(repro.__all__) == sorted(repro.__all__)
+
+
+def test_doctests_run():
+    """Run every doctest in the package (they document the public API)."""
+    import doctest
+
+    failures = 0
+    attempted = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        failures += result.failed
+        attempted += result.attempted
+    assert attempted > 30, "expected a substantial doctest corpus"
+    assert failures == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the AppRI baseline (robust min-rank layers)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.appri import (
+    AppRIIndex,
+    minimum_rank_estimate,
+    sample_query_vectors,
+)
+from repro.core.functions import LinearFunction, MinFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestQuerySample:
+    def test_includes_corners(self):
+        queries = sample_query_vectors(3, extra=0)
+        corners = {tuple(np.eye(3)[i]) for i in range(3)}
+        rows = {tuple(q) for q in queries}
+        assert corners <= rows
+
+    def test_unit_sum(self):
+        queries = sample_query_vectors(4, extra=10)
+        np.testing.assert_allclose(queries.sum(axis=1), 1.0)
+
+    def test_deterministic(self):
+        a = sample_query_vectors(3, extra=5, seed=2)
+        b = sample_query_vectors(3, extra=5, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMinimumRank:
+    def test_dominating_record_rank_one(self):
+        values = np.array([[10.0, 10.0], [1.0, 1.0], [2.0, 2.0]])
+        ranks = minimum_rank_estimate(values, sample_query_vectors(2))
+        assert ranks[0] == 1
+
+    def test_floored_by_dominator_count(self):
+        # Record 2 has two dominators -> min rank >= 3 regardless of query.
+        values = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        ranks = minimum_rank_estimate(values, sample_query_vectors(2))
+        assert ranks[2] >= 3
+
+    def test_rank_upper_bounded_by_n(self):
+        values = uniform(50, 3, seed=1).values
+        ranks = minimum_rank_estimate(values, sample_query_vectors(3))
+        assert np.all(ranks >= 1) and np.all(ranks <= 50)
+
+    def test_skyline_records_can_be_rank_one_in_2d(self):
+        # In 2-d with the corner queries, every hull-extreme record gets
+        # rank 1 for some corner query.
+        values = np.array([[5.0, 0.0], [0.0, 5.0], [1.0, 1.0]])
+        ranks = minimum_rank_estimate(values, sample_query_vectors(2))
+        assert ranks[0] == 1 and ranks[1] == 1
+
+
+class TestAppRIIndex:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 30])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=43)
+        appri = AppRIIndex(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(appri.top_k(f, k), dataset, f, k)
+
+    def test_supports_monotone_nonlinear_via_upper_bounds(self):
+        # Layer *assignment* assumes linear queries, but the scan's
+        # stopping rule is monotone-safe, so answers stay exact.
+        dataset = uniform(150, 3, seed=44)
+        f = MinFunction()
+        assert_correct_topk(AppRIIndex(dataset).top_k(f, 5), dataset, f, 5)
+
+    def test_layers_partition_records(self):
+        dataset = uniform(120, 3, seed=45)
+        appri = AppRIIndex(dataset)
+        assert sum(appri.layer_sizes()) == 120
+
+    def test_reads_whole_layers(self):
+        dataset = uniform(200, 3, seed=46)
+        appri = AppRIIndex(dataset)
+        result = appri.top_k(LinearFunction([1 / 3] * 3), 1)
+        sizes = appri.layer_sizes()
+        # Cost is a prefix sum of layer sizes.
+        prefix = np.cumsum(sizes)
+        assert result.stats.computed in set(int(p) for p in prefix)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            AppRIIndex(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        assert len(AppRIIndex(small_dataset).top_k(f, 99)) == len(small_dataset)
+
+    def test_dg_accesses_fewer_records(self):
+        # The paper's headline: DG's search space < AppRI's (which reads
+        # whole layers).
+        from repro.core.advanced import AdvancedTraveler
+        from repro.core.builder import build_extended_graph
+
+        dataset = uniform(500, 3, seed=47)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        appri = AppRIIndex(dataset).top_k(f, 10)
+        dg = AdvancedTraveler(build_extended_graph(dataset, theta=16)).top_k(f, 10)
+        assert dg.stats.computed < appri.stats.computed

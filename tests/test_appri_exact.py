@@ -1,0 +1,132 @@
+"""Unit tests for the exact 2-d minimal-rank sweep (AppRI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.appri import (
+    AppRIIndex,
+    exact_minimum_rank_2d,
+    minimum_rank_estimate,
+    sample_query_vectors,
+)
+from repro.core.functions import LinearFunction
+from repro.data.generators import correlated, uniform
+from repro.data.server import server_dataset
+from tests.conftest import assert_correct_topk
+
+
+def brute_minimum_rank(values):
+    """Reference: strict rank minimized over all crossing w values ± eps."""
+    n = len(values)
+    candidates = {0.0, 1.0}
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            a = values[j, 0] - values[i, 0]
+            b = values[j, 1] - values[i, 1]
+            if a != b:
+                w = -b / (a - b)
+                if 0 <= w <= 1:
+                    for eps in (-1e-9, 0.0, 1e-9):
+                        candidates.add(min(1.0, max(0.0, w + eps)))
+    best = np.full(n, n, dtype=int)
+    for w in candidates:
+        scores = values @ np.array([w, 1 - w])
+        strict = np.array([int(np.sum(scores > s)) + 1 for s in scores])
+        best = np.minimum(best, strict)
+    return best
+
+
+class TestExactMinimumRank2D:
+    @pytest.mark.parametrize("maker,seed", [
+        (uniform, 11), (uniform, 12), (correlated, 13),
+    ])
+    def test_matches_bruteforce(self, maker, seed):
+        values = maker(35, 2, seed=seed).values
+        np.testing.assert_array_equal(
+            exact_minimum_rank_2d(values), brute_minimum_rank(values)
+        )
+
+    def test_tie_heavy_data(self):
+        values = server_dataset(35, seed=14).values[:, :2]
+        np.testing.assert_array_equal(
+            exact_minimum_rank_2d(values), brute_minimum_rank(values)
+        )
+
+    def test_never_above_sampled_estimate(self):
+        values = uniform(60, 2, seed=15).values
+        exact = exact_minimum_rank_2d(values)
+        sampled = minimum_rank_estimate(values, sample_query_vectors(2))
+        assert np.all(exact <= sampled)
+
+    def test_dominated_chain(self):
+        values = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        np.testing.assert_array_equal(exact_minimum_rank_2d(values), [1, 2, 3])
+
+    def test_hull_extremes_rank_one(self):
+        values = np.array([[5.0, 0.0], [0.0, 5.0], [3.0, 3.0], [1.0, 1.0]])
+        ranks = exact_minimum_rank_2d(values)
+        assert ranks[0] == 1 and ranks[1] == 1 and ranks[2] == 1
+        assert ranks[3] > 1
+
+    def test_duplicates_tie_in_own_favour(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        np.testing.assert_array_equal(exact_minimum_rank_2d(values), [1, 1])
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError):
+            exact_minimum_rank_2d(np.ones((3, 3)))
+
+
+class TestAppRIWithExactLayers:
+    def test_2d_index_uses_exact_layers(self):
+        dataset = uniform(100, 2, seed=16)
+        appri = AppRIIndex(dataset)
+        exact = exact_minimum_rank_2d(dataset.values)
+        # Empty min-rank levels are dropped, so the layer count equals the
+        # number of distinct exact ranks.
+        assert appri.num_layers == len(np.unique(exact))
+        assert sum(appri.layer_sizes()) == len(dataset)
+
+    @pytest.mark.parametrize("k", [1, 10, 30])
+    def test_2d_queries_correct(self, k):
+        dataset = uniform(150, 2, seed=17)
+        f = LinearFunction([0.7, 0.3])
+        assert_correct_topk(AppRIIndex(dataset).top_k(f, k), dataset, f, k)
+
+    def test_exact_layers_never_shallower_than_needed(self):
+        # Every top-k record truly lies within the first k exact layers —
+        # the robust-index guarantee the estimate can only approximate.
+        dataset = uniform(120, 2, seed=18)
+        appri = AppRIIndex(dataset)
+        exact = exact_minimum_rank_2d(dataset.values)
+        rng = np.random.default_rng(19)
+        for _ in range(10):
+            w = float(rng.uniform())
+            f = LinearFunction([w, 1 - w])
+            scores = f.score_many(dataset.values)
+            k = 5
+            top = np.argsort(-scores, kind="stable")[:k]
+            strict_rank = np.array(
+                [int(np.sum(scores > scores[t])) + 1 for t in top]
+            )
+            assert np.all(exact[top] <= strict_rank)
+
+
+class TestGraphStatistics:
+    def test_statistics_keys_and_consistency(self):
+        from repro.core.builder import build_extended_graph
+        from repro.data.generators import all_skyline
+
+        dataset = all_skyline(100, 3, seed=20)
+        graph = build_extended_graph(dataset, theta=8)
+        stats = graph.statistics()
+        assert stats["records"] == len(graph)
+        assert stats["real_records"] == 100
+        assert stats["pseudo_records"] == graph.num_pseudo
+        assert stats["layers"] == graph.num_layers
+        assert stats["edges"] == graph.edge_count()
+        assert stats["max_layer_width"] == max(graph.layer_sizes())
+        assert stats["pseudo_levels"] >= 1
+        assert stats["mean_parents"] >= 1.0

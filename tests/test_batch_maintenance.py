@@ -1,0 +1,47 @@
+"""Unit tests for batch maintenance helpers (insert_many / delete_many)."""
+
+import random
+
+from repro.core.builder import build_dominant_graph
+from repro.core.maintenance import delete_many, insert_many
+from repro.data.generators import uniform
+
+
+class TestInsertMany:
+    def test_equals_rebuild(self):
+        dataset = uniform(200, 3, seed=81)
+        graph = build_dominant_graph(dataset, record_ids=range(150))
+        layers = insert_many(graph, range(150, 200))
+        assert len(layers) == 50
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+    def test_returns_layers(self):
+        dataset = uniform(60, 2, seed=82)
+        graph = build_dominant_graph(dataset, record_ids=range(50))
+        layers = insert_many(graph, range(50, 60))
+        # Returned layers are the insertion-time positions; later inserts
+        # may bump earlier ones, so the final layer can only be deeper.
+        for rid, layer in zip(range(50, 60), layers):
+            assert graph.layer_of(rid) >= layer
+        graph.validate()
+
+    def test_empty_batch(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        assert insert_many(graph, []) == []
+
+
+class TestDeleteMany:
+    def test_equals_rebuild(self):
+        dataset = uniform(200, 3, seed=83)
+        graph = build_dominant_graph(dataset)
+        rng = random.Random(83)
+        victims = rng.sample(range(200), 70)
+        delete_many(graph, victims)
+        survivors = sorted(graph.real_ids())
+        rebuilt = build_dominant_graph(dataset, record_ids=survivors)
+        assert graph.layers() == rebuilt.layers()
+
+    def test_empty_batch(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        delete_many(graph, [])
+        assert len(graph) == len(small_dataset)

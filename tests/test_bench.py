@@ -1,0 +1,144 @@
+"""Unit tests for the benchmark harness and (small-scale) experiments."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, Series, sweep
+from repro.bench.report import format_table, save_result
+from repro.bench import experiments as exp
+
+
+class TestSweep:
+    def test_runs_every_cell(self):
+        calls = []
+        result = sweep(
+            "t", "k", [1, 2, 3],
+            {"a": lambda x: calls.append(("a", x)) or x,
+             "b": lambda x: calls.append(("b", x)) or x * 2},
+        )
+        assert len(calls) == 6
+        assert result.series_by_label("a").y == [1.0, 2.0, 3.0]
+        assert result.series_by_label("b").y == [2.0, 4.0, 6.0]
+
+    def test_series_by_label_missing(self):
+        result = sweep("t", "k", [1], {"a": lambda x: x})
+        with pytest.raises(KeyError):
+            result.series_by_label("nope")
+
+    def test_as_rows(self):
+        result = ExperimentResult(
+            "t", "k", [10, 20],
+            [Series("a", [1.0, 2.0]), Series("b", [3.0, 4.0])],
+        )
+        assert result.as_rows() == [[10, 1.0, 3.0], [20, 2.0, 4.0]]
+
+
+class TestReport:
+    def test_format_table_contains_everything(self):
+        result = ExperimentResult(
+            "My figure", "k", [10], [Series("alg", [42.0])], y_label="records"
+        )
+        text = format_table(result)
+        assert "My figure" in text and "alg" in text and "42" in text
+        assert "records" in text
+
+    def test_save_result(self, tmp_path):
+        result = ExperimentResult("t", "k", [1], [Series("a", [1.5])])
+        path = save_result(result, str(tmp_path), "out")
+        assert os.path.exists(path)
+        assert "1.5" in open(path).read()
+
+    def test_float_formatting(self):
+        result = ExperimentResult(
+            "t", "k", [1],
+            [Series("big", [1234.5678]), Series("small", [0.001234])],
+        )
+        text = format_table(result)
+        assert "1234.6" in text
+        assert "0.001234" in text
+
+
+SMALL = dict(n=300, ks=(5, 10))
+
+
+class TestExperimentsSmallScale:
+    """Every figure's experiment must run end to end at toy scale and
+    produce one value per (series, k)."""
+
+    def _check(self, result, n_series):
+        assert len(result.series) == n_series
+        for series in result.series:
+            assert len(series.y) == len(result.x)
+            assert all(y >= 0 for y in series.y)
+
+    def test_fig5(self):
+        self._check(exp.fig5_pseudo_records("U", n=300, ks=(5, 10)), 2)
+
+    def test_fig6_construction(self):
+        self._check(exp.fig6_construction(sizes=[100, 200]), 3)
+
+    def test_fig6_query_accessed(self):
+        self._check(exp.fig6_query(metric="accessed", **SMALL), 3)
+
+    def test_fig6_query_time(self):
+        self._check(exp.fig6_query(metric="time", **SMALL), 3)
+
+    def test_fig6_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            exp.fig6_query(metric="bananas", **SMALL)
+
+    def test_fig7_accessed(self):
+        self._check(exp.fig7_nonlayer(metric="accessed", **SMALL), 5)
+
+    def test_fig7_server(self):
+        self._check(
+            exp.fig7_nonlayer(metric="accessed", use_server=True, **SMALL), 5
+        )
+
+    def test_fig8_insert(self):
+        result = exp.fig8_maintenance("insert", n=200, batches=(5, 10))
+        self._check(result, 3)
+        for series in result.series:
+            assert series.y == sorted(series.y)  # cumulative time grows
+
+    def test_fig8_delete(self):
+        self._check(exp.fig8_maintenance("delete", n=200, batches=(5, 10)), 3)
+
+    def test_fig8_rejects_unknown_operation(self):
+        with pytest.raises(ValueError):
+            exp.fig8_maintenance("truncate")
+
+    def test_fig8_rebuild_comparison(self):
+        result = exp.fig8_rebuild_comparison(n=120, batch=4)
+        self._check(result, 3)
+
+    def test_fig9_highdim(self):
+        self._check(exp.fig9_highdim(n=200, ks=(5, 10)), 3)
+
+    def test_fig9_worstcase(self):
+        self._check(exp.fig9_worstcase(n=200, ks=(5, 10)), 3)
+
+    def test_cost_model(self):
+        result = exp.cost_model(n=300, ks=(5, 10))
+        self._check(result, 3)
+        measured = result.series_by_label("measured")
+        exact = result.series_by_label("thm3.1-exact")
+        for m, e in zip(measured.y, exact.y):
+            assert m >= e  # predicted set is a subset of the search space
+
+    def test_ablation_theta(self):
+        self._check(exp.ablation_theta(thetas=(8, 32), n=300, k=10), 1)
+
+    def test_ablation_nway(self):
+        self._check(exp.ablation_nway(ways_options=(1, 2), n=200, k=10), 2)
+
+    def test_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        assert exp.scale(500) == 1000
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert exp.scale(500) == 100  # floor
+
+    def test_canonical_query_weights(self):
+        f = exp.canonical_query(3)
+        assert f.weights.tolist() == pytest.approx([0.5, 1 / 3, 1 / 6])

@@ -1,0 +1,124 @@
+"""Unit tests for CA and NRA (sorted-list baselines with bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bounds import PartialScores
+from repro.baselines.ca import CombinedAlgorithm
+from repro.baselines.nra import NoRandomAccess
+from repro.baselines.sorted_lists import SortedLists
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.core.functions import LinearFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestPartialScores:
+    def test_bounds_bracket_true_score(self, rng):
+        dims = 3
+        floor = np.zeros(dims)
+        partial = PartialScores(dims, floor)
+        vector = rng.uniform(size=dims)
+        partial.observe(0, 1, vector[1])
+        f = LinearFunction([0.2, 0.3, 0.5])
+        depth_values = np.ones(dims)  # every unseen value is <= 1
+        assert partial.lower_bound(0, f) <= f(vector) <= partial.upper_bound(
+            0, f, depth_values
+        )
+
+    def test_resolved_after_full_observation(self, rng):
+        partial = PartialScores(2, np.zeros(2))
+        partial.observe(0, 0, 0.5)
+        assert not partial.is_resolved(0)
+        partial.observe(0, 1, 0.7)
+        assert partial.is_resolved(0)
+
+    def test_observe_full(self):
+        partial = PartialScores(2, np.zeros(2))
+        partial.observe_full(3, np.array([0.1, 0.2]))
+        assert partial.is_resolved(3)
+        f = LinearFunction([1.0, 1.0])
+        assert partial.lower_bound(3, f) == pytest.approx(0.3)
+        assert partial.upper_bound(3, f, np.ones(2)) == pytest.approx(0.3)
+
+    def test_seen_lists_all_observed(self):
+        partial = PartialScores(2, np.zeros(2))
+        partial.observe(1, 0, 0.5)
+        partial.observe(7, 1, 0.5)
+        assert sorted(partial.seen()) == [1, 7]
+
+
+class TestCombinedAlgorithm:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 40])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(180, 3, seed=23)
+        ca = CombinedAlgorithm(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(ca.top_k(f, k), dataset, f, k)
+
+    def test_fewer_random_accesses_than_ta(self):
+        dataset = uniform(300, 3, seed=24)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        lists = SortedLists(dataset)
+        ta = ThresholdAlgorithm(dataset, lists=lists).top_k(f, 10)
+        ca = CombinedAlgorithm(dataset, cost_ratio=10, lists=lists).top_k(f, 10)
+        assert ca.stats.random < ta.stats.random
+
+    def test_cost_ratio_trades_accesses(self):
+        dataset = uniform(300, 3, seed=25)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        eager = CombinedAlgorithm(dataset, cost_ratio=1).top_k(f, 10)
+        lazy = CombinedAlgorithm(dataset, cost_ratio=50).top_k(f, 10)
+        assert eager.score_multiset() == pytest.approx(lazy.score_multiset())
+        assert eager.stats.random >= lazy.stats.random
+
+    def test_rejects_bad_cost_ratio(self, small_dataset):
+        with pytest.raises(ValueError):
+            CombinedAlgorithm(small_dataset, cost_ratio=0)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            CombinedAlgorithm(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        assert len(CombinedAlgorithm(small_dataset).top_k(f, 99)) == len(small_dataset)
+
+    def test_counts_random_accesses(self):
+        dataset = uniform(200, 3, seed=26)
+        result = CombinedAlgorithm(dataset).top_k(LinearFunction([1 / 3] * 3), 10)
+        assert result.stats.random >= 0
+        assert result.stats.sequential > 0
+
+
+class TestNoRandomAccess:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 40])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(180, 3, seed=27)
+        nra = NoRandomAccess(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(nra.top_k(f, k), dataset, f, k)
+
+    def test_never_random_accesses(self):
+        dataset = uniform(200, 3, seed=28)
+        result = NoRandomAccess(dataset).top_k(LinearFunction([1 / 3] * 3), 10)
+        assert result.stats.random == 0
+        assert result.stats.computed == 0  # never scores a full record online
+        assert result.stats.sequential > 0
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            NoRandomAccess(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        assert len(NoRandomAccess(small_dataset).top_k(f, 99)) == len(small_dataset)
+
+    def test_duplicate_heavy_data(self):
+        from repro.data.server import server_dataset
+
+        dataset = server_dataset(150, seed=29)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        assert_correct_topk(NoRandomAccess(dataset).top_k(f, 10), dataset, f, 10)

@@ -1,0 +1,81 @@
+"""Unit tests for skyline cardinality estimation (Theorem 3.2 support)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import maximal_mask
+from repro.data.generators import uniform
+from repro.skyline.cardinality import (
+    expected_skyline_uniform,
+    harmonic_approximation,
+    montecarlo_skyline_uniform,
+)
+
+
+class TestHarmonicRecurrence:
+    def test_one_dimension(self):
+        assert expected_skyline_uniform(1000, 1) == 1.0
+
+    def test_two_dimensions_is_harmonic_number(self):
+        h100 = sum(1.0 / i for i in range(1, 101))
+        assert expected_skyline_uniform(100, 2) == pytest.approx(h100)
+
+    def test_n_one(self):
+        for d in range(1, 5):
+            assert expected_skyline_uniform(1, d) == pytest.approx(1.0)
+
+    def test_monotone_in_dims(self):
+        values = [expected_skyline_uniform(1000, d) for d in range(1, 6)]
+        assert values == sorted(values)
+
+    def test_monotone_in_n(self):
+        values = [expected_skyline_uniform(n, 3) for n in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            expected_skyline_uniform(0, 2)
+        with pytest.raises(ValueError):
+            expected_skyline_uniform(10, 0)
+
+    def test_matches_small_exact_enumeration(self):
+        # T(2, 2) = 1 + 1/2 = 1.5: two points, P(both maximal)=1/2.
+        assert expected_skyline_uniform(2, 2) == pytest.approx(1.5)
+
+    def test_close_to_approximation_for_large_n(self):
+        exact = expected_skyline_uniform(100_000, 3)
+        approx = harmonic_approximation(100_000, 3)
+        assert approx / exact == pytest.approx(1.0, abs=0.35)
+
+
+class TestApproximation:
+    def test_formula(self):
+        assert harmonic_approximation(math.e.__ceil__() ** 1, 1) == 1.0
+        assert harmonic_approximation(100, 2) == pytest.approx(math.log(100))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            harmonic_approximation(0, 1)
+
+
+class TestMonteCarloIntegral:
+    def test_agrees_with_recurrence(self):
+        exact = expected_skyline_uniform(500, 3)
+        mc = montecarlo_skyline_uniform(500, 3, samples=40_000, seed=1)
+        assert mc == pytest.approx(exact, rel=0.15)
+
+    def test_matches_empirical_skyline_sizes(self):
+        n, dims = 400, 3
+        sizes = [
+            int(maximal_mask(uniform(n, dims, seed=s).values).sum())
+            for s in range(8)
+        ]
+        empirical = float(np.mean(sizes))
+        predicted = expected_skyline_uniform(n, dims)
+        assert predicted == pytest.approx(empirical, rel=0.35)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            montecarlo_skyline_uniform(0, 3)

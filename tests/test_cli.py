@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_dataset, main, save_dataset
+from repro.data.generators import uniform
+
+
+@pytest.fixture
+def data_path(tmp_path):
+    return save_dataset(uniform(120, 3, seed=1), str(tmp_path / "data"))
+
+
+@pytest.fixture
+def index_path(tmp_path, data_path):
+    out = str(tmp_path / "index.npz")
+    assert main(["build", "--data", data_path, "--out", out, "--theta", "16"]) == 0
+    return out
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        dataset = uniform(40, 2, seed=2)
+        path = save_dataset(dataset, str(tmp_path / "d"))
+        loaded = load_dataset(path)
+        assert loaded == dataset
+        assert loaded.attribute_names == dataset.attribute_names
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.npz")
+        code = main(["generate", "--kind", "G", "--n", "50", "--dims", "4",
+                     "--out", out])
+        assert code == 0
+        assert load_dataset(out).dims == 4
+        assert "50" in capsys.readouterr().out
+
+    def test_generate_server(self, tmp_path):
+        out = str(tmp_path / "srv.npz")
+        assert main(["generate", "--kind", "server", "--n", "60",
+                     "--out", out]) == 0
+        assert load_dataset(out).attribute_names[0] == "count"
+
+    def test_build_plain(self, tmp_path, data_path, capsys):
+        out = str(tmp_path / "plain.npz")
+        assert main(["build", "--data", data_path, "--out", out, "--plain"]) == 0
+        assert "0 pseudo" in capsys.readouterr().out
+
+    def test_query(self, index_path, capsys):
+        code = main(["query", "--index", index_path,
+                     "--weights", "0.5,0.3,0.2", "--k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+        assert out.count("record ") == 5
+
+    def test_query_weight_dim_mismatch(self, index_path):
+        with pytest.raises(SystemExit):
+            main(["query", "--index", index_path, "--weights", "0.5,0.5"])
+
+    def test_query_bad_weights(self, index_path):
+        with pytest.raises(SystemExit):
+            main(["query", "--index", index_path, "--weights", "a,b,c"])
+
+    def test_inspect(self, index_path, capsys):
+        assert main(["inspect", "--index", index_path, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "layers:" in out and "index OK" in out
+
+    def test_insert_and_delete(self, tmp_path, capsys):
+        data = save_dataset(uniform(50, 2, seed=3), str(tmp_path / "d2"))
+        index = str(tmp_path / "i2.npz")
+        assert main(["build", "--data", data, "--out", index]) == 0
+        assert main(["delete", "--index", index, "--record-id", "0"]) == 0
+        assert main(["insert", "--index", index]) == 0
+        capsys.readouterr()
+        assert main(["inspect", "--index", index, "--validate"]) == 0
+        assert "indexed: 50" in capsys.readouterr().out
+
+    def test_insert_nothing_pending(self, index_path, capsys):
+        assert main(["insert", "--index", index_path]) == 0
+        assert "nothing to insert" in capsys.readouterr().out
+
+    def test_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert main(["experiment", "--name", "cost-model"]) == 0
+        assert "Theorem 3.2" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "Dominant Graph" in completed.stdout

@@ -1,0 +1,40 @@
+"""CLI tests for the compare subcommand and error paths."""
+
+import pytest
+
+from repro.cli import main, save_dataset
+from repro.data.generators import uniform
+
+
+class TestCompareCommand:
+    def test_compare_runs_and_reports(self, tmp_path, capsys, monkeypatch):
+        data = save_dataset(uniform(200, 3, seed=1), str(tmp_path / "d"))
+        code = main(["compare", "--data", data, "--k", "5", "--queries", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("DG", "TA", "ONION", "AppRI", "PREFER", "RankCube"):
+            assert name in out
+        assert "correct" in out
+
+    def test_compare_alpha_flag(self, tmp_path, capsys):
+        data = save_dataset(uniform(150, 2, seed=2), str(tmp_path / "d2"))
+        code = main(["compare", "--data", data, "--k", "3",
+                     "--queries", "2", "--alpha", "0.3"])
+        assert code == 0
+        assert "top-3" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    def test_query_missing_index(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["query", "--index", str(tmp_path / "nope.npz"),
+                  "--weights", "1.0"])
+
+    def test_build_missing_data(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["build", "--data", str(tmp_path / "nope.npz"),
+                  "--out", str(tmp_path / "o.npz")])
+
+    def test_experiment_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--name", "fig99"])

@@ -1,0 +1,141 @@
+"""Unit tests for the Section III cost model (Theorems 3.1 and 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph
+from repro.core.cost import (
+    estimated_cost,
+    predicted_cost,
+    search_space,
+    top_k_bruteforce,
+)
+from repro.core.functions import LinearFunction
+from repro.core.traveler import BasicTraveler
+from repro.data.generators import correlated, gaussian, uniform
+
+
+class TestBruteForce:
+    def test_order_and_tiebreak(self):
+        from repro.core.dataset import Dataset
+
+        ds = Dataset([[1.0, 1.0], [2.0, 0.0], [1.0, 1.0]])
+        # All three score 1.0: ties break by ascending record id.
+        ids = top_k_bruteforce(ds, LinearFunction([0.5, 0.5]), 3)
+        assert ids == [0, 1, 2]
+
+    def test_k_capped_by_scores(self, small_dataset):
+        ids = top_k_bruteforce(small_dataset, LinearFunction([1.0, 0.0]), 2)
+        assert ids == [0, 4]  # x-values 4.0 then 3.0
+
+
+class TestSearchSpace:
+    def test_running_example(self, running_example, linear2):
+        space = search_space(running_example, linear2, k=2)
+        # S2 = top-1 = {2} (TID3, score 332); S3 = skyline of the rest.
+        assert space.s2 == frozenset({2})
+        assert space.cost == len(space.s2 | space.s3)
+
+    def test_s2_and_s3_disjoint(self):
+        dataset = uniform(150, 3, seed=1)
+        space = search_space(dataset, LinearFunction([0.5, 0.3, 0.2]), 10)
+        assert not (space.s2 & space.s3)
+
+    def test_k1_has_empty_s2(self, small_dataset):
+        space = search_space(small_dataset, LinearFunction([0.5, 0.5]), 1)
+        assert space.s2 == frozenset()
+        # S3 is then the full skyline of D.
+        assert space.s3 == frozenset({0, 1, 4})
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            search_space(small_dataset, LinearFunction([0.5, 0.5]), 0)
+
+
+class TestTheorem31:
+    """S2 ∪ S3 ⊆ S1 exactly; the converse holds up to the paper's
+    parent-vs-dominator gap (see the erratum in repro.core.cost)."""
+
+    @pytest.mark.parametrize("maker,seed", [
+        (uniform, 3), (uniform, 4), (gaussian, 5), (correlated, 6),
+    ])
+    @pytest.mark.parametrize("k", [2, 10, 40])
+    def test_predicted_subset_of_measured(self, maker, seed, k):
+        dataset = maker(250, 3, seed=seed)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        space = search_space(dataset, f, k)
+        result = BasicTraveler(build_dominant_graph(dataset)).top_k(f, k)
+        assert space.predicted <= result.stats.computed_ids
+
+    @pytest.mark.parametrize("k", [2, 10, 40])
+    def test_measured_close_to_predicted(self, k):
+        dataset = uniform(400, 3, seed=7)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        predicted = predicted_cost(dataset, f, k)
+        measured = BasicTraveler(build_dominant_graph(dataset)).top_k(f, k)
+        surplus = measured.stats.computed - predicted
+        assert surplus >= 0
+        # The parent-vs-dominator gap is small in practice.
+        assert surplus <= max(3, 0.1 * predicted), (
+            f"surplus {surplus} too large vs predicted {predicted}"
+        )
+
+    def test_exact_on_running_example(self, running_example, linear2):
+        space = search_space(running_example, linear2, k=2)
+        graph = build_dominant_graph(running_example)
+        result = BasicTraveler(graph).top_k(linear2, 2)
+        assert result.stats.computed_ids == space.predicted
+
+    def test_surplus_records_have_nonparent_dominators(self):
+        # Characterize the erratum: every surplus record's parents are in
+        # the final top-(k-1) but some non-parent dominator is not.
+        from repro.core.dominance import dominates
+
+        dataset = uniform(400, 3, seed=8)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        k = 20
+        graph = build_dominant_graph(dataset)
+        result = BasicTraveler(graph).top_k(f, k)
+        space = search_space(dataset, f, k)
+        surplus = result.stats.computed_ids - space.predicted
+        top_k_minus_1 = set(top_k_bruteforce(dataset, f, k - 1))
+        for rid in surplus:
+            assert set(graph.parents_of(rid)) <= top_k_minus_1
+            outside_dominator = any(
+                dominates(dataset.vector(s), dataset.vector(rid))
+                for s in range(len(dataset))
+                if s != rid and s not in top_k_minus_1
+            )
+            assert outside_dominator
+
+
+class TestTheorem32:
+    def test_estimate_formula(self):
+        from repro.skyline.cardinality import expected_skyline_uniform
+
+        assert estimated_cost(1000, 3, 10) == pytest.approx(
+            9 + expected_skyline_uniform(1000, 3)
+        )
+
+    def test_estimate_within_factor_of_measured(self):
+        n, dims, k = 800, 3, 10
+        dataset = uniform(n, dims, seed=9)
+        f = LinearFunction([1 / 3] * 3)
+        measured = BasicTraveler(build_dominant_graph(dataset)).top_k(f, k)
+        estimate = estimated_cost(n, dims, k)
+        ratio = measured.stats.computed / estimate
+        assert 0.3 < ratio < 4.0, f"estimate off by {ratio}x"
+
+    def test_cost_grows_slowly_with_k(self):
+        # The paper's observation: Skyline(S2-bar) changes little between
+        # top-10 and top-100, so cost grows roughly additively in k.
+        dataset = uniform(600, 3, seed=10)
+        f = LinearFunction([0.4, 0.4, 0.2])
+        traveler = BasicTraveler(build_dominant_graph(dataset))
+        cost10 = traveler.top_k(f, 10).stats.computed
+        cost100 = traveler.top_k(f, 100).stats.computed
+        assert cost100 < cost10 * 6
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            estimated_cost(100, 3, 0)

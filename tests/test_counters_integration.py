@@ -1,0 +1,88 @@
+"""Accounting-consistency tests: every algorithm's counters must be
+internally coherent (the paper's metrics depend on them)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CombinedAlgorithm,
+    NoRandomAccess,
+    OnionIndex,
+    PreferIndex,
+    RankCubeIndex,
+    ThresholdAlgorithm,
+)
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.data.generators import uniform
+
+F = LinearFunction([0.5, 0.3, 0.2])
+K = 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform(300, 3, seed=71)
+
+
+class TestDGAccounting:
+    def test_every_computed_record_tracked(self, dataset):
+        graph = build_extended_graph(dataset, theta=16)
+        result = AdvancedTraveler(graph).top_k(F, K)
+        assert len(result.stats.computed_ids) == result.stats.computed
+
+    def test_answers_are_computed(self, dataset):
+        graph = build_extended_graph(dataset, theta=16)
+        result = AdvancedTraveler(graph).top_k(F, K)
+        assert set(result.ids) <= set(result.stats.computed_ids)
+
+    def test_pseudo_subset_of_computed(self, dataset):
+        graph = build_extended_graph(dataset, theta=16)
+        result = AdvancedTraveler(graph).top_k(F, K)
+        assert result.stats.pseudo_computed <= result.stats.computed
+
+    def test_cost_at_least_k(self, dataset):
+        graph = build_extended_graph(dataset, theta=16)
+        result = AdvancedTraveler(graph).top_k(F, K)
+        assert result.stats.computed >= K
+
+
+class TestSortedListAccounting:
+    def test_ta_sequential_at_least_dims_per_depth(self, dataset):
+        result = ThresholdAlgorithm(dataset).top_k(F, K)
+        # m sequential accesses per round, and at least one round.
+        assert result.stats.sequential >= dataset.dims
+        assert result.stats.sequential % dataset.dims == 0
+
+    def test_ta_random_equals_unique_computed(self, dataset):
+        result = ThresholdAlgorithm(dataset).top_k(F, K)
+        assert result.stats.random == result.stats.computed
+        assert result.stats.random <= len(dataset)
+
+    def test_ca_random_bounded_by_rounds(self, dataset):
+        ca = CombinedAlgorithm(dataset, cost_ratio=10)
+        result = ca.top_k(F, K)
+        rounds = result.stats.sequential // dataset.dims
+        assert result.stats.random <= rounds // 10 + 1
+
+    def test_nra_never_computes(self, dataset):
+        result = NoRandomAccess(dataset).top_k(F, K)
+        assert result.stats.computed == 0
+        assert result.stats.random == 0
+
+
+class TestLayerAccounting:
+    def test_onion_cost_is_layer_prefix(self, dataset):
+        onion = OnionIndex(dataset)
+        result = onion.top_k(F, K)
+        prefix_sums = np.cumsum(onion.layer_sizes())
+        assert result.stats.computed in set(int(p) for p in prefix_sums)
+
+    def test_prefer_sequential_equals_computed(self, dataset):
+        result = PreferIndex(dataset).top_k(F, K)
+        assert result.stats.sequential == result.stats.computed
+
+    def test_rankcube_cost_bounded_by_n(self, dataset):
+        result = RankCubeIndex(dataset).top_k(F, K)
+        assert K <= result.stats.computed <= len(dataset)

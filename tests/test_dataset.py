@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert len(ds) == 2
+        assert ds.dims == 2
+
+    def test_values_are_copied(self):
+        source = np.array([[1.0, 2.0]])
+        ds = Dataset(source)
+        source[0, 0] = 99.0
+        assert ds.vector(0)[0] == 1.0
+
+    def test_values_are_read_only(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            ds.values[0, 0] = 5.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            Dataset([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one record"):
+            Dataset(np.empty((0, 3)))
+
+    def test_rejects_zero_attributes(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            Dataset(np.empty((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            Dataset([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            Dataset([[1.0, float("inf")]])
+
+    def test_default_attribute_names(self):
+        assert Dataset([[1.0, 2.0, 3.0]]).attribute_names == ("x1", "x2", "x3")
+
+    def test_custom_attribute_names(self):
+        ds = Dataset([[1.0, 2.0]], attribute_names=["a", "b"])
+        assert ds.attribute_names == ("a", "b")
+
+    def test_attribute_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="attribute names"):
+            Dataset([[1.0, 2.0]], attribute_names=["only-one"])
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset([[1.0, 2.0]], labels=["a", "b"])
+
+    def test_integer_input_coerced_to_float(self):
+        ds = Dataset([[1, 2], [3, 4]])
+        assert ds.values.dtype == np.float64
+
+
+class TestAccessors:
+    def test_vector(self, small_dataset):
+        np.testing.assert_array_equal(small_dataset.vector(2), [2.0, 2.0])
+
+    def test_take_preserves_order(self, small_dataset):
+        block = small_dataset.take([4, 0])
+        np.testing.assert_array_equal(block, [[3.0, 3.0], [4.0, 1.0]])
+
+    def test_label_defaults_to_id(self, small_dataset):
+        assert small_dataset.label(3) == 3
+
+    def test_label_custom(self):
+        ds = Dataset([[1.0]], labels=["first"])
+        assert ds.label(0) == "first"
+
+    def test_iteration_yields_rows(self, small_dataset):
+        rows = list(small_dataset)
+        assert len(rows) == len(small_dataset)
+        np.testing.assert_array_equal(rows[0], [4.0, 1.0])
+
+    def test_equality_by_content(self):
+        a = Dataset([[1.0, 2.0]])
+        b = Dataset([[1.0, 2.0]])
+        c = Dataset([[1.0, 3.0]])
+        assert a == b
+        assert a != c
+
+    def test_hash_consistent_with_equality(self):
+        a = Dataset([[1.0, 2.0]])
+        b = Dataset([[1.0, 2.0]])
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_shape(self, small_dataset):
+        assert "n=6" in repr(small_dataset)
+        assert "m=2" in repr(small_dataset)
+
+
+class TestProject:
+    def test_project_selects_columns(self, small_dataset):
+        projected = small_dataset.project([1])
+        assert projected.dims == 1
+        np.testing.assert_array_equal(projected.values[:, 0],
+                                      small_dataset.values[:, 1])
+
+    def test_project_preserves_record_ids(self, small_dataset):
+        projected = small_dataset.project([1, 0])
+        np.testing.assert_array_equal(projected.vector(2), [2.0, 2.0])
+        np.testing.assert_array_equal(projected.vector(0), [1.0, 4.0])
+
+    def test_project_rejects_empty(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.project([])
+
+    def test_project_rejects_out_of_range(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.project([5])
+
+    def test_project_names(self):
+        ds = Dataset([[1.0, 2.0]], attribute_names=["a", "b"])
+        assert ds.project([1]).attribute_names == ("b",)
+
+
+class TestAppend:
+    def test_with_appended_extends(self, small_dataset):
+        grown = small_dataset.with_appended(np.array([[9.0, 9.0]]))
+        assert len(grown) == len(small_dataset) + 1
+        np.testing.assert_array_equal(grown.vector(len(small_dataset)), [9.0, 9.0])
+
+    def test_with_appended_single_row(self, small_dataset):
+        grown = small_dataset.with_appended(np.array([7.0, 8.0]))
+        assert len(grown) == len(small_dataset) + 1
+
+    def test_with_appended_dim_mismatch(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.with_appended(np.array([[1.0, 2.0, 3.0]]))
+
+    def test_with_appended_does_not_mutate_original(self, small_dataset):
+        before = len(small_dataset)
+        small_dataset.with_appended(np.array([[1.0, 1.0]]))
+        assert len(small_dataset) == before

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.dominance (Definition 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import (
+    dominance_matrix,
+    dominated_by,
+    dominates,
+    dominators_of,
+    maximal_mask,
+    strictly_dominates,
+)
+
+
+class TestDominates:
+    def test_strict_everywhere(self):
+        assert dominates(np.array([3.0, 3.0]), np.array([1.0, 1.0]))
+
+    def test_weak_with_one_strict(self):
+        assert dominates(np.array([3.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_equal_vectors_do_not_dominate(self):
+        v = np.array([2.0, 2.0])
+        assert not dominates(v, v.copy())
+
+    def test_incomparable(self):
+        assert not dominates(np.array([3.0, 1.0]), np.array([1.0, 3.0]))
+        assert not dominates(np.array([1.0, 3.0]), np.array([3.0, 1.0]))
+
+    def test_antisymmetric(self, rng):
+        for _ in range(50):
+            a, b = rng.uniform(size=2), rng.uniform(size=2)
+            assert not (dominates(a, b) and dominates(b, a))
+
+    def test_transitive(self):
+        a, b, c = np.array([3.0, 3.0]), np.array([2.0, 2.0]), np.array([1.0, 1.0])
+        assert dominates(a, b) and dominates(b, c) and dominates(a, c)
+
+    def test_one_dimension(self):
+        assert dominates(np.array([2.0]), np.array([1.0]))
+        assert not dominates(np.array([1.0]), np.array([1.0]))
+
+
+class TestStrictlyDominates:
+    def test_requires_all_strict(self):
+        assert strictly_dominates(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        assert not strictly_dominates(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestVectorizedForms:
+    def test_dominators_of_matches_scalar(self, rng):
+        block = rng.uniform(size=(40, 3))
+        point = rng.uniform(size=3)
+        mask = dominators_of(point, block)
+        for i in range(40):
+            assert mask[i] == dominates(block[i], point)
+
+    def test_dominated_by_matches_scalar(self, rng):
+        block = rng.uniform(size=(40, 3))
+        point = rng.uniform(size=3)
+        mask = dominated_by(point, block)
+        for i in range(40):
+            assert mask[i] == dominates(point, block[i])
+
+    def test_dominance_matrix_matches_scalar(self, rng):
+        upper = rng.uniform(size=(10, 2))
+        lower = rng.uniform(size=(12, 2))
+        matrix = dominance_matrix(upper, lower)
+        for i in range(10):
+            for j in range(12):
+                assert matrix[i, j] == dominates(upper[i], lower[j])
+
+    def test_empty_blocks(self):
+        point = np.array([1.0, 2.0])
+        assert dominators_of(point, np.empty((0, 2))).shape == (0,)
+        assert dominated_by(point, np.empty((0, 2))).shape == (0,)
+
+
+class TestMaximalMask:
+    def test_known_example(self):
+        block = np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0], [0.0, 3.0]])
+        np.testing.assert_array_equal(
+            maximal_mask(block), [True, False, True, True]
+        )
+
+    def test_matches_bruteforce(self, rng):
+        block = rng.uniform(size=(60, 3))
+        mask = maximal_mask(block)
+        for i in range(60):
+            brute = not any(
+                dominates(block[j], block[i]) for j in range(60) if j != i
+            )
+            assert mask[i] == brute
+
+    def test_duplicates_all_maximal(self):
+        block = np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        np.testing.assert_array_equal(maximal_mask(block), [True, True, False])
+
+    def test_single_row(self):
+        assert maximal_mask(np.array([[5.0, 5.0]])).tolist() == [True]
+
+    def test_empty(self):
+        assert maximal_mask(np.empty((0, 2))).shape == (0,)
+
+    def test_total_order_chain(self):
+        block = np.array([[float(i)] * 2 for i in range(5)])
+        mask = maximal_mask(block)
+        assert mask.tolist() == [False, False, False, False, True]
+
+    def test_antichain_all_maximal(self):
+        # Constant coordinate sum => no dominance at all.
+        block = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert maximal_mask(block).all()
+
+
+class TestDominanceWithTies:
+    def test_weakly_greater_but_equal_sum_cannot_happen(self, rng):
+        # If a dominates b then sum(a) > sum(b): the SFS sort order is a
+        # topological order of dominance, which maximal_mask relies on.
+        for _ in range(100):
+            a, b = rng.uniform(size=3), rng.uniform(size=3)
+            if dominates(a, b):
+                assert a.sum() > b.sum()

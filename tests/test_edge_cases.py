@@ -1,0 +1,167 @@
+"""Cross-cutting edge cases: degenerate inputs through every algorithm.
+
+Each scenario here broke (or could plausibly break) at least one
+implementation during development: single records, single dimensions,
+total duplication, constant columns, extreme weights, and k at the
+boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AppRIIndex,
+    CombinedAlgorithm,
+    LPTAIndex,
+    NoRandomAccess,
+    OnionIndex,
+    PreferIndex,
+    RankCubeIndex,
+    ThresholdAlgorithm,
+    naive_top_k,
+)
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.traveler import BasicTraveler
+
+
+def algorithms_for(dataset):
+    yield BasicTraveler(build_dominant_graph(dataset)).top_k
+    yield AdvancedTraveler(build_extended_graph(dataset, theta=4)).top_k
+    yield ThresholdAlgorithm(dataset).top_k
+    yield CombinedAlgorithm(dataset).top_k
+    yield NoRandomAccess(dataset).top_k
+    yield OnionIndex(dataset).top_k
+    yield AppRIIndex(dataset).top_k
+    yield PreferIndex(dataset).top_k
+    yield LPTAIndex(dataset).top_k
+    yield RankCubeIndex(dataset).top_k
+
+
+def check_all(dataset, function, k):
+    reference = naive_top_k(dataset, function, k).score_multiset()
+    for top_k in algorithms_for(dataset):
+        got = top_k(function, k).score_multiset()
+        np.testing.assert_allclose(got, reference, atol=1e-9)
+
+
+class TestSingleRecord:
+    def test_every_algorithm(self):
+        check_all(Dataset([[3.0, 4.0]]), LinearFunction([0.5, 0.5]), 1)
+
+    def test_k_exceeds_one(self):
+        check_all(Dataset([[3.0, 4.0]]), LinearFunction([0.5, 0.5]), 5)
+
+
+class TestSingleDimension:
+    def test_every_algorithm(self):
+        dataset = Dataset([[float(v)] for v in (5, 1, 9, 3, 9, 0)])
+        check_all(dataset, LinearFunction([1.0]), 3)
+
+    def test_dg_layers_are_score_levels(self):
+        dataset = Dataset([[float(v)] for v in (5, 1, 9, 3)])
+        graph = build_dominant_graph(dataset)
+        # 1-d dominance is a total order up to ties.
+        assert graph.layer_sizes() == [1, 1, 1, 1]
+        assert graph.layer(0) == frozenset({2})
+
+
+class TestAllIdentical:
+    def test_every_algorithm(self):
+        dataset = Dataset(np.ones((12, 3)))
+        check_all(dataset, LinearFunction([0.2, 0.3, 0.5]), 4)
+
+    def test_dg_single_layer(self):
+        graph = build_dominant_graph(Dataset(np.ones((12, 3))))
+        assert graph.layer_sizes() == [12]
+        assert graph.edge_count() == 0
+
+
+class TestConstantColumn:
+    def test_every_algorithm(self):
+        rng = np.random.default_rng(41)
+        values = np.column_stack([rng.uniform(size=30), np.full(30, 7.0)])
+        check_all(Dataset(values), LinearFunction([0.5, 0.5]), 10)
+
+
+class TestExtremeWeights:
+    def test_zero_weight_dimension(self):
+        rng = np.random.default_rng(42)
+        dataset = Dataset(rng.uniform(size=(40, 3)))
+        check_all(dataset, LinearFunction([1.0, 0.0, 0.0]), 10)
+
+    def test_all_zero_weights(self):
+        # F == 0 everywhere: any k records are a valid answer; all
+        # algorithms must return k zero scores without crashing.
+        rng = np.random.default_rng(43)
+        dataset = Dataset(rng.uniform(size=(20, 2)))
+        check_all(dataset, LinearFunction([0.0, 0.0]), 5)
+
+    def test_tiny_and_huge_values(self):
+        dataset = Dataset([[1e-12, 1e12], [1e12, 1e-12], [1.0, 1.0]])
+        check_all(dataset, LinearFunction([0.5, 0.5]), 2)
+
+
+class TestNegativeValues:
+    def test_every_algorithm(self):
+        # Attribute values may be negative; only weights must be >= 0.
+        dataset = Dataset([
+            [-5.0, 2.0], [3.0, -4.0], [-1.0, -1.0], [0.0, 0.0],
+        ])
+        check_all(dataset, LinearFunction([0.6, 0.4]), 3)
+
+    def test_dg_layers_with_negatives(self):
+        dataset = Dataset([[-5.0, -5.0], [-1.0, -1.0]])
+        graph = build_dominant_graph(dataset)
+        assert graph.layer_of(1) == 0
+        assert graph.layer_of(0) == 1
+
+
+class TestKBoundaries:
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(44)
+        dataset = Dataset(rng.uniform(size=(15, 2)))
+        check_all(dataset, LinearFunction([0.3, 0.7]), 15)
+
+    def test_k_one(self):
+        rng = np.random.default_rng(45)
+        dataset = Dataset(rng.uniform(size=(25, 3)))
+        check_all(dataset, LinearFunction([0.3, 0.3, 0.4]), 1)
+
+
+class TestTwoRecordChains:
+    def test_dominating_pair(self):
+        check_all(Dataset([[2.0, 2.0], [1.0, 1.0]]), LinearFunction([0.5, 0.5]), 2)
+
+    def test_incomparable_pair(self):
+        check_all(Dataset([[2.0, 0.0], [0.0, 2.0]]), LinearFunction([0.9, 0.1]), 2)
+
+
+class TestMaintenanceEdges:
+    def test_delete_last_record(self):
+        from repro.core.maintenance import delete_record
+
+        graph = build_dominant_graph(Dataset([[1.0, 1.0]]))
+        delete_record(graph, 0)
+        assert len(graph) == 0
+
+    def test_insert_into_singleton_graph(self):
+        from repro.core.maintenance import insert_record
+
+        dataset = Dataset([[1.0, 1.0], [2.0, 2.0]])
+        graph = build_dominant_graph(dataset, record_ids=[0])
+        insert_record(graph, 1)
+        graph.validate()
+        assert graph.layer_of(1) == 0
+
+    def test_reinsert_after_delete(self):
+        from repro.core.maintenance import delete_record, insert_record
+
+        dataset = Dataset([[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]])
+        graph = build_dominant_graph(dataset)
+        delete_record(graph, 2)
+        insert_record(graph, 2)
+        graph.validate()
+        assert graph.layers() == build_dominant_graph(dataset).layers()

@@ -1,0 +1,36 @@
+"""Smoke tests running every example script end to end.
+
+Examples are the deliverable users copy from; each must run cleanly and
+print the landmark lines its scenario promises.  The heavier scripts get
+generous but bounded timeouts.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["Dominant Graph layers", "Top-2", "records scored"]),
+    ("job_search.py", ["Applicant A", "Applicant C", "postings"]),
+    ("network_monitoring.py", ["top-5 suspicious", "scores agree"]),
+    ("high_dimensional.py", ["2-way", "TA", "agree on the top-10: True"]),
+    ("dynamic_inventory.py", ["validated vs rebuild", "mark_deleted"]),
+    ("paged_storage.py", ["page I/Os", "layer-clustered"]),
+]
+
+
+@pytest.mark.parametrize("script,landmarks", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, landmarks):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=540,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for landmark in landmarks:
+        assert landmark in completed.stdout, (script, landmark)

@@ -1,0 +1,69 @@
+"""Unit tests for the query EXPLAIN profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.explain import explain_top_k
+from repro.core.functions import LinearFunction
+from repro.data.generators import all_skyline, uniform
+
+
+class TestExplainTopK:
+    def test_counts_reconcile_with_result(self):
+        dataset = uniform(300, 3, seed=1)
+        graph = build_extended_graph(dataset, theta=16)
+        profile = explain_top_k(graph, LinearFunction([0.5, 0.3, 0.2]), 10)
+        per_layer_total = sum(entry.accessed for entry in profile.per_layer)
+        assert per_layer_total == profile.total_accessed
+        per_layer_pseudo = sum(entry.pseudo for entry in profile.per_layer)
+        assert per_layer_pseudo == profile.pseudo_accessed
+        assert profile.pseudo_accessed == profile.result.stats.pseudo_computed
+
+    def test_small_k_stays_shallow(self):
+        dataset = uniform(400, 3, seed=2)
+        graph = build_dominant_graph(dataset)
+        shallow = explain_top_k(graph, LinearFunction([0.5, 0.3, 0.2]), 1)
+        deep = explain_top_k(graph, LinearFunction([0.5, 0.3, 0.2]), 100)
+        assert shallow.deepest_layer <= deep.deepest_layer
+        assert shallow.total_accessed < deep.total_accessed
+
+    def test_layer_sizes_match_graph(self):
+        dataset = uniform(200, 2, seed=3)
+        graph = build_dominant_graph(dataset)
+        profile = explain_top_k(graph, LinearFunction([0.5, 0.5]), 5)
+        assert [entry.size for entry in profile.per_layer] == graph.layer_sizes()
+
+    def test_pseudo_levels_visible(self):
+        dataset = all_skyline(100, 3, seed=4)
+        graph = build_extended_graph(dataset, theta=8)
+        profile = explain_top_k(graph, LinearFunction([0.5, 0.3, 0.2]), 5)
+        assert profile.pseudo_accessed > 0
+        assert profile.per_layer[0].pseudo > 0
+
+    def test_format_is_readable(self):
+        dataset = uniform(150, 3, seed=5)
+        graph = build_dominant_graph(dataset)
+        text = explain_top_k(graph, LinearFunction([1 / 3] * 3), 10).format()
+        assert "records scored" in text
+        assert "layer" in text and "share" in text
+
+    def test_fraction_bounded(self):
+        dataset = uniform(120, 3, seed=6)
+        graph = build_dominant_graph(dataset)
+        profile = explain_top_k(graph, LinearFunction([0.4, 0.3, 0.3]), 20)
+        for entry in profile.per_layer:
+            assert 0.0 <= entry.fraction <= 1.0
+
+    def test_cli_explain_flag(self, tmp_path, capsys):
+        from repro.cli import main, save_dataset
+
+        data = save_dataset(uniform(100, 2, seed=7), str(tmp_path / "d"))
+        index = str(tmp_path / "i.npz")
+        main(["build", "--data", data, "--out", index])
+        capsys.readouterr()
+        code = main(["query", "--index", index, "--weights", "0.5,0.5",
+                     "--k", "5", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records scored" in out

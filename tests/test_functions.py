@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.functions (Definition 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import (
+    DecomposableFunction,
+    LinearFunction,
+    MinFunction,
+    ProductFunction,
+    WeightedPowerFunction,
+    check_monotone,
+)
+
+
+class TestLinearFunction:
+    def test_scalar_evaluation(self):
+        f = LinearFunction([0.6, 0.4])
+        assert f(np.array([10.0, 5.0])) == pytest.approx(8.0)
+
+    def test_score_many_matches_scalar(self, rng):
+        f = LinearFunction([0.2, 0.3, 0.5])
+        block = rng.uniform(size=(20, 3))
+        batch = f.score_many(block)
+        for row, score in zip(block, batch):
+            assert f(row) == pytest.approx(score)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearFunction([0.5, -0.5])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            LinearFunction([])
+
+    def test_weights_read_only(self):
+        f = LinearFunction([1.0, 2.0])
+        with pytest.raises(ValueError):
+            f.weights[0] = 3.0
+
+    def test_restrict(self):
+        f = LinearFunction([1.0, 2.0, 3.0])
+        g = f.restrict([0, 2])
+        assert g(np.array([1.0, 1.0])) == pytest.approx(4.0)
+
+    def test_dims(self):
+        assert LinearFunction([1.0, 2.0, 3.0]).dims == 3
+
+    def test_is_monotone(self):
+        assert check_monotone(LinearFunction([0.3, 0.7]), dims=2)
+
+    def test_zero_weights_allowed(self):
+        f = LinearFunction([0.0, 1.0])
+        assert f(np.array([100.0, 2.0])) == pytest.approx(2.0)
+
+
+class TestProductFunction:
+    def test_scalar_evaluation(self):
+        f = ProductFunction([1.0, 1.0])
+        assert f(np.array([3.0, 4.0])) == pytest.approx(12.0)
+
+    def test_weighted_exponents(self):
+        f = ProductFunction([2.0, 0.5])
+        assert f(np.array([3.0, 16.0])) == pytest.approx(36.0)
+
+    def test_rejects_negative_input(self):
+        f = ProductFunction([1.0, 1.0])
+        with pytest.raises(ValueError):
+            f(np.array([-1.0, 2.0]))
+
+    def test_score_many(self):
+        f = ProductFunction([1.0, 1.0])
+        np.testing.assert_allclose(
+            f.score_many(np.array([[2.0, 3.0], [1.0, 5.0]])), [6.0, 5.0]
+        )
+
+    def test_is_monotone(self):
+        assert check_monotone(ProductFunction([0.5, 1.5]), dims=2, low=0.1, high=2.0)
+
+
+class TestMinFunction:
+    def test_scalar(self):
+        assert MinFunction()(np.array([3.0, 1.0, 2.0])) == 1.0
+
+    def test_score_many(self):
+        np.testing.assert_allclose(
+            MinFunction().score_many(np.array([[3.0, 1.0], [0.5, 2.0]])),
+            [1.0, 0.5],
+        )
+
+    def test_is_monotone(self):
+        assert check_monotone(MinFunction(), dims=4)
+
+
+class TestWeightedPowerFunction:
+    def test_p1_equals_linear(self, rng):
+        weights = [0.2, 0.8]
+        power = WeightedPowerFunction(weights, p=1.0)
+        linear = LinearFunction(weights)
+        v = rng.uniform(size=2)
+        assert power(v) == pytest.approx(linear(v))
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            WeightedPowerFunction([1.0], p=0.0)
+
+    def test_score_many_matches_scalar(self, rng):
+        f = WeightedPowerFunction([0.5, 0.5], p=3.0)
+        block = rng.uniform(size=(10, 2))
+        for row, score in zip(block, f.score_many(block)):
+            assert f(row) == pytest.approx(score)
+
+    def test_is_monotone(self):
+        assert check_monotone(WeightedPowerFunction([0.4, 0.6], p=2.0), dims=2)
+
+
+class TestDecomposableFunction:
+    def test_from_linear_matches_original(self, rng):
+        f = LinearFunction([0.1, 0.2, 0.3, 0.4])
+        d = DecomposableFunction.from_linear(f, [(0, 1), (2, 3)])
+        v = rng.uniform(size=4)
+        assert d(v) == pytest.approx(f(v))
+
+    def test_sub_score(self):
+        f = LinearFunction([1.0, 2.0, 3.0, 4.0])
+        d = DecomposableFunction.from_linear(f, [(0, 1), (2, 3)])
+        v = np.array([1.0, 1.0, 1.0, 1.0])
+        assert d.sub_score(0, v) == pytest.approx(3.0)
+        assert d.sub_score(1, v) == pytest.approx(7.0)
+
+    def test_combine_is_sum_by_default(self):
+        f = LinearFunction([1.0, 1.0])
+        d = DecomposableFunction.from_linear(f, [(0,), (1,)])
+        assert d.combine([2.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rejects_overlapping_sets(self):
+        f = LinearFunction([1.0, 1.0])
+        with pytest.raises(ValueError, match="disjoint"):
+            DecomposableFunction.from_linear(f, [(0, 1), (1,)])
+
+    def test_rejects_mismatched_counts(self):
+        with pytest.raises(ValueError):
+            DecomposableFunction([(0,)], [])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecomposableFunction([], [])
+
+    def test_score_many_matches_scalar(self, rng):
+        f = LinearFunction([0.3, 0.3, 0.4])
+        d = DecomposableFunction.from_linear(f, [(0,), (1, 2)])
+        block = rng.uniform(size=(8, 3))
+        np.testing.assert_allclose(d.score_many(block), f.score_many(block))
+
+    def test_custom_combiner(self):
+        d = DecomposableFunction(
+            [(0,), (1,)],
+            [LinearFunction([1.0]), LinearFunction([1.0])],
+            combiner=lambda parts: float(np.min(parts)),
+        )
+        assert d(np.array([4.0, 2.0])) == pytest.approx(2.0)
+
+    def test_n_ways(self):
+        f = LinearFunction([1.0] * 6)
+        d = DecomposableFunction.from_linear(f, [(0, 1), (2, 3), (4, 5)])
+        assert d.n_ways == 3
+
+
+class TestCheckMonotone:
+    def test_detects_non_monotone(self):
+        class Bad:
+            def __call__(self, v):
+                return -float(np.sum(v))
+
+            def score_many(self, block):
+                return -np.sum(block, axis=1)
+
+        assert not check_monotone(Bad(), dims=2)

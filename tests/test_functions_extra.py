@@ -1,0 +1,103 @@
+"""Extra scoring-function coverage: protocol conformance, compositions,
+and monotonicity across the whole bundled family."""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.functions import (
+    DecomposableFunction,
+    LinearFunction,
+    MinFunction,
+    ProductFunction,
+    ScoringFunction,
+    WeightedPowerFunction,
+    check_monotone,
+)
+from repro.data.generators import uniform
+from tests.conftest import assert_correct_topk
+
+BUNDLED = [
+    LinearFunction([0.2, 0.5, 0.3]),
+    ProductFunction([1.0, 0.5, 2.0]),
+    MinFunction(),
+    WeightedPowerFunction([0.4, 0.3, 0.3], p=3.0),
+    DecomposableFunction.from_linear(LinearFunction([0.2, 0.5, 0.3]), [(0,), (1, 2)]),
+]
+
+
+@pytest.mark.parametrize("function", BUNDLED, ids=lambda f: type(f).__name__)
+class TestBundledFamily:
+    def test_satisfies_protocol(self, function):
+        assert isinstance(function, ScoringFunction)
+
+    def test_monotone(self, function):
+        assert check_monotone(function, dims=3, low=0.05, high=1.0)
+
+    def test_scalar_batch_consistency(self, function, rng):
+        block = rng.uniform(0.05, 1.0, size=(25, 3))
+        batch = function.score_many(block)
+        for row, value in zip(block, batch):
+            assert function(row) == pytest.approx(float(value), rel=1e-9)
+
+    def test_dg_answers_match_bruteforce(self, function):
+        dataset = uniform(150, 3, seed=61)
+        # Scale into (0, 1] to satisfy the non-negative-domain functions.
+        from repro.core.dataset import Dataset
+
+        scaled = Dataset(dataset.values / 1000.0 + 1e-6)
+        graph = build_extended_graph(scaled, theta=16)
+        assert_correct_topk(
+            AdvancedTraveler(graph).top_k(function, 10), scaled, function, 10
+        )
+
+
+class TestUserDefinedFunction:
+    def test_custom_monotone_function_works_end_to_end(self):
+        class HarmonicMean:
+            """Monotone on positive data."""
+
+            def __call__(self, vector):
+                v = np.asarray(vector, dtype=np.float64)
+                return float(len(v) / np.sum(1.0 / v))
+
+            def score_many(self, block):
+                b = np.asarray(block, dtype=np.float64)
+                return b.shape[1] / np.sum(1.0 / b, axis=1)
+
+        from repro.core.dataset import Dataset
+
+        rng = np.random.default_rng(62)
+        dataset = Dataset(rng.uniform(0.1, 1.0, size=(120, 3)))
+        f = HarmonicMean()
+        assert check_monotone(f, dims=3, low=0.1, high=1.0)
+        graph = build_extended_graph(dataset, theta=16)
+        assert_correct_topk(AdvancedTraveler(graph).top_k(f, 8), dataset, f, 8)
+
+    def test_non_monotone_function_gives_wrong_answers(self):
+        # Negative control: the DG *requires* monotonicity; a distance-to-
+        # origin-minimizing function breaks the best-first invariant.
+        class AntiSum:
+            def __call__(self, vector):
+                return -float(np.sum(vector))
+
+            def score_many(self, block):
+                return -np.sum(np.asarray(block, dtype=np.float64), axis=1)
+
+        from repro.core.dataset import Dataset
+
+        rng = np.random.default_rng(63)
+        dataset = Dataset(rng.uniform(size=(100, 2)))
+        f = AntiSum()
+        assert not check_monotone(f, dims=2)
+        graph = build_extended_graph(dataset, theta=16)
+        # The broken contract surfaces either as an out-of-order result
+        # (TopKResult refuses to construct) or as a wrong answer set —
+        # document that *something* goes visibly wrong.
+        try:
+            result = AdvancedTraveler(graph).top_k(f, 5)
+        except ValueError:
+            return
+        expected = sorted(f.score_many(dataset.values), reverse=True)[:5]
+        assert not np.allclose(sorted(result.scores, reverse=True), expected)

@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import dominates, maximal_mask
+from repro.data.generators import (
+    RANGE,
+    all_skyline,
+    anticorrelated,
+    correlated,
+    gaussian,
+    make_dataset,
+    uniform,
+)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("code,n,dims", [
+        ("U", 50, 3), ("G", 50, 3), ("R", 50, 3), ("A", 50, 3),
+        ("uniform", 20, 2), ("worst", 30, 4),
+    ])
+    def test_known_codes(self, code, n, dims):
+        ds = make_dataset(code, n, dims)
+        assert len(ds) == n and ds.dims == dims
+
+    def test_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_dataset("Z", 10, 2)
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        values = uniform(2000, 3, seed=1).values
+        assert values.min() >= 0.0 and values.max() <= RANGE
+        assert abs(values.mean() - RANGE / 2) < RANGE * 0.05
+
+    def test_gaussian_centered(self):
+        values = gaussian(2000, 3, seed=2).values
+        assert abs(values.mean() - RANGE / 2) < RANGE * 0.05
+        assert values.std() < RANGE * 0.25
+
+    def test_correlated_dimensions_track_x1(self):
+        values = correlated(2000, 3, seed=3).values
+        for d in (1, 2):
+            corr = np.corrcoef(values[:, 0], values[:, d])[0, 1]
+            assert corr > 0.8, f"dim {d} correlation {corr}"
+
+    def test_anticorrelated_negative_pairwise(self):
+        values = anticorrelated(2000, 2, seed=4).values
+        corr = np.corrcoef(values[:, 0], values[:, 1])[0, 1]
+        assert corr < -0.3
+
+    def test_deterministic_by_seed(self):
+        a = uniform(50, 3, seed=7).values
+        b = uniform(50, 3, seed=7).values
+        c = uniform(50, 3, seed=8).values
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rejects_bad_sizes(self):
+        for maker in (uniform, gaussian, correlated, anticorrelated):
+            with pytest.raises(ValueError):
+                maker(0, 3)
+            with pytest.raises(ValueError):
+                maker(10, 0)
+
+    def test_correlated_single_dim(self):
+        assert correlated(20, 1, seed=5).dims == 1
+
+
+class TestAllSkyline:
+    def test_every_record_is_maximal(self):
+        values = all_skyline(300, 4, seed=6).values
+        assert maximal_mask(values).all()
+
+    def test_no_dominance_at_all(self):
+        values = all_skyline(60, 3, seed=7).values
+        for i in range(60):
+            for j in range(60):
+                if i != j:
+                    assert not dominates(values[i], values[j])
+
+    def test_constant_coordinate_sum(self):
+        values = all_skyline(100, 5, seed=8).values
+        sums = values.sum(axis=1)
+        np.testing.assert_allclose(sums, sums[0])
+
+    def test_rejects_one_dimension(self):
+        with pytest.raises(ValueError):
+            all_skyline(10, 1)
+
+    def test_skyline_comparison_uniform(self):
+        # Sanity: uniform data has far fewer skyline points than the
+        # worst-case construction at equal n.
+        n = 300
+        uni = int(maximal_mask(uniform(n, 3, seed=9).values).sum())
+        worst = int(maximal_mask(all_skyline(n, 3, seed=9).values).sum())
+        assert worst == n
+        assert uni < n / 3

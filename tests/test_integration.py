@@ -1,0 +1,147 @@
+"""Integration tests: every algorithm against every workload, end to end.
+
+The agreement matrix is the repository's strongest correctness statement:
+nine top-k implementations with completely different machinery (graph
+traversal, sorted lists, hull layers, min-rank layers, views, LP bounds,
+grid blocks, full scan) must produce identical score multisets on every
+workload family the paper evaluates.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AppRIIndex,
+    CombinedAlgorithm,
+    LPTAIndex,
+    NoRandomAccess,
+    OnionIndex,
+    PreferIndex,
+    RankCubeIndex,
+    ThresholdAlgorithm,
+    naive_top_k,
+)
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.core.nway import NWayTraveler
+from repro.core.traveler import BasicTraveler
+from repro.data.generators import all_skyline, correlated, gaussian, uniform
+from repro.data.server import server_dataset
+
+WORKLOADS = {
+    "U3": lambda: uniform(250, 3, seed=101),
+    "G3": lambda: gaussian(250, 3, seed=102),
+    "R3": lambda: correlated(250, 3, seed=103),
+    "server": lambda: server_dataset(250, seed=104),
+    "worst": lambda: all_skyline(150, 3, seed=105),
+}
+
+
+def all_algorithms(dataset):
+    yield "basic-dg", BasicTraveler(build_dominant_graph(dataset)).top_k
+    yield "advanced-dg", AdvancedTraveler(
+        build_extended_graph(dataset, theta=8)
+    ).top_k
+    yield "nway", NWayTraveler(
+        dataset, NWayTraveler.even_split(dataset.dims, 2), theta=8
+    ).top_k
+    yield "ta", ThresholdAlgorithm(dataset).top_k
+    yield "ca", CombinedAlgorithm(dataset).top_k
+    yield "nra", NoRandomAccess(dataset).top_k
+    yield "onion", OnionIndex(dataset).top_k
+    yield "appri", AppRIIndex(dataset).top_k
+    yield "prefer", PreferIndex(dataset).top_k
+    yield "lpta", LPTAIndex(dataset).top_k
+    yield "rankcube", RankCubeIndex(dataset).top_k
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("k", [1, 10, 50])
+def test_agreement_matrix(workload, k):
+    dataset = WORKLOADS[workload]()
+    f = LinearFunction(np.arange(dataset.dims, 0, -1) / np.arange(
+        dataset.dims, 0, -1
+    ).sum())
+    reference = naive_top_k(dataset, f, k).score_multiset()
+    for name, top_k in all_algorithms(dataset):
+        result = top_k(f, k)
+        np.testing.assert_allclose(
+            result.score_multiset(), reference, atol=1e-9,
+            err_msg=f"{name} disagrees on {workload} k={k}",
+        )
+
+
+def test_one_index_many_queries():
+    # The DG is query-agnostic: one offline build serves arbitrary
+    # monotone preference functions (the paper's core selling point).
+    dataset = uniform(300, 4, seed=106)
+    graph = build_extended_graph(dataset, theta=8)
+    traveler = AdvancedTraveler(graph)
+    rng = np.random.default_rng(107)
+    for _ in range(10):
+        weights = rng.dirichlet(np.ones(4))
+        f = LinearFunction(weights)
+        expected = sorted(f.score_many(dataset.values), reverse=True)[:10]
+        result = traveler.top_k(f, 10)
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+
+def test_index_survives_churn_and_queries():
+    from repro.core.maintenance import delete_record, insert_record
+
+    dataset = uniform(300, 3, seed=108)
+    graph = build_extended_graph(dataset, theta=8, record_ids=range(200))
+    traveler = AdvancedTraveler(graph)
+    f = LinearFunction([0.5, 0.3, 0.2])
+    live = set(range(200))
+    rng = np.random.default_rng(109)
+    for step in range(100):
+        if step % 2 == 0 and len(live) < 300:
+            new = next(i for i in range(300) if i not in live and i >= 200) \
+                if any(i not in live for i in range(200, 300)) else None
+            if new is not None:
+                insert_record(graph, new)
+                live.add(new)
+        else:
+            victim = int(rng.choice(sorted(live)))
+            delete_record(graph, victim)
+            live.discard(victim)
+        if step % 25 == 24:
+            expected = sorted(
+                f.score_many(dataset.values[sorted(live)]), reverse=True
+            )[:5]
+            result = traveler.top_k(f, 5)
+            np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py"])
+def test_examples_run(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "Top-2" in completed.stdout
+
+
+def test_public_api_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

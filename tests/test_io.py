@@ -1,0 +1,114 @@
+"""Unit tests for index persistence (repro.core.io)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.core.io import load_graph, save_graph
+from repro.core.maintenance import delete_record, insert_record
+from repro.data.generators import all_skyline, uniform
+
+
+class TestRoundTrip:
+    def test_plain_graph(self, tmp_path, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        path = save_graph(graph, str(tmp_path / "index"))
+        loaded = load_graph(path, validate=True)
+        assert loaded.layers() == graph.layers()
+        assert loaded.dataset == small_dataset
+
+    def test_extension_appended(self, tmp_path, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        path = save_graph(graph, str(tmp_path / "noext"))
+        assert path.endswith(".npz")
+
+    def test_extended_graph_with_pseudo(self, tmp_path):
+        dataset = all_skyline(80, 3, seed=1)
+        graph = build_extended_graph(dataset, theta=8)
+        assert graph.num_pseudo > 0
+        path = save_graph(graph, str(tmp_path / "ext.npz"))
+        loaded = load_graph(path, validate=True)
+        assert loaded.num_pseudo == graph.num_pseudo
+        assert loaded.layers() == graph.layers()
+        for rid in graph.iter_records():
+            if graph.is_pseudo(rid):
+                np.testing.assert_array_equal(loaded.vector(rid), graph.vector(rid))
+
+    def test_queries_identical_after_roundtrip(self, tmp_path):
+        dataset = uniform(150, 3, seed=2)
+        graph = build_extended_graph(dataset, theta=8)
+        path = save_graph(graph, str(tmp_path / "q.npz"))
+        loaded = load_graph(path)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        a = AdvancedTraveler(graph).top_k(f, 10)
+        b = AdvancedTraveler(loaded).top_k(f, 10)
+        assert a.ids == b.ids
+        assert a.stats.computed == b.stats.computed
+
+    def test_subset_graph_roundtrip(self, tmp_path):
+        dataset = uniform(100, 2, seed=3)
+        graph = build_dominant_graph(dataset, record_ids=range(60))
+        loaded = load_graph(save_graph(graph, str(tmp_path / "s.npz")))
+        assert sorted(loaded.real_ids()) == list(range(60))
+        # And maintenance keeps working after a reload.
+        insert_record(loaded, 60)
+        delete_record(loaded, 0)
+        loaded.validate()
+
+    def test_graph_after_maintenance_roundtrip(self, tmp_path):
+        # Maintenance merges can leave non-contiguous pseudo ids; the
+        # format must preserve them exactly.
+        dataset = all_skyline(120, 3, seed=4)
+        graph = build_extended_graph(dataset, theta=8, record_ids=range(100))
+        for rid in range(100, 120):
+            insert_record(graph, rid)
+        for rid in range(0, 30):
+            delete_record(graph, rid)
+        graph.validate()
+        loaded = load_graph(save_graph(graph, str(tmp_path / "m.npz")), validate=True)
+        assert loaded.layers() == graph.layers()
+
+    def test_version_check(self, tmp_path, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        path = save_graph(graph, str(tmp_path / "v.npz"))
+        with np.load(path) as archive:
+            payload = dict(archive)
+        payload["format_version"] = np.asarray(99)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+    def test_attribute_names_preserved(self, tmp_path):
+        from repro.data.server import server_dataset
+
+        dataset = server_dataset(50, seed=5)
+        graph = build_dominant_graph(dataset)
+        loaded = load_graph(save_graph(graph, str(tmp_path / "n.npz")))
+        assert loaded.dataset.attribute_names == dataset.attribute_names
+
+
+class TestRegisterPseudo:
+    def test_collision_with_dataset_row(self, small_dataset):
+        from repro.core.graph import DominantGraph
+
+        graph = DominantGraph(small_dataset)
+        with pytest.raises(ValueError, match="collides"):
+            graph.register_pseudo_record(0, np.array([1.0, 1.0]))
+
+    def test_duplicate_registration(self, small_dataset):
+        from repro.core.graph import DominantGraph
+
+        graph = DominantGraph(small_dataset)
+        graph.register_pseudo_record(10, np.array([1.0, 1.0]))
+        with pytest.raises(ValueError, match="already"):
+            graph.register_pseudo_record(10, np.array([2.0, 2.0]))
+
+    def test_counter_advances(self, small_dataset):
+        from repro.core.graph import DominantGraph
+
+        graph = DominantGraph(small_dataset)
+        graph.register_pseudo_record(10, np.array([1.0, 1.0]))
+        fresh = graph.add_pseudo_record(np.array([2.0, 2.0]))
+        assert fresh == 11

@@ -1,0 +1,63 @@
+"""Error-path tests for persistence and the dataset archive format."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_dataset, save_dataset
+from repro.core.builder import build_dominant_graph
+from repro.core.io import load_graph, save_graph
+from repro.data.generators import uniform
+
+
+class TestLoadGraphErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(str(tmp_path / "absent.npz"))
+
+    def test_extensionless_path_resolved(self, tmp_path):
+        graph = build_dominant_graph(uniform(20, 2, seed=1))
+        save_graph(graph, str(tmp_path / "idx"))
+        loaded = load_graph(str(tmp_path / "idx"))  # no .npz either way
+        assert len(loaded) == 20
+
+    def test_corrupt_edges_caught_by_validate(self, tmp_path):
+        graph = build_dominant_graph(uniform(30, 2, seed=2))
+        path = save_graph(graph, str(tmp_path / "c.npz"))
+        with np.load(path) as archive:
+            payload = dict(archive)
+        # Damage: point an edge across non-consecutive layers if possible.
+        edges = payload["edges"]
+        layer_of = dict(zip(payload["record_ids"].tolist(),
+                            payload["layer_of"].tolist()))
+        deep = [rid for rid, layer in layer_of.items() if layer >= 2]
+        top = [rid for rid, layer in layer_of.items() if layer == 0]
+        if deep and top:
+            payload["edges"] = np.vstack([edges, [[top[0], deep[0]]]])
+            np.savez(path, **payload)
+            with pytest.raises(AssertionError):
+                load_graph(path, validate=True)
+
+    def test_dataset_archive_missing_key(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, values=np.ones((3, 2)))
+        with pytest.raises(KeyError):
+            load_dataset(path)
+
+
+class TestDatasetArchive:
+    def test_float_preservation(self, tmp_path):
+        dataset = uniform(25, 3, seed=3)
+        path = save_dataset(dataset, str(tmp_path / "d"))
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.values, dataset.values)
+
+    def test_rejects_pickle(self, tmp_path):
+        # Archives are loaded with allow_pickle=False: object arrays fail.
+        path = str(tmp_path / "evil.npz")
+        np.savez(
+            path,
+            values=np.ones((2, 2)),
+            attribute_names=np.asarray([{"evil": 1}, "b"], dtype=object),
+        )
+        with pytest.raises(ValueError):
+            load_dataset(path)

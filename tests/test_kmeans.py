@@ -1,0 +1,78 @@
+"""Unit tests for the K-Means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        points = np.array([
+            [0.0, 0.0], [0.1, 0.1], [0.2, 0.0],
+            [10.0, 10.0], [10.1, 9.9], [9.9, 10.2],
+        ])
+        result = kmeans(points, 2)
+        groups = {tuple(sorted(result.members(c))) for c in range(2)}
+        assert groups == {(0, 1, 2), (3, 4, 5)}
+
+    def test_every_point_assigned(self, rng):
+        points = rng.uniform(size=(50, 3))
+        result = kmeans(points, 5)
+        assert result.assignments.shape == (50,)
+        assert set(result.assignments) <= set(range(5))
+
+    def test_no_empty_clusters(self, rng):
+        points = rng.uniform(size=(40, 2))
+        result = kmeans(points, 8)
+        for c in range(result.n_clusters):
+            assert len(result.members(c)) > 0
+
+    def test_clusters_clipped_to_point_count(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = kmeans(points, 10)
+        assert result.n_clusters == 2
+
+    def test_single_cluster(self, rng):
+        points = rng.uniform(size=(20, 2))
+        result = kmeans(points, 1)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0))
+
+    def test_deterministic_for_seed(self, rng):
+        points = rng.uniform(size=(60, 3))
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        result = kmeans(points, 3)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.uniform(size=(100, 2))
+        few = kmeans(points, 2).inertia
+        many = kmeans(points, 10).inertia
+        assert many <= few
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            kmeans(np.array([1.0, 2.0]), 2)
+
+    def test_inertia_matches_assignments(self, rng):
+        points = rng.uniform(size=(30, 2))
+        result = kmeans(points, 3)
+        manual = sum(
+            float(np.sum((points[i] - result.centers[result.assignments[i]]) ** 2))
+            for i in range(30)
+        )
+        assert result.inertia == pytest.approx(manual, rel=1e-6)
+
+    def test_iterations_positive_and_bounded(self, rng):
+        points = rng.uniform(size=(50, 2))
+        result = kmeans(points, 4, max_iter=7)
+        assert 1 <= result.iterations <= 7

@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.layers (Definition 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import (
+    compute_layers,
+    layer_indices_by_chains,
+    layers_from_indices,
+    validate_layers,
+)
+from repro.data.generators import all_skyline, correlated, gaussian, uniform
+
+
+class TestComputeLayers:
+    def test_small_dataset(self, small_dataset):
+        layers = compute_layers(small_dataset.values)
+        as_sets = [set(layer.tolist()) for layer in layers]
+        assert as_sets == [{0, 1, 4}, {2, 5}, {3}]
+
+    def test_partitions_all_records(self, rng):
+        values = rng.uniform(size=(80, 3))
+        layers = compute_layers(values)
+        ids = sorted(int(i) for layer in layers for i in layer)
+        assert ids == list(range(80))
+
+    def test_validates(self, rng):
+        values = rng.uniform(size=(60, 2))
+        validate_layers(values, compute_layers(values))
+
+    def test_total_order_gives_singleton_layers(self):
+        values = np.array([[float(i), float(i)] for i in range(6)])
+        layers = compute_layers(values)
+        assert [len(l) for l in layers] == [1] * 6
+        assert layers[0].tolist() == [5]
+
+    def test_antichain_gives_single_layer(self):
+        values = all_skyline(40, 3, seed=1).values
+        layers = compute_layers(values)
+        assert len(layers) == 1
+        assert len(layers[0]) == 40
+
+    def test_single_record(self):
+        layers = compute_layers(np.array([[1.0, 2.0]]))
+        assert len(layers) == 1 and layers[0].tolist() == [0]
+
+    def test_duplicates_share_a_layer(self):
+        values = np.array([[2.0, 2.0], [2.0, 2.0], [1.0, 1.0], [1.0, 1.0]])
+        layers = compute_layers(values)
+        assert set(layers[0].tolist()) == {0, 1}
+        assert set(layers[1].tolist()) == {2, 3}
+
+    def test_custom_skyline_function(self, rng):
+        from repro.skyline import as_mask_function, bnl_skyline
+
+        values = rng.uniform(size=(50, 3))
+        default = compute_layers(values)
+        custom = compute_layers(values, skyline=as_mask_function(bnl_skyline))
+        assert [set(a.tolist()) for a in default] == [
+            set(b.tolist()) for b in custom
+        ]
+
+    def test_broken_skyline_function_raises(self, rng):
+        values = rng.uniform(size=(10, 2))
+        with pytest.raises(RuntimeError, match="empty maximal set"):
+            compute_layers(values, skyline=lambda block: np.zeros(len(block), bool))
+
+
+class TestChainFormula:
+    @pytest.mark.parametrize("maker,dims", [
+        (uniform, 2), (uniform, 4), (gaussian, 3), (correlated, 3),
+    ])
+    def test_agrees_with_peeling(self, maker, dims):
+        values = maker(120, dims, seed=3).values
+        peeled = compute_layers(values)
+        chains = layer_indices_by_chains(values)
+        for layer_index, layer in enumerate(peeled, start=1):
+            assert all(chains[i] == layer_index for i in layer)
+
+    def test_layers_from_indices_roundtrip(self, rng):
+        values = rng.uniform(size=(70, 3))
+        chains = layer_indices_by_chains(values)
+        grouped = layers_from_indices(chains)
+        peeled = compute_layers(values)
+        assert [set(a.tolist()) for a in grouped] == [
+            set(b.tolist()) for b in peeled
+        ]
+
+    def test_empty_indices(self):
+        assert layers_from_indices(np.array([], dtype=np.intp)) == []
+
+
+class TestValidateLayers:
+    def test_rejects_missing_record(self, rng):
+        values = rng.uniform(size=(10, 2))
+        layers = compute_layers(values)
+        with pytest.raises(AssertionError, match="cover"):
+            validate_layers(values, layers[:-1] if len(layers) > 1 else [])
+
+    def test_rejects_in_layer_dominance(self):
+        values = np.array([[2.0, 2.0], [1.0, 1.0]])
+        with pytest.raises(AssertionError, match="dominated within"):
+            validate_layers(values, [np.array([0, 1])])
+
+    def test_rejects_layer_without_upstream_dominator(self):
+        values = np.array([[2.0, 2.0], [3.0, 1.0]])
+        # Record 1 is incomparable with record 0, so placing it in layer 2
+        # violates the maximal-layer property.
+        with pytest.raises(AssertionError, match="no dominator"):
+            validate_layers(values, [np.array([0]), np.array([1])])

@@ -1,0 +1,82 @@
+"""Unit tests for the MBR substrate."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.mbr import MBR
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            MBR(np.array([2.0, 0.0]), np.array([1.0, 1.0]))
+
+    def test_from_point_degenerate(self):
+        box = MBR.from_point(np.array([1.0, 2.0]))
+        assert box.area() == 0.0
+        assert box.contains_point(np.array([1.0, 2.0]))
+
+    def test_from_points(self):
+        box = MBR.from_points(np.array([[0.0, 5.0], [3.0, 1.0]]))
+        np.testing.assert_array_equal(box.lower, [0.0, 1.0])
+        np.testing.assert_array_equal(box.upper, [3.0, 5.0])
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR.from_points(np.empty((0, 2)))
+
+
+class TestGeometry:
+    def test_area(self):
+        assert MBR(np.zeros(2), np.array([2.0, 3.0])).area() == 6.0
+
+    def test_margin(self):
+        assert MBR(np.zeros(2), np.array([2.0, 3.0])).margin() == 5.0
+
+    def test_union(self):
+        a = MBR(np.zeros(2), np.ones(2))
+        b = MBR(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        u = a.union(b)
+        np.testing.assert_array_equal(u.lower, [0.0, -1.0])
+        np.testing.assert_array_equal(u.upper, [3.0, 1.0])
+
+    def test_enlargement_zero_for_contained(self):
+        big = MBR(np.zeros(2), np.array([10.0, 10.0]))
+        small = MBR(np.ones(2), np.array([2.0, 2.0]))
+        assert big.enlargement(small) == 0.0
+
+    def test_enlargement_positive_outside(self):
+        a = MBR(np.zeros(2), np.ones(2))
+        b = MBR.from_point(np.array([2.0, 2.0]))
+        assert a.enlargement(b) > 0.0
+
+    def test_intersects(self):
+        a = MBR(np.zeros(2), np.array([2.0, 2.0]))
+        b = MBR(np.ones(2), np.array([3.0, 3.0]))
+        c = MBR(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_intersects_boundary_touch(self):
+        a = MBR(np.zeros(2), np.ones(2))
+        b = MBR(np.ones(2), np.array([2.0, 2.0]))
+        assert a.intersects(b)
+
+    def test_contains_point_boundary(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.contains_point(np.array([1.0, 0.0]))
+        assert not box.contains_point(np.array([1.1, 0.5]))
+
+    def test_min_distance_sq_inside_is_zero(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.min_distance_sq(np.array([0.5, 0.5])) == 0.0
+
+    def test_min_distance_sq_outside(self):
+        box = MBR(np.zeros(2), np.ones(2))
+        assert box.min_distance_sq(np.array([2.0, 0.5])) == pytest.approx(1.0)
+        assert box.min_distance_sq(np.array([2.0, 2.0])) == pytest.approx(2.0)
+
+    def test_l1_to_reference(self):
+        box = MBR(np.zeros(2), np.array([3.0, 4.0]))
+        ref = np.array([5.0, 5.0])
+        assert box.min_l1_to_origin_after_shift(ref) == pytest.approx(3.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the N-Way Traveler (Algorithm 3, Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import DecomposableFunction, LinearFunction, MinFunction
+from repro.core.nway import NWayTraveler
+from repro.data.generators import correlated, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestEvenSplit:
+    def test_even(self):
+        assert NWayTraveler.even_split(10, 2) == [tuple(range(5)), tuple(range(5, 10))]
+
+    def test_uneven(self):
+        assert NWayTraveler.even_split(7, 3) == [(0, 1, 2), (3, 4), (5, 6)]
+
+    def test_one_way(self):
+        assert NWayTraveler.even_split(4, 1) == [(0, 1, 2, 3)]
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            NWayTraveler.even_split(4, 0)
+        with pytest.raises(ValueError):
+            NWayTraveler.even_split(4, 5)
+
+
+class TestConstruction:
+    def test_rejects_overlapping_sets(self):
+        dataset = uniform(50, 4, seed=0)
+        with pytest.raises(ValueError, match="disjoint"):
+            NWayTraveler(dataset, [(0, 1), (1, 2)])
+
+    def test_rejects_empty_sets(self):
+        dataset = uniform(50, 4, seed=0)
+        with pytest.raises(ValueError):
+            NWayTraveler(dataset, [])
+
+    def test_builds_one_graph_per_set(self):
+        dataset = uniform(80, 6, seed=1)
+        traveler = NWayTraveler(dataset, NWayTraveler.even_split(6, 3), theta=8)
+        assert len(traveler.graphs) == 3
+        for graph, dims in zip(traveler.graphs, traveler.dimension_sets):
+            assert graph.dataset.dims == len(dims)
+
+    def test_plain_graphs_option(self):
+        dataset = uniform(80, 4, seed=2)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)], extended=False)
+        assert all(g.num_pseudo == 0 for g in traveler.graphs)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("ways", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 5, 30])
+    def test_matches_bruteforce(self, ways, k):
+        dataset = uniform(200, 6, seed=3)
+        traveler = NWayTraveler(
+            dataset, NWayTraveler.even_split(6, ways), theta=8
+        )
+        f = LinearFunction([0.25, 0.2, 0.15, 0.15, 0.15, 0.1])
+        assert_correct_topk(traveler.top_k(f, k), dataset, f, k)
+
+    def test_correlated_data(self):
+        dataset = correlated(150, 6, seed=4)
+        traveler = NWayTraveler(dataset, NWayTraveler.even_split(6, 2), theta=8)
+        f = LinearFunction([1.0 / 6] * 6)
+        assert_correct_topk(traveler.top_k(f, 10), dataset, f, 10)
+
+    def test_k_larger_than_dataset(self):
+        dataset = uniform(25, 4, seed=5)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)], theta=8)
+        result = traveler.top_k(LinearFunction([0.25] * 4), 99)
+        assert len(result) == 25
+
+    def test_rejects_nonpositive_k(self):
+        dataset = uniform(30, 4, seed=6)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            traveler.top_k(LinearFunction([0.25] * 4), 0)
+
+    def test_explicit_decomposable_function(self):
+        dataset = uniform(120, 4, seed=7)
+        sets = [(0, 1), (2, 3)]
+        traveler = NWayTraveler(dataset, sets, theta=8)
+        f = LinearFunction([0.3, 0.2, 0.3, 0.2])
+        decomposed = DecomposableFunction.from_linear(f, sets)
+        a = traveler.top_k(f, 10)
+        b = traveler.top_k(decomposed, 10)
+        assert a.score_multiset() == pytest.approx(b.score_multiset())
+
+    def test_rejects_mismatched_decomposition(self):
+        dataset = uniform(40, 4, seed=8)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)])
+        wrong = DecomposableFunction.from_linear(
+            LinearFunction([0.25] * 4), [(0, 2), (1, 3)]
+        )
+        with pytest.raises(ValueError, match="dimension sets"):
+            traveler.top_k(wrong, 5)
+
+    def test_rejects_partial_linear_coverage(self):
+        dataset = uniform(40, 4, seed=9)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)])
+        with pytest.raises(TypeError):
+            traveler.top_k(MinFunction(), 5)
+
+    def test_monotone_combiner_min(self):
+        # G = min of per-set partial sums is aggregate monotone.
+        dataset = uniform(100, 4, seed=10)
+        sets = [(0, 1), (2, 3)]
+        traveler = NWayTraveler(dataset, sets, theta=8)
+        f = DecomposableFunction(
+            sets,
+            [LinearFunction([0.5, 0.5]), LinearFunction([0.5, 0.5])],
+            combiner=lambda parts: float(np.min(parts)),
+        )
+        assert_correct_topk(traveler.top_k(f, 10), dataset, f, 10)
+
+    def test_accesses_fewer_than_ta_on_high_dims(self):
+        from repro.baselines.ta import ThresholdAlgorithm
+
+        dataset = uniform(400, 10, seed=11)
+        f = LinearFunction(np.arange(10, 0, -1) / 55.0)
+        nway = NWayTraveler(dataset, NWayTraveler.even_split(10, 2), theta=8)
+        nway_result = nway.top_k(f, 10)
+        ta_result = ThresholdAlgorithm(dataset).top_k(f, 10)
+        assert nway_result.score_multiset() == pytest.approx(
+            ta_result.score_multiset()
+        )
+        assert nway_result.stats.computed < ta_result.stats.computed
+
+    def test_stats_count_unique_scores(self):
+        dataset = uniform(100, 4, seed=12)
+        traveler = NWayTraveler(dataset, [(0, 1), (2, 3)], theta=8)
+        result = traveler.top_k(LinearFunction([0.25] * 4), 5)
+        assert result.stats.computed == len(result.stats.computed_ids)

@@ -1,0 +1,79 @@
+"""White-box tests for the N-Way sub-graph ranked stream."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.core.nway import _RankedStream
+from repro.data.generators import all_skyline, uniform
+from repro.metrics.counters import AccessCounter
+
+
+def drain(stream):
+    order = []
+    while True:
+        rid = stream.advance()
+        if rid is None:
+            return order
+        order.append(rid)
+
+
+class TestRankedStream:
+    def test_emits_every_record_in_score_order(self):
+        dataset = uniform(80, 2, seed=1)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.7, 0.3])
+        stats = AccessCounter()
+        stream = _RankedStream(graph, f, stats)
+        order = drain(stream)
+        assert sorted(order) == list(range(80))
+        scores = [f(dataset.vector(r)) for r in order]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_head_score_bounds_everything_unpopped(self):
+        dataset = uniform(60, 2, seed=2)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.5, 0.5])
+        stream = _RankedStream(graph, f, AccessCounter())
+        popped = []
+        while True:
+            head = stream.head_score()
+            if head is None:
+                break
+            rid = stream.advance()
+            popped.append(rid)
+            # Every not-yet-popped record scores at most the old head.
+            remaining = set(range(60)) - set(popped)
+            if remaining:
+                best_remaining = max(f(dataset.vector(r)) for r in remaining)
+                assert best_remaining <= head + 1e-12
+
+    def test_pseudo_records_traversed_in_extended_graph(self):
+        dataset = all_skyline(50, 3, seed=3)
+        graph = build_extended_graph(dataset, theta=8)
+        assert graph.num_pseudo > 0
+        f = LinearFunction([0.4, 0.3, 0.3])
+        stream = _RankedStream(graph, f, AccessCounter())
+        order = drain(stream)
+        # Pseudo records are popped (they appear in the order) but every
+        # real record must come out too.
+        reals = [rid for rid in order if not graph.is_pseudo(rid)]
+        assert sorted(reals) == list(range(50))
+
+    def test_examined_counter_charged(self):
+        dataset = uniform(40, 2, seed=4)
+        graph = build_dominant_graph(dataset)
+        stats = AccessCounter()
+        stream = _RankedStream(graph, LinearFunction([0.5, 0.5]), stats)
+        drain(stream)
+        assert stats.examined == 40
+        assert stats.computed == 0  # streams never charge the F metric
+
+    def test_advance_on_exhausted_stream(self):
+        dataset = uniform(5, 2, seed=5)
+        graph = build_dominant_graph(dataset)
+        stream = _RankedStream(graph, LinearFunction([0.5, 0.5]), AccessCounter())
+        drain(stream)
+        assert stream.advance() is None
+        assert stream.head_score() is None

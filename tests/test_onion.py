@@ -1,0 +1,113 @@
+"""Unit tests for the ONION baseline (convex-hull layers)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.onion import OnionIndex, convex_hull_layers
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction, MinFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestHullLayers:
+    def test_square_with_center(self):
+        values = np.array(
+            [[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0], [2.0, 2.0]]
+        )
+        layers = convex_hull_layers(values)
+        assert [sorted(l.tolist()) for l in layers] == [[0, 1, 2, 3], [4]]
+
+    def test_partitions_records(self, rng):
+        values = rng.uniform(size=(80, 3))
+        layers = convex_hull_layers(values)
+        ids = sorted(int(i) for layer in layers for i in layer)
+        assert ids == list(range(80))
+
+    def test_collinear_points_degenerate(self):
+        values = np.column_stack([np.linspace(0, 1, 10), np.linspace(0, 1, 10)])
+        layers = convex_hull_layers(values)  # rank-deficient: QJ fallback
+        ids = sorted(int(i) for layer in layers for i in layer)
+        assert ids == list(range(10))
+
+    def test_tiny_input_single_layer(self):
+        values = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert len(convex_hull_layers(values)) == 1
+
+
+class TestOnionIndex:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=33)
+        onion = OnionIndex(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(onion.top_k(f, k), dataset, f, k)
+
+    def test_rejects_nonlinear(self, small_dataset):
+        with pytest.raises(TypeError, match="linear"):
+            OnionIndex(small_dataset).top_k(MinFunction(), 3)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            OnionIndex(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_reads_whole_layers(self):
+        # The paper's complaint: ONION scores every record of each
+        # visited layer, so cost(k=1) == |hull layer 1|.
+        dataset = uniform(300, 3, seed=34)
+        onion = OnionIndex(dataset)
+        result = onion.top_k(LinearFunction([1 / 3] * 3), 1)
+        assert result.stats.computed == onion.layer_sizes()[0]
+
+    def test_cost_grows_with_k(self):
+        dataset = uniform(300, 3, seed=35)
+        onion = OnionIndex(dataset)
+        f = LinearFunction([0.4, 0.4, 0.2])
+        costs = [onion.top_k(f, k).stats.computed for k in (1, 3, 6)]
+        assert costs == sorted(costs)
+
+    def test_layer_sizes_sum_to_n(self):
+        dataset = uniform(150, 2, seed=36)
+        assert sum(OnionIndex(dataset).layer_sizes()) == 150
+
+
+class TestOnionMaintenance:
+    def test_delete_and_rebuild(self):
+        dataset = uniform(100, 2, seed=37)
+        onion = OnionIndex(dataset)
+        victim = int(next(iter(onion.top_k(LinearFunction([0.5, 0.5]), 1).ids)))
+        onion.delete_and_rebuild(victim)
+        assert sum(onion.layer_sizes()) == 99
+        # Queries still correct over the survivors.
+        f = LinearFunction([0.5, 0.5])
+        survivors = [i for i in range(100) if i != victim]
+        expected = sorted(f.score_many(dataset.values[survivors]), reverse=True)[:5]
+        got = sorted(onion.top_k(f, 5).scores, reverse=True)
+        np.testing.assert_allclose(got, expected)
+
+    def test_delete_missing_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            OnionIndex(small_dataset).delete_and_rebuild(99)
+
+    def test_insert_and_rebuild(self):
+        dataset = uniform(100, 2, seed=38)
+        onion = OnionIndex(
+            Dataset(dataset.values)  # full table known; index first 90
+        )
+        # Build over a prefix by deleting the tail, then re-insert it.
+        for rid in range(90, 100):
+            onion.delete_and_rebuild(rid)
+        for rid in range(90, 100):
+            onion.insert_and_rebuild(rid)
+        assert sum(onion.layer_sizes()) == 100
+        reference = OnionIndex(dataset)
+        f = LinearFunction([0.7, 0.3])
+        np.testing.assert_allclose(
+            sorted(onion.top_k(f, 10).scores),
+            sorted(reference.top_k(f, 10).scores),
+        )
+
+    def test_insert_duplicate_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            OnionIndex(small_dataset).insert_and_rebuild(0)

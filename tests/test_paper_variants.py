@@ -1,0 +1,140 @@
+"""Executable analysis of the paper's literal Algorithm 4.
+
+Reading the pseudocode, "all descendant records of C_i are degraded into
+the next layer" *sounds* like it over-degrades records whose longest
+chain avoids the insertion point.  It does not: S is rooted at the
+records of the insertion layer that R dominates, and every member of S
+has an S-parent landing exactly one layer above it, which forces the
+move — while records R dominates in *deeper* layers already satisfy the
+layer constraint and correctly stay put.  These tests make that argument
+executable: the literal transcription must agree with a from-scratch
+rebuild on arbitrary workloads, exactly like the optimized
+implementation in repro.core.maintenance.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph
+from repro.core.dataset import Dataset
+from repro.core.maintenance import insert_record
+from repro.core.paper_variants import layers_are_maximal, paper_insert_record
+from repro.data.generators import correlated, gaussian, uniform
+
+
+class TestLayersAreMaximal:
+    def test_fresh_build_is_maximal(self):
+        dataset = uniform(80, 3, seed=1)
+        assert layers_are_maximal(build_dominant_graph(dataset))
+
+    def test_detects_broken_layers(self):
+        dataset = Dataset([[3.0, 3.0], [1.0, 1.0]])
+        graph = build_dominant_graph(dataset)
+        graph.move_record(1, 2)  # push it one layer too deep
+        graph.ensure_layers(3)
+        assert not layers_are_maximal(graph)
+
+
+class TestPaperInsertEquivalence:
+    """The literal Algorithm 4 equals a rebuild — the paper is right."""
+
+    def test_simple_chain(self):
+        dataset = Dataset([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0], [4.0, 4.0]])
+        graph = build_dominant_graph(dataset, record_ids=[0, 1, 2])
+        paper_insert_record(graph, 3)
+        graph.validate()
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+    def test_insert_into_first_layer_no_dominated(self):
+        dataset = Dataset([[2.0, 1.0], [1.0, 2.0]])
+        graph = build_dominant_graph(dataset, record_ids=[0])
+        assert paper_insert_record(graph, 1) == 0
+        assert layers_are_maximal(graph)
+
+    def test_deep_dominated_record_stays(self):
+        # The case that *looks* like it should break Algorithm 4: the new
+        # record dominates record 3, which sits two layers deeper via an
+        # independent chain.  S is empty (nothing in the insertion layer
+        # is dominated), and record 3 correctly keeps its layer.
+        dataset = Dataset([
+            [10.0, 1.0],   # 0: layer 0
+            [9.0, 0.9],    # 1: layer 1
+            [8.0, 0.8],    # 2: layer 2
+            [0.5, 0.5],    # 3: layer 3 (chain through 2)
+            [1.0, 0.85],   # 4: inserted at layer 2; dominates 3
+        ])
+        graph = build_dominant_graph(dataset, record_ids=[0, 1, 2, 3])
+        paper_insert_record(graph, 4)
+        assert graph.layer_of(3) == 3
+        assert layers_are_maximal(graph)
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+    def test_cascade_through_subtree(self):
+        # When the new record does dominate insertion-layer records, the
+        # whole descendant subtree moves — and that is exactly right,
+        # because each member's S-parent lands one layer above it.
+        dataset = Dataset([
+            [10.0, 5.0],   # X0: layer 0
+            [2.0, 4.5],    # C:  layer 1
+            [1.8, 4.0],    # Y2: layer 2 (child of C)
+            [1.6, 3.5],    # Y3: layer 3 (child of Y2)
+            [1.0, 1.0],    # D:  layer 4 (child of Y3)
+            [2.5, 4.8],    # r:  inserted at layer 1, dominates C
+        ])
+        graph = build_dominant_graph(dataset, record_ids=range(5))
+        before = [graph.layer_of(i) for i in range(5)]
+        assert before == [0, 1, 2, 3, 4]
+        paper_insert_record(graph, 5)
+        assert [graph.layer_of(i) for i in (1, 2, 3, 4)] == [2, 3, 4, 5]
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+    @pytest.mark.parametrize("maker,seed", [
+        (uniform, 2), (uniform, 3), (gaussian, 4), (correlated, 5),
+    ])
+    def test_random_batches_equal_rebuild(self, maker, seed):
+        dataset = maker(120, 3, seed=seed)
+        graph = build_dominant_graph(dataset, record_ids=range(90))
+        order = list(range(90, 120))
+        random.Random(seed).shuffle(order)
+        for rid in order:
+            paper_insert_record(graph, rid)
+        graph.validate()
+        assert layers_are_maximal(graph)
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+    def test_agrees_with_optimized_implementation(self):
+        dataset = uniform(100, 3, seed=6)
+        literal = build_dominant_graph(dataset, record_ids=range(70))
+        optimized = build_dominant_graph(dataset, record_ids=range(70))
+        for rid in range(70, 100):
+            paper_insert_record(literal, rid)
+            insert_record(optimized, rid)
+        assert literal.layers() == optimized.layers()
+
+    def test_tie_heavy_data(self):
+        from repro.data.server import server_dataset
+
+        dataset = server_dataset(100, seed=7)
+        graph = build_dominant_graph(dataset, record_ids=range(80))
+        for rid in range(80, 100):
+            paper_insert_record(graph, rid)
+        assert graph.layers() == build_dominant_graph(dataset).layers()
+
+
+class TestPaperInsertGuards:
+    def test_rejects_extended_graph(self):
+        from repro.core.builder import build_extended_graph
+        from repro.data.generators import all_skyline
+
+        dataset = all_skyline(40, 3, seed=8)
+        graph = build_extended_graph(dataset, theta=8, record_ids=range(30))
+        if graph.num_pseudo:
+            with pytest.raises(ValueError, match="plain"):
+                paper_insert_record(graph, 30)
+
+    def test_rejects_duplicate(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        with pytest.raises(ValueError, match="already"):
+            paper_insert_record(graph, 0)

@@ -1,0 +1,94 @@
+"""Unit tests for the cost-based planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import LinearFunction
+from repro.data.generators import uniform
+from repro.planner import (
+    Planner,
+    estimate_dg_accesses,
+    estimate_ta_accesses,
+)
+
+
+class TestEstimates:
+    def test_dg_estimate_is_theorem_32(self):
+        from repro.skyline.cardinality import expected_skyline_uniform
+
+        assert estimate_dg_accesses(1000, 3, 10) == pytest.approx(
+            9 + expected_skyline_uniform(1000, 3)
+        )
+
+    def test_ta_estimate_bounded_by_n(self):
+        assert estimate_ta_accesses(100, 3, 100) <= 300
+        assert estimate_ta_accesses(100, 1, 100) == 100
+
+    def test_ta_estimate_grows_with_k(self):
+        values = [estimate_ta_accesses(10_000, 3, k) for k in (1, 10, 100)]
+        assert values == sorted(values)
+
+    def test_ta_estimate_tracks_reality_order(self):
+        # The heuristic should be within an order of magnitude of a real
+        # TA run on uniform data.
+        from repro.baselines.ta import ThresholdAlgorithm
+
+        dataset = uniform(1000, 3, seed=1)
+        measured = ThresholdAlgorithm(dataset).top_k(
+            LinearFunction([0.5, 0.3, 0.2]), 10
+        ).stats.computed
+        estimate = estimate_ta_accesses(1000, 3, 10)
+        assert 0.1 < estimate / measured < 10.0
+
+
+class TestPlanner:
+    def test_small_k_prefers_dg(self):
+        planner = Planner(uniform(500, 3, seed=2))
+        assert planner.choose(10).algorithm == "dg"
+
+    def test_k_equals_n_prefers_naive(self):
+        planner = Planner(uniform(500, 3, seed=3))
+        assert planner.choose(500).algorithm == "naive"
+
+    def test_estimates_sorted(self):
+        planner = Planner(uniform(300, 3, seed=4))
+        estimates = planner.estimates(10)
+        costs = [p.estimated_accesses for p in estimates]
+        assert costs == sorted(costs)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            Planner(uniform(50, 2, seed=5)).estimates(0)
+
+    def test_explain_mentions_all_plans(self):
+        text = Planner(uniform(100, 3, seed=6)).explain(5)
+        for name in ("dg", "ta", "naive"):
+            assert name in text
+        assert "->" in text
+
+    @pytest.mark.parametrize("k", [1, 10, 200])
+    def test_top_k_correct_whatever_the_plan(self, k):
+        dataset = uniform(200, 3, seed=7)
+        planner = Planner(dataset, theta=16)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        result = planner.top_k(f, k)
+        expected = sorted(f.score_many(dataset.values), reverse=True)[
+            : min(k, len(dataset))
+        ]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+    def test_index_cached_between_queries(self):
+        dataset = uniform(150, 3, seed=8)
+        planner = Planner(dataset, theta=16)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        planner.top_k(f, 5)
+        first = planner._dg
+        planner.top_k(f, 5)
+        assert planner._dg is first
+
+    def test_planner_beats_naive_on_small_k(self):
+        dataset = uniform(800, 3, seed=9)
+        planner = Planner(dataset, theta=16)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        result = planner.top_k(f, 10)
+        assert result.stats.computed < len(dataset) / 2

@@ -1,0 +1,136 @@
+"""Unit tests for the view-based baselines: PREFER and LPTA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lpta import LPTAIndex
+from repro.baselines.prefer import PreferIndex, watermark_bound
+from repro.core.functions import LinearFunction, MinFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestWatermarkBound:
+    def test_binding_budget(self):
+        # max x+y s.t. x+y <= 1 inside the unit box = 1.
+        bound = watermark_bound(
+            np.array([1.0, 1.0]), np.array([1.0, 1.0]), 1.0,
+            np.zeros(2), np.ones(2),
+        )
+        assert bound == pytest.approx(1.0)
+
+    def test_loose_budget_hits_box_corner(self):
+        bound = watermark_bound(
+            np.array([1.0, 2.0]), np.array([1.0, 1.0]), 100.0,
+            np.zeros(2), np.ones(2),
+        )
+        assert bound == pytest.approx(3.0)
+
+    def test_prefers_efficient_dimension(self):
+        # Query values dim 1 highly; view charges both equally: all the
+        # budget should go to dim 1.
+        bound = watermark_bound(
+            np.array([0.1, 1.0]), np.array([1.0, 1.0]), 1.0,
+            np.zeros(2), np.ones(2),
+        )
+        assert bound == pytest.approx(1.0)
+
+    def test_free_dimension_maxed(self):
+        bound = watermark_bound(
+            np.array([1.0, 1.0]), np.array([1.0, 0.0]), 0.0,
+            np.zeros(2), np.ones(2),
+        )
+        assert bound == pytest.approx(1.0)  # dim 1 free, dim 0 stuck at 0
+
+    def test_upper_bounds_every_feasible_record(self, rng):
+        # The LP bound must dominate q·u for all u in the box with v·u <= s.
+        q = rng.uniform(size=3)
+        v = rng.uniform(0.1, 1.0, size=3)
+        low, high = np.zeros(3), np.ones(3)
+        points = rng.uniform(size=(200, 3))
+        s = float(np.median(points @ v))
+        bound = watermark_bound(q, v, s, low, high)
+        feasible = points[points @ v <= s]
+        assert np.all(feasible @ q <= bound + 1e-9)
+
+
+class TestPreferIndex:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 30])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=53)
+        prefer = PreferIndex(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(prefer.top_k(f, k), dataset, f, k)
+
+    def test_rejects_nonlinear(self, small_dataset):
+        with pytest.raises(TypeError, match="linear"):
+            PreferIndex(small_dataset).top_k(MinFunction(), 3)
+
+    def test_best_view_selection(self):
+        dataset = uniform(100, 2, seed=54)
+        views = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        prefer = PreferIndex(dataset, view_vectors=views)
+        assert prefer.best_view(LinearFunction([0.9, 0.1])) == 0
+        assert prefer.best_view(LinearFunction([0.5, 0.5])) == 2
+
+    def test_perfect_view_match_scans_little(self):
+        dataset = uniform(400, 3, seed=55)
+        views = np.array([[0.5, 0.3, 0.2]])
+        prefer = PreferIndex(dataset, view_vectors=views)
+        result = prefer.top_k(LinearFunction([0.5, 0.3, 0.2]), 10)
+        # The view ranking IS the answer ranking; the watermark fires as
+        # soon as k records are read plus whatever the box bound needs.
+        assert result.stats.computed < len(dataset) / 4
+
+    def test_view_vector_shape_checked(self, small_dataset):
+        with pytest.raises(ValueError):
+            PreferIndex(small_dataset, view_vectors=np.ones((2, 5)))
+
+    def test_num_views(self, small_dataset):
+        prefer = PreferIndex(small_dataset, view_vectors=np.eye(2))
+        assert prefer.num_views == 2
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            PreferIndex(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        assert len(PreferIndex(small_dataset).top_k(f, 99)) == len(small_dataset)
+
+
+class TestLPTAIndex:
+    @pytest.mark.parametrize("maker", [uniform, gaussian])
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(150, 3, seed=63)
+        lpta = LPTAIndex(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(lpta.top_k(f, k), dataset, f, k)
+
+    def test_rejects_nonlinear(self, small_dataset):
+        with pytest.raises(TypeError, match="linear"):
+            LPTAIndex(small_dataset).top_k(MinFunction(), 3)
+
+    def test_rejects_bad_bound_period(self, small_dataset):
+        with pytest.raises(ValueError):
+            LPTAIndex(small_dataset, bound_period=0)
+
+    def test_bound_period_does_not_change_answers(self):
+        dataset = uniform(150, 3, seed=64)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        fast = LPTAIndex(dataset, bound_period=1).top_k(f, 10)
+        lazy = LPTAIndex(dataset, bound_period=16).top_k(f, 10)
+        assert fast.score_multiset() == pytest.approx(lazy.score_multiset())
+
+    def test_custom_views(self):
+        dataset = uniform(120, 2, seed=65)
+        lpta = LPTAIndex(dataset, view_vectors=np.array([[1.0, 0.0], [0.0, 1.0]]))
+        f = LinearFunction([0.6, 0.4])
+        assert_correct_topk(lpta.top_k(f, 5), dataset, f, 5)
+
+    def test_correlated_terminates_early(self):
+        dataset = correlated(300, 3, seed=66)
+        result = LPTAIndex(dataset).top_k(LinearFunction([1 / 3] * 3), 5)
+        assert result.stats.computed < len(dataset)

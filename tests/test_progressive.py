@@ -1,0 +1,99 @@
+"""Unit tests for the progressive (incremental) ranking operator."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.functions import LinearFunction, MinFunction
+from repro.core.progressive import iter_ranked, top_k_progressive
+from repro.core.advanced import AdvancedTraveler
+from repro.data.generators import all_skyline, uniform
+from repro.metrics.counters import AccessCounter
+
+
+class TestIterRanked:
+    def test_full_ranking_matches_bruteforce(self):
+        dataset = uniform(120, 3, seed=1)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        ranking = list(iter_ranked(graph, f))
+        assert len(ranking) == len(dataset)
+        scores = [s for _, s in ranking]
+        np.testing.assert_allclose(
+            scores, sorted(f.score_many(dataset.values), reverse=True)
+        )
+
+    def test_scores_non_increasing_with_ties(self):
+        from repro.data.server import server_dataset
+
+        dataset = server_dataset(150, seed=2)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        scores = [s for _, s in iter_ranked(graph, f)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_pseudo_records_never_yielded(self):
+        dataset = all_skyline(80, 3, seed=3)
+        graph = build_extended_graph(dataset, theta=8)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        ids = [rid for rid, _ in iter_ranked(graph, f)]
+        assert sorted(ids) == list(range(80))
+
+    def test_lazy_prefix_cost(self):
+        # Consuming a short prefix must not traverse the whole graph.
+        dataset = uniform(400, 3, seed=4)
+        graph = build_dominant_graph(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        stats = AccessCounter()
+        prefix = list(itertools.islice(iter_ranked(graph, f, stats), 5))
+        assert len(prefix) == 5
+        assert stats.computed < len(dataset) / 2
+
+    def test_stats_optional(self):
+        dataset = uniform(30, 2, seed=5)
+        graph = build_dominant_graph(dataset)
+        ranking = iter_ranked(graph, LinearFunction([0.5, 0.5]))
+        assert next(ranking)[0] in range(30)
+
+    def test_nonlinear_function(self):
+        dataset = uniform(80, 3, seed=6)
+        graph = build_dominant_graph(dataset)
+        scores = [s for _, s in iter_ranked(graph, MinFunction())]
+        np.testing.assert_allclose(
+            scores,
+            sorted(MinFunction().score_many(dataset.values), reverse=True),
+        )
+
+
+class TestTopKProgressive:
+    def test_matches_traveler_answers(self):
+        dataset = uniform(200, 3, seed=7)
+        graph = build_extended_graph(dataset, theta=8)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        progressive = top_k_progressive(graph, f, 15)
+        traveler = AdvancedTraveler(graph).top_k(f, 15)
+        assert progressive.score_multiset() == pytest.approx(
+            traveler.score_multiset()
+        )
+
+    def test_search_space_at_least_travelers(self):
+        # Without candidate-list truncation the progressive operator can
+        # only score more records, never fewer.
+        dataset = uniform(300, 3, seed=8)
+        graph = build_extended_graph(dataset, theta=8)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        progressive = top_k_progressive(graph, f, 10)
+        traveler = AdvancedTraveler(graph).top_k(f, 10)
+        assert progressive.stats.computed >= traveler.stats.computed
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        with pytest.raises(ValueError):
+            top_k_progressive(graph, LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        result = top_k_progressive(graph, LinearFunction([0.5, 0.5]), 99)
+        assert len(result) == len(small_dataset)

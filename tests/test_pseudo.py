@@ -1,0 +1,165 @@
+"""Unit tests for pseudo records / Extended DG (paper Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.dominance import dominates, strictly_dominates
+from repro.core.functions import LinearFunction
+from repro.core.pseudo import (
+    count_pseudo_levels,
+    default_theta,
+    extend_with_pseudo_levels,
+    pseudo_parent_vector,
+)
+from repro.data.generators import all_skyline, uniform
+
+
+class TestTheta:
+    def test_paper_formula(self):
+        # page=4096, record = 8*(m+1) bytes.
+        assert default_theta(3) == 4096 // 32
+        assert default_theta(5) == 4096 // 48
+
+    def test_floor_of_two(self):
+        assert default_theta(10_000) == 2
+
+    def test_custom_page(self):
+        assert default_theta(3, page_bytes=1024) == 32
+
+
+class TestPseudoParentVector:
+    def test_strictly_dominates_members(self, rng):
+        members = rng.uniform(size=(20, 4))
+        parent = pseudo_parent_vector(members)
+        for member in members:
+            assert strictly_dominates(parent, member)
+
+    def test_close_to_max(self):
+        members = np.array([[1.0, 5.0], [3.0, 2.0]])
+        parent = pseudo_parent_vector(members)
+        np.testing.assert_allclose(parent, [3.0, 5.0], rtol=1e-6)
+
+
+class TestMotivationExample:
+    """The paper's Fig. 4: 5 first-layer records + pseudo parents."""
+
+    @pytest.fixture
+    def fig4_dataset(self):
+        # Five records forming a single maximal layer (anti-chain), like
+        # the database D' of Fig. 4a.
+        return Dataset([
+            [60.0, 60.0],    # 1
+            [80.0, 50.0],    # 2
+            [130.0, 40.0],   # 3
+            [190.0, 30.0],   # 4
+            [260.0, 20.0],   # 5
+        ])
+
+    def test_all_records_in_first_layer(self, fig4_dataset):
+        graph = build_dominant_graph(fig4_dataset)
+        assert graph.layer_sizes() == [5]
+
+    def test_pseudo_level_built(self, fig4_dataset):
+        graph = build_extended_graph(fig4_dataset, theta=3)
+        assert graph.num_pseudo >= 1
+        assert count_pseudo_levels(graph) >= 1
+        graph.validate()
+
+    def test_advanced_traveler_accesses_fewer_than_all(self, fig4_dataset):
+        # The paper's point: top-2 via pseudo records accesses fewer
+        # records than scoring the whole first layer... pseudo accesses
+        # count too ("the cost is 4, smaller than 5 in Basic Traveler").
+        graph = build_extended_graph(fig4_dataset, theta=3)
+        f = LinearFunction([0.5, 0.5])
+        result = AdvancedTraveler(graph).top_k(f, 2)
+        assert sorted(result.ids) == [3, 4]  # (190,30)=110, (260,20)=140
+        assert result.stats.computed <= 5 + graph.num_pseudo
+
+
+class TestExtendWithPseudoLevels:
+    def test_returns_zero_when_not_needed(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        assert extend_with_pseudo_levels(graph, theta=10) == 0
+
+    def test_stacks_until_theta(self):
+        dataset = all_skyline(200, 3, seed=1)
+        graph = build_dominant_graph(dataset)
+        added = extend_with_pseudo_levels(graph, theta=8)
+        assert added >= 2  # 200 -> 25 -> 4
+        assert len(graph.layer(0)) <= 8
+        graph.validate()
+
+    def test_every_record_keeps_a_parent(self):
+        dataset = all_skyline(120, 4, seed=2)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=8)
+        levels = count_pseudo_levels(graph)
+        for index in range(1, graph.num_layers):
+            for rid in graph.layer(index):
+                assert graph.parents_of(rid), (index, rid)
+
+    def test_pseudo_parents_dominate_children(self):
+        dataset = all_skyline(100, 3, seed=3)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=8)
+        for index in range(count_pseudo_levels(graph)):
+            for pid in graph.layer(index):
+                for child in graph.children_of(pid):
+                    assert dominates(graph.vector(pid), graph.vector(child))
+
+    def test_no_dominance_within_pseudo_level(self):
+        dataset = all_skyline(150, 3, seed=4)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=8)
+        for index in range(count_pseudo_levels(graph)):
+            members = sorted(graph.layer(index))
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    va, vb = graph.vector(a), graph.vector(b)
+                    assert not dominates(va, vb) and not dominates(vb, va)
+
+    def test_rejects_tiny_theta(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        with pytest.raises(ValueError):
+            extend_with_pseudo_levels(graph, theta=1)
+
+    def test_count_pseudo_levels_plain_graph(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        assert count_pseudo_levels(graph) == 0
+
+    def test_advanced_answers_equal_basic(self):
+        from repro.core.traveler import BasicTraveler
+
+        dataset = uniform(300, 4, seed=5)
+        plain = build_dominant_graph(dataset)
+        extended = build_extended_graph(dataset, theta=8)
+        f = LinearFunction([0.4, 0.3, 0.2, 0.1])
+        for k in (1, 7, 40):
+            basic = BasicTraveler(plain).top_k(f, k)
+            advanced = AdvancedTraveler(extended).top_k(f, k)
+            assert basic.score_multiset() == pytest.approx(
+                advanced.score_multiset()
+            )
+
+    def test_pseudo_reduces_first_layer_cost_on_antichain(self):
+        # The worst case (Fig. 9c/d motivation): everything in layer 1.
+        from repro.core.traveler import BasicTraveler
+
+        dataset = all_skyline(400, 5, seed=6)
+        f = LinearFunction(np.arange(5, 0, -1) / 15.0)
+        basic = BasicTraveler(build_dominant_graph(dataset)).top_k(f, 5)
+        advanced = AdvancedTraveler(
+            build_extended_graph(dataset, theta=8)
+        ).top_k(f, 5)
+        assert basic.score_multiset() == pytest.approx(advanced.score_multiset())
+        assert advanced.stats.computed < basic.stats.computed
+
+    def test_pseudo_accesses_are_counted(self):
+        dataset = all_skyline(100, 3, seed=7)
+        graph = build_extended_graph(dataset, theta=8)
+        result = AdvancedTraveler(graph).top_k(LinearFunction([0.5, 0.3, 0.2]), 3)
+        assert result.stats.pseudo_computed > 0
+        assert result.stats.computed >= result.stats.pseudo_computed

@@ -1,0 +1,111 @@
+"""Tests for pseudo-record construction internals (Section IV-A machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph
+from repro.core.dominance import dominates
+from repro.core.pseudo import (
+    _merge_dominated,
+    count_pseudo_levels,
+    extend_with_pseudo_levels,
+    pseudo_parent_vector,
+)
+from repro.data.generators import all_skyline
+
+
+class TestMergeDominated:
+    def test_no_dominance_keeps_all(self):
+        vectors = np.array([[3.0, 0.0], [0.0, 3.0], [2.0, 2.0]])
+        kept, owner = _merge_dominated(vectors)
+        assert kept.tolist() == [0, 1, 2]
+        assert owner.tolist() == [0, 1, 2]
+
+    def test_dominated_vector_mapped_to_dominator(self):
+        vectors = np.array([[3.0, 3.0], [1.0, 1.0]])
+        kept, owner = _merge_dominated(vectors)
+        assert kept.tolist() == [0]
+        assert owner[1] == 0
+
+    def test_duplicates_collapse(self):
+        vectors = np.array([[2.0, 2.0], [2.0, 2.0], [2.0, 2.0]])
+        kept, owner = _merge_dominated(vectors)
+        assert len(kept) == 1
+        survivor = kept[0]
+        assert all(owner[i] == survivor for i in range(3))
+
+    def test_transitive_chain_maps_to_top(self):
+        vectors = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        kept, owner = _merge_dominated(vectors)
+        assert kept.tolist() == [0]
+        assert owner.tolist() == [0, 0, 0]
+
+    def test_owner_always_kept(self, rng):
+        vectors = rng.integers(0, 4, size=(30, 3)).astype(float)
+        kept, owner = _merge_dominated(vectors)
+        kept_set = set(kept.tolist())
+        for i in range(30):
+            assert int(owner[i]) in kept_set
+
+    def test_owner_covers_victim(self, rng):
+        vectors = rng.integers(0, 4, size=(30, 3)).astype(float)
+        kept, owner = _merge_dominated(vectors)
+        for i in range(30):
+            j = int(owner[i])
+            if i == j:
+                continue
+            # Owner dominates or duplicates the victim.
+            assert dominates(vectors[j], vectors[i]) or np.array_equal(
+                vectors[j], vectors[i]
+            )
+
+
+class TestPseudoParentVector:
+    def test_single_member(self):
+        parent = pseudo_parent_vector(np.array([[1.0, 2.0]]))
+        assert np.all(parent > [1.0, 2.0])
+        np.testing.assert_allclose(parent, [1.0, 2.0], rtol=1e-6)
+
+    def test_negative_values(self):
+        parent = pseudo_parent_vector(np.array([[-5.0, -2.0], [-3.0, -9.0]]))
+        assert np.all(parent > [-3.0, -2.0])
+
+
+class TestLevelStacking:
+    def test_levels_shrink_geometrically(self):
+        dataset = all_skyline(256, 3, seed=1)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=4)
+        sizes = graph.layer_sizes()
+        levels = count_pseudo_levels(graph)
+        assert levels >= 2
+        for i in range(levels - 1):
+            assert sizes[i] < sizes[i + 1]
+
+    def test_max_levels_cap(self):
+        dataset = all_skyline(64, 3, seed=2)
+        graph = build_dominant_graph(dataset)
+        added = extend_with_pseudo_levels(graph, theta=2, max_levels=1)
+        assert added == 1
+
+    def test_idempotent_when_top_fits(self):
+        dataset = all_skyline(50, 3, seed=3)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=8)
+        before = graph.layer_sizes()
+        assert extend_with_pseudo_levels(graph, theta=8) == 0
+        assert graph.layer_sizes() == before
+
+    def test_each_real_record_has_one_cluster_parent_initially(self):
+        # Cluster wiring: most layer-1 records keep exactly one pseudo
+        # parent (merges can add more via inheritance, never less).
+        dataset = all_skyline(120, 3, seed=4)
+        graph = build_dominant_graph(dataset)
+        extend_with_pseudo_levels(graph, theta=8)
+        levels = count_pseudo_levels(graph)
+        first_real = levels
+        parent_counts = [
+            len(graph.parents_of(rid)) for rid in graph.layer(first_real)
+        ]
+        assert min(parent_counts) >= 1
+        assert np.mean(parent_counts) < 3.0  # sparse, not all-dominators

@@ -1,0 +1,156 @@
+"""Unit tests for query workloads, the comparison harness, and the
+constrained (filtered) top-k extension."""
+
+import numpy as np
+import pytest
+
+from repro.bench.compare import compare_algorithms, default_suite, format_report
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.data.generators import uniform
+from repro.data.queries import clustered_queries, random_queries
+
+
+class TestRandomQueries:
+    def test_shape_and_normalization(self):
+        queries = random_queries(4, 10, seed=1)
+        assert len(queries) == 10
+        for q in queries:
+            assert q.dims == 4
+            assert np.all(q.weights >= 0)
+            assert q.weights.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = random_queries(3, 5, seed=2)
+        b = random_queries(3, 5, seed=2)
+        for qa, qb in zip(a, b):
+            np.testing.assert_array_equal(qa.weights, qb.weights)
+
+    def test_alpha_shapes_concentration(self):
+        concentrated = random_queries(5, 200, alpha=0.1, seed=3)
+        balanced = random_queries(5, 200, alpha=50.0, seed=3)
+        max_c = np.mean([q.weights.max() for q in concentrated])
+        max_b = np.mean([q.weights.max() for q in balanced])
+        assert max_c > max_b + 0.2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            random_queries(0, 5)
+        with pytest.raises(ValueError):
+            random_queries(3, 5, alpha=0.0)
+
+
+class TestClusteredQueries:
+    def test_queries_cluster_around_prototypes(self):
+        queries = clustered_queries(3, 30, n_clusters=2, spread=0.01, seed=4)
+        weights = np.vstack([q.weights for q in queries])
+        # With tiny spread, members of the same cluster are near-equal.
+        first_cluster = weights[::2]
+        assert np.max(np.std(first_cluster, axis=0)) < 0.05
+
+    def test_normalized(self):
+        for q in clustered_queries(4, 12, seed=5):
+            assert q.weights.sum() == pytest.approx(1.0)
+            assert np.all(q.weights >= 0)
+
+    def test_rejects_bad_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_queries(3, 5, n_clusters=0)
+
+
+class TestCompareAlgorithms:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        dataset = uniform(300, 3, seed=6)
+        queries = random_queries(3, 4, seed=7)
+        return compare_algorithms(dataset, queries, k=5)
+
+    def test_all_correct(self, reports):
+        assert all(r.correct for r in reports)
+
+    def test_covers_standard_suite(self, reports):
+        names = {r.name for r in reports}
+        assert {"DG", "TA", "CA", "ONION", "AppRI", "PREFER", "RankCube"} <= names
+
+    def test_metrics_positive(self, reports):
+        for r in reports:
+            assert r.mean_accessed >= 0
+            assert r.mean_seconds >= 0
+            assert r.build_seconds >= 0
+
+    def test_format_report(self, reports):
+        text = format_report(reports, k=5, n_queries=4)
+        assert "DG" in text and "accessed" in text
+
+    def test_rejects_empty_queries(self):
+        with pytest.raises(ValueError):
+            compare_algorithms(uniform(50, 2, seed=8), [], k=5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            compare_algorithms(uniform(50, 2, seed=8), random_queries(2, 2), k=0)
+
+    def test_custom_suite(self):
+        dataset = uniform(100, 2, seed=9)
+        suite = {
+            key: value
+            for key, value in default_suite(dataset).items()
+            if key in ("DG", "TA")
+        }
+        reports = compare_algorithms(
+            dataset, random_queries(2, 3, seed=10), k=5, suite=suite
+        )
+        assert {r.name for r in reports} == {"DG", "TA"}
+
+
+class TestFilteredTopK:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        dataset = uniform(400, 3, seed=11)
+        graph = build_extended_graph(dataset, theta=16)
+        return dataset, AdvancedTraveler(graph)
+
+    def test_matches_filtered_bruteforce(self, setup):
+        dataset, traveler = setup
+        f = LinearFunction([0.5, 0.3, 0.2])
+        predicate = lambda v: v[0] < 500.0
+        result = traveler.top_k(f, 10, where=predicate)
+        eligible = [i for i in range(len(dataset)) if predicate(dataset.vector(i))]
+        expected = sorted(
+            f.score_many(dataset.values[eligible]), reverse=True
+        )[:10]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+        assert all(predicate(dataset.vector(r)) for r in result.ids)
+
+    def test_highly_selective_predicate(self, setup):
+        dataset, traveler = setup
+        f = LinearFunction([0.4, 0.3, 0.3])
+        predicate = lambda v: v[1] < 50.0  # ~5% of uniform [0,1000]
+        result = traveler.top_k(f, 5, where=predicate)
+        eligible = [i for i in range(len(dataset)) if predicate(dataset.vector(i))]
+        expected = sorted(f.score_many(dataset.values[eligible]), reverse=True)[:5]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+    def test_nothing_matches(self, setup):
+        _, traveler = setup
+        result = traveler.top_k(
+            LinearFunction([0.5, 0.3, 0.2]), 5, where=lambda v: False
+        )
+        assert len(result) == 0
+
+    def test_everything_matches_equals_unfiltered(self, setup):
+        _, traveler = setup
+        f = LinearFunction([0.5, 0.3, 0.2])
+        plain = traveler.top_k(f, 10)
+        filtered = traveler.top_k(f, 10, where=lambda v: True)
+        assert plain.ids == filtered.ids
+
+    def test_range_predicate_on_two_attributes(self, setup):
+        dataset, traveler = setup
+        f = LinearFunction([0.6, 0.2, 0.2])
+        predicate = lambda v: 200.0 <= v[0] <= 800.0 and v[2] >= 100.0
+        result = traveler.top_k(f, 8, where=predicate)
+        eligible = [i for i in range(len(dataset)) if predicate(dataset.vector(i))]
+        expected = sorted(f.score_many(dataset.values[eligible]), reverse=True)[:8]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)

@@ -1,0 +1,84 @@
+"""Unit tests for the RankCube baseline and the naive scan."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_top_k
+from repro.baselines.rankcube import RankCubeIndex
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction, MinFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestNaive:
+    def test_matches_definition(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        result = naive_top_k(small_dataset, f, 2)
+        assert result.ids == (4, 0)  # 3.0, then 2.5
+
+    def test_counts_full_scan(self, small_dataset):
+        result = naive_top_k(small_dataset, LinearFunction([1.0, 0.0]), 1)
+        assert result.stats.computed == len(small_dataset)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            naive_top_k(small_dataset, LinearFunction([0.5, 0.5]), 0)
+
+    def test_tie_break_by_id(self):
+        ds = Dataset([[1.0], [1.0], [2.0]])
+        result = naive_top_k(ds, LinearFunction([1.0]), 3)
+        assert result.ids == (2, 0, 1)
+
+
+class TestRankCube:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 40])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=73)
+        cube = RankCubeIndex(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(cube.top_k(f, k), dataset, f, k)
+
+    def test_monotone_nonlinear_supported(self):
+        dataset = uniform(150, 3, seed=74)
+        f = MinFunction()
+        assert_correct_topk(RankCubeIndex(dataset).top_k(f, 5), dataset, f, 5)
+
+    def test_cells_partition_records(self):
+        dataset = uniform(120, 2, seed=75)
+        cube = RankCubeIndex(dataset, blocks_per_dim=4)
+        total = sum(ids.size for ids, _ in cube._cells)
+        assert total == 120
+        assert cube.num_cells <= 16
+
+    def test_skips_low_cells(self):
+        dataset = uniform(400, 2, seed=76)
+        cube = RankCubeIndex(dataset, blocks_per_dim=8)
+        result = cube.top_k(LinearFunction([0.5, 0.5]), 5)
+        assert result.stats.computed < len(dataset)
+
+    def test_resolution_does_not_change_answers(self):
+        dataset = uniform(200, 3, seed=77)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        coarse = RankCubeIndex(dataset, blocks_per_dim=2).top_k(f, 10)
+        fine = RankCubeIndex(dataset, blocks_per_dim=16).top_k(f, 10)
+        assert coarse.score_multiset() == pytest.approx(fine.score_multiset())
+
+    def test_rejects_bad_resolution(self, small_dataset):
+        with pytest.raises(ValueError):
+            RankCubeIndex(small_dataset, blocks_per_dim=0)
+
+    def test_constant_column_handled(self):
+        ds = Dataset([[1.0, 0.5], [2.0, 0.5], [3.0, 0.5]])
+        cube = RankCubeIndex(ds, blocks_per_dim=4)
+        result = cube.top_k(LinearFunction([1.0, 0.0]), 1)
+        assert result.ids == (2,)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            RankCubeIndex(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        assert len(RankCubeIndex(small_dataset).top_k(f, 99)) == len(small_dataset)

@@ -1,0 +1,76 @@
+"""Additional tests for the bench reporting layer and result artifacts."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, Series
+from repro.bench.report import _fmt, format_table, save_result
+
+
+class TestFmt:
+    def test_integral_float_shown_as_int(self):
+        assert _fmt(42.0) == "42"
+
+    def test_large_float_one_decimal(self):
+        assert _fmt(12345.678) == "12345.7"
+
+    def test_small_float_sig_figs(self):
+        assert _fmt(0.00012345) == "0.0001234"
+
+    def test_string_passthrough(self):
+        assert _fmt("abc") == "abc"
+
+    def test_int_passthrough(self):
+        assert _fmt(7) == "7"
+
+    def test_negative(self):
+        assert _fmt(-3.5) == "-3.5"
+
+
+class TestTableLayout:
+    def test_columns_aligned(self):
+        result = ExperimentResult(
+            "T", "k", [1, 100],
+            [Series("alpha", [1.0, 2.0]), Series("beta-very-long", [3.0, 4.0])],
+        )
+        lines = format_table(result).splitlines()
+        data_lines = lines[2:]
+        widths = {len(line) for line in data_lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_empty_x(self):
+        result = ExperimentResult("T", "k", [], [Series("a", [])])
+        text = format_table(result)
+        assert "T" in text
+
+    def test_save_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "deeper"
+        result = ExperimentResult("T", "k", [1], [Series("a", [2.0])])
+        path = save_result(result, str(target), "artifact")
+        assert os.path.exists(path)
+
+    def test_save_overwrites(self, tmp_path):
+        result1 = ExperimentResult("T", "k", [1], [Series("a", [2.0])])
+        result2 = ExperimentResult("T", "k", [1], [Series("a", [9.0])])
+        save_result(result1, str(tmp_path), "same")
+        path = save_result(result2, str(tmp_path), "same")
+        assert "9" in open(path).read()
+
+
+class TestSeriesAccess:
+    def test_runner_exceptions_propagate(self):
+        from repro.bench.harness import sweep
+
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            sweep("t", "k", [1], {"a": boom})
+
+    def test_sweep_coerces_to_float(self):
+        from repro.bench.harness import sweep
+
+        result = sweep("t", "k", [1, 2], {"a": lambda x: x * 10})
+        assert result.series_by_label("a").y == [10.0, 20.0]
+        assert all(isinstance(v, float) for v in result.series_by_label("a").y)

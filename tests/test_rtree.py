@@ -1,0 +1,125 @@
+"""Unit tests for the R-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import RTree
+
+
+def brute_box_search(points, box):
+    return sorted(
+        i for i, p in enumerate(points) if box.contains_point(p)
+    )
+
+
+class TestInsertion:
+    def test_insert_and_size(self, rng):
+        tree = RTree(dims=2)
+        points = rng.uniform(size=(40, 2))
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        assert len(tree) == 40
+        tree.validate()
+
+    def test_insert_triggers_splits(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        points = rng.uniform(size=(100, 2))
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        assert tree.height() >= 2
+        tree.validate()
+
+    def test_insert_rejects_bad_shape(self):
+        tree = RTree(dims=2)
+        with pytest.raises(ValueError):
+            tree.insert(0, np.array([1.0, 2.0, 3.0]))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RTree(dims=0)
+        with pytest.raises(ValueError):
+            RTree(dims=2, max_entries=3)
+        with pytest.raises(ValueError):
+            RTree(dims=2, max_entries=8, min_entries=5)
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(dims=2, max_entries=4)
+        for i in range(20):
+            tree.insert(i, np.array([1.0, 1.0]))
+        assert len(tree) == 20
+        tree.validate()
+
+
+class TestBulkLoad:
+    def test_str_pack_all_points_present(self, rng):
+        points = rng.uniform(size=(200, 3))
+        tree = RTree.bulk_load(points)
+        tree.validate()
+        everything = MBR(points.min(axis=0), points.max(axis=0))
+        assert sorted(tree.search_box(everything)) == list(range(200))
+
+    def test_custom_record_ids(self, rng):
+        points = rng.uniform(size=(10, 2))
+        ids = [100 + i for i in range(10)]
+        tree = RTree.bulk_load(points, record_ids=ids)
+        box = MBR(points.min(axis=0), points.max(axis=0))
+        assert sorted(tree.search_box(box)) == ids
+
+    def test_small_input_single_leaf(self, rng):
+        tree = RTree.bulk_load(rng.uniform(size=(5, 2)))
+        assert tree.height() == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(np.empty((0, 2)))
+
+    def test_id_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(rng.uniform(size=(5, 2)), record_ids=[1, 2])
+
+
+class TestSearch:
+    @pytest.mark.parametrize("builder", ["insert", "bulk"])
+    def test_box_search_matches_bruteforce(self, rng, builder):
+        points = rng.uniform(size=(150, 2))
+        if builder == "bulk":
+            tree = RTree.bulk_load(points)
+        else:
+            tree = RTree(dims=2, max_entries=6)
+            for i, p in enumerate(points):
+                tree.insert(i, p)
+        for _ in range(10):
+            low = rng.uniform(0, 0.5, size=2)
+            high = low + rng.uniform(0.1, 0.5, size=2)
+            box = MBR(low, high)
+            assert sorted(tree.search_box(box)) == brute_box_search(points, box)
+
+    def test_nearest_matches_bruteforce(self, rng):
+        points = rng.uniform(size=(120, 3))
+        tree = RTree.bulk_load(points)
+        for _ in range(15):
+            q = rng.uniform(size=3)
+            expected = int(np.argmin(np.sum((points - q) ** 2, axis=1)))
+            got = tree.nearest(q)
+            assert np.sum((points[got] - q) ** 2) == pytest.approx(
+                np.sum((points[expected] - q) ** 2)
+            )
+
+    def test_nearest_iter_ascending_distance(self, rng):
+        points = rng.uniform(size=(50, 2))
+        tree = RTree.bulk_load(points)
+        q = rng.uniform(size=2)
+        distances = [d for _, d in tree.nearest_iter(q)]
+        assert len(distances) == 50
+        assert distances == sorted(distances)
+
+    def test_nearest_on_empty_tree(self):
+        tree = RTree(dims=2)
+        assert tree.nearest(np.array([0.0, 0.0])) is None
+
+    def test_search_box_empty_result(self, rng):
+        points = rng.uniform(size=(30, 2))
+        tree = RTree.bulk_load(points)
+        far = MBR(np.array([10.0, 10.0]), np.array([11.0, 11.0]))
+        assert tree.search_box(far) == []

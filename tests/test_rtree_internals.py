@@ -1,0 +1,126 @@
+"""Deeper R-tree tests: split mechanics, STR structure, stress shapes."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import RTree, RTreeEntry, RTreeNode
+
+
+class TestEntry:
+    def test_requires_exactly_one_payload(self):
+        box = MBR.from_point(np.zeros(2))
+        with pytest.raises(ValueError):
+            RTreeEntry(box)
+        with pytest.raises(ValueError):
+            RTreeEntry(box, child=RTreeNode(leaf=True), record_id=1)
+
+    def test_leaf_flag(self):
+        box = MBR.from_point(np.zeros(2))
+        assert RTreeEntry(box, record_id=1).is_leaf_entry
+        assert not RTreeEntry(box, child=RTreeNode(leaf=True)).is_leaf_entry
+
+
+class TestQuadraticSplit:
+    def test_split_respects_min_entries(self, rng):
+        tree = RTree(dims=2, max_entries=4, min_entries=2)
+        for i in range(50):
+            tree.insert(i, rng.uniform(size=2))
+        tree.validate()
+
+        def check(node):
+            if not node.leaf:
+                for entry in node.entries:
+                    assert len(entry.child.entries) >= 1
+                    check(entry.child)
+
+        check(tree.root)
+
+    def test_separated_clusters_split_cleanly(self):
+        # Two far-apart clusters should end up in different subtrees.
+        tree = RTree(dims=2, max_entries=4)
+        points = []
+        for i in range(10):
+            points.append((i, np.array([0.0 + i * 0.01, 0.0])))
+            points.append((100 + i, np.array([100.0 + i * 0.01, 100.0])))
+        for rid, p in points:
+            tree.insert(rid, p)
+        tree.validate()
+        low = tree.search_box(MBR(np.array([-1.0, -1.0]), np.array([1.0, 1.0])))
+        assert sorted(low) == list(range(10))
+
+    def test_degenerate_identical_points_split(self):
+        tree = RTree(dims=2, max_entries=4)
+        for i in range(30):
+            tree.insert(i, np.array([5.0, 5.0]))
+        tree.validate()
+        found = tree.search_box(MBR.from_point(np.array([5.0, 5.0])))
+        assert sorted(found) == list(range(30))
+
+
+class TestSTRStructure:
+    def test_leaf_fill_factor(self, rng):
+        points = rng.uniform(size=(256, 2))
+        tree = RTree.bulk_load(points, max_entries=16)
+        leaves = []
+
+        def collect(node):
+            if node.leaf:
+                leaves.append(node)
+            else:
+                for entry in node.entries:
+                    collect(entry.child)
+
+        collect(tree.root)
+        # STR packs leaves full except possibly the last per tile.
+        sizes = sorted(len(leaf.entries) for leaf in leaves)
+        assert sizes[-1] == 16
+        assert sum(sizes) == 256
+
+    def test_height_logarithmic(self, rng):
+        points = rng.uniform(size=(1000, 2))
+        tree = RTree.bulk_load(points, max_entries=16)
+        assert tree.height() <= 4
+
+    def test_three_dims(self, rng):
+        points = rng.uniform(size=(300, 3))
+        tree = RTree.bulk_load(points)
+        tree.validate()
+        q = rng.uniform(size=3)
+        expected = int(np.argmin(np.sum((points - q) ** 2, axis=1)))
+        got = tree.nearest(q)
+        assert np.sum((points[got] - q) ** 2) == pytest.approx(
+            float(np.sum((points[expected] - q) ** 2))
+        )
+
+
+class TestMixedWorkload:
+    def test_bulk_then_insert(self, rng):
+        points = rng.uniform(size=(100, 2))
+        tree = RTree.bulk_load(points[:60])
+        for i in range(60, 100):
+            tree.insert(i, points[i])
+        tree.validate()
+        box = MBR(np.array([0.25, 0.25]), np.array([0.75, 0.75]))
+        expected = sorted(
+            i for i in range(100) if box.contains_point(points[i])
+        )
+        assert sorted(tree.search_box(box)) == expected
+
+    def test_nearest_iter_partial_consumption(self, rng):
+        points = rng.uniform(size=(40, 2))
+        tree = RTree.bulk_load(points)
+        iterator = tree.nearest_iter(np.array([0.5, 0.5]))
+        first_five = [next(iterator) for _ in range(5)]
+        distances = [d for _, d in first_five]
+        assert distances == sorted(distances)
+
+    def test_skewed_line_data(self):
+        # All points on a line: MBRs degenerate to segments.
+        points = np.column_stack([np.linspace(0, 1, 60), np.zeros(60)])
+        tree = RTree(dims=2, max_entries=4)
+        for i, p in enumerate(points):
+            tree.insert(i, p)
+        tree.validate()
+        assert tree.nearest(np.array([0.0, 0.0])) == 0
+        assert tree.nearest(np.array([1.0, 0.0])) == 59

@@ -1,0 +1,112 @@
+"""Paper trace tests: the running example of Section II (Figs. 1-3).
+
+The OCR of the paper garbles Fig. 1a's value table, so this file builds a
+dataset engineered to satisfy every structural fact the text states about
+the running example, then checks the Basic Traveler reproduces the
+narrated trace exactly:
+
+- records 3, 4 and 11 form the first DG layer;
+- record 4 is a parent of records 6 and 10; record 10 also has parent 11;
+- under F = 0.6x + 0.4y: F(4) > F(3) > F(11), the top-1 is record 4;
+- record 6 is computed after 4 is answered; record 10 is *not* computed
+  because its parent 11 is not in RS;
+- top-2 = (4, 6) after accessing only 3, 4, 11 and 6.
+"""
+
+import pytest
+
+from repro.core.builder import build_dominant_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.traveler import BasicTraveler
+
+# Index i holds TID i+1; values engineered to the constraints above.
+ROWS = {
+    3: (430.0, 100.0),   # TID 3: layer 1
+    4: (400.0, 300.0),   # TID 4: layer 1, top-1 under F
+    11: (100.0, 500.0),  # TID 11: layer 1
+    6: (380.0, 250.0),   # TID 6: child of 4 only; second best overall
+    10: (90.0, 280.0),   # TID 10: child of 4 and 11
+    1: (300.0, 100.0),   # dominated by 3 -> layer 2, child of 3 only
+    2: (380.0, 90.0),    # dominated by 6 -> layer 3 (not a child of 4)
+    5: (200.0, 200.0),   # dominated by 6 -> layer 3
+    7: (80.0, 400.0),    # dominated by 11 -> layer 2
+    8: (60.0, 240.0),    # dominated by 10 (90,280) -> layer 3
+    9: (150.0, 90.0),    # deep record
+    12: (50.0, 50.0),    # deep record
+    13: (20.0, 30.0),    # deepest
+}
+F = LinearFunction([0.6, 0.4])
+
+
+@pytest.fixture
+def example():
+    values = [ROWS[i + 1] for i in range(13)]
+    return Dataset(values, labels=[i + 1 for i in range(13)])
+
+
+def tid(dataset, record_id):
+    return dataset.label(record_id)
+
+
+def rid_of(dataset, tid_wanted):
+    return tid_wanted - 1
+
+
+class TestStructure:
+    def test_first_layer_is_3_4_11(self, example):
+        graph = build_dominant_graph(example)
+        first = {tid(example, r) for r in graph.layer(0)}
+        assert first == {3, 4, 11}
+
+    def test_4_is_parent_of_6_and_10(self, example):
+        graph = build_dominant_graph(example)
+        children = {tid(example, c) for c in graph.children_of(rid_of(example, 4))}
+        assert {6, 10} <= children
+
+    def test_10_has_parents_4_and_11(self, example):
+        graph = build_dominant_graph(example)
+        parents = {tid(example, p) for p in graph.parents_of(rid_of(example, 10))}
+        assert parents == {4, 11}
+
+    def test_graph_validates(self, example):
+        build_dominant_graph(example).validate()
+
+
+class TestQueryTrace:
+    def test_first_layer_score_order(self, example):
+        scores = {t: F(example.vector(rid_of(example, t))) for t in (3, 4, 11)}
+        assert scores[4] > scores[3] > scores[11]
+
+    def test_top2_is_4_then_6(self, example):
+        graph = build_dominant_graph(example)
+        result = BasicTraveler(graph).top_k(F, 2)
+        assert [tid(example, r) for r in result.ids] == [4, 6]
+
+    def test_access_trace_matches_paper(self, example):
+        # "we obtain the top-2 answers only accessing records 3, 4, 11
+        # (layer 1) and 6" — 10 is skipped because parent 11 is not in RS.
+        graph = build_dominant_graph(example)
+        result = BasicTraveler(graph).top_k(F, 2)
+        accessed = {tid(example, r) for r in result.stats.computed_ids}
+        assert accessed == {3, 4, 11, 6}
+        assert result.stats.computed == 4
+
+    def test_record_10_not_computed(self, example):
+        graph = build_dominant_graph(example)
+        result = BasicTraveler(graph).top_k(F, 2)
+        assert rid_of(example, 10) not in result.stats.computed_ids
+
+    def test_lemma_2_1_holds(self, example):
+        # Every parent of a top-k record is in the top-(k-1).
+        graph = build_dominant_graph(example)
+        for k in range(2, 8):
+            result = BasicTraveler(graph).top_k(F, k)
+            answer = set(result.ids)
+            for rank, rid in enumerate(result.ids):
+                top_before = set(result.ids[:rank])
+                for parent in graph.parents_of(rid):
+                    assert parent in top_before, (
+                        f"parent {parent} of rank-{rank + 1} answer missing"
+                    )
+            assert len(answer) == k

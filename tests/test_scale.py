@@ -1,0 +1,80 @@
+"""Moderate-scale soak tests: bigger inputs, end-to-end consistency.
+
+Larger than the unit suites (a few thousand records) but still seconds,
+these catch problems that only appear with depth: long layer chains, wide
+tie groups, deep maintenance cascades, and long query sequences against
+one index.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.core.maintenance import delete_record, insert_record
+from repro.data.generators import correlated, uniform
+from repro.data.queries import random_queries
+from repro.data.server import server_dataset
+
+
+class TestScaleQueries:
+    def test_5000_records_many_queries(self):
+        dataset = uniform(5000, 3, seed=1)
+        graph = build_extended_graph(dataset, theta=32)
+        traveler = AdvancedTraveler(graph)
+        for query in random_queries(3, 10, seed=2):
+            k = 25
+            result = traveler.top_k(query, k)
+            expected = np.sort(query.score_many(dataset.values))[::-1][:k]
+            np.testing.assert_allclose(
+                sorted(result.scores, reverse=True), expected
+            )
+            assert result.stats.computed < len(dataset) / 4
+
+    def test_deep_correlated_chains(self):
+        # Correlated data produces very deep graphs (hundreds of layers).
+        dataset = correlated(3000, 3, seed=3)
+        graph = build_extended_graph(dataset, theta=32)
+        assert graph.num_layers > 50
+        traveler = AdvancedTraveler(graph)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        result = traveler.top_k(f, 200)
+        expected = np.sort(f.score_many(dataset.values))[::-1][:200]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+    def test_wide_tie_groups(self):
+        dataset = server_dataset(4000, seed=4)
+        graph = build_extended_graph(dataset, theta=32)
+        traveler = AdvancedTraveler(graph)
+        f = LinearFunction([0.4, 0.3, 0.3])
+        result = traveler.top_k(f, 50)
+        expected = np.sort(f.score_many(dataset.values))[::-1][:50]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+
+
+class TestScaleMaintenance:
+    def test_long_churn_session(self):
+        dataset = uniform(1500, 3, seed=5)
+        graph = build_extended_graph(dataset, theta=32, record_ids=range(1000))
+        rng = random.Random(5)
+        live = set(range(1000))
+        pending = list(range(1000, 1500))
+        for step in range(600):
+            if pending and (step % 2 == 0 or len(live) < 500):
+                rid = pending.pop()
+                insert_record(graph, rid)
+                live.add(rid)
+            else:
+                victim = rng.choice(sorted(live))
+                delete_record(graph, victim)
+                live.remove(victim)
+        graph.validate()
+        assert sorted(graph.real_ids()) == sorted(live)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        result = AdvancedTraveler(graph).top_k(f, 20)
+        ids = sorted(live)
+        expected = np.sort(f.score_many(dataset.values[ids]))[::-1][:20]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)

@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic Server dataset (KDD Cup '99 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data.server import ATTRIBUTE_NAMES, PAPER_CARDINALITIES, server_dataset
+
+
+class TestServerDataset:
+    def test_shape_and_names(self):
+        ds = server_dataset(500, seed=1)
+        assert len(ds) == 500
+        assert ds.dims == 3
+        assert ds.attribute_names == ATTRIBUTE_NAMES
+
+    def test_cardinalities_match_paper_at_scale(self):
+        # With n well above each attribute cardinality, the distinct
+        # counts must equal the paper's 569 / 1855 / 256.
+        ds = server_dataset(4000, seed=2)
+        for d, cardinality in enumerate(PAPER_CARDINALITIES):
+            distinct = len(np.unique(ds.values[:, d]))
+            assert distinct == min(cardinality, 4000), (d, distinct)
+
+    def test_cardinalities_clipped_at_small_n(self):
+        ds = server_dataset(100, seed=3)
+        for d in range(3):
+            assert len(np.unique(ds.values[:, d])) <= 100
+
+    def test_values_are_nonnegative_integers(self):
+        ds = server_dataset(300, seed=4)
+        assert np.all(ds.values >= 0)
+        np.testing.assert_array_equal(ds.values, np.rint(ds.values))
+
+    def test_positive_cross_correlation(self):
+        ds = server_dataset(3000, seed=5)
+        count, srv, dest = ds.values.T
+        assert np.corrcoef(count, srv)[0, 1] > 0.5
+        assert np.corrcoef(count, dest)[0, 1] > 0.3
+
+    def test_heavy_per_column_duplication(self):
+        # The property that stresses dominance indexes: each attribute
+        # takes far fewer values than there are records, so ties abound.
+        n = 2000
+        ds = server_dataset(n, seed=6)
+        for d, cardinality in enumerate(PAPER_CARDINALITIES):
+            distinct = len(np.unique(ds.values[:, d]))
+            assert distinct <= cardinality < n
+
+    def test_deterministic_by_seed(self):
+        a = server_dataset(200, seed=7).values
+        b = server_dataset(200, seed=7).values
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            server_dataset(0)
+
+    def test_quantization_preserves_order(self):
+        # Dominance induced by the quantized columns must be consistent:
+        # quantization is rank-binning, so it never inverts an order.
+        from repro.data.server import _quantize_to_cardinality
+
+        rng = np.random.default_rng(8)
+        column = rng.lognormal(size=500)
+        quantized = _quantize_to_cardinality(column, 50)
+        order = np.argsort(column)
+        assert np.all(np.diff(quantized[order]) >= 0)
+
+    def test_quantization_merges_equal_values(self):
+        from repro.data.server import _quantize_to_cardinality
+
+        column = np.array([1.0, 1.0, 1.0, 2.0, 2.0, 3.0])
+        quantized = _quantize_to_cardinality(column, 6)
+        assert quantized[0] == quantized[1] == quantized[2]
+        assert quantized[3] == quantized[4]
+        assert quantized[5] > quantized[3] > quantized[0]

@@ -1,0 +1,74 @@
+"""Unit tests for k-skyband / dominance-count queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import dominates, maximal_mask
+from repro.core.functions import LinearFunction, MinFunction, ProductFunction
+from repro.core.cost import top_k_bruteforce
+from repro.data.generators import uniform
+from repro.skyline.skyband import dominance_counts, k_skyband, skyband_sizes
+
+
+class TestDominanceCounts:
+    def test_matches_bruteforce(self, rng):
+        values = rng.uniform(size=(60, 3))
+        counts = dominance_counts(values)
+        for i in range(60):
+            brute = sum(
+                1 for j in range(60) if j != i and dominates(values[j], values[i])
+            )
+            assert counts[i] == brute
+
+    def test_chain(self):
+        values = np.array([[3.0] * 2, [2.0] * 2, [1.0] * 2])
+        assert dominance_counts(values).tolist() == [0, 1, 2]
+
+    def test_duplicates_do_not_count(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert dominance_counts(values).tolist() == [0, 0]
+
+
+class TestKSkyband:
+    def test_one_skyband_is_skyline(self, rng):
+        values = rng.uniform(size=(80, 3))
+        band = set(k_skyband(values, 1).tolist())
+        skyline = set(np.flatnonzero(maximal_mask(values)).tolist())
+        assert band == skyline
+
+    def test_monotone_in_k(self, rng):
+        values = rng.uniform(size=(80, 3))
+        previous: set = set()
+        for k in (1, 2, 4, 8):
+            band = set(k_skyband(values, k).tolist())
+            assert previous <= band
+            previous = band
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            k_skyband(rng.uniform(size=(5, 2)), 0)
+
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_contains_every_monotone_topk(self, k):
+        # The defining property: for any monotone F, top-k ⊆ k-skyband.
+        dataset = uniform(150, 3, seed=31)
+        band = set(k_skyband(dataset.values, k).tolist())
+        for f in (
+            LinearFunction([0.7, 0.2, 0.1]),
+            LinearFunction([0.1, 0.1, 0.8]),
+            MinFunction(),
+            ProductFunction([1.0, 1.0, 1.0]),
+        ):
+            top = top_k_bruteforce(dataset, f, k)
+            # With ties, a tied record outside the band may be picked by
+            # id tie-break; compare via scores instead.
+            band_scores = sorted(
+                f.score_many(dataset.values[sorted(band)]), reverse=True
+            )[:k]
+            top_scores = sorted(f.score_many(dataset.values[top]), reverse=True)
+            np.testing.assert_allclose(top_scores, band_scores)
+
+    def test_skyband_sizes(self, rng):
+        values = rng.uniform(size=(50, 2))
+        sizes = skyband_sizes(values, [1, 2, 50])
+        assert sizes[0] <= sizes[1] <= sizes[2] == 50

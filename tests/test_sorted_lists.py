@@ -1,0 +1,41 @@
+"""Unit tests for the sorted-list substrate (TA/CA/NRA)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_lists import SortedLists
+from repro.core.dataset import Dataset
+
+
+@pytest.fixture
+def lists(small_dataset):
+    return SortedLists(small_dataset)
+
+
+class TestSortedLists:
+    def test_descending_per_dimension(self, lists, small_dataset):
+        for dim in range(small_dataset.dims):
+            values = [lists.entry(dim, d)[1] for d in range(len(lists))]
+            assert values == sorted(values, reverse=True)
+
+    def test_entry_values_match_dataset(self, lists, small_dataset):
+        rid, value = lists.entry(0, 0)
+        assert value == small_dataset.values[rid, 0]
+        assert rid == 0  # x-max is record 0 (4.0)
+
+    def test_tie_break_by_id(self):
+        ds = Dataset([[1.0, 0.0], [1.0, 0.0], [0.5, 0.0]])
+        lists = SortedLists(ds)
+        assert lists.entry(0, 0)[0] == 0
+        assert lists.entry(0, 1)[0] == 1
+
+    def test_depth_values(self, lists):
+        np.testing.assert_array_equal(lists.depth_values(0), [4.0, 4.0])
+
+    def test_floor_vector(self, lists):
+        np.testing.assert_array_equal(lists.floor_vector(), [0.5, 0.5])
+
+    def test_each_record_appears_once_per_list(self, lists):
+        for dim in range(lists.dims):
+            seen = [lists.entry(dim, d)[0] for d in range(len(lists))]
+            assert sorted(seen) == list(range(len(lists)))

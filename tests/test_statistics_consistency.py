@@ -1,0 +1,62 @@
+"""Graph statistics consistency through build, maintenance, and reload."""
+
+import random
+
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.io import load_graph, save_graph
+from repro.core.maintenance import delete_record, insert_record
+from repro.data.generators import all_skyline, uniform
+
+
+def assert_statistics_coherent(graph):
+    stats = graph.statistics()
+    assert stats["records"] == stats["real_records"] + stats["pseudo_records"]
+    assert stats["layers"] == len(graph.layer_sizes())
+    assert sum(graph.layer_sizes()) == stats["records"]
+    assert stats["max_layer_width"] >= stats["mean_layer_width"] > 0
+    assert stats["max_parents"] >= stats["mean_parents"] >= (
+        1.0 if stats["layers"] > 1 else 0.0
+    )
+    return stats
+
+
+class TestStatisticsLifecycle:
+    def test_plain_build(self):
+        graph = build_dominant_graph(uniform(150, 3, seed=1))
+        stats = assert_statistics_coherent(graph)
+        assert stats["pseudo_levels"] == 0
+
+    def test_extended_build(self):
+        graph = build_extended_graph(all_skyline(100, 3, seed=2), theta=8)
+        stats = assert_statistics_coherent(graph)
+        assert stats["pseudo_levels"] >= 1
+        assert stats["pseudo_records"] > 0
+
+    def test_through_churn(self):
+        dataset = uniform(200, 3, seed=3)
+        graph = build_dominant_graph(dataset, record_ids=range(150))
+        rng = random.Random(3)
+        live = set(range(150))
+        for rid in range(150, 200):
+            insert_record(graph, rid)
+            live.add(rid)
+        for rid in rng.sample(sorted(live), 60):
+            delete_record(graph, rid)
+            live.remove(rid)
+        stats = assert_statistics_coherent(graph)
+        assert stats["real_records"] == len(live)
+
+    def test_preserved_across_reload(self, tmp_path):
+        graph = build_extended_graph(all_skyline(80, 3, seed=4), theta=8)
+        before = graph.statistics()
+        loaded = load_graph(save_graph(graph, str(tmp_path / "s.npz")))
+        assert loaded.statistics() == before
+
+    def test_edges_match_parent_sum(self):
+        graph = build_dominant_graph(uniform(120, 2, seed=5))
+        total_parents = sum(
+            len(graph.parents_of(rid)) for rid in graph.iter_records()
+        )
+        assert graph.statistics()["edges"] == total_parents

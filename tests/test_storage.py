@@ -1,0 +1,183 @@
+"""Unit tests for the paged-storage substrate (buffer pool, layouts,
+PagedDataset) and the page-I/O behaviour of queries over it."""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.data.generators import uniform
+from repro.storage import (
+    BufferPool,
+    PagedDataset,
+    layer_clustered_layout,
+    records_per_page,
+    row_order_layout,
+)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity=2)
+        assert pool.access(7) is False
+        assert pool.access(7) is True
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity=2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)  # 2 is now LRU
+        pool.access(3)  # evicts 2
+        assert pool.resident_pages() == [1, 3]
+        assert pool.stats.evictions == 1
+        assert pool.access(2) is False  # 2 was evicted
+
+    def test_capacity_one(self):
+        pool = BufferPool(capacity=1)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)
+        assert pool.stats.misses == 3
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity=0)
+
+    def test_clear_keeps_stats(self):
+        pool = BufferPool(capacity=4)
+        pool.access(1)
+        pool.clear()
+        assert pool.resident_pages() == []
+        assert pool.stats.misses == 1
+
+    def test_io_count_is_misses(self):
+        pool = BufferPool(capacity=4)
+        pool.access(1)
+        pool.access(1)
+        pool.access(2)
+        assert pool.stats.io_count == 2
+        assert pool.stats.accesses == 3
+
+
+class TestLayouts:
+    def test_row_order(self):
+        layout = row_order_layout(range(5), per_page=2)
+        assert layout == {0: 0, 1: 0, 2: 1, 3: 1, 4: 2}
+
+    def test_row_order_rejects_bad_per_page(self):
+        with pytest.raises(ValueError):
+            row_order_layout(range(3), per_page=0)
+
+    def test_layer_clustered_orders_layers_first(self):
+        dataset = Dataset([
+            [1.0, 1.0],   # deep
+            [3.0, 3.0],   # layer 0
+            [2.0, 2.0],   # layer 1
+        ])
+        graph = build_extended_graph(dataset, theta=16)
+        layout = layer_clustered_layout(graph, per_page=1)
+        assert layout[1] == 0  # top layer on page 0
+        assert layout[2] == 1
+        assert layout[0] == 2
+
+    def test_layer_clustered_covers_unindexed_rows(self):
+        dataset = uniform(40, 2, seed=1)
+        graph = build_extended_graph(dataset, theta=16, record_ids=range(30))
+        layout = layer_clustered_layout(graph, per_page=8)
+        assert set(layout) == set(range(40))
+
+    def test_layer_clustered_skips_pseudo(self):
+        from repro.data.generators import all_skyline
+
+        dataset = all_skyline(60, 3, seed=2)
+        graph = build_extended_graph(dataset, theta=8)
+        assert graph.num_pseudo > 0
+        layout = layer_clustered_layout(graph, per_page=8)
+        assert set(layout) == set(range(60))
+
+
+class TestRecordsPerPage:
+    def test_matches_theta_formula(self):
+        from repro.core.pseudo import default_theta
+
+        for dims in (2, 3, 5, 10):
+            assert records_per_page(dims) == default_theta(dims)
+
+    def test_floor_of_one(self):
+        assert records_per_page(10_000) == 1
+
+
+class TestPagedDataset:
+    def test_is_a_dataset(self):
+        base = uniform(30, 2, seed=3)
+        paged = PagedDataset(base)
+        assert isinstance(paged, Dataset)
+        np.testing.assert_array_equal(paged.values, base.values)
+
+    def test_vector_charges_page(self):
+        base = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        paged = PagedDataset(base, layout={0: 0, 1: 0, 2: 1}, pool_pages=4)
+        paged.vector(0)
+        paged.vector(1)
+        paged.vector(2)
+        assert paged.io_stats.misses == 2
+        assert paged.io_stats.hits == 1
+
+    def test_rejects_incomplete_layout(self):
+        base = uniform(10, 2, seed=4)
+        with pytest.raises(ValueError, match="missing"):
+            PagedDataset(base, layout={0: 0})
+
+    def test_reset_io(self):
+        base = uniform(10, 2, seed=5)
+        paged = PagedDataset(base, pool_pages=2)
+        paged.vector(0)
+        paged.reset_io()
+        assert paged.io_stats.accesses == 0
+
+    def test_num_pages(self):
+        base = uniform(10, 2, seed=6)
+        paged = PagedDataset(base, layout=row_order_layout(range(10), 3))
+        assert paged.num_pages == 4
+
+
+class TestQueryIO:
+    def test_traveler_runs_on_paged_dataset(self):
+        base = uniform(200, 3, seed=7)
+        paged = PagedDataset(base, pool_pages=4)
+        graph = build_extended_graph(paged, theta=16)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        paged.reset_io()
+        result = AdvancedTraveler(graph).top_k(f, 10)
+        expected = sorted(f.score_many(base.values), reverse=True)[:10]
+        np.testing.assert_allclose(sorted(result.scores, reverse=True), expected)
+        assert paged.io_stats.accesses > 0
+
+    def test_layer_clustering_reduces_page_io(self):
+        # The storage payoff of the DG: traversal order matches layer
+        # order, so layer-clustered pages need fewer I/Os than a heap
+        # file shuffled against it.
+        rng = np.random.default_rng(8)
+        base = uniform(600, 3, seed=8)
+        graph0 = build_extended_graph(base, theta=16)
+        per_page = 16
+        f = LinearFunction([0.5, 0.3, 0.2])
+
+        shuffled = list(range(600))
+        rng.shuffle(shuffled)
+        random_layout = {rid: i // per_page for i, rid in enumerate(shuffled)}
+
+        ios = {}
+        for name, layout in (
+            ("clustered", layer_clustered_layout(graph0, per_page)),
+            ("random", random_layout),
+        ):
+            paged = PagedDataset(base, layout=layout, pool_pages=4)
+            graph = build_extended_graph(paged, theta=16)
+            paged.reset_io()
+            AdvancedTraveler(graph).top_k(f, 20)
+            ios[name] = paged.io_stats.io_count
+        assert ios["clustered"] < ios["random"], ios

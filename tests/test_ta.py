@@ -1,0 +1,66 @@
+"""Unit tests for the Threshold Algorithm baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_lists import SortedLists
+from repro.baselines.ta import ThresholdAlgorithm
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction, MinFunction, ProductFunction
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestThresholdAlgorithm:
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 10, 50])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=15)
+        ta = ThresholdAlgorithm(dataset)
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(ta.top_k(f, k), dataset, f, k)
+
+    def test_nonlinear_monotone_functions(self):
+        dataset = uniform(150, 3, seed=16)
+        ta = ThresholdAlgorithm(dataset)
+        for f in (MinFunction(), ProductFunction([1.0, 1.0, 1.0])):
+            assert_correct_topk(ta.top_k(f, 8), dataset, f, 8)
+
+    def test_stops_early_on_correlated_data(self):
+        dataset = correlated(400, 3, seed=17)
+        ta = ThresholdAlgorithm(dataset)
+        result = ta.top_k(LinearFunction([1 / 3] * 3), 5)
+        assert result.stats.computed < len(dataset) / 2
+
+    def test_counts_accesses(self):
+        dataset = uniform(100, 2, seed=18)
+        result = ThresholdAlgorithm(dataset).top_k(LinearFunction([0.5, 0.5]), 3)
+        assert result.stats.sequential > 0
+        assert result.stats.random == result.stats.computed > 0
+
+    def test_each_record_randomly_accessed_once(self):
+        dataset = uniform(80, 3, seed=19)
+        result = ThresholdAlgorithm(dataset).top_k(LinearFunction([1 / 3] * 3), 10)
+        assert result.stats.random == len(result.stats.computed_ids)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        with pytest.raises(ValueError):
+            ThresholdAlgorithm(small_dataset).top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        f = LinearFunction([0.5, 0.5])
+        result = ThresholdAlgorithm(small_dataset).top_k(f, 99)
+        assert len(result) == len(small_dataset)
+
+    def test_shared_lists_substrate(self, small_dataset):
+        lists = SortedLists(small_dataset)
+        ta = ThresholdAlgorithm(small_dataset, lists=lists)
+        assert ta.lists is lists
+
+    def test_threshold_terminates_before_exhaustion(self):
+        # A dataset where the best record tops every list: TA stops at
+        # depth 1 with threshold == its score.
+        ds = Dataset([[10.0, 10.0], [1.0, 2.0], [2.0, 1.0]])
+        result = ThresholdAlgorithm(ds).top_k(LinearFunction([0.5, 0.5]), 1)
+        assert result.ids == (0,)
+        assert result.stats.computed <= 3

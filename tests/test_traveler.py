@@ -1,0 +1,141 @@
+"""Unit tests for the Basic Traveler (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction, MinFunction, ProductFunction
+from repro.core.traveler import BasicTraveler, _CandidateList
+from repro.data.generators import correlated, gaussian, uniform
+from tests.conftest import assert_correct_topk
+
+
+class TestCandidateList:
+    def test_orders_by_score_then_id(self):
+        cl = _CandidateList()
+        cl.insert(1.0, 5)
+        cl.insert(2.0, 9)
+        cl.insert(2.0, 3)
+        assert cl.entries() == [(2.0, 3), (2.0, 9), (1.0, 5)]
+
+    def test_pop_best(self):
+        cl = _CandidateList()
+        cl.insert(1.0, 1)
+        cl.insert(3.0, 2)
+        assert cl.pop_best() == (3.0, 2)
+        assert len(cl) == 1
+
+    def test_truncate(self):
+        cl = _CandidateList()
+        for i in range(5):
+            cl.insert(float(i), i)
+        cl.truncate(2)
+        assert [rid for _, rid in cl.entries()] == [4, 3]
+
+    def test_truncate_to_zero(self):
+        cl = _CandidateList()
+        cl.insert(1.0, 1)
+        cl.truncate(0)
+        assert len(cl) == 0
+
+
+class TestBasicTraveler:
+    def test_rejects_extended_graph(self):
+        dataset = uniform(200, 5, seed=2)
+        graph = build_extended_graph(dataset, theta=8)
+        with pytest.raises(ValueError, match="pseudo"):
+            BasicTraveler(graph)
+
+    def test_rejects_nonpositive_k(self, small_dataset):
+        traveler = BasicTraveler(build_dominant_graph(small_dataset))
+        with pytest.raises(ValueError):
+            traveler.top_k(LinearFunction([0.5, 0.5]), 0)
+
+    def test_top1_is_global_max(self, small_dataset):
+        traveler = BasicTraveler(build_dominant_graph(small_dataset))
+        f = LinearFunction([0.5, 0.5])
+        result = traveler.top_k(f, 1)
+        assert result.ids == (4,)  # (3,3) -> 3.0, the max
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        traveler = BasicTraveler(build_dominant_graph(small_dataset))
+        result = traveler.top_k(LinearFunction([1.0, 0.0]), 100)
+        assert len(result) == len(small_dataset)
+
+    @pytest.mark.parametrize("maker", [uniform, gaussian, correlated])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_bruteforce(self, maker, k):
+        dataset = maker(200, 3, seed=11)
+        traveler = BasicTraveler(build_dominant_graph(dataset))
+        f = LinearFunction([0.5, 0.3, 0.2])
+        assert_correct_topk(traveler.top_k(f, k), dataset, f, k)
+
+    def test_scores_non_increasing(self):
+        dataset = uniform(100, 2, seed=4)
+        result = BasicTraveler(build_dominant_graph(dataset)).top_k(
+            LinearFunction([0.7, 0.3]), 20
+        )
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_nonlinear_monotone_functions(self):
+        # DG's distinguishing feature vs ONION/PREFER/AppRI.
+        dataset = uniform(150, 3, seed=6)
+        traveler = BasicTraveler(build_dominant_graph(dataset))
+        for f in (MinFunction(), ProductFunction([1.0, 1.0, 1.0])):
+            assert_correct_topk(traveler.top_k(f, 10), dataset, f, 10)
+
+    def test_search_space_less_than_full_scan(self):
+        dataset = uniform(500, 3, seed=8)
+        result = BasicTraveler(build_dominant_graph(dataset)).top_k(
+            LinearFunction([0.4, 0.4, 0.2]), 10
+        )
+        assert result.stats.computed < len(dataset) / 2
+
+    def test_only_first_layer_computed_for_k1(self):
+        dataset = uniform(200, 2, seed=9)
+        graph = build_dominant_graph(dataset)
+        result = BasicTraveler(graph).top_k(LinearFunction([0.5, 0.5]), 1)
+        assert result.stats.computed == len(graph.layer(0))
+
+    def test_computed_ids_tracked(self, small_dataset):
+        traveler = BasicTraveler(build_dominant_graph(small_dataset))
+        result = traveler.top_k(LinearFunction([0.5, 0.5]), 2)
+        assert result.ids[0] in result.stats.computed_ids
+
+    def test_child_computed_only_after_all_parents_answered(self):
+        # Record (1,1) has parents (2,1.5) and (1.5,2); with a query that
+        # ranks (2,1.5) first but (1.5,2) below (3,0), the child must not
+        # be scored at step 1.
+        dataset = Dataset([
+            [2.0, 1.5],   # 0
+            [1.5, 2.0],   # 1
+            [3.0, 0.0],   # 2
+            [1.0, 1.0],   # 3: child of 0 and 1
+        ])
+        graph = build_dominant_graph(dataset)
+        assert graph.parents_of(3) == frozenset({0, 1})
+        f = LinearFunction([0.9, 0.1])
+        result = BasicTraveler(graph).top_k(f, 2)
+        # top-2 = 2 (2.7), 0 (1.95); child 3 (1.0) never needed.
+        assert 3 not in result.stats.computed_ids
+
+    def test_deterministic_tie_break_by_id(self):
+        dataset = Dataset([[1.0, 1.0], [1.0, 1.0], [0.5, 0.5]])
+        result = BasicTraveler(build_dominant_graph(dataset)).top_k(
+            LinearFunction([0.5, 0.5]), 1
+        )
+        assert result.ids == (0,)
+
+    def test_graph_property(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        assert BasicTraveler(graph).graph is graph
+
+    def test_repeated_queries_are_independent(self):
+        dataset = uniform(100, 3, seed=13)
+        traveler = BasicTraveler(build_dominant_graph(dataset))
+        f = LinearFunction([0.5, 0.25, 0.25])
+        first = traveler.top_k(f, 5)
+        second = traveler.top_k(f, 5)
+        assert first.ids == second.ids
+        assert first.stats.computed == second.stats.computed

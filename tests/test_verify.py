@@ -1,0 +1,91 @@
+"""Unit tests for the structured index verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.maintenance import delete_record, insert_record, mark_deleted
+from repro.core.verify import Issue, format_issues, verify_graph
+from repro.data.generators import all_skyline, uniform
+
+
+class TestCleanGraphs:
+    def test_plain_graph_clean(self):
+        graph = build_dominant_graph(uniform(100, 3, seed=1))
+        assert verify_graph(graph) == []
+
+    def test_extended_graph_clean(self):
+        graph = build_extended_graph(all_skyline(80, 3, seed=2), theta=8)
+        assert verify_graph(graph) == []
+
+    def test_after_maintenance_clean(self):
+        dataset = uniform(120, 3, seed=3)
+        graph = build_dominant_graph(dataset, record_ids=range(100))
+        for rid in range(100, 120):
+            insert_record(graph, rid)
+        for rid in range(0, 20):
+            delete_record(graph, rid)
+        assert verify_graph(graph) == []
+
+    def test_mark_deleted_records_allowed(self):
+        graph = build_dominant_graph(uniform(50, 2, seed=4))
+        mark_deleted(graph, 0)
+        assert verify_graph(graph) == []
+
+    def test_format_ok(self):
+        assert "index OK" in format_issues([])
+
+
+class TestDetection:
+    def test_detects_bad_edge_span(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.add_edge(0, 3)  # layer 0 -> layer 2
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "edge-span" in codes
+
+    def test_detects_missing_dominator_edge(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.remove_edge(5, 3)
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "incomplete-parents" in codes
+
+    def test_detects_orphan(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.remove_edge(5, 3)
+        graph.remove_edge(2, 3)
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "orphan" in codes
+
+    def test_detects_intra_layer_dominance(self):
+        dataset = Dataset([[2.0, 2.0], [1.0, 1.0]])
+        graph = build_dominant_graph(dataset)
+        graph.move_record(1, 0)
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "intra-layer" in codes
+
+    def test_detects_empty_layer(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.ensure_layers(10)
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "empty-layer" in codes
+
+    def test_max_issues_caps_output(self):
+        dataset = uniform(60, 2, seed=5)
+        graph = build_dominant_graph(dataset)
+        # Break many parent sets at once.
+        for rid in list(graph.iter_records()):
+            for child in list(graph.children_of(rid)):
+                graph.remove_edge(rid, child)
+        issues = verify_graph(graph, max_issues=5)
+        assert len(issues) == 5
+
+    def test_issue_str(self):
+        issue = Issue(code="orphan", message="no parent", record_id=7)
+        assert "orphan" in str(issue) and "record 7" in str(issue)
+
+    def test_format_lists_each_issue(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.remove_edge(5, 3)
+        text = format_issues(verify_graph(graph))
+        assert "issue(s) found" in text

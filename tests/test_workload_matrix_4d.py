@@ -1,0 +1,60 @@
+"""4-dimensional agreement matrix: the integration net at another m.
+
+The main agreement matrix runs at m=3 (the paper's primary setting);
+this one re-checks every algorithm at m=4 where layer structure, hull
+peeling, grid cells, and ranked-list depths all behave differently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AppRIIndex,
+    CombinedAlgorithm,
+    LPTAIndex,
+    NoRandomAccess,
+    OnionIndex,
+    PreferIndex,
+    RankCubeIndex,
+    ThresholdAlgorithm,
+    naive_top_k,
+)
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.functions import LinearFunction
+from repro.core.nway import NWayTraveler
+from repro.data.generators import anticorrelated, gaussian, uniform
+
+WORKLOADS_4D = {
+    "U4": lambda: uniform(180, 4, seed=201),
+    "G4": lambda: gaussian(180, 4, seed=202),
+    "A4": lambda: anticorrelated(120, 4, seed=203),
+}
+
+QUERY = LinearFunction([0.4, 0.3, 0.2, 0.1])
+
+
+def algorithms_4d(dataset):
+    yield "dg", AdvancedTraveler(build_extended_graph(dataset, theta=8)).top_k
+    yield "nway", NWayTraveler(dataset, [(0, 1), (2, 3)], theta=8).top_k
+    yield "ta", ThresholdAlgorithm(dataset).top_k
+    yield "ca", CombinedAlgorithm(dataset).top_k
+    yield "nra", NoRandomAccess(dataset).top_k
+    yield "onion", OnionIndex(dataset).top_k
+    yield "appri", AppRIIndex(dataset).top_k
+    yield "prefer", PreferIndex(dataset).top_k
+    yield "lpta", LPTAIndex(dataset).top_k
+    yield "rankcube", RankCubeIndex(dataset).top_k
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS_4D))
+@pytest.mark.parametrize("k", [1, 15])
+def test_agreement_matrix_4d(workload, k):
+    dataset = WORKLOADS_4D[workload]()
+    reference = naive_top_k(dataset, QUERY, k).score_multiset()
+    for name, top_k in algorithms_4d(dataset):
+        result = top_k(QUERY, k)
+        np.testing.assert_allclose(
+            result.score_multiset(), reference, atol=1e-9,
+            err_msg=f"{name} disagrees on {workload} k={k}",
+        )
