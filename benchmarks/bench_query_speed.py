@@ -1,0 +1,148 @@
+"""Reference vs compiled engine query-speed benchmark (``BENCH_query.json``).
+
+Runs the same linear top-k workload through the reference
+:class:`~repro.core.advanced.AdvancedTraveler` and the compiled
+flat-array kernel (:mod:`repro.core.compiled`) over a grid of uniform
+datasets, and writes a machine-readable report.  Because the two engines
+return bit-identical answers (enforced per query here and exhaustively
+in ``tests/test_compiled_parity.py``), the comparison isolates pure
+engine overhead: Python object traversal + per-record scoring versus
+CSR arrays + heap CL + batch scoring.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_speed.py
+    PYTHONPATH=src python benchmarks/bench_query_speed.py --smoke --out /tmp/b.json
+
+The default grid is n in {10_000, 50_000} x d in {3, 4, 5} at k=50;
+``--smoke`` shrinks it to a seconds-long sanity run for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.advanced import AdvancedTraveler  # noqa: E402
+from repro.core.builder import build_dominant_graph  # noqa: E402
+from repro.core.compiled import CompiledAdvancedTraveler  # noqa: E402
+from repro.core.functions import LinearFunction  # noqa: E402
+from repro.data.generators import uniform  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_query.json")
+
+
+def make_queries(dims: int, count: int, seed: int = 0) -> list:
+    """A fixed workload of normalized linear preference functions."""
+    rng = np.random.default_rng(seed)
+    return [LinearFunction(rng.dirichlet(np.ones(dims))) for _ in range(count)]
+
+
+def time_engine(traveler, queries, k: int, repeats: int) -> dict:
+    """Best-of-``repeats`` mean wall clock per query, plus records/sec."""
+    per_round = []
+    computed = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for query in queries:
+            result = traveler.top_k(query, k)
+        per_round.append((time.perf_counter() - start) / len(queries))
+        computed = result.stats.computed
+    best = min(per_round)
+    return {
+        "mean_query_seconds": best,
+        "last_query_computed": computed,
+        "records_per_second": computed / best if best > 0 else float("inf"),
+    }
+
+
+def run_cell(n: int, dims: int, k: int, queries: int, repeats: int,
+             seed: int) -> dict:
+    """Benchmark one (n, dims) grid cell; also cross-checks answers."""
+    dataset = uniform(n, dims, seed=seed)
+    graph = build_dominant_graph(dataset)
+    reference = AdvancedTraveler(graph)
+    compile_start = time.perf_counter()
+    compiled = CompiledAdvancedTraveler(graph.compile())
+    compile_seconds = time.perf_counter() - compile_start
+
+    workload = make_queries(dims, queries, seed=seed + 1)
+    for query in workload:  # identical-answer guard before timing
+        ref = reference.top_k(query, k)
+        fast = compiled.top_k(query, k)
+        assert ref.ids == fast.ids and ref.scores == fast.scores, (
+            f"engine mismatch at n={n} d={dims}"
+        )
+
+    ref_stats = time_engine(reference, workload, k, repeats)
+    fast_stats = time_engine(compiled, workload, k, repeats)
+    speedup = (ref_stats["mean_query_seconds"]
+               / fast_stats["mean_query_seconds"])
+    cell = {
+        "n": n,
+        "dims": dims,
+        "k": k,
+        "queries": queries,
+        "compile_seconds": compile_seconds,
+        "reference": ref_stats,
+        "compiled": fast_stats,
+        "speedup": speedup,
+    }
+    print(f"n={n:>6} d={dims}  ref={1000 * ref_stats['mean_query_seconds']:8.3f}ms  "
+          f"compiled={1000 * fast_stats['mean_query_seconds']:8.3f}ms  "
+          f"speedup={speedup:5.2f}x")
+    return cell
+
+
+def main(argv=None) -> int:
+    """Entry point: run the grid and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid for CI smoke testing")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_query.json)")
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        grid = [(500, 3)]
+        args.queries = min(args.queries, 3)
+        args.repeats = 1
+        k = min(args.k, 10)
+    else:
+        grid = [(n, d) for n in (10_000, 50_000) for d in (3, 4, 5)]
+        k = args.k
+
+    cells = [
+        run_cell(n, d, k, args.queries, args.repeats, args.seed)
+        for n, d in grid
+    ]
+    report = {
+        "benchmark": "query_speed_reference_vs_compiled",
+        "workload": "uniform data, Dirichlet linear functions, plain DG",
+        "smoke": args.smoke,
+        "results": cells,
+        "min_speedup": min(c["speedup"] for c in cells),
+        "max_speedup": max(c["speedup"] for c in cells),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

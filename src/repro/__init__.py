@@ -26,6 +26,9 @@ Subpackages
 from repro.core import (
     AdvancedTraveler,
     BasicTraveler,
+    CompiledAdvancedTraveler,
+    CompiledBasicTraveler,
+    CompiledDG,
     Dataset,
     DecomposableFunction,
     DominantGraph,
@@ -54,6 +57,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AdvancedTraveler",
     "BasicTraveler",
+    "CompiledAdvancedTraveler",
+    "CompiledBasicTraveler",
+    "CompiledDG",
     "Dataset",
     "DecomposableFunction",
     "DominantGraph",

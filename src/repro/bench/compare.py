@@ -22,6 +22,7 @@ from repro.baselines.rankcube import RankCubeIndex
 from repro.baselines.ta import ThresholdAlgorithm
 from repro.core.advanced import AdvancedTraveler
 from repro.core.builder import build_extended_graph
+from repro.core.compiled import CompiledAdvancedTraveler
 from repro.core.dataset import Dataset
 from repro.metrics.timing import Timer
 
@@ -37,11 +38,22 @@ class AlgorithmReport:
     correct: bool
 
 
-def default_suite(dataset: Dataset, theta: int | None = None, seed: int = 0) -> dict:
+def default_suite(
+    dataset: Dataset,
+    theta: int | None = None,
+    seed: int = 0,
+    engine: str = "reference",
+) -> dict:
     """Build the standard algorithm suite over a dataset.
 
-    Returns ``name -> (build_seconds, top_k callable)``.
+    Returns ``name -> (build_seconds, top_k callable)``.  ``engine``
+    selects what serves the DG entry: the ``"reference"`` Traveler over
+    the mutable graph, or the ``"compiled"`` flat-array kernel
+    (:mod:`repro.core.compiled`); its build time then includes the
+    compilation step.
     """
+    if engine not in ("reference", "compiled"):
+        raise ValueError(f"unknown engine {engine!r}")
     suite: dict = {}
 
     def register(name, builder):
@@ -49,9 +61,13 @@ def default_suite(dataset: Dataset, theta: int | None = None, seed: int = 0) -> 
             instance = builder()
         suite[name] = (timer.elapsed, instance.top_k)
 
-    register("DG", lambda: AdvancedTraveler(
-        build_extended_graph(dataset, theta=theta, seed=seed)
-    ))
+    def build_dg():
+        graph = build_extended_graph(dataset, theta=theta, seed=seed)
+        if engine == "compiled":
+            return CompiledAdvancedTraveler(graph.compile())
+        return AdvancedTraveler(graph)
+
+    register("DG", build_dg)
     register("TA", lambda: ThresholdAlgorithm(dataset))
     register("CA", lambda: CombinedAlgorithm(dataset))
     register("ONION", lambda: OnionIndex(dataset))
@@ -68,6 +84,7 @@ def compare_algorithms(
     suite: dict | None = None,
     theta: int | None = None,
     seed: int = 0,
+    engine: str = "reference",
 ) -> list:
     """Run every algorithm over every query; return per-algorithm reports.
 
@@ -75,13 +92,15 @@ def compare_algorithms(
     multiset must match a brute-force scan (``correct`` is the AND over
     the workload).  CA's ``mean_accessed`` counts random accesses, per
     the paper's convention; everything else counts scored records.
+    ``engine`` picks the DG entry's implementation (see
+    :func:`default_suite`).
     """
     if k <= 0:
         raise ValueError("k must be positive")
     if not queries:
         raise ValueError("need at least one query")
     if suite is None:
-        suite = default_suite(dataset, theta=theta, seed=seed)
+        suite = default_suite(dataset, theta=theta, seed=seed, engine=engine)
 
     expected = []
     for query in queries:

@@ -27,6 +27,7 @@ from repro.bench import experiments
 from repro.bench.report import format_table
 from repro.core.advanced import AdvancedTraveler
 from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.compiled import CompiledAdvancedTraveler
 from repro.core.dataset import Dataset
 from repro.core.functions import LinearFunction
 from repro.core.io import load_graph, save_graph
@@ -110,7 +111,10 @@ def cmd_query(args: argparse.Namespace) -> int:
         profile = explain_top_k(graph, function, args.k)
         print(profile.format())
         return 0
-    traveler = AdvancedTraveler(graph)
+    if args.engine == "compiled":
+        traveler = CompiledAdvancedTraveler(graph.compile())
+    else:
+        traveler = AdvancedTraveler(graph)
     with Timer() as timer:
         result = traveler.top_k(function, args.k)
     names = graph.dataset.attribute_names
@@ -184,7 +188,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     queries = random_queries(
         dataset.dims, args.queries, alpha=args.alpha, seed=args.seed
     )
-    reports = compare_algorithms(dataset, queries, args.k, seed=args.seed)
+    reports = compare_algorithms(
+        dataset, queries, args.k, seed=args.seed, engine=args.engine
+    )
     print(format_report(reports, args.k, len(queries)))
     return 0 if all(r.correct for r in reports) else 1
 
@@ -241,8 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--weights", required=True,
                    help="comma-separated non-negative weights")
     p.add_argument("--k", type=int, default=10)
+    p.add_argument("--engine", choices=["reference", "compiled"],
+                   default="reference",
+                   help="query engine: reference Traveler or the compiled "
+                        "flat-array kernel (identical answers, faster)")
     p.add_argument("--explain", action="store_true",
-                   help="print the per-layer traversal profile instead")
+                   help="print the per-layer traversal profile instead "
+                        "(always uses the reference engine)")
     p.set_defaults(run=cmd_query)
 
     p = sub.add_parser("inspect", help="print index statistics")
@@ -269,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=1.0,
                    help="Dirichlet concentration of the query workload")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["reference", "compiled"],
+                   default="reference",
+                   help="engine behind the DG entry of the comparison")
     p.set_defaults(run=cmd_compare)
 
     p = sub.add_parser("experiment", help="run a paper experiment")

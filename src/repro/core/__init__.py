@@ -13,12 +13,20 @@ The subpackage layout follows the paper's structure:
 - :mod:`repro.core.cost` — the cost model (Theorems 3.1 and 3.2).
 - :mod:`repro.core.pseudo` — pseudo records / Extended DG (Section IV-A).
 - :mod:`repro.core.advanced` — Advanced Traveler (Algorithm 2).
+- :mod:`repro.core.compiled` — compiled flat-array engine (CSR adjacency,
+  heap CL, in-degree unlock, batch scoring); bit-identical to the
+  reference Travelers.
 - :mod:`repro.core.nway` — N-Way Traveler (Algorithm 3, Section IV-C).
 - :mod:`repro.core.maintenance` — insertion/deletion (Section V).
 """
 
 from repro.core.advanced import AdvancedTraveler
 from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.compiled import (
+    CompiledAdvancedTraveler,
+    CompiledBasicTraveler,
+    CompiledDG,
+)
 from repro.core.dataset import Dataset
 from repro.core.functions import (
     DecomposableFunction,
@@ -45,6 +53,9 @@ from repro.core.traveler import BasicTraveler
 __all__ = [
     "AdvancedTraveler",
     "BasicTraveler",
+    "CompiledAdvancedTraveler",
+    "CompiledBasicTraveler",
+    "CompiledDG",
     "Dataset",
     "DecomposableFunction",
     "DominantGraph",

@@ -26,6 +26,70 @@ from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
 
 
+class _LazyCandidateList:
+    """Algorithm 2's candidate list with lazy deletion.
+
+    Two sorted ``(-score, record_id)`` lists — answerable candidates and
+    sheltered ones (pseudo / filtered-out records, which truncation must
+    never drop) — each behind a head counter.  ``pop_best`` takes the
+    smaller head and advances its counter instead of ``list.pop(0)``
+    (O(n) memmove), and ``truncate`` deletes the answerable tail in place
+    instead of rebuilding the whole list by re-testing every entry; both
+    made the reference engine accidentally quadratic in CL size.  Dead
+    prefixes are compacted once they dominate their list.
+
+    Pop order and truncation semantics are exactly the original merged
+    list's: pops follow global ``(-score, id)`` order, and truncation
+    keeps the best ``keep`` answerable candidates plus every sheltered
+    one.
+    """
+
+    def __init__(self) -> None:
+        self._answerable: list = []
+        self._sheltered: list = []
+        self._a_head = 0
+        self._s_head = 0
+
+    def __len__(self) -> int:
+        return (
+            len(self._answerable) - self._a_head
+            + len(self._sheltered) - self._s_head
+        )
+
+    def insert(self, neg_score: float, record_id: int, answerable: bool) -> None:
+        """File a scored record under the answerable or sheltered list."""
+        if answerable:
+            bisect.insort(
+                self._answerable, (neg_score, record_id), lo=self._a_head
+            )
+        else:
+            bisect.insort(
+                self._sheltered, (neg_score, record_id), lo=self._s_head
+            )
+
+    def pop_best(self) -> tuple:
+        """Remove the best live candidate; return ``(-score, id, answerable)``."""
+        a = self._answerable[self._a_head] if self._a_head < len(self._answerable) else None
+        s = self._sheltered[self._s_head] if self._s_head < len(self._sheltered) else None
+        if s is None or (a is not None and a < s):
+            self._a_head += 1
+            if self._a_head > 64 and self._a_head * 2 >= len(self._answerable):
+                del self._answerable[: self._a_head]
+                self._a_head = 0
+            return a[0], a[1], True
+        self._s_head += 1
+        if self._s_head > 64 and self._s_head * 2 >= len(self._sheltered):
+            del self._sheltered[: self._s_head]
+            self._s_head = 0
+        return s[0], s[1], False
+
+    def truncate(self, keep_answers: int) -> None:
+        """Drop all but the best ``keep_answers`` answerable candidates."""
+        limit = self._a_head + max(keep_answers, 0)
+        if limit < len(self._answerable):
+            del self._answerable[limit:]
+
+
 class AdvancedTraveler:
     """Algorithm 2 over an Extended (or plain) Dominant Graph.
 
@@ -78,51 +142,34 @@ class AdvancedTraveler:
         graph = self._graph
         stats = AccessCounter()
         computed: set = set()
-        # CL holds (-score, record_id); index 0 is the best candidate.
-        candidates: list = []
+        # Pseudo and filtered-out records are sheltered from truncation:
+        # discarding one could lock a subtree whose answerable records are
+        # still needed.
+        candidates = _LazyCandidateList()
 
         def is_answer(rid: int) -> bool:
             if graph.is_pseudo(rid):
                 return False
             return where is None or bool(where(graph.vector(rid)))
 
-        answerable: dict = {}
-
         def score_into_cl(rid: int) -> None:
             pseudo = graph.is_pseudo(rid)
             score = function(graph.vector(rid))
             stats.count_computed(rid, pseudo=pseudo)
             computed.add(rid)
-            answerable[rid] = is_answer(rid)
-            bisect.insort(candidates, (-score, rid))
-
-        def truncate(keep_answers: int) -> None:
-            """Drop all but the best ``keep_answers`` answerable candidates.
-
-            Pseudo and filtered-out records are always kept: discarding
-            one could lock a subtree whose answerable records are needed.
-            """
-            kept_answers = 0
-            kept: list = []
-            for entry in candidates:
-                if not answerable[entry[1]]:
-                    kept.append(entry)
-                elif kept_answers < keep_answers:
-                    kept.append(entry)
-                    kept_answers += 1
-            candidates[:] = kept
+            candidates.insert(-score, rid, is_answer(rid))
 
         for rid in sorted(graph.layer(0)):
             score_into_cl(rid)
-        truncate(k)
+        candidates.truncate(k)
 
         answers: list = []
         in_result: set = set()
         found = 0
-        while found < k and candidates:
-            neg_score, rid = candidates.pop(0)
+        while found < k and len(candidates):
+            neg_score, rid, answerable = candidates.pop_best()
             in_result.add(rid)
-            if answerable[rid]:
+            if answerable:
                 answers.append((-neg_score, rid))
                 found += 1
                 if found == k:
@@ -133,6 +180,6 @@ class AdvancedTraveler:
                 if any(parent not in in_result for parent in graph.parents_of(child)):
                     continue
                 score_into_cl(child)
-            truncate(k - found)
+            candidates.truncate(k - found)
 
         return TopKResult.from_pairs(answers, stats, algorithm=self.name)

@@ -82,14 +82,22 @@ def _wire_consecutive_layers(
     layers: Sequence[np.ndarray],
     dataset: Dataset,
 ) -> None:
-    """Add every dominance edge between each pair of consecutive layers."""
+    """Add every dominance edge between each pair of consecutive layers.
+
+    Bulk path: one :meth:`~repro.core.graph.DominantGraph.add_children`
+    call per parent (a whole dominance-matrix row at a time) instead of
+    one ``add_edge`` call per edge.
+    """
     for upper_ids, lower_ids in zip(layers, layers[1:]):
-        upper = dataset.values[np.asarray(upper_ids, dtype=np.intp)]
-        lower = dataset.values[np.asarray(lower_ids, dtype=np.intp)]
-        matrix = dominance_matrix(upper, lower)
-        parent_rows, child_cols = np.nonzero(matrix)
-        for pr, cc in zip(parent_rows, child_cols):
-            graph.add_edge(int(upper_ids[pr]), int(lower_ids[cc]))
+        upper_arr = np.asarray(upper_ids, dtype=np.intp)
+        lower_arr = np.asarray(lower_ids, dtype=np.intp)
+        matrix = dominance_matrix(
+            dataset.values[upper_arr], dataset.values[lower_arr]
+        )
+        for row, parent in enumerate(upper_arr.tolist()):
+            children = lower_arr[matrix[row]]
+            if children.size:
+                graph.add_children(parent, children.tolist())
 
 
 def build_extended_graph(

@@ -1,0 +1,353 @@
+"""Compiled flat-array Dominant Graph engine.
+
+The reference Travelers (:mod:`repro.core.traveler`,
+:mod:`repro.core.advanced`) follow the paper line by line over the mutable
+:class:`~repro.core.graph.DominantGraph` — sets-of-ints adjacency, one
+Python ``function(vector)`` call per scored record, a sorted candidate
+list.  Their cost is dominated by Python dispatch, not by record access.
+This module trades mutability for speed: :meth:`DominantGraph.compile`
+freezes the graph into a :class:`CompiledDG` — a handful of contiguous
+numpy arrays — and the compiled Travelers run Algorithm 1/2 over it with
+
+- a contiguous ``(N, m)`` float64 **value matrix** (pseudo vectors
+  inlined alongside real rows),
+- **CSR adjacency**: ``children_indptr``/``children_indices`` and
+  ``parents_indptr``/``parents_indices`` int32 arrays,
+- a ``heapq`` **candidate list** of ``(-score, record_id)`` instead of a
+  sorted list with O(n) front pops,
+- **in-degree unlock**: each record carries its parent count; when a
+  parent is answered every child's counter is decremented *vectorized
+  over the CSR row*, and a child unlocks exactly when it hits zero —
+  O(1) per edge instead of re-scanning all parents per visit,
+- **batch scoring**: the first layer and every unlock batch go through
+  ``ScoringFunction.score_many`` — one numpy call per batch instead of
+  one Python call per record.
+
+Bit-identical results
+---------------------
+The compiled engine returns exactly the reference engine's
+:class:`~repro.core.result.TopKResult` — same ids, same float scores,
+same :class:`~repro.metrics.counters.AccessCounter` tallies — which is
+what ``tests/test_compiled_parity.py`` sweeps.  Two facts make this hold:
+
+1. Bundled scoring functions guarantee ``score_many`` rows match
+   ``__call__`` bit-for-bit regardless of batch size (see
+   :mod:`repro.core.functions`); custom functions must uphold the same
+   contract to get bit-identical parity.
+2. The compiled kernels never truncate the candidate list, yet observable
+   behaviour is unchanged.  The paper's lines 10-11 drop every answerable
+   candidate beaten by the best ``k - n`` answerable candidates.  Once a
+   drop has occurred the retained answerable set stays saturated at
+   exactly ``k - n`` entries (pops shrink it in step with ``k - n``;
+   newly unlocked children enter only by displacing a worse retained
+   entry), so every retained entry always outranks every dropped one, the
+   best candidate is never a dropped one, and the loop reaches ``k``
+   answers before any dropped entry could pop.  Hence the pop sequence —
+   and with it the unlocked/scored set — is identical with or without
+   truncation; truncation only bounds memory, which the heap does not
+   need.
+
+Staleness
+---------
+A ``CompiledDG`` records the source graph's
+:attr:`~repro.core.graph.DominantGraph.version`.  Mutating the graph
+afterwards (maintenance inserts/deletes, edge edits) invalidates the
+snapshot; its query kernels raise rather than serve answers from a
+structure that no longer exists.  Recompile after maintenance batches.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+
+
+class CompiledDG:
+    """Immutable flat-array snapshot of a :class:`DominantGraph`.
+
+    Records are re-numbered into *dense* indices ``0..N-1`` sorted by
+    ``(layer, record_id)``, so the first layer occupies a prefix and every
+    CSR row lists children/parents in ascending record-id order.  All
+    query results are reported in original record ids.
+
+    Build with :meth:`from_graph` (or ``graph.compile()``); query with
+    :class:`CompiledBasicTraveler` / :class:`CompiledAdvancedTraveler`.
+    """
+
+    def __init__(
+        self,
+        *,
+        values: np.ndarray,
+        record_ids: np.ndarray,
+        layer_index: np.ndarray,
+        pseudo_mask: np.ndarray,
+        children_indptr: np.ndarray,
+        children_indices: np.ndarray,
+        parents_indptr: np.ndarray,
+        parents_indices: np.ndarray,
+        indegree: np.ndarray,
+        first_layer_size: int,
+        source: DominantGraph | None = None,
+        source_version: int = 0,
+    ) -> None:
+        self.values = values
+        self.record_ids = record_ids
+        self.layer_index = layer_index
+        self.pseudo_mask = pseudo_mask
+        self.children_indptr = children_indptr
+        self.children_indices = children_indices
+        self.parents_indptr = parents_indptr
+        self.parents_indices = parents_indices
+        self.indegree = indegree
+        self.first_layer_size = int(first_layer_size)
+        self._source = source
+        self._source_version = source_version
+        for array in (
+            values, record_ids, layer_index, pseudo_mask, children_indptr,
+            children_indices, parents_indptr, parents_indices, indegree,
+        ):
+            array.setflags(write=False)
+
+    @classmethod
+    def from_graph(cls, graph: DominantGraph) -> "CompiledDG":
+        """Snapshot a (possibly Extended) Dominant Graph into flat arrays."""
+        order = sorted(
+            ((graph.layer_of(rid), rid) for rid in graph.iter_records())
+        )
+        ids = [rid for _, rid in order]
+        n = len(ids)
+        dims = graph.dataset.dims
+        dense_of = {rid: i for i, rid in enumerate(ids)}
+
+        values = np.empty((n, dims), dtype=np.float64)
+        pseudo_mask = np.zeros(n, dtype=bool)
+        layer_index = np.empty(n, dtype=np.int32)
+        for i, (layer, rid) in enumerate(order):
+            values[i] = graph.vector(rid)
+            pseudo_mask[i] = graph.is_pseudo(rid)
+            layer_index[i] = layer
+
+        children_indptr = np.zeros(n + 1, dtype=np.int32)
+        parents_indptr = np.zeros(n + 1, dtype=np.int32)
+        children_chunks: list = []
+        parents_chunks: list = []
+        for i, rid in enumerate(ids):
+            kids = sorted(dense_of[c] for c in graph.children_of(rid))
+            folks = sorted(dense_of[p] for p in graph.parents_of(rid))
+            children_chunks.extend(kids)
+            parents_chunks.extend(folks)
+            children_indptr[i + 1] = len(children_chunks)
+            parents_indptr[i + 1] = len(parents_chunks)
+        children_indices = np.asarray(children_chunks, dtype=np.int32)
+        parents_indices = np.asarray(parents_chunks, dtype=np.int32)
+        indegree = np.diff(parents_indptr).astype(np.int32)
+
+        first = int(np.searchsorted(layer_index, 0, side="right")) if n else 0
+        return cls(
+            values=values,
+            record_ids=np.asarray(ids, dtype=np.int64),
+            layer_index=layer_index,
+            pseudo_mask=pseudo_mask,
+            children_indptr=children_indptr,
+            children_indices=children_indices,
+            parents_indptr=parents_indptr,
+            parents_indices=parents_indices,
+            indegree=indegree,
+            first_layer_size=first,
+            source=graph,
+            source_version=graph.version,
+        )
+
+    @property
+    def num_records(self) -> int:
+        """Indexed record count, pseudo included."""
+        return int(self.record_ids.shape[0])
+
+    @property
+    def num_pseudo(self) -> int:
+        """How many snapshot records are pseudo records."""
+        return int(self.pseudo_mask.sum())
+
+    @property
+    def num_edges(self) -> int:
+        """Total parent -> child edges in the snapshot."""
+        return int(self.children_indices.shape[0])
+
+    @property
+    def stale(self) -> bool:
+        """True when the source graph has mutated since compilation."""
+        return (
+            self._source is not None
+            and self._source.version != self._source_version
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledDG(records={self.num_records}, "
+            f"pseudo={self.num_pseudo}, edges={self.num_edges}, "
+            f"stale={self.stale})"
+        )
+
+
+def _traverse(
+    compiled: CompiledDG,
+    function: ScoringFunction,
+    k: int,
+    where,
+    algorithm: str,
+) -> TopKResult:
+    """Shared Algorithm 1/2 kernel over a :class:`CompiledDG`.
+
+    Best-first heap traversal with in-degree unlocking and batch scoring;
+    see the module docstring for why skipping CL truncation is exact.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if compiled.stale:
+        raise RuntimeError(
+            "CompiledDG is stale: the source DominantGraph mutated after "
+            "compile(); rebuild the snapshot with graph.compile()"
+        )
+    values = compiled.values
+    ids = compiled.record_ids
+    pseudo = compiled.pseudo_mask
+    indptr = compiled.children_indptr
+    indices = compiled.children_indices
+    remaining = compiled.indegree.copy()
+    stats = AccessCounter()
+    answerable = np.zeros(compiled.num_records, dtype=bool)
+    heap: list = []
+
+    def unlock(batch: np.ndarray) -> None:
+        """Score a dense-index batch and push it onto the candidate heap."""
+        scores = function.score_many(values[batch])
+        originals = ids[batch]
+        stats.count_computed_batch(
+            originals.tolist(), pseudo=int(pseudo[batch].sum())
+        )
+        if where is None:
+            answerable[batch] = ~pseudo[batch]
+        else:
+            for dense in batch.tolist():
+                answerable[dense] = not pseudo[dense] and bool(
+                    where(values[dense])
+                )
+        for dense, orig, score in zip(
+            batch.tolist(), originals.tolist(), scores.tolist()
+        ):
+            heapq.heappush(heap, (-score, orig, dense))
+
+    if compiled.first_layer_size:
+        unlock(np.arange(compiled.first_layer_size, dtype=np.intp))
+
+    answers: list = []
+    found = 0
+    while found < k and heap:
+        neg_score, orig, dense = heapq.heappop(heap)
+        if answerable[dense]:
+            answers.append((-neg_score, orig))
+            found += 1
+            if found == k:
+                break
+        lo, hi = int(indptr[dense]), int(indptr[dense + 1])
+        if lo == hi:
+            continue
+        kids = indices[lo:hi].astype(np.intp)
+        decremented = remaining[kids] - 1
+        remaining[kids] = decremented
+        ready = kids[decremented == 0]
+        if ready.size:
+            unlock(ready)
+
+    return TopKResult.from_pairs(answers, stats, algorithm=algorithm)
+
+
+class CompiledBasicTraveler:
+    """Basic Traveler (Algorithm 1) over a :class:`CompiledDG` snapshot.
+
+    Same contract as :class:`~repro.core.traveler.BasicTraveler` — plain
+    DGs only — with bit-identical results and access counts.
+
+    Examples
+    --------
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5]])
+    >>> compiled = build_dominant_graph(ds).compile()
+    >>> result = CompiledBasicTraveler(compiled).top_k(
+    ...     LinearFunction([0.5, 0.5]), k=2)
+    >>> sorted(result.ids)
+    [0, 1]
+    """
+
+    name = "compiled-basic-traveler"
+
+    def __init__(self, compiled: CompiledDG) -> None:
+        if compiled.num_pseudo:
+            raise ValueError(
+                "CompiledBasicTraveler requires a plain DG; use "
+                "CompiledAdvancedTraveler for graphs with pseudo records"
+            )
+        self._compiled = compiled
+
+    @property
+    def compiled(self) -> CompiledDG:
+        """The underlying snapshot."""
+        return self._compiled
+
+    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+        """Answer a top-k query for any aggregate monotone ``function``."""
+        return _traverse(self._compiled, function, k, None, self.name)
+
+
+class CompiledAdvancedTraveler:
+    """Advanced Traveler (Algorithm 2) over a :class:`CompiledDG` snapshot.
+
+    Handles Extended DGs (pseudo records never count toward ``k``) and the
+    ``where=`` filtered path, bit-identical to
+    :class:`~repro.core.advanced.AdvancedTraveler`.
+
+    Examples
+    --------
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.builder import build_extended_graph
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5]])
+    >>> compiled = build_extended_graph(ds, theta=2).compile()
+    >>> result = CompiledAdvancedTraveler(compiled).top_k(
+    ...     LinearFunction([0.5, 0.5]), k=2)
+    >>> sorted(result.ids)
+    [0, 1]
+    """
+
+    name = "compiled-advanced-traveler"
+
+    def __init__(self, compiled: CompiledDG) -> None:
+        self._compiled = compiled
+
+    @property
+    def compiled(self) -> CompiledDG:
+        """The underlying snapshot."""
+        return self._compiled
+
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        where=None,
+    ) -> TopKResult:
+        """Answer a top-k query; only real, ``where``-matching records count.
+
+        Parameters mirror
+        :meth:`repro.core.advanced.AdvancedTraveler.top_k`: ``where`` is an
+        optional ``vector -> bool`` predicate; non-matching records are
+        traversed (they still unlock their subtrees) but never reported.
+        """
+        return _traverse(self._compiled, function, k, where, self.name)

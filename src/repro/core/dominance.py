@@ -48,18 +48,32 @@ def dominated_by(point: np.ndarray, block: np.ndarray) -> np.ndarray:
     return np.logical_and(ge.all(axis=1), gt.any(axis=1))
 
 
-def dominance_matrix(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
+def dominance_matrix(
+    upper: np.ndarray, lower: np.ndarray, block_rows: int = 256
+) -> np.ndarray:
     """Boolean matrix ``M[i, j]`` = "``upper[i]`` dominates ``lower[j]``".
 
     Used to build the bipartite parent-children edges between consecutive
-    DG layers (Definition 2.4) in a single broadcast.  ``upper`` is
-    ``(a, m)``, ``lower`` is ``(b, m)``; the result is ``(a, b)``.
+    DG layers (Definition 2.4).  ``upper`` is ``(a, m)``, ``lower`` is
+    ``(b, m)``; the result is ``(a, b)``.
+
+    The broadcast is chunked over ``block_rows`` rows of ``upper`` at a
+    time: a single ``(a, b, m)`` comparison needs ``2*a*b*m`` bytes of
+    temporaries, which blows up on large consecutive layers (two 5,000-row
+    layers in 10-d already need ~500 MB).  Chunking caps the peak at
+    ``2*block_rows*b*m`` bytes with identical output.
     """
-    u = upper[:, None, :]  # (a, 1, m)
-    l = lower[None, :, :]  # (1, b, m)
-    ge = (u >= l).all(axis=2)
-    gt = (u > l).any(axis=2)
-    return np.logical_and(ge, gt)
+    a = upper.shape[0]
+    b = lower.shape[0]
+    out = np.empty((a, b), dtype=bool)
+    lo = lower[None, :, :]  # (1, b, m)
+    for start in range(0, a, block_rows):
+        stop = min(start + block_rows, a)
+        u = upper[start:stop, None, :]  # (chunk, 1, m)
+        ge = (u >= lo).all(axis=2)
+        gt = (u > lo).any(axis=2)
+        np.logical_and(ge, gt, out=out[start:stop])
+    return out
 
 
 def maximal_mask(block: np.ndarray) -> np.ndarray:

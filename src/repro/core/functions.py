@@ -13,6 +13,17 @@ in one numpy call, and ``__call__`` scores a single vector.  The N-Way
 Traveler (Section IV-C) additionally needs a *decomposable* function
 ``F(x) = G(f1(x_I1), ..., fn(x_In))`` with monotone ``G``; see
 :class:`DecomposableFunction`.
+
+Determinism contract: for every bundled function, ``__call__(v)`` returns
+bit-for-bit the same float as the matching row of ``score_many(block)``,
+for any batch size and row subset.  The compiled DG engine
+(:mod:`repro.core.compiled`) scores unlocked records in batches while the
+reference Travelers score one record per call; this contract is what makes
+the two engines return bit-identical results.  It is why the weighted sums
+below use elementwise multiply + ``np.sum`` (pairwise summation over a
+fixed-length row, independent of batch shape) instead of BLAS ``dot`` /
+``gemv``, whose reduction order — and therefore last-bit rounding — changes
+with the batch size.
 """
 
 from __future__ import annotations
@@ -69,11 +80,11 @@ class LinearFunction:
         return self.weights.size
 
     def __call__(self, vector: np.ndarray) -> float:
-        return float(np.dot(self.weights, vector))
+        return float(np.sum(self.weights * vector))
 
     def score_many(self, block: np.ndarray) -> np.ndarray:
-        """Score an ``(n, m)`` block in one matrix-vector product."""
-        return np.asarray(block, dtype=np.float64) @ self.weights
+        """Score an ``(n, m)`` block; rows match ``__call__`` bit-for-bit."""
+        return np.sum(np.asarray(block, dtype=np.float64) * self.weights, axis=1)
 
     def restrict(self, dimensions: Sequence[int]) -> "LinearFunction":
         """Partial sum over a dimension subset (N-Way sub-function f_i)."""
@@ -157,14 +168,14 @@ class WeightedPowerFunction:
         v = np.asarray(vector, dtype=np.float64)
         if np.any(v < 0):
             raise ValueError("WeightedPowerFunction requires non-negative attributes")
-        return float(np.power(np.dot(self.weights, np.power(v, self.p)), 1.0 / self.p))
+        return float(np.power(np.sum(self.weights * np.power(v, self.p)), 1.0 / self.p))
 
     def score_many(self, block: np.ndarray) -> np.ndarray:
-        """Score an ``(n, m)`` block of non-negative records at once."""
+        """Score an ``(n, m)`` block; rows match ``__call__`` bit-for-bit."""
         b = np.asarray(block, dtype=np.float64)
         if np.any(b < 0):
             raise ValueError("WeightedPowerFunction requires non-negative attributes")
-        return np.power(np.power(b, self.p) @ self.weights, 1.0 / self.p)
+        return np.power(np.sum(np.power(b, self.p) * self.weights, axis=1), 1.0 / self.p)
 
     def __repr__(self) -> str:
         return f"WeightedPowerFunction({self.weights.tolist()}, p={self.p})"

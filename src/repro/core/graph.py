@@ -49,6 +49,7 @@ class DominantGraph:
         self._children: dict = {}
         self._pseudo_vectors: dict = {}
         self._next_pseudo_id = len(dataset)
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,6 +120,16 @@ class DominantGraph:
         """Total number of parent-child edges in the graph."""
         return sum(len(kids) for kids in self._children.values())
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        :class:`~repro.core.compiled.CompiledDG` snapshots record the
+        version they were built from; a mismatch means the snapshot is
+        stale and must be rebuilt with :meth:`compile`.
+        """
+        return self._version
+
     # ------------------------------------------------------------------
     # Mutation primitives (used by the builder and Section V maintenance)
     # ------------------------------------------------------------------
@@ -135,6 +146,7 @@ class DominantGraph:
             self._layer_of[rid] = layer + 1
         for rid in ids:
             self._layer_of[rid] = 0
+        self._version += 1
 
     def place_record(self, record_id: int, layer_index: int) -> None:
         """Put a record into a layer (no edges yet; caller wires them)."""
@@ -145,6 +157,7 @@ class DominantGraph:
         self._layer_of[record_id] = layer_index
         self._parents.setdefault(record_id, set())
         self._children.setdefault(record_id, set())
+        self._version += 1
 
     def move_record(self, record_id: int, new_layer: int) -> None:
         """Move a record to another layer, dropping all its edges.
@@ -161,6 +174,7 @@ class DominantGraph:
         self.ensure_layers(new_layer + 1)
         self._layers[new_layer].add(record_id)
         self._layer_of[record_id] = new_layer
+        self._version += 1
 
     def remove_record(self, record_id: int) -> None:
         """Remove a record and all of its edges from the index.
@@ -175,6 +189,7 @@ class DominantGraph:
         self._parents.pop(record_id, None)
         self._children.pop(record_id, None)
         self._pseudo_vectors.pop(record_id, None)
+        self._version += 1
 
     def update_pseudo_vector(self, record_id: int, vector: np.ndarray) -> None:
         """Raise a pseudo record's vector (maintenance coverage repair).
@@ -193,6 +208,7 @@ class DominantGraph:
             raise ValueError("pseudo vectors may only be raised, never lowered")
         vector.setflags(write=False)
         self._pseudo_vectors[record_id] = vector
+        self._version += 1
 
     def add_pseudo_record(self, vector: np.ndarray) -> int:
         """Register a pseudo record's vector and return its fresh id.
@@ -210,6 +226,7 @@ class DominantGraph:
         pid = self._next_pseudo_id
         self._next_pseudo_id += 1
         self._pseudo_vectors[pid] = vector
+        self._version += 1
         return pid
 
     def register_pseudo_record(self, record_id: int, vector: np.ndarray) -> None:
@@ -234,6 +251,7 @@ class DominantGraph:
         vector.setflags(write=False)
         self._pseudo_vectors[record_id] = vector
         self._next_pseudo_id = max(self._next_pseudo_id, record_id + 1)
+        self._version += 1
 
     def convert_to_pseudo(self, record_id: int) -> None:
         """Turn a real record into a pseudo one (mark-as-deleted, §V-B).
@@ -248,16 +266,34 @@ class DominantGraph:
         vector = self._dataset.vector(record_id).copy()
         vector.setflags(write=False)
         self._pseudo_vectors[record_id] = vector
+        self._version += 1
 
     def add_edge(self, parent: int, child: int) -> None:
         """Add a parent -> child edge (consecutive layers, parent dominates)."""
         self._children.setdefault(parent, set()).add(child)
         self._parents.setdefault(child, set()).add(parent)
+        self._version += 1
+
+    def add_children(self, parent: int, children: Iterable[int]) -> None:
+        """Bulk edge insertion: link ``parent`` to every id in ``children``.
+
+        Equivalent to calling :meth:`add_edge` once per child, but updates
+        the parent's child set in one operation — the builder wires whole
+        dominance-matrix rows through this (one call per *parent* instead
+        of one per *edge*).
+        """
+        kids = [int(c) for c in children]
+        self._children.setdefault(parent, set()).update(kids)
+        parents = self._parents
+        for child in kids:
+            parents.setdefault(child, set()).add(parent)
+        self._version += 1
 
     def remove_edge(self, parent: int, child: int) -> None:
         """Remove one edge if present."""
         self._children.get(parent, set()).discard(child)
         self._parents.get(child, set()).discard(parent)
+        self._version += 1
 
     def drop_edges(self, record_id: int) -> None:
         """Disconnect a record from all parents and children."""
@@ -267,6 +303,7 @@ class DominantGraph:
             self._parents.get(child, set()).discard(record_id)
         self._parents[record_id] = set()
         self._children[record_id] = set()
+        self._version += 1
 
     def prune_empty_layers(self) -> None:
         """Delete empty layers and compact the layer indices."""
@@ -276,6 +313,7 @@ class DominantGraph:
         for index, layer in enumerate(self._layers):
             for rid in layer:
                 self._layer_of[rid] = index
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Invariants
@@ -352,6 +390,29 @@ class DominantGraph:
                         f"record {rid}: stored parents {self._parents.get(rid)} != "
                         f"dominators in previous layer {expected}"
                     )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledDG":
+        """Freeze this graph into a flat-array query snapshot.
+
+        Returns a :class:`~repro.core.compiled.CompiledDG`: contiguous
+        value matrix, CSR adjacency, per-record in-degrees.  The snapshot
+        is immutable and tied to the current :attr:`version`; any further
+        mutation of this graph (maintenance inserts/deletes, edge edits)
+        makes the snapshot stale, and its query kernels refuse to run
+        until :meth:`compile` is called again.
+
+        >>> from repro.core.dataset import Dataset
+        >>> from repro.core.builder import build_dominant_graph
+        >>> graph = build_dominant_graph(Dataset([[2.0, 2.0], [1.0, 1.0]]))
+        >>> graph.compile().num_records
+        2
+        """
+        from repro.core.compiled import CompiledDG
+
+        return CompiledDG.from_graph(self)
 
     # ------------------------------------------------------------------
     # Reporting

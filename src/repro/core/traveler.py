@@ -25,33 +25,42 @@ from repro.metrics.counters import AccessCounter
 class _CandidateList:
     """The sorted candidate list ``CL`` of Algorithm 1.
 
-    Kept as a list of ``(-score, record_id)`` in ascending order, so index
-    0 is the best candidate with deterministic id tie-breaking.  Sizes are
-    bounded by k, so bisect insertion is plenty fast.
+    Kept as a list of ``(-score, record_id)`` in ascending order behind a
+    lazy-deletion head counter: ``pop_best`` advances ``_head`` instead of
+    memmoving the whole list (``list.pop(0)`` is O(n), which made large
+    candidate lists accidentally quadratic).  The dead prefix is compacted
+    away once it dominates the list, so space stays proportional to the
+    live entries.
     """
 
     def __init__(self) -> None:
         self._entries: list = []
+        self._head = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) - self._head
 
     def insert(self, score: float, record_id: int) -> None:
-        bisect.insort(self._entries, (-score, record_id))
+        bisect.insort(self._entries, (-score, record_id), lo=self._head)
 
     def pop_best(self) -> tuple:
         """Remove and return ``(score, record_id)`` of the best candidate."""
-        neg_score, record_id = self._entries.pop(0)
+        neg_score, record_id = self._entries[self._head]
+        self._head += 1
+        if self._head > 64 and self._head * 2 >= len(self._entries):
+            del self._entries[: self._head]
+            self._head = 0
         return -neg_score, record_id
 
     def truncate(self, keep: int) -> None:
         """Keep only the ``keep`` best candidates (paper lines 10-11)."""
-        if keep < len(self._entries):
-            del self._entries[max(keep, 0):]
+        limit = self._head + max(keep, 0)
+        if limit < len(self._entries):
+            del self._entries[limit:]
 
     def entries(self) -> list:
         """Snapshot of ``(score, record_id)`` pairs, best first."""
-        return [(-neg, rid) for neg, rid in self._entries]
+        return [(-neg, rid) for neg, rid in self._entries[self._head:]]
 
 
 class BasicTraveler:

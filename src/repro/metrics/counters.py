@@ -56,6 +56,20 @@ class AccessCounter:
         if record_id is not None:
             self._computed_ids.add(record_id)
 
+    def count_computed_batch(self, record_ids, pseudo: int = 0) -> None:
+        """Charge one evaluation per id in ``record_ids`` in a single call.
+
+        ``pseudo`` is how many of them were pseudo records.  Equivalent to
+        calling :meth:`count_computed` once per record; the compiled engine
+        (:mod:`repro.core.compiled`) scores unlocked records in batches and
+        charges them here so the tallies stay identical to the reference
+        Travelers' per-record accounting.
+        """
+        ids = list(record_ids)
+        self.computed += len(ids)
+        self.pseudo_computed += pseudo
+        self._computed_ids.update(ids)
+
     def count_sequential(self, n: int = 1) -> None:
         """Charge ``n`` sequential (sorted-list) accesses."""
         self.sequential += n

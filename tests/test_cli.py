@@ -56,6 +56,16 @@ class TestCommands:
         assert "top-5" in out
         assert out.count("record ") == 5
 
+    def test_query_compiled_engine_matches_reference(self, index_path, capsys):
+        argv = ["query", "--index", index_path,
+                "--weights", "0.5,0.3,0.2", "--k", "5"]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+        assert main(argv + ["--engine", "compiled"]) == 0
+        compiled = capsys.readouterr().out
+        # Same ranked records and scores; only the timing line may differ.
+        assert reference.splitlines()[1:] == compiled.splitlines()[1:]
+
     def test_query_weight_dim_mismatch(self, index_path):
         with pytest.raises(SystemExit):
             main(["query", "--index", index_path, "--weights", "0.5,0.5"])

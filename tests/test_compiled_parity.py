@@ -1,0 +1,193 @@
+"""Parity sweep: the compiled engine must equal the reference bit-for-bit.
+
+The compiled flat-array kernels (:mod:`repro.core.compiled`) replace the
+reference Travelers' data structures wholesale — heap CL instead of a
+sorted list, in-degree countdown instead of all-parents scans, batch
+scoring instead of per-record calls — so the contract is checked at the
+strongest level available: identical ids, identical float scores, and
+identical :class:`~repro.metrics.counters.AccessCounter` tallies on every
+(data distribution × scoring function × k) combination, on plain and
+Extended (pseudo-level) graphs, including the ``where=`` filtered path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.compiled import (
+    CompiledAdvancedTraveler,
+    CompiledBasicTraveler,
+    CompiledDG,
+)
+from repro.core.dataset import Dataset
+from repro.core.functions import (
+    LinearFunction,
+    MinFunction,
+    WeightedPowerFunction,
+)
+from repro.core.maintenance import insert_record
+from repro.core.traveler import BasicTraveler
+from repro.data.generators import anticorrelated, correlated, uniform
+
+N = 250
+DIMS = 3
+KINDS = {"uniform": uniform, "correlated": correlated,
+         "anticorrelated": anticorrelated}
+
+
+def make_functions(seed: int) -> list:
+    """One linear and two nonlinear monotone functions per seed."""
+    weights = np.random.default_rng(seed).dirichlet(np.ones(DIMS))
+    return [
+        LinearFunction(weights),
+        MinFunction(),
+        WeightedPowerFunction(weights, p=2.0),
+    ]
+
+
+def assert_parity(reference, compiled):
+    """Ids, scores, and access tallies must match exactly."""
+    assert reference.ids == compiled.ids
+    assert reference.scores == compiled.scores
+    assert reference.stats.computed == compiled.stats.computed
+    assert reference.stats.pseudo_computed == compiled.stats.pseudo_computed
+    assert reference.stats.computed_ids == compiled.stats.computed_ids
+
+
+@pytest.mark.parametrize("kind", sorted(KINDS))
+@pytest.mark.parametrize("k", [1, 10, N])
+def test_basic_traveler_parity(kind, k):
+    dataset = KINDS[kind](N, DIMS, seed=11)
+    graph = build_dominant_graph(dataset)
+    snapshot = graph.compile()
+    for function in make_functions(seed=k):
+        assert_parity(
+            BasicTraveler(graph).top_k(function, k),
+            CompiledBasicTraveler(snapshot).top_k(function, k),
+        )
+
+
+@pytest.mark.parametrize("kind", sorted(KINDS))
+@pytest.mark.parametrize("k", [1, 10, N])
+def test_advanced_traveler_parity_with_pseudo_levels(kind, k):
+    dataset = KINDS[kind](N, DIMS, seed=23)
+    graph = build_extended_graph(dataset, theta=2)
+    if kind != "correlated":  # correlated layers are already tiny
+        assert graph.num_pseudo > 0, "theta=2 must force pseudo levels"
+    snapshot = graph.compile()
+    for function in make_functions(seed=k):
+        assert_parity(
+            AdvancedTraveler(graph).top_k(function, k),
+            CompiledAdvancedTraveler(snapshot).top_k(function, k),
+        )
+
+
+@pytest.mark.parametrize("kind", sorted(KINDS))
+@pytest.mark.parametrize("k", [1, 10, N])
+def test_filtered_path_parity(kind, k):
+    dataset = KINDS[kind](N, DIMS, seed=37)
+    graph = build_extended_graph(dataset, theta=2)
+    snapshot = graph.compile()
+    where = lambda vector: vector[0] > 350.0  # noqa: E731
+    for function in make_functions(seed=k):
+        assert_parity(
+            AdvancedTraveler(graph).top_k(function, k, where=where),
+            CompiledAdvancedTraveler(snapshot).top_k(function, k, where=where),
+        )
+
+
+def test_advanced_on_plain_graph_parity():
+    dataset = uniform(N, DIMS, seed=5)
+    graph = build_dominant_graph(dataset)
+    snapshot = graph.compile()
+    function = LinearFunction([0.2, 0.5, 0.3])
+    assert_parity(
+        AdvancedTraveler(graph).top_k(function, 25),
+        CompiledAdvancedTraveler(snapshot).top_k(function, 25),
+    )
+
+
+def test_k_larger_than_dataset_returns_everything():
+    dataset = uniform(40, DIMS, seed=9)
+    graph = build_dominant_graph(dataset)
+    result = CompiledBasicTraveler(graph.compile()).top_k(MinFunction(), 500)
+    assert len(result) == 40
+
+
+def test_compiled_snapshot_structure():
+    dataset = uniform(N, DIMS, seed=2)
+    graph = build_extended_graph(dataset, theta=6)
+    snapshot = graph.compile()
+    assert isinstance(snapshot, CompiledDG)
+    assert snapshot.num_records == len(graph)
+    assert snapshot.num_pseudo == graph.num_pseudo
+    assert snapshot.num_edges == graph.edge_count()
+    assert snapshot.first_layer_size == len(graph.layer(0))
+    # CSR indptr invariants and parent/child symmetry.
+    assert snapshot.children_indptr[0] == 0
+    assert snapshot.children_indptr[-1] == snapshot.num_edges
+    assert snapshot.parents_indptr[-1] == snapshot.num_edges
+    np.testing.assert_array_equal(
+        snapshot.indegree, np.diff(snapshot.parents_indptr)
+    )
+    # Per-record layer index mirrors the graph.
+    for dense, rid in enumerate(snapshot.record_ids.tolist()):
+        assert snapshot.layer_index[dense] == graph.layer_of(rid)
+        assert snapshot.pseudo_mask[dense] == graph.is_pseudo(rid)
+
+
+def test_compiled_arrays_are_frozen():
+    dataset = uniform(60, DIMS, seed=3)
+    snapshot = build_dominant_graph(dataset).compile()
+    with pytest.raises((ValueError, RuntimeError)):
+        snapshot.values[0, 0] = 1.0
+    with pytest.raises((ValueError, RuntimeError)):
+        snapshot.children_indices[:1] = 0
+
+
+def test_mutation_makes_snapshot_stale():
+    dataset = uniform(80, DIMS, seed=4)
+    graph = build_dominant_graph(dataset, record_ids=range(79))
+    snapshot = graph.compile()
+    assert not snapshot.stale
+    insert_record(graph, 79)
+    assert snapshot.stale
+    with pytest.raises(RuntimeError, match="stale"):
+        CompiledBasicTraveler(snapshot).top_k(MinFunction(), 5)
+    fresh = graph.compile()
+    assert not fresh.stale
+    assert_parity(
+        BasicTraveler(graph).top_k(MinFunction(), 5),
+        CompiledBasicTraveler(fresh).top_k(MinFunction(), 5),
+    )
+
+
+def test_basic_rejects_pseudo_graphs():
+    dataset = uniform(N, 5, seed=6)
+    graph = build_extended_graph(dataset, theta=6)
+    assert graph.num_pseudo > 0
+    with pytest.raises(ValueError, match="plain DG"):
+        CompiledBasicTraveler(graph.compile())
+
+
+def test_k_must_be_positive():
+    snapshot = build_dominant_graph(uniform(20, 2, seed=1)).compile()
+    with pytest.raises(ValueError, match="positive"):
+        CompiledBasicTraveler(snapshot).top_k(MinFunction(), 0)
+
+
+def test_tie_heavy_grid_parity():
+    """Duplicate coordinates stress (-score, id) tie-breaking."""
+    rng = np.random.default_rng(17)
+    values = rng.integers(0, 4, size=(120, 3)).astype(float)
+    dataset = Dataset(values)
+    graph = build_dominant_graph(dataset)
+    snapshot = graph.compile()
+    for k in (1, 7, 120):
+        assert_parity(
+            BasicTraveler(graph).top_k(LinearFunction([1.0, 1.0, 1.0]), k),
+            CompiledBasicTraveler(snapshot).top_k(
+                LinearFunction([1.0, 1.0, 1.0]), k
+            ),
+        )

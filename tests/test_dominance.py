@@ -76,6 +76,34 @@ class TestVectorizedForms:
         assert dominators_of(point, np.empty((0, 2))).shape == (0,)
         assert dominated_by(point, np.empty((0, 2))).shape == (0,)
 
+    def test_dominance_matrix_empty_upper(self):
+        matrix = dominance_matrix(np.empty((0, 2)), np.ones((3, 2)))
+        assert matrix.shape == (0, 3)
+
+    def test_dominance_matrix_chunking_identical(self, rng):
+        """Chunked broadcast == one-shot broadcast on a >10M-element pair.
+
+        ``dominance_matrix`` blocks over ``upper`` rows to bound peak
+        memory (a 600 x 700 layer pair in 24-d would otherwise build two
+        ~10M-element temporaries per comparison); the output must not
+        depend on the block size.
+        """
+        a, b, m = 600, 700, 24
+        assert a * b * m > 10_000_000
+        upper = rng.uniform(size=(a, m))
+        lower = rng.uniform(size=(b, m))
+        # Sprinkle exact ties so the >= / > split is exercised.
+        lower[:a // 2] = upper[: a // 2]
+        one_shot = np.logical_and(
+            (upper[:, None, :] >= lower[None, :, :]).all(axis=2),
+            (upper[:, None, :] > lower[None, :, :]).any(axis=2),
+        )
+        for block_rows in (1, 7, 256, 599, 600, 10_000):
+            np.testing.assert_array_equal(
+                dominance_matrix(upper, lower, block_rows=block_rows),
+                one_shot,
+            )
+
 
 class TestMaximalMask:
     def test_known_example(self):

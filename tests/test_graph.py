@@ -107,6 +107,25 @@ class TestMutation:
         graph.add_edge(4, 2)
         assert 2 in graph.children_of(4)
 
+    def test_add_children_bulk_equals_per_edge(self):
+        # parent 0 = (5,5) dominates both layer-2 records (1,2) and (2,1).
+        graph = build_dominant_graph(Dataset([[5.0, 5.0], [1.0, 2.0], [2.0, 1.0]]))
+        assert graph.children_of(0) == frozenset({1, 2})
+        graph.drop_edges(0)
+        graph.add_children(0, [1, 2])
+        assert graph.children_of(0) == frozenset({1, 2})
+        assert graph.parents_of(1) == frozenset({0})
+        assert graph.parents_of(2) == frozenset({0})
+        graph.validate()
+
+    def test_version_bumps_on_mutation(self, graph):
+        before = graph.version
+        graph.remove_edge(4, 2)
+        assert graph.version > before
+        mid = graph.version
+        graph.add_edge(4, 2)
+        assert graph.version > mid
+
     def test_drop_edges_symmetric(self, graph):
         graph.drop_edges(4)
         assert graph.children_of(4) == frozenset()
