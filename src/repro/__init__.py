@@ -26,6 +26,7 @@ Subpackages
 from repro.core import (
     AdvancedTraveler,
     BasicTraveler,
+    BudgetedAccessCounter,
     CompiledAdvancedTraveler,
     CompiledBasicTraveler,
     CompiledDG,
@@ -48,8 +49,17 @@ from repro.core import (
     iter_ranked,
     load_graph,
     mark_deleted,
+    repair_graph,
+    run_query,
     save_graph,
     top_k_progressive,
+)
+from repro.errors import (
+    DegradedResultWarning,
+    IndexCorruptionError,
+    QueryBudgetExceeded,
+    ReproError,
+    StaleSnapshotError,
 )
 
 __version__ = "1.0.0"
@@ -57,17 +67,23 @@ __version__ = "1.0.0"
 __all__ = [
     "AdvancedTraveler",
     "BasicTraveler",
+    "BudgetedAccessCounter",
     "CompiledAdvancedTraveler",
     "CompiledBasicTraveler",
     "CompiledDG",
     "Dataset",
     "DecomposableFunction",
+    "DegradedResultWarning",
     "DominantGraph",
+    "IndexCorruptionError",
     "LinearFunction",
     "MinFunction",
     "NWayTraveler",
     "ProductFunction",
+    "QueryBudgetExceeded",
+    "ReproError",
     "ScoringFunction",
+    "StaleSnapshotError",
     "TopKResult",
     "WeightedPowerFunction",
     "__version__",
@@ -80,6 +96,8 @@ __all__ = [
     "iter_ranked",
     "load_graph",
     "mark_deleted",
+    "repair_graph",
+    "run_query",
     "save_graph",
     "top_k_progressive",
 ]

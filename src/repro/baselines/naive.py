@@ -31,3 +31,39 @@ def naive_top_k(dataset: Dataset, function: ScoringFunction, k: int) -> TopKResu
     order = np.lexsort((np.arange(len(dataset)), -scores))[:k]
     pairs = [(float(scores[i]), int(i)) for i in order]
     return TopKResult.from_pairs(pairs, stats, algorithm="naive-scan")
+
+
+def naive_top_k_subset(
+    dataset: Dataset,
+    record_ids,
+    function: ScoringFunction,
+    k: int,
+    where=None,
+    stats: AccessCounter | None = None,
+) -> TopKResult:
+    """Full scan restricted to ``record_ids`` — the last-resort serving tier.
+
+    Unlike :func:`naive_top_k`, this honours index membership (rows never
+    indexed, or mark-deleted ones, are simply not in ``record_ids``) and
+    the Advanced Traveler's ``where`` selection predicate, so the query
+    guard can fall back to it from a broken DG engine without changing
+    answers.  Accesses are charged *before* scoring, so a budget-enforcing
+    ``stats`` counter can refuse the scan up front.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    stats = stats if stats is not None else AccessCounter()
+    ids = np.fromiter((int(rid) for rid in record_ids), dtype=np.intp)
+    if ids.size == 0:
+        return TopKResult.from_pairs([], stats, algorithm="naive-scan")
+    stats.count_computed_batch(ids.tolist())
+    block = dataset.values[ids]
+    scores = function.score_many(block)
+    if where is not None:
+        mask = np.fromiter(
+            (bool(where(row)) for row in block), dtype=bool, count=ids.size
+        )
+        ids, scores = ids[mask], scores[mask]
+    order = np.lexsort((ids, -scores))[:k]
+    pairs = [(float(scores[i]), int(ids[i])) for i in order]
+    return TopKResult.from_pairs(pairs, stats, algorithm="naive-scan")

@@ -6,7 +6,10 @@ user expects from an index tool::
     python -m repro generate --kind U --n 10000 --dims 3 --out data.npz
     python -m repro build    --data data.npz --out index.npz --theta 16
     python -m repro query    --index index.npz --weights 0.5,0.3,0.2 --k 10
+    python -m repro query    --index index.npz --weights 0.5,0.3,0.2 \\
+                             --budget-ms 50 --budget-records 500
     python -m repro inspect  --index index.npz --validate
+    python -m repro doctor   --index index.npz --repair
     python -m repro insert   --index index.npz --limit 100
     python -m repro delete   --index index.npz --record-id 81
     python -m repro compare  --data data.npz --k 10 --queries 20
@@ -25,15 +28,15 @@ import numpy as np
 
 from repro.bench import experiments
 from repro.bench.report import format_table
-from repro.core.advanced import AdvancedTraveler
 from repro.core.builder import build_dominant_graph, build_extended_graph
-from repro.core.compiled import CompiledAdvancedTraveler
 from repro.core.dataset import Dataset
 from repro.core.functions import LinearFunction
-from repro.core.io import load_graph, save_graph
+from repro.core.guard import run_query
+from repro.core.io import load_graph, repair_graph, save_graph
 from repro.core.maintenance import delete_record, insert_record
 from repro.data.generators import make_dataset
 from repro.data.server import server_dataset
+from repro.errors import IndexCorruptionError, QueryBudgetExceeded
 from repro.metrics.timing import Timer
 
 
@@ -111,15 +114,23 @@ def cmd_query(args: argparse.Namespace) -> int:
         profile = explain_top_k(graph, function, args.k)
         print(profile.format())
         return 0
-    if args.engine == "compiled":
-        traveler = CompiledAdvancedTraveler(graph.compile())
-    else:
-        traveler = AdvancedTraveler(graph)
-    with Timer() as timer:
-        result = traveler.top_k(function, args.k)
+    try:
+        with Timer() as timer:
+            result = run_query(
+                graph,
+                function,
+                args.k,
+                engine=args.engine,
+                budget_ms=args.budget_ms,
+                budget_records=args.budget_records,
+                fallback=not args.no_fallback,
+            )
+    except QueryBudgetExceeded as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return 3
     names = graph.dataset.attribute_names
     print(f"top-{args.k} in {1000 * timer.elapsed:.2f}ms "
-          f"({result.stats.computed} records scored):")
+          f"({result.stats.computed} records scored, {result.tier} tier):")
     for rank, (rid, score) in enumerate(result, start=1):
         detail = ", ".join(
             f"{name}={value:g}" for name, value in zip(names, graph.vector(rid))
@@ -148,6 +159,42 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print("  " + format_issues(issues).replace("\n", "\n  "))
         return 1 if issues else 0
     return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Diagnose — and optionally repair — a persisted index (`repro doctor`).
+
+    Exit status: 0 healthy (or repaired clean), 1 deep-verification
+    issues, 2 corruption (unrepaired or unrepairable).
+    """
+    from repro.core.verify import format_issues, verify_graph
+
+    print(f"doctor: {args.index}")
+    try:
+        graph = load_graph(args.index)
+    except FileNotFoundError as exc:
+        print(f"  cannot read index: {exc}")
+        return 2
+    except IndexCorruptionError as exc:
+        print(f"  CORRUPT: {exc}")
+        if not args.repair:
+            print("  re-run with --repair to rebuild from surviving data")
+            return 2
+        try:
+            graph, notes = repair_graph(args.index)
+        except IndexCorruptionError as fatal:
+            print(f"  unrepairable: {fatal}")
+            return 2
+        for note in notes:
+            print(f"  repair: {note}")
+        out = args.out if args.out else args.index
+        save_graph(graph, out)
+        print(f"  repaired index written to {out}")
+    print(f"  records indexed: {len(graph)} ({graph.num_pseudo} pseudo), "
+          f"layers: {graph.num_layers}, edges: {graph.edge_count()}")
+    issues = verify_graph(graph)
+    print("  " + format_issues(issues).replace("\n", "\n  "))
+    return 1 if issues else 0
 
 
 def cmd_insert(args: argparse.Namespace) -> int:
@@ -247,14 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--weights", required=True,
                    help="comma-separated non-negative weights")
     p.add_argument("--k", type=int, default=10)
-    p.add_argument("--engine", choices=["reference", "compiled"],
+    p.add_argument("--engine",
+                   choices=["auto", "reference", "compiled", "naive"],
                    default="reference",
-                   help="query engine: reference Traveler or the compiled "
-                        "flat-array kernel (identical answers, faster)")
+                   help="first serving tier to try: the reference Traveler, "
+                        "the compiled flat-array kernel (identical answers, "
+                        "faster), a plain scan, or auto (= compiled)")
+    p.add_argument("--budget-ms", type=float, default=None,
+                   help="wall-clock budget in milliseconds; exceeding it "
+                        "aborts the query (exit status 3)")
+    p.add_argument("--budget-records", type=int, default=None,
+                   help="accessed-record budget (the paper's cost metric); "
+                        "exceeding it aborts the query (exit status 3)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="fail immediately on an engine fault instead of "
+                        "degrading to a simpler serving tier")
     p.add_argument("--explain", action="store_true",
                    help="print the per-layer traversal profile instead "
                         "(always uses the reference engine)")
     p.set_defaults(run=cmd_query)
+
+    p = sub.add_parser("doctor", help="diagnose (and repair) a saved index")
+    p.add_argument("--index", required=True)
+    p.add_argument("--repair", action="store_true",
+                   help="on corruption, rebuild from surviving data "
+                        "and persist the repaired index")
+    p.add_argument("--out", default=None,
+                   help="where to write the repaired index "
+                        "(default: overwrite --index atomically)")
+    p.set_defaults(run=cmd_doctor)
 
     p = sub.add_parser("inspect", help="print index statistics")
     p.add_argument("--index", required=True)

@@ -37,7 +37,8 @@ from repro.core.functions import (
     WeightedPowerFunction,
 )
 from repro.core.graph import DominantGraph
-from repro.core.io import load_graph, save_graph
+from repro.core.guard import BudgetedAccessCounter, run_query
+from repro.core.io import load_graph, repair_graph, save_graph
 from repro.core.maintenance import (
     delete_many,
     delete_record,
@@ -53,6 +54,7 @@ from repro.core.traveler import BasicTraveler
 __all__ = [
     "AdvancedTraveler",
     "BasicTraveler",
+    "BudgetedAccessCounter",
     "CompiledAdvancedTraveler",
     "CompiledBasicTraveler",
     "CompiledDG",
@@ -75,6 +77,8 @@ __all__ = [
     "iter_ranked",
     "load_graph",
     "mark_deleted",
+    "repair_graph",
+    "run_query",
     "save_graph",
     "top_k_progressive",
 ]

@@ -120,6 +120,8 @@ class AdvancedTraveler:
         function: ScoringFunction,
         k: int,
         where=None,
+        *,
+        stats: AccessCounter | None = None,
     ) -> TopKResult:
         """Answer a top-k query; only real records are reported/counted.
 
@@ -136,11 +138,14 @@ class AdvancedTraveler:
             dominate matching ones) but are neither reported nor counted
             toward ``k``.  This is the constrained ranking(+selection)
             query RankCube motivates, answered from the unmodified DG.
+        stats:
+            Optional caller-supplied access counter; the query guard
+            passes a budget-enforcing subclass here.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         graph = self._graph
-        stats = AccessCounter()
+        stats = stats if stats is not None else AccessCounter()
         computed: set = set()
         # Pseudo and filtered-out records are sheltered from truncation:
         # discarding one could lock a subtree whose answerable records are

@@ -65,6 +65,7 @@ import numpy as np
 from repro.core.functions import ScoringFunction
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
+from repro.errors import StaleSnapshotError
 from repro.metrics.counters import AccessCounter
 
 
@@ -201,6 +202,7 @@ def _traverse(
     k: int,
     where,
     algorithm: str,
+    stats: AccessCounter | None = None,
 ) -> TopKResult:
     """Shared Algorithm 1/2 kernel over a :class:`CompiledDG`.
 
@@ -210,7 +212,7 @@ def _traverse(
     if k <= 0:
         raise ValueError("k must be positive")
     if compiled.stale:
-        raise RuntimeError(
+        raise StaleSnapshotError(
             "CompiledDG is stale: the source DominantGraph mutated after "
             "compile(); rebuild the snapshot with graph.compile()"
         )
@@ -220,7 +222,7 @@ def _traverse(
     indptr = compiled.children_indptr
     indices = compiled.children_indices
     remaining = compiled.indegree.copy()
-    stats = AccessCounter()
+    stats = stats if stats is not None else AccessCounter()
     answerable = np.zeros(compiled.num_records, dtype=bool)
     heap: list = []
 
@@ -302,9 +304,15 @@ class CompiledBasicTraveler:
         """The underlying snapshot."""
         return self._compiled
 
-    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        stats: AccessCounter | None = None,
+    ) -> TopKResult:
         """Answer a top-k query for any aggregate monotone ``function``."""
-        return _traverse(self._compiled, function, k, None, self.name)
+        return _traverse(self._compiled, function, k, None, self.name, stats)
 
 
 class CompiledAdvancedTraveler:
@@ -342,6 +350,8 @@ class CompiledAdvancedTraveler:
         function: ScoringFunction,
         k: int,
         where=None,
+        *,
+        stats: AccessCounter | None = None,
     ) -> TopKResult:
         """Answer a top-k query; only real, ``where``-matching records count.
 
@@ -350,4 +360,4 @@ class CompiledAdvancedTraveler:
         optional ``vector -> bool`` predicate; non-matching records are
         traversed (they still unlock their subtrees) but never reported.
         """
-        return _traverse(self._compiled, function, k, where, self.name)
+        return _traverse(self._compiled, function, k, where, self.name, stats)

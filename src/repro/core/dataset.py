@@ -80,6 +80,47 @@ class Dataset:
                 raise ValueError(f"Expected {n} labels, got {len(labels)}")
         self._labels = labels
 
+    @classmethod
+    def clean(
+        cls,
+        values: Sequence[Sequence[float]] | np.ndarray,
+        attribute_names: Sequence[str] | None = None,
+        labels: Sequence[object] | None = None,
+    ) -> tuple:
+        """Build a dataset from possibly-dirty values, quarantining bad rows.
+
+        Where the constructor *rejects* any NaN/inf, ``clean`` drops the
+        offending rows and reports them, so a pipeline ingesting untrusted
+        data can proceed on the finite majority.  Returns
+        ``(dataset, quarantined)`` where ``quarantined`` lists the dropped
+        source row indices (indices into ``values``, not into the surviving
+        dataset).  Raises :class:`ValueError` when no finite row remains.
+
+        Examples
+        --------
+        >>> ds, bad = Dataset.clean([[1.0, 2.0], [float("nan"), 0.0]])
+        >>> len(ds), bad
+        (1, [1])
+        """
+        array = np.array(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"Dataset values must be a 2-d array of shape (n, m); got ndim={array.ndim}"
+            )
+        finite = np.all(np.isfinite(array), axis=1)
+        quarantined = [int(i) for i in np.flatnonzero(~finite)]
+        kept = array[finite]
+        if kept.shape[0] == 0:
+            raise ValueError("no finite records remain after quarantine")
+        kept_labels = None
+        if labels is not None:
+            labels = tuple(labels)
+            if len(labels) != array.shape[0]:
+                raise ValueError(f"Expected {array.shape[0]} labels, got {len(labels)}")
+            kept_labels = tuple(lab for lab, ok in zip(labels, finite) if ok)
+        dataset = cls(kept, attribute_names=attribute_names, labels=kept_labels)
+        return dataset, quarantined
+
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------

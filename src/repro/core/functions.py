@@ -69,6 +69,8 @@ class LinearFunction:
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1 or w.size == 0:
             raise ValueError("weights must be a non-empty 1-d sequence")
+        if not np.all(np.isfinite(w)):
+            raise ValueError("linear top-k weights must be finite (no NaN/inf)")
         if np.any(w < 0):
             raise ValueError("linear top-k weights must be non-negative for monotonicity")
         self.weights = w
@@ -103,6 +105,8 @@ class ProductFunction:
 
     def __init__(self, weights: Sequence[float]) -> None:
         w = np.asarray(weights, dtype=np.float64)
+        if not np.all(np.isfinite(w)):
+            raise ValueError("product weights must be finite (no NaN/inf)")
         if np.any(w < 0):
             raise ValueError("product weights must be non-negative")
         self.weights = w
@@ -151,9 +155,11 @@ class WeightedPowerFunction:
     """
 
     def __init__(self, weights: Sequence[float], p: float = 2.0) -> None:
-        if p <= 0:
-            raise ValueError("p must be positive for monotonicity")
+        if not np.isfinite(p) or p <= 0:
+            raise ValueError("p must be positive and finite for monotonicity")
         w = np.asarray(weights, dtype=np.float64)
+        if not np.all(np.isfinite(w)):
+            raise ValueError("weights must be finite (no NaN/inf)")
         if np.any(w < 0):
             raise ValueError("weights must be non-negative")
         self.weights = w

@@ -120,6 +120,20 @@ class DominantGraph:
         """Total number of parent-child edges in the graph."""
         return sum(len(kids) for kids in self._children.values())
 
+    def edge_endpoints(self) -> set:
+        """Every id appearing as an edge endpoint in either adjacency map.
+
+        Includes ids that are *not* placed in any layer, so
+        :func:`repro.core.verify.verify_graph` can flag dangling edges
+        left behind by a buggy mutation or a corrupted snapshot.
+        """
+        ids = set(self._children) | set(self._parents)
+        for kids in self._children.values():
+            ids |= kids
+        for folks in self._parents.values():
+            ids |= folks
+        return ids
+
     @property
     def version(self) -> int:
         """Monotone counter bumped by every structural mutation.
@@ -204,6 +218,8 @@ class DominantGraph:
         vector = np.asarray(vector, dtype=np.float64).copy()
         if vector.shape != old.shape:
             raise ValueError("pseudo vector shape mismatch")
+        if not np.all(np.isfinite(vector)):
+            raise ValueError("pseudo vectors must be finite (no NaN/inf)")
         if np.any(vector < old):
             raise ValueError("pseudo vectors may only be raised, never lowered")
         vector.setflags(write=False)
@@ -222,6 +238,8 @@ class DominantGraph:
                 f"pseudo vector must have shape ({self._dataset.dims},), "
                 f"got {vector.shape}"
             )
+        if not np.all(np.isfinite(vector)):
+            raise ValueError("pseudo vectors must be finite (no NaN/inf)")
         vector.setflags(write=False)
         pid = self._next_pseudo_id
         self._next_pseudo_id += 1
@@ -248,6 +266,8 @@ class DominantGraph:
                 f"pseudo vector must have shape ({self._dataset.dims},), "
                 f"got {vector.shape}"
             )
+        if not np.all(np.isfinite(vector)):
+            raise ValueError("pseudo vectors must be finite (no NaN/inf)")
         vector.setflags(write=False)
         self._pseudo_vectors[record_id] = vector
         self._next_pseudo_id = max(self._next_pseudo_id, record_id + 1)

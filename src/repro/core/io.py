@@ -1,40 +1,128 @@
-"""Index persistence: save/load a Dominant Graph to disk.
+"""Index persistence: corruption-safe save/load of a Dominant Graph.
 
 The DG is an offline-built index ("DG is stored independently as the
 indexing structure for the record set"), so a real deployment builds it
-once and ships it next to the data.  The on-disk format is a single
-``.npz`` archive holding the dataset values, the layer assignment, the
-edge list, and the pseudo-record vectors — all numpy arrays, so loading
-is one ``np.load`` with no custom parsing.
+once and ships it next to the data — which means the load path is a trust
+boundary: the file may be truncated by a crashed copy, bit-flipped by bad
+storage, produced by an older build, or hand-edited.  This module makes
+every one of those cases either a structured
+:class:`~repro.errors.IndexCorruptionError` naming the damaged array, or
+(opt-in) a repair that rebuilds the graph from the surviving ``values``
+matrix.  A damaged file can never reach query code.
+
+Defenses, in the order the load path applies them:
+
+1. **Atomic writes** — :func:`save_graph` writes to a temp file in the
+   same directory and ``os.replace``\\ s it over the target, so readers
+   never observe a half-written archive.
+2. **Format-version negotiation** — ``format_version`` is read first;
+   version-1 archives (pre-manifest) still load, unknown versions raise.
+3. **Per-array SHA-256 manifest** — version-2 archives carry a digest of
+   every data array; any byte damage that survives the zip CRC is caught
+   here and attributed to the specific array.
+4. **Structural validation** — shapes, dtypes, finiteness, id ranges,
+   duplicate/dangling/non-consecutive edges, and layer contiguity are
+   checked *before* graph reconstruction, so a malformed archive raises a
+   clear typed error instead of an opaque numpy ``IndexError``.
+5. **Deep verification (opt-in)** — ``load_graph(..., verify=True)`` runs
+   :func:`repro.core.verify.verify_graph` over the reconstructed graph
+   (dominance-complete, slow on big indexes).
+6. **Repair** — ``load_graph(..., repair=True)`` or :func:`repair_graph`
+   rebuilds the graph from whatever arrays survive, preferring the
+   recorded membership when ``record_ids``/``pseudo_ids`` are intact and
+   falling back to re-indexing every dataset row.  Repairs emit
+   :class:`~repro.errors.DegradedResultWarning` and report what was lost.
 
 Format (npz keys)
 -----------------
-``values``         (n, m) float64 — the dataset (attribute names too)
+``values``          (n, m) float64 — the dataset (attribute names too)
 ``attribute_names`` (m,) str
-``record_ids``     (r,) intp — indexed ids, reals then pseudos
-``layer_of``       (r,) intp — 0-based layer per indexed id
-``edges``          (e, 2) intp — parent, child pairs
-``pseudo_ids``     (p,) intp — which indexed ids are pseudo
-``pseudo_vectors`` (p, m) float64 — their vectors
-``format_version`` () int
+``record_ids``      (r,) intp — indexed ids, reals then pseudos
+``layer_of``        (r,) intp — 0-based layer per indexed id
+``edges``           (e, 2) intp — parent, child pairs
+``pseudo_ids``      (p,) intp — which indexed ids are pseudo
+``pseudo_vectors``  (p, m) float64 — their vectors
+``manifest_names``  (a,) str — data arrays covered by the manifest
+``manifest_sha256`` (a,) str — matching SHA-256 hex digests
+``format_version``  () int
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import struct
+import warnings
+import zipfile
+import zlib
 
 import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.graph import DominantGraph
+from repro.errors import DegradedResultWarning, IndexCorruptionError
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions this build can read.  Version 1 lacks the checksum manifest;
+#: it still loads (structural validation only).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Data arrays every archive must carry: name -> (dtype kinds, ndim).
+_REQUIRED = {
+    "values": ("f", 2),
+    "attribute_names": ("U", 1),
+    "record_ids": ("iu", 1),
+    "layer_of": ("iu", 1),
+    "edges": ("iu", 2),
+    "pseudo_ids": ("iu", 1),
+    "pseudo_vectors": ("f", 2),
+}
+_MANIFEST_KEYS = ("manifest_names", "manifest_sha256")
+
+#: Failure modes np.load / zipfile surface for damaged archives.
+_ARCHIVE_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    struct.error,
+    EOFError,
+    OSError,
+    ValueError,
+)
+
+
+def _digest(array: np.ndarray) -> str:
+    """SHA-256 over an array's dtype, shape, and raw bytes."""
+    h = hashlib.sha256()
+    h.update(str(array.dtype).encode())
+    h.update(str(array.shape).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
+
+
+def compute_manifest(payload: dict) -> tuple:
+    """``(names, digests)`` manifest over a payload's data arrays.
+
+    Covers every key except the manifest itself and ``format_version``
+    (excluded so version negotiation can run before integrity checks).
+    Shared with :mod:`repro.testing.faults`, which uses it to re-sign
+    deliberately tampered archives.
+    """
+    names = sorted(
+        key
+        for key in payload
+        if key not in _MANIFEST_KEYS and key != "format_version"
+    )
+    digests = [_digest(np.asarray(payload[key])) for key in names]
+    return names, digests
 
 
 def save_graph(graph: DominantGraph, path: str) -> str:
     """Serialize a graph (and its dataset) to ``path`` (.npz appended).
 
-    Returns the path actually written.
+    The write is atomic: the archive is assembled in a temp file next to
+    the target and renamed over it, so a crash mid-write leaves the old
+    index intact and readers never see a torn file.  Returns the path
+    actually written.
 
     Examples
     --------
@@ -59,59 +147,408 @@ def save_graph(graph: DominantGraph, path: str) -> str:
         if pseudo_ids
         else np.empty((0, graph.dataset.dims))
     )
+    payload = {
+        "values": np.asarray(graph.dataset.values),
+        "attribute_names": np.asarray(graph.dataset.attribute_names, dtype=str),
+        "record_ids": np.asarray(record_ids, dtype=np.intp),
+        "layer_of": np.asarray(layer_of, dtype=np.intp),
+        "edges": np.asarray(edges, dtype=np.intp).reshape(-1, 2),
+        "pseudo_ids": np.asarray(pseudo_ids, dtype=np.intp),
+        "pseudo_vectors": np.asarray(pseudo_vectors, dtype=np.float64),
+    }
+    names, digests = compute_manifest(payload)
+    payload["manifest_names"] = np.asarray(names, dtype=str)
+    payload["manifest_sha256"] = np.asarray(digests, dtype=str)
+    payload["format_version"] = np.asarray(FORMAT_VERSION)
+
     if not path.endswith(".npz"):
         path = path + ".npz"
-    np.savez_compressed(
-        path,
-        values=graph.dataset.values,
-        attribute_names=np.asarray(graph.dataset.attribute_names, dtype=str),
-        record_ids=np.asarray(record_ids, dtype=np.intp),
-        layer_of=np.asarray(layer_of, dtype=np.intp),
-        edges=np.asarray(edges, dtype=np.intp).reshape(-1, 2),
-        pseudo_ids=np.asarray(pseudo_ids, dtype=np.intp),
-        pseudo_vectors=pseudo_vectors,
-        format_version=np.asarray(FORMAT_VERSION),
-    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return path
 
 
-def load_graph(path: str, validate: bool = False) -> DominantGraph:
+# ----------------------------------------------------------------------
+# Load-path checks
+# ----------------------------------------------------------------------
+def _read_payload(path: str) -> dict:
+    """Read every array of an archive, attributing failures per array."""
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except _ARCHIVE_ERRORS as exc:
+        raise IndexCorruptionError(
+            f"unreadable index archive: {exc}", path=path
+        ) from exc
+    payload: dict = {}
+    with archive:
+        for key in archive.files:
+            try:
+                payload[key] = archive[key]
+            except _ARCHIVE_ERRORS as exc:
+                raise IndexCorruptionError(
+                    f"array is unreadable: {exc}", path=path, array=key
+                ) from exc
+    return payload
+
+
+def _negotiate_version(payload: dict, path: str) -> int:
+    if "format_version" not in payload:
+        raise IndexCorruptionError(
+            "missing format_version", path=path, array="format_version"
+        )
+    try:
+        version = int(payload["format_version"])
+    except (TypeError, ValueError) as exc:
+        raise IndexCorruptionError(
+            f"format_version is not an integer: {exc}",
+            path=path,
+            array="format_version",
+        ) from exc
+    if version not in SUPPORTED_VERSIONS:
+        raise IndexCorruptionError(
+            f"unsupported index format version {version} "
+            f"(this build reads {SUPPORTED_VERSIONS})",
+            path=path,
+            array="format_version",
+        )
+    return version
+
+
+def _verify_manifest(payload: dict, path: str) -> None:
+    """Check every data array against the stored SHA-256 manifest."""
+    for key in _MANIFEST_KEYS:
+        if key not in payload:
+            raise IndexCorruptionError(
+                "missing checksum manifest", path=path, array=key
+            )
+    names = [str(name) for name in payload["manifest_names"]]
+    digests = [str(digest) for digest in payload["manifest_sha256"]]
+    if len(names) != len(digests):
+        raise IndexCorruptionError(
+            "manifest names and digests differ in length",
+            path=path,
+            array="manifest_names",
+        )
+    for name, digest in zip(names, digests):
+        if name not in payload:
+            raise IndexCorruptionError(
+                "array listed in manifest but absent", path=path, array=name
+            )
+        if _digest(np.asarray(payload[name])) != digest:
+            raise IndexCorruptionError(
+                "checksum mismatch", path=path, array=name
+            )
+    missing = [name for name in _REQUIRED if name not in names]
+    if missing:
+        raise IndexCorruptionError(
+            "required array not covered by the manifest",
+            path=path,
+            array=missing[0],
+        )
+
+
+def _validate_payload(payload: dict, path: str) -> None:
+    """Shape/dtype/id-range validation, before any graph construction."""
+
+    def bad(array: str, reason: str) -> None:
+        raise IndexCorruptionError(reason, path=path, array=array)
+
+    for name, (kinds, ndim) in _REQUIRED.items():
+        if name not in payload:
+            bad(name, "required array missing")
+        array = payload[name]
+        if array.ndim != ndim:
+            bad(name, f"expected a {ndim}-d array, got {array.ndim}-d")
+        if array.dtype.kind not in kinds:
+            bad(name, f"unexpected dtype {array.dtype}")
+
+    values = payload["values"]
+    if values.shape[0] == 0 or values.shape[1] == 0:
+        bad("values", "empty value matrix")
+    if not np.all(np.isfinite(values)):
+        bad("values", "non-finite attribute values (NaN/inf)")
+    n, dims = values.shape
+    if payload["attribute_names"].shape[0] != dims:
+        bad(
+            "attribute_names",
+            f"{payload['attribute_names'].shape[0]} names for {dims} attributes",
+        )
+
+    record_ids = payload["record_ids"]
+    layer_of = payload["layer_of"]
+    if layer_of.shape != record_ids.shape:
+        bad("layer_of", "length differs from record_ids")
+    ids = record_ids.tolist()
+    id_set = set(ids)
+    if len(id_set) != len(ids):
+        bad("record_ids", "duplicate record ids")
+
+    pseudo_ids = payload["pseudo_ids"]
+    pseudo_vectors = payload["pseudo_vectors"]
+    pseudo_set = set(pseudo_ids.tolist())
+    if len(pseudo_set) != pseudo_ids.shape[0]:
+        bad("pseudo_ids", "duplicate pseudo ids")
+    if not pseudo_set <= id_set:
+        bad("pseudo_ids", "pseudo id not among record_ids")
+    if pseudo_vectors.shape != (pseudo_ids.shape[0], dims):
+        bad(
+            "pseudo_vectors",
+            f"expected shape ({pseudo_ids.shape[0]}, {dims}), "
+            f"got {pseudo_vectors.shape}",
+        )
+    if pseudo_vectors.size and not np.all(np.isfinite(pseudo_vectors)):
+        bad("pseudo_vectors", "non-finite pseudo vector (NaN/inf)")
+
+    out_of_range = [
+        rid for rid in id_set - pseudo_set if not 0 <= rid < n
+    ]
+    if out_of_range:
+        bad(
+            "record_ids",
+            f"real record id {out_of_range[0]} outside dataset rows 0..{n - 1}",
+        )
+    converted_out_of_range = [
+        rid for rid in pseudo_set if rid < 0
+    ]
+    if converted_out_of_range:
+        bad("pseudo_ids", f"negative pseudo id {converted_out_of_range[0]}")
+
+    if record_ids.size:
+        layers = layer_of.tolist()
+        if min(layers) < 0:
+            bad("layer_of", "negative layer index")
+        present = set(layers)
+        if present != set(range(max(present) + 1)):
+            bad("layer_of", "layer indices are not contiguous from 0")
+
+    edges = payload["edges"]
+    if edges.size:
+        pairs = [tuple(edge) for edge in edges.tolist()]
+        if len(set(pairs)) != len(pairs):
+            bad("edges", "duplicate edges")
+        layer_map = dict(zip(ids, layer_of.tolist()))
+        for parent, child in pairs:
+            if parent not in id_set or child not in id_set:
+                dangling = parent if parent not in id_set else child
+                bad("edges", f"dangling edge endpoint {dangling}")
+            if layer_map[child] != layer_map[parent] + 1:
+                bad(
+                    "edges",
+                    f"edge {parent}->{child} does not span consecutive layers",
+                )
+
+
+def _construct(payload: dict, path: str) -> DominantGraph:
+    """Rebuild the graph object from a validated payload."""
+    try:
+        dataset = Dataset(
+            payload["values"],
+            attribute_names=[str(a) for a in payload["attribute_names"]],
+        )
+        graph = DominantGraph(dataset)
+        # Re-register pseudo vectors under their original ids (they may be
+        # non-contiguous after maintenance merges).  Ids below the dataset
+        # size are real records converted by mark_deleted (Section V-B).
+        for pid, vector in zip(
+            payload["pseudo_ids"].tolist(), payload["pseudo_vectors"]
+        ):
+            if pid < len(dataset):
+                graph.convert_to_pseudo(int(pid))
+            else:
+                graph.register_pseudo_record(int(pid), vector)
+        for rid, layer in zip(
+            payload["record_ids"].tolist(), payload["layer_of"].tolist()
+        ):
+            graph.place_record(int(rid), int(layer))
+        for parent, child in payload["edges"].tolist():
+            graph.add_edge(int(parent), int(child))
+    except (KeyError, ValueError, IndexError) as exc:
+        raise IndexCorruptionError(
+            f"index reconstruction failed: {exc}", path=path
+        ) from exc
+    return graph
+
+
+def load_graph(
+    path: str,
+    validate: bool = False,
+    *,
+    verify: bool = False,
+    repair: bool = False,
+) -> DominantGraph:
     """Load a graph previously written by :func:`save_graph`.
+
+    Every load runs version negotiation, the SHA-256 manifest check
+    (version >= 2 archives), and full structural validation; any failure
+    raises :class:`~repro.errors.IndexCorruptionError` naming the damaged
+    array.
 
     Parameters
     ----------
     path:
         The ``.npz`` file (extension optional).
     validate:
-        Run the full invariant check after loading (slow on big indexes;
-        useful when the file's provenance is uncertain).
+        Also run :meth:`DominantGraph.validate` after loading (asserts,
+        stops at the first violation).
+    verify:
+        Also run the deep :func:`repro.core.verify.verify_graph` check
+        and raise :class:`IndexCorruptionError` listing every issue found
+        (slow on big indexes; useful when provenance is uncertain — this
+        is what ``repro doctor`` uses).
+    repair:
+        On corruption, attempt :func:`repair_graph` instead of raising:
+        rebuild from the surviving ``values`` matrix and emit a
+        :class:`~repro.errors.DegradedResultWarning` describing what was
+        lost.  Unrepairable archives still raise.
     """
     if not path.endswith(".npz") and not os.path.exists(path):
         path = path + ".npz"
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index format version {version} "
-                f"(this build reads {FORMAT_VERSION})"
-            )
-        dataset = Dataset(
-            archive["values"],
-            attribute_names=[str(a) for a in archive["attribute_names"]],
+    try:
+        payload = _read_payload(path)
+        version = _negotiate_version(payload, path)
+        if version >= 2:
+            _verify_manifest(payload, path)
+        _validate_payload(payload, path)
+        graph = _construct(payload, path)
+    except IndexCorruptionError as exc:
+        if not repair:
+            raise
+        graph, notes = repair_graph(path)
+        warnings.warn(
+            DegradedResultWarning(
+                f"index {path} was corrupt ({exc.reason}); "
+                f"rebuilt from surviving data: {'; '.join(notes)}"
+            ),
+            stacklevel=2,
         )
-        graph = DominantGraph(dataset)
-        pseudo_ids = archive["pseudo_ids"]
-        pseudo_vectors = archive["pseudo_vectors"]
-        # Re-register pseudo vectors under their original ids (they may be
-        # non-contiguous after maintenance merges).
-        for pid, vector in zip(pseudo_ids.tolist(), pseudo_vectors):
-            graph.register_pseudo_record(int(pid), vector)
-
-        for rid, layer in zip(archive["record_ids"].tolist(),
-                              archive["layer_of"].tolist()):
-            graph.place_record(int(rid), int(layer))
-        for parent, child in archive["edges"].tolist():
-            graph.add_edge(int(parent), int(child))
     if validate:
         graph.validate()
+    if verify:
+        from repro.core.verify import format_issues, verify_graph
+
+        issues = verify_graph(graph)
+        if issues:
+            raise IndexCorruptionError(
+                "deep verification failed: " + format_issues(issues),
+                path=path,
+            )
     return graph
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+def _salvage(path: str) -> dict:
+    """Best-effort read: every array that can still be decoded."""
+    payload: dict = {}
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except Exception:
+        return payload
+    with archive:
+        for key in archive.files:
+            try:
+                payload[key] = archive[key]
+            except Exception:
+                continue
+    return payload
+
+
+def _salvaged_membership(payload: dict, n: int) -> tuple:
+    """``(real_ids, converted_ids)`` when membership survived, else None.
+
+    Membership is trusted only when *both* ``record_ids`` and
+    ``pseudo_ids`` decoded and look sane — with only one of the two, a
+    mark-deleted record could silently resurrect, which repair must never
+    risk.
+    """
+    record_ids = payload.get("record_ids")
+    pseudo_ids = payload.get("pseudo_ids")
+    for array in (record_ids, pseudo_ids):
+        if array is None or array.ndim != 1 or array.dtype.kind not in "iu":
+            return None
+    ids = set(record_ids.tolist())
+    pseudo = set(pseudo_ids.tolist())
+    if len(ids) != record_ids.shape[0] or not pseudo <= ids:
+        return None
+    if any(not 0 <= rid < n for rid in ids - pseudo):
+        return None
+    real = sorted(ids - pseudo)
+    converted = sorted(rid for rid in pseudo if 0 <= rid < n)
+    if not real and not converted:
+        return None
+    return real, converted
+
+
+def repair_graph(path: str) -> tuple:
+    """Rebuild a damaged index from whatever arrays survive.
+
+    Returns ``(graph, notes)`` where ``notes`` lists what was lost in
+    human-readable form.  The ``values`` matrix is the one array repair
+    cannot do without; when it is damaged too, the index is unrepairable
+    and :class:`~repro.errors.IndexCorruptionError` is raised.
+
+    The rebuilt graph is a plain DG (pseudo levels are reconstructed
+    structure, not data — rebuild with ``repro build`` to restore them).
+    Indexed-row membership and mark-deleted records are preserved when
+    ``record_ids``/``pseudo_ids`` survive; otherwise every dataset row is
+    re-indexed and a note says so.
+    """
+    from repro.core.builder import build_dominant_graph
+
+    payload = _salvage(path)
+    values = payload.get("values")
+    if (
+        values is None
+        or getattr(values, "ndim", 0) != 2
+        or values.dtype.kind != "f"
+        or values.size == 0
+        or not np.all(np.isfinite(values))
+    ):
+        raise IndexCorruptionError(
+            "values matrix did not survive; index is unrepairable",
+            path=path,
+            array="values",
+        )
+    n, dims = values.shape
+    notes: list = []
+
+    names = None
+    attributes = payload.get("attribute_names")
+    if (
+        attributes is not None
+        and attributes.ndim == 1
+        and attributes.dtype.kind == "U"
+        and attributes.shape[0] == dims
+    ):
+        names = [str(a) for a in attributes]
+    else:
+        notes.append("attribute names lost; defaults restored")
+    dataset = Dataset(values, attribute_names=names)
+
+    membership = _salvaged_membership(payload, n)
+    if membership is None:
+        real, converted = list(range(n)), []
+        notes.append("indexed-row membership lost; every dataset row re-indexed")
+    else:
+        real, converted = membership
+    graph = build_dominant_graph(dataset, record_ids=real + converted)
+    for rid in converted:
+        graph.convert_to_pseudo(rid)
+    pseudo_ids = payload.get("pseudo_ids")
+    had_synthetic_pseudo = (
+        membership is not None
+        and any(pid >= n for pid in pseudo_ids.tolist())
+    )
+    if membership is None or had_synthetic_pseudo:
+        notes.append("pseudo levels dropped; rebuild the index to restore them")
+    notes.append(f"re-indexed {len(real)} real records from the values matrix")
+    return graph, notes

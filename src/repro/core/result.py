@@ -28,12 +28,17 @@ class TopKResult:
         Access counter populated by the algorithm.
     algorithm:
         Human-readable name of the producing algorithm.
+    tier:
+        Which serving tier actually answered, when the query ran under
+        :func:`repro.core.guard.run_query` (``"compiled"``,
+        ``"reference"``, or ``"naive"``; empty for direct engine calls).
     """
 
     ids: tuple
     scores: tuple
     stats: AccessCounter = field(compare=False)
     algorithm: str = field(default="", compare=False)
+    tier: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if len(self.ids) != len(self.scores):

@@ -100,16 +100,24 @@ class BasicTraveler:
         """The underlying index."""
         return self._graph
 
-    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        stats: AccessCounter | None = None,
+    ) -> TopKResult:
         """Answer a top-k query for any aggregate monotone ``function``.
 
         Returns fewer than ``k`` answers only when the dataset holds fewer
-        than ``k`` records.
+        than ``k`` records.  ``stats`` lets a caller supply the counter
+        that charges every scored record — the query guard passes a
+        budget-enforcing subclass here.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         graph = self._graph
-        stats = AccessCounter()
+        stats = stats if stats is not None else AccessCounter()
         candidates = _CandidateList()
         computed: set = set()
 

@@ -71,9 +71,17 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
                 if add("layer-of", "layer_of disagrees with layer contents", rid):
                     return issues
 
+    # Dangling edges: adjacency entries pointing at ids in no layer.
+    in_graph = set(graph.iter_records())
+    for rid in sorted(graph.edge_endpoints() - in_graph):
+        if add("dangling-edge", "edge endpoint is not placed in any layer", rid):
+            return issues
+
     # Edge soundness.
     for rid in graph.iter_records():
         for child in graph.children_of(rid):
+            if child not in in_graph:
+                continue  # already reported as dangling above
             if graph.layer_of(child) != graph.layer_of(rid) + 1:
                 if add("edge-span", f"edge {rid}->{child} not consecutive", rid):
                     return issues

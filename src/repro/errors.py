@@ -1,0 +1,118 @@
+"""Typed error hierarchy for the serving layer.
+
+A production deployment of the Dominant Graph index must never turn a
+damaged file, a runaway query, or an engine bug into either a crash deep
+inside numpy or — worse — a silently wrong answer.  Every failure the
+serving layer can detect is surfaced through one of the classes below, so
+callers can catch :class:`ReproError` and know they have covered every
+structured failure mode, or catch a specific subclass to react to one.
+
+Hierarchy
+---------
+``ReproError``
+    Base class.  Also mixes into the stdlib types callers historically
+    caught, so tightening an ``except ValueError`` to
+    ``except IndexCorruptionError`` is a refinement, not a migration.
+
+``IndexCorruptionError`` (also a ``ValueError``)
+    A persisted index failed integrity checks: unreadable archive,
+    checksum mismatch, missing/ill-shaped arrays, inconsistent id ranges,
+    or an unsupported format version.  Carries ``path`` and the name of
+    the offending ``array`` when known.  Raised by
+    :mod:`repro.core.io` before any damaged byte can reach a query.
+
+``StaleSnapshotError`` (also a ``RuntimeError``)
+    A :class:`~repro.core.compiled.CompiledDG` was queried after its
+    source graph mutated.  Recompile, or let
+    :func:`repro.core.guard.run_query` do it for you.
+
+``QueryBudgetExceeded``
+    A guarded query ran past its wall-clock deadline or its
+    accessed-record budget (see :mod:`repro.core.guard`).  Carries the
+    budget ``kind`` (``"records"`` or ``"time"``), the ``limit``, and
+    what was actually ``spent``.
+
+``DegradedResultWarning`` (also a ``UserWarning``)
+    Not an error: emitted via :mod:`warnings` when the serving layer
+    answered, but from a lower tier than requested (engine fallback) or
+    from a repaired index.  The answer is still correct — the warning
+    records that redundancy, not luck, produced it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every typed error raised by the serving layer."""
+
+
+class IndexCorruptionError(ReproError, ValueError):
+    """A persisted index failed an integrity check and was not loaded.
+
+    Parameters
+    ----------
+    reason:
+        Human-readable description of the first check that failed.
+    path:
+        The archive being loaded, when known.
+    array:
+        Name of the offending npz array, when the damage is localized.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: str | None = None,
+        array: str | None = None,
+    ) -> None:
+        self.reason = reason
+        self.path = path
+        self.array = array
+        detail = reason
+        if array is not None:
+            detail = f"{detail} [array={array!r}]"
+        if path is not None:
+            detail = f"{detail} ({path})"
+        super().__init__(detail)
+
+
+class StaleSnapshotError(ReproError, RuntimeError):
+    """A compiled snapshot was queried after its source graph mutated."""
+
+
+class QueryBudgetExceeded(ReproError):
+    """A guarded query exceeded its record or wall-clock budget.
+
+    Attributes
+    ----------
+    kind:
+        ``"records"`` (accessed-record budget) or ``"time"`` (deadline).
+    limit:
+        The configured budget (record count, or milliseconds).
+    spent:
+        What the query had consumed when the budget tripped.
+    tier:
+        Which serving tier was running (set by the guard).
+    """
+
+    def __init__(
+        self, kind: str, limit: float, spent: float, tier: str = ""
+    ) -> None:
+        self.kind = kind
+        self.limit = limit
+        self.spent = spent
+        self.tier = tier
+        unit = "records" if kind == "records" else "ms"
+        super().__init__(
+            f"query exceeded its {kind} budget: "
+            f"spent {spent:g} of {limit:g} {unit}"
+        )
+
+
+class DegradedResultWarning(ReproError, UserWarning):
+    """The answer is correct but was produced by a degraded path.
+
+    Emitted (via :func:`warnings.warn`) when a query engine failed and a
+    lower tier answered, or when a corrupt index was repaired on load.
+    """

@@ -1,0 +1,28 @@
+"""Fault-injection utilities for the chaos test-suite.
+
+Everything here exists to *break* the index on purpose — flip bits in
+archives, truncate files, forge format versions, make scoring functions
+throw mid-traversal — so the tests can assert the resilience contract:
+every fault is repaired, degraded around, or surfaced as a typed error,
+never a silent wrong answer.
+
+- :mod:`repro.testing.faults` — file corrupters and flaky functions.
+- :mod:`repro.testing.fuzz` — round-trip fuzz CLI used by the CI chaos
+  job (``python -m repro.testing.fuzz``).
+"""
+
+from repro.testing.faults import (
+    FlakyFunction,
+    flip_bits,
+    set_format_version,
+    tamper_array,
+    truncate_file,
+)
+
+__all__ = [
+    "FlakyFunction",
+    "flip_bits",
+    "set_format_version",
+    "tamper_array",
+    "truncate_file",
+]

@@ -1,0 +1,158 @@
+"""Deterministic fault injectors: damaged archives and failing engines.
+
+Two families of fault, matching the two trust boundaries the resilience
+layer defends:
+
+**Storage faults** operate on a saved ``.npz`` index file in place:
+:func:`flip_bits` (bad storage), :func:`truncate_file` (crashed copy),
+:func:`set_format_version` (stale/foreign build), and
+:func:`tamper_array` (hand-edited or buggy-writer archive, optionally
+re-signed so the damage gets past the checksum manifest and must be
+caught by structural validation instead).
+
+**Engine faults** operate on a live query: :class:`FlakyFunction` wraps
+any scoring function and throws on a scripted schedule, so tests can
+make exactly one serving tier fail mid-traversal and assert the guard
+degrades to the next tier with identical answers.
+
+Every injector is deterministic given its arguments — chaos tests must
+reproduce, or they are worse than no tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.core.functions import ScoringFunction
+from repro.core.io import compute_manifest
+
+
+def flip_bits(path: str, n: int = 1, seed: int = 0) -> list:
+    """Flip ``n`` deterministically-random bits of a file, in place.
+
+    Models bad storage / a bad NIC.  Returns the ``(byte_offset, bit)``
+    pairs flipped so a failing test can report exactly what it damaged.
+    """
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    if not data:
+        raise ValueError(f"cannot flip bits of empty file {path!r}")
+    rng = np.random.default_rng(seed)
+    flips = []
+    for _ in range(n):
+        offset = int(rng.integers(0, len(data)))
+        bit = int(rng.integers(0, 8))
+        data[offset] ^= 1 << bit
+        flips.append((offset, bit))
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    return flips
+
+
+def truncate_file(path: str, keep: int | None = None, fraction: float = 0.5) -> int:
+    """Truncate a file to ``keep`` bytes (default: ``fraction`` of its size).
+
+    Models a crashed copy or a partially-synced download.  Returns the
+    resulting size in bytes.
+    """
+    size = os.path.getsize(path)
+    keep = int(size * fraction) if keep is None else int(keep)
+    keep = max(0, min(keep, size))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def _read_archive(path: str) -> dict:
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def tamper_array(
+    path: str,
+    key: str,
+    mutate: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+    fix_manifest: bool = False,
+) -> str:
+    """Replace one array of a saved index archive, in place.
+
+    ``mutate`` is either a replacement array or a callable receiving the
+    current array and returning the replacement.  With the default
+    ``fix_manifest=False`` the SHA-256 manifest is left stale, modelling
+    plain corruption (the checksum check must catch it); with
+    ``fix_manifest=True`` the manifest is recomputed over the tampered
+    payload, modelling a consistent-but-wrong writer (structural
+    validation must catch it instead).  Returns ``path``.
+    """
+    payload = _read_archive(path)
+    current = payload.get(key)
+    replacement = mutate(current) if callable(mutate) else mutate
+    payload[key] = np.asarray(replacement)
+    if fix_manifest:
+        names, digests = compute_manifest(payload)
+        payload["manifest_names"] = np.asarray(names, dtype=str)
+        payload["manifest_sha256"] = np.asarray(digests, dtype=str)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return path
+
+
+def set_format_version(path: str, version: int) -> str:
+    """Stamp a saved archive with an arbitrary format version, in place.
+
+    Models an archive produced by a newer (or prehistoric) build.  No
+    re-signing is needed: ``format_version`` is deliberately outside the
+    manifest so version negotiation runs before integrity checks.
+    """
+    return tamper_array(path, "format_version", np.asarray(int(version)))
+
+
+class FlakyFunction:
+    """A scoring function that fails on a schedule, then recovers.
+
+    Wraps any :class:`~repro.core.functions.ScoringFunction` and raises
+    ``RuntimeError("injected scoring fault")`` from the next ``times``
+    scoring calls after the first ``after`` calls succeed.  With the
+    defaults (``after=0, times=1``) the first tier to score anything dies
+    and every later tier works — the minimal degradation scenario.  A
+    positive ``after`` makes the failure strike *mid*-traversal, after
+    the engine has already scored (and charged) some records.
+
+    The schedule counts calls to either entry point, so it behaves the
+    same for the batched compiled engine (``score_many``) and the
+    record-at-a-time reference Travelers (``__call__``).
+    """
+
+    def __init__(self, inner: ScoringFunction, times: int = 1, after: int = 0) -> None:
+        self.inner = inner
+        self.failures_left = int(times)
+        self.successes_before_failure = int(after)
+        self.faults_raised = 0
+
+    def _maybe_fail(self) -> None:
+        if self.successes_before_failure > 0:
+            self.successes_before_failure -= 1
+            return
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            self.faults_raised += 1
+            raise RuntimeError("injected scoring fault")
+
+    def __call__(self, vector: np.ndarray) -> float:
+        """Score one vector, or raise if a scripted fault is due."""
+        self._maybe_fail()
+        return self.inner(vector)
+
+    def score_many(self, block: np.ndarray) -> np.ndarray:
+        """Score a block, or raise if a scripted fault is due."""
+        self._maybe_fail()
+        return self.inner.score_many(block)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlakyFunction({self.inner!r}, failures_left={self.failures_left}, "
+            f"after={self.successes_before_failure})"
+        )

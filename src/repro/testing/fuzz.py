@@ -1,0 +1,111 @@
+"""Round-trip corruption fuzz: save -> flip bits -> load must stay honest.
+
+Each trial builds a random Extended DG, saves it, flips a handful of
+random bytes in the archive, and reloads.  The resilience contract under
+test: the load either
+
+- raises a typed :class:`~repro.errors.IndexCorruptionError` (in which
+  case :func:`~repro.core.io.repair_graph` must either rebuild a
+  structurally valid graph or itself raise the typed error), or
+- succeeds with answers bit-identical to the pre-corruption oracle
+  (the flips landed somewhere harmless).
+
+Anything else — an untyped exception leaking out of the loader, or a
+load that "succeeds" with different answers — is a silent-failure bug
+and fails the run.  Used by the CI chaos job::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --trials 25
+
+Exit status 0 on success, 1 on any contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.io import load_graph, repair_graph, save_graph
+from repro.errors import IndexCorruptionError
+from repro.testing.faults import flip_bits
+
+#: Outcomes that satisfy the resilience contract.
+GOOD_OUTCOMES = ("detected", "detected+repaired", "detected+unrepairable", "survived")
+
+
+def _signature(result) -> tuple:
+    """Tie-insensitive answer signature: the sorted score multiset."""
+    return tuple(sorted(round(float(s), 9) for s in result.scores))
+
+
+def fuzz_trial(trial: int, directory: str, flips: int) -> str:
+    """Run one save/corrupt/load round-trip; return the outcome label."""
+    rng = np.random.default_rng(trial)
+    n = int(rng.integers(20, 60))
+    dataset = Dataset(rng.random((n, 3)))
+    graph = build_extended_graph(dataset)
+    function = LinearFunction(rng.random(3) + 0.05)
+    k = int(rng.integers(1, 8))
+    oracle = _signature(AdvancedTraveler(graph).top_k(function, k))
+
+    path = save_graph(graph, os.path.join(directory, f"graph-{trial}"))
+    flip_bits(path, n=flips, seed=trial)
+    try:
+        reloaded = load_graph(path)
+    except IndexCorruptionError:
+        try:
+            repaired, _notes = repair_graph(path)
+        except IndexCorruptionError:
+            return "detected+unrepairable"
+        except Exception as exc:  # untyped escape from repair: contract bug
+            return f"repair-untyped-error:{type(exc).__name__}"
+        try:
+            repaired.validate()
+        except AssertionError:
+            return "repair-produced-invalid-graph"
+        return "detected+repaired"
+    except Exception as exc:  # untyped escape from load: contract bug
+        return f"load-untyped-error:{type(exc).__name__}"
+    answer = _signature(AdvancedTraveler(reloaded).top_k(function, k))
+    if answer != oracle:
+        return "silent-wrong-answer"
+    return "survived"
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--trials", type=int, default=25, help="round-trips to run")
+    parser.add_argument(
+        "--flips", type=int, default=4, help="random bit flips per trial"
+    )
+    args = parser.parse_args(argv)
+
+    counts: dict = {}
+    with tempfile.TemporaryDirectory() as directory:
+        for trial in range(args.trials):
+            outcome = fuzz_trial(trial, directory, args.flips)
+            counts[outcome] = counts.get(outcome, 0) + 1
+    for outcome in sorted(counts):
+        print(f"{outcome}: {counts[outcome]}")
+    violations = sum(
+        count for outcome, count in counts.items() if outcome not in GOOD_OUTCOMES
+    )
+    if violations:
+        print(f"FUZZ FAILED: {violations} contract violation(s)")
+        return 1
+    print(f"fuzz OK: {args.trials} trials, no silent failures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "layers:" in out and "index OK" in out
 
+    def test_query_reports_serving_tier(self, index_path, capsys):
+        assert main(["query", "--index", index_path,
+                     "--weights", "0.5,0.3,0.2", "--k", "3",
+                     "--engine", "naive"]) == 0
+        assert "naive tier" in capsys.readouterr().out
+
+    def test_query_budget_exceeded_exits_3(self, index_path, capsys):
+        code = main(["query", "--index", index_path,
+                     "--weights", "0.5,0.3,0.2", "--k", "5",
+                     "--budget-records", "2"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_query_generous_budget_unchanged(self, index_path, capsys):
+        argv = ["query", "--index", index_path,
+                "--weights", "0.5,0.3,0.2", "--k", "5"]
+        assert main(argv) == 0
+        free = capsys.readouterr().out
+        assert main(argv + ["--budget-records", "100000",
+                            "--budget-ms", "60000", "--no-fallback"]) == 0
+        budgeted = capsys.readouterr().out
+        assert free.splitlines()[1:] == budgeted.splitlines()[1:]
+
+    def test_doctor_healthy(self, index_path, capsys):
+        assert main(["doctor", "--index", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "index OK" in out
+
+    def test_doctor_detects_and_repairs(self, index_path, tmp_path, capsys):
+        from repro.testing.faults import tamper_array
+
+        tamper_array(index_path, "edges", lambda e: e[::-1])
+        assert main(["doctor", "--index", index_path]) == 2
+        assert "CORRUPT" in capsys.readouterr().out
+        out_path = str(tmp_path / "fixed.npz")
+        assert main(["doctor", "--index", index_path,
+                     "--repair", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "repaired index written" in out and "index OK" in out
+        assert main(["query", "--index", out_path,
+                     "--weights", "0.5,0.3,0.2", "--k", "3"]) == 0
+
+    def test_doctor_missing_file(self, tmp_path, capsys):
+        assert main(["doctor", "--index", str(tmp_path / "nope.npz")]) == 2
+        assert "cannot read index" in capsys.readouterr().out
+
     def test_insert_and_delete(self, tmp_path, capsys):
         data = save_dataset(uniform(50, 2, seed=3), str(tmp_path / "d2"))
         index = str(tmp_path / "i2.npz")

@@ -1,0 +1,96 @@
+"""Guarded query execution: tiers, budgets, and the degradation chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_extended_graph
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.core.guard import TIERS, BudgetedAccessCounter, run_query
+from repro.core.maintenance import mark_deleted
+from repro.errors import QueryBudgetExceeded
+
+F = LinearFunction([0.5, 0.5])
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(7)
+    return build_extended_graph(Dataset(rng.random((50, 2))))
+
+
+class TestTiers:
+    """Every tier answers; every tier answers the same."""
+
+    def test_tier_order(self):
+        assert TIERS == ("compiled", "reference", "naive")
+
+    @pytest.mark.parametrize("engine", ["auto", "compiled", "reference", "naive"])
+    def test_every_tier_agrees(self, graph, engine):
+        result = run_query(graph, F, 5, engine=engine)
+        oracle = run_query(graph, F, 5, engine="naive")
+        assert result.tier == (engine if engine != "auto" else "compiled")
+        assert result.ids == oracle.ids
+        assert result.scores == pytest.approx(oracle.scores)
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference", "naive"])
+    def test_where_predicate_respected_everywhere(self, graph, engine):
+        where = lambda v: v[0] < 0.5
+        result = run_query(graph, F, 5, engine=engine, where=where)
+        assert all(graph.vector(rid)[0] < 0.5 for rid in result.ids)
+        oracle = run_query(graph, F, 5, engine="naive", where=where)
+        assert result.ids == oracle.ids
+
+    def test_naive_tier_excludes_mark_deleted(self, graph):
+        victim = run_query(graph, F, 1, engine="naive").ids[0]
+        mark_deleted(graph, victim)
+        result = run_query(graph, F, 5, engine="naive")
+        assert victim not in result.ids
+
+    def test_stale_snapshot_is_recompiled(self, graph):
+        snapshot = graph.compile()
+        victim = run_query(graph, F, 1).ids[0]
+        mark_deleted(graph, victim)
+        assert snapshot.stale
+        result = run_query(graph, F, 5, snapshot=snapshot)
+        assert result.tier == "compiled"
+        assert victim not in result.ids
+
+    def test_unknown_engine_raises(self, graph):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_query(graph, F, 5, engine="quantum")
+
+    def test_nonpositive_k_raises(self, graph):
+        with pytest.raises(ValueError, match="positive"):
+            run_query(graph, F, 0)
+
+
+class TestBudgetedCounter:
+    """The counter raises mid-count the moment a limit is passed."""
+
+    def test_unlimited_by_default(self):
+        counter = BudgetedAccessCounter()
+        counter.count_computed_batch(list(range(1000)))
+        assert counter.computed == 1000
+
+    def test_record_limit_trips_on_the_crossing_charge(self):
+        counter = BudgetedAccessCounter(max_records=2)
+        counter.count_computed(0)
+        counter.count_computed(1)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            counter.count_computed(2)
+        assert excinfo.value.kind == "records"
+        assert excinfo.value.limit == 2
+        assert excinfo.value.spent == 3
+
+    def test_batch_charges_trip_too(self):
+        counter = BudgetedAccessCounter(max_records=5)
+        with pytest.raises(QueryBudgetExceeded):
+            counter.count_computed_batch(list(range(10)))
+
+    def test_budget_error_records_the_tier(self, graph):
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            run_query(graph, F, 5, engine="naive", budget_records=3)
+        assert excinfo.value.tier == "naive"

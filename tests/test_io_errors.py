@@ -7,6 +7,7 @@ from repro.cli import load_dataset, save_dataset
 from repro.core.builder import build_dominant_graph
 from repro.core.io import load_graph, save_graph
 from repro.data.generators import uniform
+from repro.errors import IndexCorruptionError
 
 
 class TestLoadGraphErrors:
@@ -20,22 +21,48 @@ class TestLoadGraphErrors:
         loaded = load_graph(str(tmp_path / "idx"))  # no .npz either way
         assert len(loaded) == 20
 
-    def test_corrupt_edges_caught_by_validate(self, tmp_path):
+    def test_corrupt_edges_caught_by_checksum(self, tmp_path):
+        # Tampering with an array without re-signing the manifest is
+        # caught by the SHA-256 check before any reconstruction runs.
         graph = build_dominant_graph(uniform(30, 2, seed=2))
         path = save_graph(graph, str(tmp_path / "c.npz"))
         with np.load(path) as archive:
             payload = dict(archive)
-        # Damage: point an edge across non-consecutive layers if possible.
         edges = payload["edges"]
         layer_of = dict(zip(payload["record_ids"].tolist(),
                             payload["layer_of"].tolist()))
         deep = [rid for rid, layer in layer_of.items() if layer >= 2]
         top = [rid for rid, layer in layer_of.items() if layer == 0]
-        if deep and top:
-            payload["edges"] = np.vstack([edges, [[top[0], deep[0]]]])
-            np.savez(path, **payload)
-            with pytest.raises(AssertionError):
-                load_graph(path, validate=True)
+        assert deep and top
+        payload["edges"] = np.vstack([edges, [[top[0], deep[0]]]])
+        np.savez(path, **payload)
+        with pytest.raises(IndexCorruptionError, match="checksum"):
+            load_graph(path, validate=True)
+
+    def test_corrupt_edges_caught_by_structural_validation(self, tmp_path):
+        # Even with a correctly re-signed manifest, a non-consecutive
+        # edge is rejected by structural validation at load time.
+        from repro.core.io import compute_manifest
+
+        graph = build_dominant_graph(uniform(30, 2, seed=2))
+        path = save_graph(graph, str(tmp_path / "c2.npz"))
+        with np.load(path) as archive:
+            payload = dict(archive)
+        layer_of = dict(zip(payload["record_ids"].tolist(),
+                            payload["layer_of"].tolist()))
+        deep = [rid for rid, layer in layer_of.items() if layer >= 2]
+        top = [rid for rid, layer in layer_of.items() if layer == 0]
+        assert deep and top
+        payload["edges"] = np.vstack([payload["edges"], [[top[0], deep[0]]]])
+        names, digests = compute_manifest(
+            {k: v for k, v in payload.items()
+             if k not in ("manifest_names", "manifest_sha256", "format_version")}
+        )
+        payload["manifest_names"] = np.asarray(names, dtype=str)
+        payload["manifest_sha256"] = np.asarray(digests, dtype=str)
+        np.savez(path, **payload)
+        with pytest.raises(IndexCorruptionError, match="consecutive"):
+            load_graph(path)
 
     def test_dataset_archive_missing_key(self, tmp_path):
         path = str(tmp_path / "bad.npz")

@@ -57,6 +57,26 @@ class TestDetection:
         codes = {issue.code for issue in verify_graph(graph)}
         assert "orphan" in codes
 
+    def test_detects_dangling_child_edge(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.add_edge(0, 9999)  # endpoint placed in no layer
+        issues = verify_graph(graph)
+        codes = {issue.code for issue in issues}
+        assert "dangling-edge" in codes
+        assert any(issue.record_id == 9999 for issue in issues)
+
+    def test_detects_dangling_parent_edge(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.add_edge(7777, 3)
+        codes = {issue.code for issue in verify_graph(graph)}
+        assert "dangling-edge" in codes
+
+    def test_edge_endpoints_enumerates_both_maps(self, small_dataset):
+        graph = build_dominant_graph(small_dataset)
+        graph.add_edge(0, 9999)
+        assert 9999 in graph.edge_endpoints()
+        assert 0 in graph.edge_endpoints()
+
     def test_detects_intra_layer_dominance(self):
         dataset = Dataset([[2.0, 2.0], [1.0, 1.0]])
         graph = build_dominant_graph(dataset)
