@@ -1,0 +1,199 @@
+"""Serving-layer latency under concurrent writes (``BENCH_serve.json``).
+
+Measures read-path p50/p99 while a background writer applies maintenance
+at three target write rates, with the WAL under ``fsync=always`` and
+``fsync=never`` — the two ends of the durability matrix in
+``docs/serving.md``.  Because readers run against RCU-pinned snapshots,
+the interesting questions are (a) how much a concurrent writer perturbs
+read tail latency and (b) what per-op price the fsync policy charges the
+*writer* (reads never fsync).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out /tmp/b.json
+
+Each cell reports reader p50/p99/mean in milliseconds, achieved reader
+throughput, the writer's achieved ops/s against its target rate, and the
+mean per-mutation latency (which under ``fsync=always`` is dominated by
+the fsync itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.builder import build_dominant_graph  # noqa: E402
+from repro.core.functions import LinearFunction  # noqa: E402
+from repro.data.generators import uniform  # noqa: E402
+from repro.serve import ServingIndex  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_serve.json")
+
+#: Target background write rates (mutations per second).  0 is the
+#: no-writer baseline every loaded cell is compared against.
+WRITE_RATES = (0, 50, 200)
+
+
+def percentile(samples: list, q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run_cell(
+    n: int,
+    dims: int,
+    fsync: str,
+    write_rate: int,
+    duration: float,
+    seed: int,
+) -> dict:
+    """One (fsync policy, write rate) cell: readers race a paced writer."""
+    rng = np.random.default_rng(seed)
+    dataset = uniform(n, dims, seed=seed)
+    start_ids = list(range(n // 2))
+    graph = build_dominant_graph(dataset, record_ids=start_ids)
+    function = LinearFunction(rng.dirichlet(np.ones(dims)))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        index = ServingIndex.create(
+            os.path.join(tmp, "serve"),
+            graph,
+            fsync=fsync,
+            checkpoint_interval=None,
+            max_concurrent=8,
+            max_waiting=64,
+        )
+        try:
+            latencies: list = []
+            writer_latencies: list = []
+            stop = threading.Event()
+
+            def writer() -> None:
+                """Alternate insert/delete at the target rate."""
+                if write_rate == 0:
+                    return
+                pending = list(range(n // 2, n))
+                alive = set(start_ids)
+                period = 1.0 / write_rate
+                next_due = time.perf_counter()
+                inserting = True
+                while not stop.is_set():
+                    now = time.perf_counter()
+                    if now < next_due:
+                        time.sleep(min(period, next_due - now))
+                        continue
+                    op_start = time.perf_counter()
+                    if inserting and pending:
+                        rid = pending.pop()
+                        index.insert(rid)
+                        alive.add(rid)
+                    elif alive:
+                        rid = alive.pop()
+                        index.delete(rid)
+                        pending.append(rid)
+                    writer_latencies.append(time.perf_counter() - op_start)
+                    inserting = not inserting
+                    next_due += period
+
+            def reader() -> None:
+                while not stop.is_set():
+                    begin = time.perf_counter()
+                    index.query(function, k=10)
+                    latencies.append(time.perf_counter() - begin)
+
+            threads = [threading.Thread(target=writer, daemon=True)] + [
+                threading.Thread(target=reader, daemon=True) for _ in range(2)
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            time.sleep(duration)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            elapsed = time.perf_counter() - begin
+        finally:
+            index.close(checkpoint=False)
+
+    reads_ms = [1000.0 * t for t in latencies]
+    cell = {
+        "n": n,
+        "dims": dims,
+        "fsync": fsync,
+        "target_write_rate": write_rate,
+        "duration_seconds": elapsed,
+        "reads": len(reads_ms),
+        "read_p50_ms": percentile(reads_ms, 50),
+        "read_p99_ms": percentile(reads_ms, 99),
+        "read_mean_ms": float(np.mean(reads_ms)),
+        "reads_per_second": len(reads_ms) / elapsed,
+        "writes": len(writer_latencies),
+        "achieved_write_rate": len(writer_latencies) / elapsed,
+        "write_mean_ms": (
+            1000.0 * float(np.mean(writer_latencies))
+            if writer_latencies
+            else None
+        ),
+    }
+    print(
+        f"fsync={fsync:<6} rate={write_rate:>4}/s  "
+        f"p50={cell['read_p50_ms']:7.3f}ms  p99={cell['read_p99_ms']:7.3f}ms  "
+        f"writes={cell['writes']:>4} "
+        f"(mean {cell['write_mean_ms'] or 0:.2f}ms)"
+    )
+    return cell
+
+
+def main(argv=None) -> int:
+    """Entry point: sweep fsync x write-rate and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long run for CI smoke testing")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_serve.json)")
+    parser.add_argument("--n", type=int, default=5_000)
+    parser.add_argument("--dims", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="seconds of load per cell")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n = 600 if args.smoke else args.n
+    duration = 0.5 if args.smoke else args.duration
+
+    cells = [
+        run_cell(n, args.dims, fsync, rate, duration, args.seed)
+        for fsync in ("always", "never")
+        for rate in WRITE_RATES
+    ]
+    report = {
+        "benchmark": "serve_read_latency_under_writes",
+        "workload": (
+            "uniform data, linear reads (k=10, 2 reader threads) racing "
+            "one paced insert/delete writer"
+        ),
+        "smoke": args.smoke,
+        "write_rates": list(WRITE_RATES),
+        "results": cells,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -242,6 +242,109 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if all(r.correct for r in reports) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Operate a durable serving directory (`repro serve`).
+
+    Modes (mutually exclusive):
+
+    - ``--init --data data.npz``: build an index and initialize a fresh
+      serving directory (checkpoint + CURRENT + empty WAL).
+    - ``--probe``: recover the directory and print the health and
+      readiness documents as JSON; exit 0 when ready, 1 otherwise.
+    - ``--smoke N``: recover, then run N random mutations with
+      concurrent reader threads — an end-to-end liveness exercise —
+      finishing with a checkpoint and a clean close.
+    """
+    import json as json_module
+
+    from repro.serve import ServingIndex
+
+    if args.init:
+        if not args.data:
+            raise SystemExit("--init requires --data")
+        dataset = load_dataset(args.data)
+        if args.plain:
+            graph = build_dominant_graph(dataset)
+        else:
+            graph = build_extended_graph(dataset, theta=args.theta, seed=args.seed)
+        with Timer() as timer:
+            index = ServingIndex.create(args.dir, graph, fsync=args.fsync)
+        index.close()
+        print(
+            f"initialized serving directory {args.dir} in "
+            f"{timer.elapsed:.2f}s ({len(dataset)} records, "
+            f"fsync={args.fsync})"
+        )
+        return 0
+
+    index = ServingIndex.open(args.dir, fsync=args.fsync)
+    try:
+        if args.probe:
+            document = {
+                "health": index.health(),
+                "readiness": index.readiness(),
+            }
+            print(json_module.dumps(document, indent=2, sort_keys=True))
+            return 0 if document["readiness"]["ready"] else 1
+
+        # --smoke: random mutations under concurrent readers.
+        import threading
+
+        rng = np.random.default_rng(args.seed)
+        dims = index.snapshot().compiled.values.shape[1]
+        function = LinearFunction(rng.random(dims) + 0.05)
+        stop = threading.Event()
+        read_counts = [0] * 2
+
+        def reader(slot: int) -> None:
+            while not stop.is_set():
+                index.query(function, k=10)
+                read_counts[slot] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(len(read_counts))
+        ]
+        for thread in threads:
+            thread.start()
+        indexed = {
+            int(r)
+            for r in index.snapshot()
+            .compiled.record_ids[~index.snapshot().compiled.pseudo_mask]
+            .tolist()
+        }
+        pending = [
+            rid
+            for rid in range(len(index._graph.dataset))
+            if rid not in indexed
+        ]
+        mutations = 0
+        with Timer() as timer:
+            for _ in range(args.smoke):
+                if pending and (rng.random() < 0.6 or len(indexed) < 4):
+                    rid = pending.pop()
+                    index.insert(rid)
+                    indexed.add(rid)
+                else:
+                    rid = int(rng.choice(sorted(indexed)))
+                    index.delete(rid)
+                    indexed.discard(rid)
+                    pending.append(rid)
+                mutations += 1
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        index.checkpoint()
+        print(
+            f"smoke: {mutations} mutations and {sum(read_counts)} "
+            f"concurrent reads in {timer.elapsed:.2f}s "
+            f"(final epoch {index.epoch}, fsync={args.fsync})"
+        )
+        return 0
+    finally:
+        index.close()
+
+
 EXPERIMENTS = {
     "fig5": lambda args: experiments.fig5_pseudo_records(args.kind),
     "fig6-construction": lambda args: experiments.fig6_construction(),
@@ -352,6 +455,33 @@ def build_parser() -> argparse.ArgumentParser:
                    default="reference",
                    help="engine behind the DG entry of the comparison")
     p.set_defaults(run=cmd_compare)
+
+    p = sub.add_parser(
+        "serve", help="operate a durable WAL-backed serving directory"
+    )
+    p.add_argument("--dir", required=True,
+                   help="serving directory (CURRENT + checkpoint + WAL)")
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--init", action="store_true",
+                      help="build an index over --data and initialize "
+                           "a fresh serving directory")
+    mode.add_argument("--probe", action="store_true",
+                      help="recover and print health + readiness JSON "
+                           "(exit 0 when ready, 1 otherwise)")
+    mode.add_argument("--smoke", type=int, metavar="N",
+                      help="recover, run N mutations under concurrent "
+                           "readers, checkpoint, close")
+    p.add_argument("--data", default=None,
+                   help="dataset archive for --init")
+    p.add_argument("--plain", action="store_true",
+                   help="--init with a plain DG (skip pseudo levels)")
+    p.add_argument("--theta", type=int, default=None,
+                   help="--init pseudo-level threshold")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="always",
+                   help="WAL durability policy (see docs/serving.md)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(run=cmd_serve)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("--name", choices=sorted(EXPERIMENTS), required=True)

@@ -188,6 +188,21 @@ class CompiledDG:
             and self._source.version != self._source_version
         )
 
+    def detach(self) -> "CompiledDG":
+        """Sever the staleness link to the source graph; returns ``self``.
+
+        Staleness tracking exists to stop a *single-version* deployment
+        from serving answers off a structure that no longer matches its
+        graph.  A multi-version deployment — the RCU snapshot rotation of
+        :class:`~repro.serve.index.ServingIndex` — wants the opposite:
+        in-flight readers must keep answering from the snapshot they
+        pinned while the writer mutates the graph and publishes the next
+        one.  Every array is already an immutable copy, so a detached
+        snapshot is self-contained; it simply never reports stale.
+        """
+        self._source = None
+        return self
+
     def __repr__(self) -> str:
         return (
             f"CompiledDG(records={self.num_records}, "

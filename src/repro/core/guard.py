@@ -91,7 +91,15 @@ class BudgetedAccessCounter(AccessCounter):
         self.budget_ms = budget_ms
         self.started = time.monotonic() if started is None else started
 
-    def _enforce(self) -> None:
+    def enforce(self) -> None:
+        """Raise :class:`QueryBudgetExceeded` if either budget is spent.
+
+        Called after every charge, and again by :func:`run_query` when a
+        tier *completes* — a query that scores nothing (an all-pseudo
+        index, an empty candidate set) never charges the counter, and
+        without the completion check such a zero-access path could run
+        arbitrarily past ``budget_ms`` yet return as if on time.
+        """
         if self.max_records is not None and self.computed > self.max_records:
             raise QueryBudgetExceeded(
                 "records", limit=self.max_records, spent=self.computed
@@ -106,12 +114,12 @@ class BudgetedAccessCounter(AccessCounter):
     def count_computed(self, record_id=None, pseudo: bool = False) -> None:
         """Charge one evaluation, then enforce the budgets."""
         super().count_computed(record_id, pseudo=pseudo)
-        self._enforce()
+        self.enforce()
 
     def count_computed_batch(self, record_ids, pseudo: int = 0) -> None:
         """Charge a batch of evaluations, then enforce the budgets."""
         super().count_computed_batch(record_ids, pseudo=pseudo)
-        self._enforce()
+        self.enforce()
 
 
 def _run_tier(
@@ -215,6 +223,10 @@ def run_query(
         )
         try:
             result = _run_tier(tier, graph, snapshot, function, k, where, stats)
+            # Completion check: a tier that scored nothing (zero-access
+            # fast path) never tripped the per-access enforcement, but
+            # the wall-clock budget applies to elapsed time regardless.
+            stats.enforce()
         except QueryBudgetExceeded as exc:
             # Lower tiers access at least as many records: degrading
             # around a budget would just spend more of it.  Surface the

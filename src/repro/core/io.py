@@ -116,12 +116,38 @@ def compute_manifest(payload: dict) -> tuple:
     return names, digests
 
 
-def save_graph(graph: DominantGraph, path: str) -> str:
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so a just-renamed file survives power loss.
+
+    ``os.replace`` is atomic against concurrent readers but the rename
+    itself lives in the directory inode, which the kernel may still be
+    holding in cache when the power goes; syncing the directory pins it.
+    Platforms whose directories cannot be opened/fsynced (some network
+    filesystems, Windows) are silently skipped — atomicity still holds,
+    only power-loss durability is best-effort there.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_graph(graph: DominantGraph, path: str, *, durable: bool = False) -> str:
     """Serialize a graph (and its dataset) to ``path`` (.npz appended).
 
     The write is atomic: the archive is assembled in a temp file next to
     the target and renamed over it, so a crash mid-write leaves the old
-    index intact and readers never see a torn file.  Returns the path
+    index intact and readers never see a torn file.  With
+    ``durable=True`` the temp file is fsynced before the rename and the
+    directory after it, so the finished archive also survives power loss
+    — the write-ahead-logged checkpoints of :mod:`repro.serve` require
+    this; plain tooling saves default to fast.  Returns the path
     actually written.
 
     Examples
@@ -167,7 +193,12 @@ def save_graph(graph: DominantGraph, path: str) -> str:
     try:
         with open(tmp, "wb") as handle:
             np.savez_compressed(handle, **payload)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if durable:
+            fsync_directory(os.path.dirname(os.path.abspath(path)))
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)

@@ -392,19 +392,67 @@ def delete_record(graph: DominantGraph, record_id: int) -> None:
     graph.prune_empty_layers()
 
 
+def validate_insert_batch(graph: DominantGraph, record_ids) -> list:
+    """Normalize and fully validate an insertion batch *before* mutation.
+
+    Returns the ids as ``int``\\ s.  Raises ``ValueError`` on a duplicate
+    or already-indexed id and ``IndexError`` on an id outside the
+    dataset's rows — always before the graph is touched, so a rejected
+    batch leaves the index exactly as it was.
+    """
+    record_ids = [int(r) for r in record_ids]
+    seen: set = set()
+    for rid in record_ids:
+        if rid in seen:
+            raise ValueError(f"record {rid} appears twice in the batch")
+        seen.add(rid)
+        if rid in graph:
+            raise ValueError(f"record {rid} is already indexed")
+        if not 0 <= rid < len(graph.dataset):
+            raise IndexError(f"record {rid} is not a dataset row")
+    return record_ids
+
+
+def validate_delete_batch(graph: DominantGraph, record_ids) -> list:
+    """Normalize and fully validate a deletion batch *before* mutation.
+
+    Returns the ids as ``int``\\ s.  Raises ``ValueError`` on a duplicate
+    and ``KeyError`` on an id that is not indexed — always before the
+    graph is touched, so a rejected batch leaves the index exactly as it
+    was.
+    """
+    record_ids = [int(r) for r in record_ids]
+    seen: set = set()
+    for rid in record_ids:
+        if rid in seen:
+            raise ValueError(f"record {rid} appears twice in the batch")
+        seen.add(rid)
+        if rid not in graph:
+            raise KeyError(f"record {rid} is not indexed")
+    return record_ids
+
+
 def insert_many(graph: DominantGraph, record_ids) -> list:
     """Index a batch of dataset rows; returns each record's layer.
 
     The paper notes that batched maintenance is what its rivals *require*
     (ONION/AppRI rebuild; "it is advisable to perform index maintenance in
     batches" for AppRI); DG does not need batching for correctness, so
-    this is a straightforward loop over :func:`insert_record`.  When a
-    batch approaches the index size, a from-scratch
+    this is a loop over :func:`insert_record`.  When a batch approaches
+    the index size, a from-scratch
     :func:`~repro.core.builder.build_dominant_graph` over the union is the
     faster choice — that trade-off belongs to the caller, who knows both
     sizes.
+
+    The batch is **all-or-nothing with respect to validation**: every id
+    is checked up front (duplicates within the batch, already-indexed
+    ids, out-of-range rows) via :func:`validate_insert_batch`, and any
+    invalid id raises *before the graph is mutated at all*.  Callers —
+    the WAL-backed :class:`~repro.serve.index.ServingIndex` in
+    particular — rely on this to log a batch as one atomic record: a
+    rejected batch leaves nothing to undo.
     """
-    record_ids = [int(r) for r in record_ids]
+    record_ids = validate_insert_batch(graph, record_ids)
     layers = []
     for rid in record_ids:
         layers.append(insert_record(graph, rid))
@@ -412,9 +460,16 @@ def insert_many(graph: DominantGraph, record_ids) -> list:
 
 
 def delete_many(graph: DominantGraph, record_ids) -> None:
-    """Remove a batch of records (convenience loop over delete_record)."""
+    """Remove a batch of records (loop over :func:`delete_record`).
+
+    All-or-nothing with respect to validation, exactly like
+    :func:`insert_many`: duplicates and unindexed ids raise (via
+    :func:`validate_delete_batch`) before any record is removed, so a
+    rejected batch is a no-op.
+    """
+    record_ids = validate_delete_batch(graph, record_ids)
     for rid in record_ids:
-        delete_record(graph, int(rid))
+        delete_record(graph, rid)
 
 
 def mark_deleted(graph: DominantGraph, record_id: int) -> None:

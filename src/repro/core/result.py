@@ -32,6 +32,12 @@ class TopKResult:
         Which serving tier actually answered, when the query ran under
         :func:`repro.core.guard.run_query` (``"compiled"``,
         ``"reference"``, or ``"naive"``; empty for direct engine calls).
+    epoch:
+        Which published snapshot answered, when the query ran against a
+        :class:`~repro.serve.index.ServingIndex` (monotone per publish;
+        ``-1`` for direct engine calls).  Concurrency tests assert a
+        reader's epoch matches exactly one published snapshot — the
+        snapshot-isolation contract.
     """
 
     ids: tuple
@@ -39,6 +45,7 @@ class TopKResult:
     stats: AccessCounter = field(compare=False)
     algorithm: str = field(default="", compare=False)
     tier: str = field(default="", compare=False)
+    epoch: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.ids) != len(self.scores):

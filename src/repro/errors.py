@@ -32,6 +32,21 @@ Hierarchy
     budget ``kind`` (``"records"`` or ``"time"``), the ``limit``, and
     what was actually ``spent``.
 
+``WALCorruptionError`` (also a ``ValueError``)
+    A write-ahead log failed an integrity check beyond the torn tail a
+    crash legitimately leaves behind (see :mod:`repro.serve.wal`).
+    Carries the ``path`` and byte ``offset`` of the damage when known.
+
+``ServiceUnavailable`` (also a ``RuntimeError``)
+    A :class:`~repro.serve.index.ServingIndex` cannot take the request:
+    it is draining for shutdown, already closed, or its writer was
+    poisoned by a mid-mutation fault and needs a restart-with-recovery.
+
+``ServiceOverloaded`` (a ``ServiceUnavailable``)
+    Query admission shed the request: too many queries were already
+    running or waiting.  The request was rejected *before* doing any
+    work, so retrying after a backoff is safe.
+
 ``DegradedResultWarning`` (also a ``UserWarning``)
     Not an error: emitted via :mod:`warnings` when the serving layer
     answered, but from a lower tier than requested (engine fallback) or
@@ -108,6 +123,85 @@ class QueryBudgetExceeded(ReproError):
             f"query exceeded its {kind} budget: "
             f"spent {spent:g} of {limit:g} {unit}"
         )
+
+
+class WALCorruptionError(ReproError, ValueError):
+    """A write-ahead log is damaged beyond its (tolerated) torn tail.
+
+    A crash mid-append legitimately leaves a partial final record; the
+    WAL reader silently drops that.  This error covers everything else:
+    a missing or mangled file header, a record whose CRC fails with
+    further valid records behind it, or a sequence number that moves
+    backwards — all signs the log was corrupted, not merely torn.
+
+    Parameters
+    ----------
+    reason:
+        Human-readable description of the first check that failed.
+    path:
+        The log file being read, when known.
+    offset:
+        Byte offset of the damage within the file, when localized.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.reason = reason
+        self.path = path
+        self.offset = offset
+        detail = reason
+        if offset is not None:
+            detail = f"{detail} [offset={offset}]"
+        if path is not None:
+            detail = f"{detail} ({path})"
+        super().__init__(detail)
+
+
+class ServiceUnavailable(ReproError, RuntimeError):
+    """The serving index cannot take this request right now.
+
+    Attributes
+    ----------
+    reason:
+        Why: ``"draining"`` (shutdown in progress), ``"closed"``, or
+        ``"poisoned"`` (a mid-mutation fault left the in-memory graph
+        suspect; reads still serve from the last published snapshot,
+        writes need a restart-with-recovery).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        message = f"serving index unavailable: {reason}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class ServiceOverloaded(ServiceUnavailable):
+    """Query admission shed the request before any work was done.
+
+    Attributes
+    ----------
+    active:
+        Queries running when the request was shed.
+    waiting:
+        Queries queued for admission when the request was shed.
+    """
+
+    def __init__(self, active: int, waiting: int) -> None:
+        self.active = active
+        self.waiting = waiting
+        ReproError.__init__(
+            self,
+            f"query admission shed the request: {active} running, "
+            f"{waiting} waiting",
+        )
+        self.reason = "overloaded"
 
 
 class DegradedResultWarning(ReproError, UserWarning):

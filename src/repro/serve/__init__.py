@@ -1,0 +1,48 @@
+"""Durable concurrent serving: WAL, snapshots, admission, recovery.
+
+The serving subsystem runs the paper's Section V maintenance *while
+queries are in flight* and survives being killed at any instant:
+
+- :mod:`repro.serve.wal` — append-only, CRC-per-record write-ahead log
+  with configurable fsync policies and torn-tail-tolerant scanning.
+- :mod:`repro.serve.index` — :class:`ServingIndex`: RCU-rotated
+  immutable snapshots for readers, a single write-ahead-logged writer,
+  LevelDB-style ``CURRENT`` checkpoints, and startup recovery.
+- :mod:`repro.serve.admission` — bounded concurrency, load shedding,
+  and retry-with-backoff around transient engine faults.
+
+See ``docs/serving.md`` for the architecture and the durability matrix.
+"""
+
+from repro.serve.admission import AdmissionController, retry_with_backoff
+from repro.serve.index import (
+    ServingIndex,
+    ServingSnapshot,
+    apply_op,
+    snapshot_scan,
+)
+from repro.serve.wal import (
+    FSYNC_POLICIES,
+    WALScan,
+    WriteAheadLog,
+    create_wal,
+    reset_wal,
+    scan_wal,
+    wal_record_offsets,
+)
+
+__all__ = [
+    "AdmissionController",
+    "FSYNC_POLICIES",
+    "ServingIndex",
+    "ServingSnapshot",
+    "WALScan",
+    "WriteAheadLog",
+    "apply_op",
+    "create_wal",
+    "reset_wal",
+    "retry_with_backoff",
+    "scan_wal",
+    "snapshot_scan",
+    "wal_record_offsets",
+]

@@ -1,0 +1,754 @@
+"""Durable concurrent serving of a Dominant Graph index.
+
+:class:`ServingIndex` turns the library's single-threaded index into a
+process that can take reads and writes at the same time, crash at any
+instant, and come back serving the same answers.  Three ideas carry all
+of it:
+
+**RCU snapshot rotation (reads).**  Queries never touch the mutable
+:class:`~repro.core.graph.DominantGraph`.  They run against an immutable
+:class:`~repro.core.compiled.CompiledDG` published in a
+:class:`ServingSnapshot` tagged with a monotone *epoch*.  The writer
+applies a maintenance batch to its private graph, compiles the result,
+and swaps the snapshot reference in one atomic store — so a reader that
+pinned the old snapshot keeps answering from a consistent pre-batch
+world, and every reader observes either the pre-batch or the post-batch
+index, never a half-applied mix.  (Snapshots are
+:meth:`~repro.core.compiled.CompiledDG.detach`\\ ed: staleness tracking
+is a single-version safety net, and this is deliberately multi-version.)
+
+**Checkpoint + write-ahead log (durability).**  Durable state is the
+last :func:`~repro.core.io.save_graph` checkpoint plus an append-only
+:class:`~repro.serve.wal.WriteAheadLog` of every operation applied since
+(paper Section V's inserts/deletes, plus the §V-B mark-as-deleted).
+Every mutation is framed, CRC'd, and (per the fsync policy) synced
+before the call returns.  Checkpointing follows the LevelDB ``CURRENT``
+pattern: write ``checkpoint-<seq>.npz`` durably, atomically swap the
+``CURRENT`` pointer file to name it, then atomically replace the WAL
+with an empty successor.  A crash between any two of those steps is
+recoverable: recovery loads whatever ``CURRENT`` names and replays WAL
+records *with sequence greater than the checkpoint's watermark*, so
+double-applied and never-applied prefixes are both impossible.
+
+**Single writer (maintenance).**  The paper's maintenance algorithms
+are local but not concurrent; a writer lock serializes them, exactly as
+cheap as the paper assumes.  A mutation that fails *validation* raises
+before anything is touched (see
+:func:`~repro.core.maintenance.insert_many`'s all-or-nothing contract);
+a mutation that fails *mid-apply* — which the validation contract makes
+a bug, not an input — poisons the writer: the half-mutated graph is
+never published or logged, reads continue from the last good snapshot,
+and writes refuse until a restart recovers from checkpoint + WAL.
+
+Query admission is bounded (:mod:`repro.serve.admission`): overload
+sheds instead of queueing without bound, transient engine faults are
+retried with backoff and then degraded to a scan *of the same pinned
+snapshot* (so even a degraded answer is epoch-consistent), and budgets
+ride :class:`~repro.core.guard.BudgetedAccessCounter` unchanged.
+
+Directory layout::
+
+    <dir>/CURRENT               {"checkpoint": ..., "applied_seq": N}
+    <dir>/checkpoint-<seq>.npz  repro.core.io archive
+    <dir>/wal.log               repro.serve.wal
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.builder import build_dominant_graph
+from repro.core.compiled import CompiledAdvancedTraveler, CompiledDG
+from repro.core.dataset import Dataset
+from repro.core.functions import ScoringFunction
+from repro.core.graph import DominantGraph
+from repro.core.guard import BudgetedAccessCounter
+from repro.core.io import fsync_directory, load_graph, save_graph
+from repro.core.maintenance import (
+    delete_record,
+    insert_record,
+    mark_deleted,
+    validate_delete_batch,
+    validate_insert_batch,
+)
+from repro.core.result import TopKResult
+from repro.errors import (
+    DegradedResultWarning,
+    IndexCorruptionError,
+    QueryBudgetExceeded,
+    ServiceUnavailable,
+    WALCorruptionError,
+)
+from repro.serve.admission import AdmissionController, retry_with_backoff
+from repro.serve.wal import WriteAheadLog, create_wal, scan_wal
+
+CURRENT_NAME = "CURRENT"
+WAL_NAME = "wal.log"
+_CHECKPOINT_FMT = "checkpoint-{seq:016d}.npz"
+
+
+# ----------------------------------------------------------------------
+# Operation log vocabulary
+# ----------------------------------------------------------------------
+def apply_op(graph: DominantGraph, op: dict) -> None:
+    """Apply one logged operation to a graph (recovery replay).
+
+    Replay calls the same Section V maintenance code the live writer
+    used, so a recovered index is *constructed by* the operations, not
+    approximated from them — the crash-recovery tests then hold it
+    bit-identical to a from-scratch rebuild.
+    """
+    kind = op.get("op")
+    if kind == "insert":
+        insert_record(graph, int(op["rid"]))
+    elif kind == "delete":
+        delete_record(graph, int(op["rid"]))
+    elif kind == "mark_deleted":
+        mark_deleted(graph, int(op["rid"]))
+    elif kind == "insert_many":
+        for rid in validate_insert_batch(graph, op["rids"]):
+            insert_record(graph, rid)
+    elif kind == "delete_many":
+        for rid in validate_delete_batch(graph, op["rids"]):
+            delete_record(graph, rid)
+    else:
+        raise ValueError(f"unknown WAL operation {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# CURRENT pointer file
+# ----------------------------------------------------------------------
+def _write_current(directory: str, checkpoint: str, applied_seq: int) -> None:
+    """Atomically (and durably) point ``CURRENT`` at a checkpoint."""
+    path = os.path.join(directory, CURRENT_NAME)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    body = json.dumps(
+        {"checkpoint": checkpoint, "applied_seq": int(applied_seq)},
+        sort_keys=True,
+    ).encode()
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(body + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_directory(directory)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _read_current(directory: str) -> tuple:
+    """``(checkpoint_name, applied_seq)`` from the pointer file."""
+    path = os.path.join(directory, CURRENT_NAME)
+    try:
+        with open(path, "rb") as handle:
+            meta = json.loads(handle.read().decode())
+        checkpoint = str(meta["checkpoint"])
+        applied_seq = int(meta["applied_seq"])
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise IndexCorruptionError(
+            f"unreadable CURRENT pointer: {exc}", path=path
+        ) from exc
+    if os.path.sep in checkpoint or checkpoint in ("", ".", ".."):
+        raise IndexCorruptionError(
+            f"CURRENT names an invalid checkpoint {checkpoint!r}", path=path
+        )
+    return checkpoint, applied_seq
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """One immutable published version of the index.
+
+    Attributes
+    ----------
+    compiled:
+        Detached :class:`~repro.core.compiled.CompiledDG`; safe for any
+        number of concurrent readers, forever.
+    epoch:
+        Monotone publish counter (one bump per completed maintenance
+        batch).  A query's :attr:`~repro.core.result.TopKResult.epoch`
+        names the snapshot that answered it.
+    seq:
+        WAL sequence of the last operation this snapshot includes.
+    """
+
+    compiled: CompiledDG
+    epoch: int
+    seq: int
+
+
+def snapshot_scan(
+    compiled: CompiledDG,
+    function: ScoringFunction,
+    k: int,
+    where=None,
+    stats=None,
+) -> TopKResult:
+    """Full scan of a snapshot's real records: the serve-side oracle tier.
+
+    The guard's naive tier scans the *mutable* graph, which concurrent
+    maintenance makes unsafe here; this scan reads only the snapshot's
+    immutable arrays, so a degraded answer is still epoch-consistent.
+    Same answer contract as every other engine: non-increasing scores,
+    ties broken by ascending record id, pseudo records never reported.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    stats = stats if stats is not None else _fresh_stats()
+    real = ~compiled.pseudo_mask
+    ids = compiled.record_ids[real]
+    if ids.size == 0:
+        return TopKResult((), (), stats, algorithm="snapshot-scan")
+    values = compiled.values[real]
+    scores = function.score_many(values)
+    stats.count_computed_batch(ids.tolist())
+    if where is not None:
+        keep = np.fromiter(
+            (bool(where(values[i])) for i in range(values.shape[0])),
+            dtype=bool,
+            count=values.shape[0],
+        )
+        ids, scores = ids[keep], scores[keep]
+    order = np.lexsort((ids, -scores))[:k]
+    return TopKResult(
+        ids=tuple(int(i) for i in ids[order]),
+        scores=tuple(float(s) for s in scores[order]),
+        stats=stats,
+        algorithm="snapshot-scan",
+    )
+
+
+def _fresh_stats():
+    from repro.metrics.counters import AccessCounter
+
+    return AccessCounter()
+
+
+# ----------------------------------------------------------------------
+# The serving index
+# ----------------------------------------------------------------------
+class ServingIndex:
+    """WAL-backed, snapshot-isolated, crash-recoverable index server.
+
+    Construct with :meth:`create` (new directory) or :meth:`open`
+    (recover an existing one); both accept the same keyword knobs.
+
+    Parameters
+    ----------
+    fsync:
+        WAL durability policy (see :mod:`repro.serve.wal`).
+    checkpoint_interval:
+        Auto-checkpoint after this many mutations (``None`` = only on
+        :meth:`checkpoint`/:meth:`close`).
+    max_concurrent / max_waiting / wait_timeout:
+        Admission bounds (see :class:`~repro.serve.admission.AdmissionController`).
+    query_retries:
+        Extra attempts for a transiently failing snapshot traversal
+        before degrading to the snapshot scan.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.core.dataset import Dataset
+    >>> directory = tempfile.mkdtemp()
+    >>> from repro.core.functions import LinearFunction
+    >>> with ServingIndex.create(directory, Dataset([[2.0, 1.0], [1.0, 2.0], [0.2, 0.2]])) as idx:
+    ...     idx.query(LinearFunction([0.5, 0.5]), k=1).ids
+    (0,)
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        graph: DominantGraph,
+        wal: WriteAheadLog,
+        *,
+        fsync: str = "always",
+        checkpoint_interval: int | None = 256,
+        max_concurrent: int = 8,
+        max_waiting: int = 16,
+        wait_timeout: float | None = 5.0,
+        query_retries: int = 1,
+        retry_base_delay: float = 0.005,
+    ) -> None:
+        self._directory = directory
+        self._graph = graph
+        self._wal = wal
+        self._fsync = fsync
+        self._checkpoint_interval = checkpoint_interval
+        self._query_retries = query_retries
+        self._retry_base_delay = retry_base_delay
+        self._admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_waiting=max_waiting,
+            wait_timeout=wait_timeout,
+        )
+        self._writer_lock = threading.RLock()
+        self._epoch = 0
+        self._ops_since_checkpoint = 0
+        self._draining = False
+        self._closed = False
+        self._poisoned: Exception | None = None
+        self._snapshot = ServingSnapshot(
+            compiled=graph.compile().detach(), epoch=0, seq=wal.last_seq
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, directory: str, source, **kwargs) -> "ServingIndex":
+        """Initialize a fresh serving directory and return the live index.
+
+        ``source`` is a prebuilt (possibly Extended)
+        :class:`~repro.core.graph.DominantGraph` or a
+        :class:`~repro.core.dataset.Dataset` (indexed with the plain
+        builder).  Refuses to clobber an existing serving directory.
+        """
+        if isinstance(source, DominantGraph):
+            graph = source
+        elif isinstance(source, Dataset):
+            graph = build_dominant_graph(source)
+        else:
+            raise TypeError(
+                "source must be a DominantGraph or Dataset, "
+                f"got {type(source).__name__}"
+            )
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(os.path.join(directory, CURRENT_NAME)):
+            raise FileExistsError(
+                f"{directory!r} already holds a serving index; "
+                "use ServingIndex.open to recover it"
+            )
+        name = _CHECKPOINT_FMT.format(seq=0)
+        save_graph(graph, os.path.join(directory, name), durable=True)
+        _write_current(directory, name, 0)
+        wal_path = os.path.join(directory, WAL_NAME)
+        create_wal(wal_path, base_seq=0)
+        wal = WriteAheadLog(wal_path, fsync=kwargs.get("fsync", "always"))
+        return cls(directory, graph, wal, **kwargs)
+
+    @classmethod
+    def open(cls, directory: str, **kwargs) -> "ServingIndex":
+        """Recover a serving directory: checkpoint + WAL replay.
+
+        Tolerates every crash window of the write path: a torn WAL tail
+        is dropped (with a :class:`~repro.errors.DegradedResultWarning`
+        naming the bytes lost), an orphan checkpoint from an interrupted
+        checkpoint swap is garbage-collected, and a WAL that predates
+        the checkpoint is replayed only past the checkpoint's sequence
+        watermark.  Real corruption — mid-log damage, a WAL from the
+        future, a replay that no longer applies — raises typed errors
+        rather than guessing.
+        """
+        checkpoint, applied_seq = _read_current(directory)
+        checkpoint_path = os.path.join(directory, checkpoint)
+        graph = load_graph(checkpoint_path)
+
+        wal_path = os.path.join(directory, WAL_NAME)
+        if not os.path.exists(wal_path):
+            warnings.warn(
+                DegradedResultWarning(
+                    f"write-ahead log missing from {directory!r}; serving "
+                    "from the checkpoint alone (operations after it, if "
+                    "any, are lost)"
+                ),
+                stacklevel=2,
+            )
+            create_wal(wal_path, base_seq=applied_seq)
+        scan = scan_wal(wal_path)
+        if scan.base_seq > applied_seq:
+            raise IndexCorruptionError(
+                f"WAL starts at sequence {scan.base_seq} but the "
+                f"checkpoint only covers up to {applied_seq}: operations "
+                "are missing between them",
+                path=wal_path,
+            )
+        if scan.torn_bytes:
+            warnings.warn(
+                DegradedResultWarning(
+                    f"dropped {scan.torn_bytes} bytes of torn WAL tail "
+                    "(an operation interrupted by a crash before it was "
+                    "acknowledged)"
+                ),
+                stacklevel=2,
+            )
+        for seq, op in scan.records:
+            if seq <= applied_seq:
+                continue  # already inside the checkpoint
+            try:
+                apply_op(graph, op)
+            except (KeyError, ValueError, IndexError) as exc:
+                raise WALCorruptionError(
+                    f"record {seq} ({op.get('op')!r}) no longer applies to "
+                    f"the checkpointed index: {exc}",
+                    path=wal_path,
+                ) from exc
+
+        _collect_orphan_checkpoints(directory, keep=checkpoint)
+        wal = WriteAheadLog(wal_path, fsync=kwargs.get("fsync", "always"))
+        return cls(directory, graph, wal, **kwargs)
+
+    def close(
+        self, *, drain_timeout: float | None = 10.0, checkpoint: bool = True
+    ) -> bool:
+        """Drain in-flight queries, checkpoint, release the WAL.
+
+        New queries and mutations are refused the moment draining
+        starts; queries already admitted run to completion (bounded by
+        ``drain_timeout``).  Returns ``True`` when the drain completed
+        before the timeout.  Idempotent.
+        """
+        with self._writer_lock:
+            if self._closed:
+                return True
+            self._draining = True
+        drained = self._admission.drain(timeout=drain_timeout)
+        with self._writer_lock:
+            if checkpoint and self._poisoned is None:
+                self._checkpoint_locked()
+            self._wal.close()
+            self._closed = True
+        return drained
+
+    def __enter__(self) -> "ServingIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ServingSnapshot:
+        """The currently published snapshot (one atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the currently published snapshot."""
+        return self._snapshot.epoch
+
+    def query(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        where=None,
+        budget_ms: float | None = None,
+        budget_records: int | None = None,
+        admission_timeout: float | None = None,
+        fallback: bool = True,
+    ) -> TopKResult:
+        """Answer a top-k query from the current snapshot.
+
+        The snapshot is pinned once, after admission; everything the
+        query touches — traversal, retries, the degraded scan — reads
+        that one immutable version, so the result is tagged with its
+        epoch and can never mix two index states.  Budgets behave as in
+        :func:`repro.core.guard.run_query` (shared deadline, no
+        degradation around a budget violation).  Transient traversal
+        faults are retried with backoff, then degraded to
+        :func:`snapshot_scan` under a :class:`DegradedResultWarning`
+        unless ``fallback=False``.
+
+        Raises
+        ------
+        ServiceUnavailable
+            Draining or closed (also its ``ServiceOverloaded`` subclass
+            when admission sheds the request).
+        QueryBudgetExceeded
+            A budget tripped; never retried, never degraded around.
+        """
+        if self._draining or self._closed:
+            raise ServiceUnavailable(
+                "draining" if not self._closed else "closed"
+            )
+        with self._admission.admit(timeout=admission_timeout):
+            snap = self._snapshot
+            started = time.monotonic()
+
+            def attempt() -> TopKResult:
+                stats = BudgetedAccessCounter(
+                    max_records=budget_records,
+                    budget_ms=budget_ms,
+                    started=started,
+                )
+                result = CompiledAdvancedTraveler(snap.compiled).top_k(
+                    function, k, where=where, stats=stats
+                )
+                stats.enforce()
+                return result
+
+            try:
+                result = retry_with_backoff(
+                    attempt,
+                    attempts=self._query_retries + 1,
+                    base_delay=self._retry_base_delay,
+                )
+                tier = "compiled"
+            except QueryBudgetExceeded as exc:
+                exc.tier = "compiled"
+                raise
+            except Exception as exc:
+                if not fallback:
+                    raise
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"snapshot traversal failed after retries "
+                        f"({type(exc).__name__}: {exc}); degrading to the "
+                        "snapshot scan"
+                    ),
+                    stacklevel=2,
+                )
+                stats = BudgetedAccessCounter(
+                    max_records=budget_records,
+                    budget_ms=budget_ms,
+                    started=started,
+                )
+                try:
+                    result = snapshot_scan(
+                        snap.compiled, function, k, where=where, stats=stats
+                    )
+                    stats.enforce()
+                except QueryBudgetExceeded as budget_exc:
+                    budget_exc.tier = "naive"
+                    raise
+                tier = "naive"
+            return replace(result, tier=tier, epoch=snap.epoch)
+
+    # ------------------------------------------------------------------
+    # Writes (single-writer, validated, logged, published)
+    # ------------------------------------------------------------------
+    def insert(self, record_id: int) -> int:
+        """Durably index one dataset row; returns its layer."""
+        rid = int(record_id)
+        return self._mutate(
+            {"op": "insert", "rid": rid},
+            validate=lambda: validate_insert_batch(self._graph, [rid]),
+            apply=lambda: insert_record(self._graph, rid),
+        )
+
+    def delete(self, record_id: int) -> None:
+        """Durably remove one record (paper Algorithm 5)."""
+        rid = int(record_id)
+        return self._mutate(
+            {"op": "delete", "rid": rid},
+            validate=lambda: validate_delete_batch(self._graph, [rid]),
+            apply=lambda: delete_record(self._graph, rid),
+        )
+
+    def mark_deleted(self, record_id: int) -> None:
+        """Durably apply the paper's cheap §V-B mark-as-deleted."""
+        rid = int(record_id)
+        return self._mutate(
+            {"op": "mark_deleted", "rid": rid},
+            validate=lambda: validate_delete_batch(self._graph, [rid]),
+            apply=lambda: mark_deleted(self._graph, rid),
+        )
+
+    def insert_many(self, record_ids) -> list:
+        """Durably index a batch; one WAL record, one snapshot publish.
+
+        Readers see the whole batch or none of it — the snapshot is
+        published once, after the last insert — and recovery replays it
+        with the same all-or-nothing contract.
+        """
+        rids = [int(r) for r in record_ids]
+        if not rids:
+            return []
+        return self._mutate(
+            {"op": "insert_many", "rids": rids},
+            validate=lambda: validate_insert_batch(self._graph, rids),
+            apply=lambda: [insert_record(self._graph, r) for r in rids],
+        )
+
+    def delete_many(self, record_ids) -> None:
+        """Durably remove a batch; one WAL record, one snapshot publish."""
+        rids = [int(r) for r in record_ids]
+        if not rids:
+            return None
+        return self._mutate(
+            {"op": "delete_many", "rids": rids},
+            validate=lambda: validate_delete_batch(self._graph, rids),
+            apply=lambda: [delete_record(self._graph, r) for r in rids],
+        )
+
+    def _mutate(self, op: dict, *, validate, apply):
+        with self._writer_lock:
+            self._require_writable()
+            validate()  # raises before anything is touched
+            try:
+                result = apply()
+            except Exception as exc:
+                # Validation passed yet apply failed: the in-memory graph
+                # may be half-mutated.  Nothing was logged or published,
+                # so durable state and readers are both still consistent;
+                # the writer refuses further work until a restart
+                # recovers from checkpoint + WAL.
+                self._poisoned = exc
+                raise
+            try:
+                self._wal.append(op)
+            except Exception as exc:
+                self._poisoned = exc
+                raise
+            self._publish_locked()
+            self._ops_since_checkpoint += 1
+            if (
+                self._checkpoint_interval
+                and self._ops_since_checkpoint >= self._checkpoint_interval
+            ):
+                self._checkpoint_locked()
+            return result
+
+    def _publish_locked(self) -> ServingSnapshot:
+        self._epoch += 1
+        snap = ServingSnapshot(
+            compiled=self._graph.compile().detach(),
+            epoch=self._epoch,
+            seq=self._wal.last_seq,
+        )
+        self._snapshot = snap  # atomic reference swap: the RCU publish
+        return snap
+
+    def _require_writable(self) -> None:
+        if self._closed:
+            raise ServiceUnavailable("closed")
+        if self._draining:
+            raise ServiceUnavailable("draining")
+        if self._poisoned is not None:
+            raise ServiceUnavailable(
+                "poisoned",
+                f"a mutation failed mid-apply "
+                f"({type(self._poisoned).__name__}: {self._poisoned}); "
+                "restart to recover from checkpoint + WAL",
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> str:
+        """Write a durable checkpoint and atomically truncate the WAL.
+
+        Returns the checkpoint file name now named by ``CURRENT``.
+        """
+        with self._writer_lock:
+            if self._closed:
+                raise ServiceUnavailable("closed")
+            if self._poisoned is not None:
+                self._require_writable()  # surfaces the poisoned detail
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> str:
+        seq = self._wal.last_seq
+        name = _CHECKPOINT_FMT.format(seq=seq)
+        current, current_seq = _read_current(self._directory)
+        if current == name and current_seq == seq:
+            return name  # nothing to checkpoint
+        self._wal.sync()  # the log must be durable up to seq first
+        save_graph(
+            self._graph, os.path.join(self._directory, name), durable=True
+        )
+        _write_current(self._directory, name, seq)
+        # The swap is the commit point; everything after is cleanup that
+        # recovery tolerates losing.
+        wal_path = os.path.join(self._directory, WAL_NAME)
+        self._wal.close()
+        create_wal(wal_path, base_seq=seq)
+        self._wal = WriteAheadLog(wal_path, fsync=self._fsync)
+        _collect_orphan_checkpoints(self._directory, keep=name)
+        self._ops_since_checkpoint = 0
+        return name
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness view: what the process is doing and how degraded.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (poisoned writer — reads
+        still answer from the last good snapshot), or ``"closed"``.
+        """
+        snap = self._snapshot
+        wal_path = os.path.join(self._directory, WAL_NAME)
+        try:
+            wal_bytes = os.path.getsize(wal_path)
+        except OSError:
+            wal_bytes = -1
+        if self._closed:
+            status = "closed"
+        elif self._poisoned is not None:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "directory": self._directory,
+            "epoch": snap.epoch,
+            "applied_seq": snap.seq,
+            "records": snap.compiled.num_records,
+            "pseudo": snap.compiled.num_pseudo,
+            "edges": snap.compiled.num_edges,
+            "wal": {
+                "path": wal_path,
+                "bytes": wal_bytes,
+                "fsync": self._fsync,
+                "last_seq": self._wal.last_seq,
+                "ops_since_checkpoint": self._ops_since_checkpoint,
+            },
+            "admission": self._admission.snapshot(),
+            "draining": self._draining,
+            "poisoned": self._poisoned is not None,
+        }
+
+    def readiness(self) -> dict:
+        """Readiness view: ``{"ready": bool, "reasons": [...]}``.
+
+        Ready means this process should receive traffic: not draining,
+        not closed, writer healthy, snapshot published.
+        """
+        reasons = []
+        if self._closed:
+            reasons.append("closed")
+        elif self._draining:
+            reasons.append("draining")
+        if self._poisoned is not None:
+            reasons.append("writer poisoned; restart to recover")
+        return {"ready": not reasons, "reasons": reasons}
+
+    def __repr__(self) -> str:
+        snap = self._snapshot
+        return (
+            f"ServingIndex(dir={self._directory!r}, epoch={snap.epoch}, "
+            f"seq={snap.seq}, records={snap.compiled.num_records}, "
+            f"fsync={self._fsync!r})"
+        )
+
+
+def _collect_orphan_checkpoints(directory: str, keep: str) -> None:
+    """Delete checkpoint files other than the one ``CURRENT`` names."""
+    for name in os.listdir(directory):
+        if (
+            name.startswith("checkpoint-")
+            and name.endswith(".npz")
+            and name != keep
+        ):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass

@@ -9,8 +9,19 @@ never a silent wrong answer.
 - :mod:`repro.testing.faults` — file corrupters and flaky functions.
 - :mod:`repro.testing.fuzz` — round-trip fuzz CLI used by the CI chaos
   job (``python -m repro.testing.fuzz``).
+- :mod:`repro.testing.concurrency` — deterministic interleaving and
+  simulated-crash harness for the serving layer.
+- :mod:`repro.testing.crashfuzz` — kill-the-writer-anywhere recovery
+  fuzz CLI used by the CI concurrency job
+  (``python -m repro.testing.crashfuzz``).
 """
 
+from repro.testing.concurrency import (
+    Rendezvous,
+    crash_offsets,
+    crashed_copy,
+    run_threads,
+)
 from repro.testing.faults import (
     FlakyFunction,
     flip_bits,
@@ -21,7 +32,11 @@ from repro.testing.faults import (
 
 __all__ = [
     "FlakyFunction",
+    "Rendezvous",
+    "crash_offsets",
+    "crashed_copy",
     "flip_bits",
+    "run_threads",
     "set_format_version",
     "tamper_array",
     "truncate_file",

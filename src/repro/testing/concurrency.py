@@ -1,0 +1,167 @@
+"""Deterministic concurrency + crash harness for the serving layer.
+
+Concurrency tests are worthless when they only fail sometimes.  This
+module gives the serve test-suites two deterministic instruments:
+
+**Scripted interleavings.**  :func:`run_threads` runs callables on real
+threads but re-raises the first failure in the caller (a swallowed
+assertion in a worker thread is how concurrency bugs hide), and
+:class:`Rendezvous` is a two-phase handshake that parks a thread at a
+named point until the orchestrating test releases it.  Planting a
+rendezvous inside a query's ``where=`` predicate freezes a reader
+mid-traversal, deterministically, while the test mutates the index
+around it — which is exactly the "reader during an active maintenance
+batch" window the snapshot-isolation contract is about.
+
+**Simulated crashes.**  A process kill leaves the serving directory
+with a possibly-torn WAL.  :func:`crashed_copy` reproduces any such
+state exactly: it copies a live serving directory with the WAL
+truncated at a chosen byte offset, and :func:`crash_offsets` enumerates
+every interesting offset — each record boundary plus points *inside*
+each frame (mid-header, mid-payload, one byte short).  Recovering every
+copy and comparing against a from-scratch rebuild is the crash-recovery
+acceptance test, and :mod:`repro.testing.crashfuzz` runs randomized
+trials of the same shape in CI.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import threading
+
+from repro.serve.wal import FRAME_HEADER_SIZE, HEADER_SIZE, scan_wal
+
+
+# ----------------------------------------------------------------------
+# Scripted interleavings
+# ----------------------------------------------------------------------
+def run_threads(*targets, timeout: float = 30.0) -> list:
+    """Run callables on parallel threads; re-raise the first failure.
+
+    Returns each callable's return value, in argument order.  A thread
+    still alive after ``timeout`` seconds is a deadlocked interleaving
+    and fails the test rather than hanging the suite.
+    """
+    results = [None] * len(targets)
+    failures: list = []
+    lock = threading.Lock()
+
+    def runner(index: int, fn) -> None:
+        try:
+            results[index] = fn()
+        except BaseException as exc:  # noqa: BLE001 — must cross threads
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i, fn), daemon=True)
+        for i, fn in enumerate(targets)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        if thread.is_alive():
+            raise TimeoutError(
+                f"thread did not finish within {timeout}s "
+                "(deadlocked interleaving?)"
+            )
+    if failures:
+        raise failures[0]
+    return results
+
+
+class Rendezvous:
+    """A named two-phase handshake between a worker and the test.
+
+    The worker calls :meth:`arrive` (typically from inside a ``where=``
+    predicate or a wrapped scoring function) and blocks; the test sees
+    it arrive via :meth:`wait_arrived`, performs its mid-window actions,
+    then :meth:`release`\\ s the worker.  ``arrive`` only blocks the
+    first time unless ``once=False``, so predicates that fire per record
+    pause once, not per row.
+    """
+
+    def __init__(self, once: bool = True) -> None:
+        self._arrived = threading.Event()
+        self._released = threading.Event()
+        self._once = once
+        self._fired = False
+        self._lock = threading.Lock()
+
+    def arrive(self, timeout: float = 30.0) -> None:
+        """Signal arrival and block until released (worker side)."""
+        with self._lock:
+            if self._once and self._fired:
+                return
+            self._fired = True
+        self._arrived.set()
+        if not self._released.wait(timeout):
+            raise TimeoutError("rendezvous was never released")
+
+    def wait_arrived(self, timeout: float = 30.0) -> None:
+        """Block until the worker is parked (test side)."""
+        if not self._arrived.wait(timeout):
+            raise TimeoutError("worker never arrived at the rendezvous")
+
+    def release(self) -> None:
+        """Let the parked worker continue (test side)."""
+        self._released.set()
+
+
+# ----------------------------------------------------------------------
+# Simulated crashes
+# ----------------------------------------------------------------------
+def crash_offsets(wal_path: str) -> list:
+    """Every WAL truncation point worth crashing at, in ascending order.
+
+    Includes the bare header (all appends lost), every record boundary
+    (clean kills), and for every record a cut mid-frame-header, one just
+    past the frame header (zero payload bytes), and one a single byte
+    short of complete — the torn-tail shapes an interrupted ``write``
+    can leave.
+    """
+    scan = scan_wal(wal_path)
+    size = os.path.getsize(wal_path)
+    boundaries = [HEADER_SIZE]
+    offset = HEADER_SIZE
+    for _seq, _op in scan.records:
+        # Reconstruct each frame's extent from the scan by re-reading
+        # the length field.
+        with open(wal_path, "rb") as handle:
+            handle.seek(offset + 12)  # magic(4) + seq(8)
+            length = struct.unpack("<I", handle.read(4))[0]
+        record_end = offset + FRAME_HEADER_SIZE + length
+        boundaries.extend(
+            [
+                offset + FRAME_HEADER_SIZE // 2,  # mid frame header
+                offset + FRAME_HEADER_SIZE,       # header only, no payload
+                record_end - 1,                   # one byte short
+                record_end,                       # clean boundary
+            ]
+        )
+        offset = record_end
+    return sorted({b for b in boundaries if b <= size})
+
+
+def crashed_copy(src_dir: str, dst_dir: str, wal_bytes: int) -> str:
+    """Copy a serving directory as a crash at ``wal_bytes`` would leave it.
+
+    Everything is copied verbatim except the WAL, which is truncated to
+    ``wal_bytes`` — the on-disk state of a writer killed mid-append.
+    Returns ``dst_dir`` for chaining into ``ServingIndex.open``.
+    """
+    from repro.serve.index import WAL_NAME
+
+    os.makedirs(dst_dir, exist_ok=True)
+    for name in os.listdir(src_dir):
+        src = os.path.join(src_dir, name)
+        if not os.path.isfile(src):
+            continue
+        shutil.copy2(src, os.path.join(dst_dir, name))
+    wal = os.path.join(dst_dir, WAL_NAME)
+    with open(wal, "rb+") as handle:
+        handle.truncate(wal_bytes)
+    return dst_dir

@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import faulthandler
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.dataset import Dataset
 from repro.core.functions import LinearFunction
 from repro.core.result import TopKResult
+
+#: Per-test wall-clock deadline in seconds, enabled by setting the
+#: ``REPRO_TEST_DEADLINE`` environment variable (the CI concurrency job
+#: sets it).  A deadlocked interleaving then dumps every thread's
+#: traceback and kills the run instead of hanging the suite forever —
+#: a dependency-free stand-in for pytest-timeout, which the local
+#: toolchain does not ship.
+_DEADLINE = float(os.environ.get("REPRO_TEST_DEADLINE", "0") or 0)
+
+if _DEADLINE > 0:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        faulthandler.dump_traceback_later(_DEADLINE, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

@@ -2,8 +2,15 @@
 
 import random
 
+import pytest
+
 from repro.core.builder import build_dominant_graph
-from repro.core.maintenance import delete_many, insert_many
+from repro.core.maintenance import (
+    delete_many,
+    insert_many,
+    validate_delete_batch,
+    validate_insert_batch,
+)
 from repro.data.generators import uniform
 
 
@@ -28,6 +35,68 @@ class TestInsertMany:
     def test_empty_batch(self, small_dataset):
         graph = build_dominant_graph(small_dataset)
         assert insert_many(graph, []) == []
+
+
+class TestAllOrNothing:
+    """A rejected batch leaves the index untouched — even its valid prefix.
+
+    Validation runs over the whole batch before any mutation (the
+    contract the WAL-backed ServingIndex logs batches under), so a batch
+    with one bad id at the *end* must not index the good ids before it.
+    """
+
+    @pytest.fixture
+    def graph(self):
+        dataset = uniform(40, 2, seed=84)
+        return build_dominant_graph(dataset, record_ids=range(30))
+
+    @staticmethod
+    def fingerprint(graph):
+        return (sorted(graph.real_ids()), graph.layers())
+
+    def test_duplicate_in_insert_batch_rejects_whole_batch(self, graph):
+        before = self.fingerprint(graph)
+        with pytest.raises(ValueError, match="twice"):
+            insert_many(graph, [30, 31, 30])
+        assert self.fingerprint(graph) == before
+        assert 31 not in graph  # the valid prefix was not applied
+
+    def test_already_indexed_id_rejects_whole_batch(self, graph):
+        before = self.fingerprint(graph)
+        with pytest.raises(ValueError, match="already indexed"):
+            insert_many(graph, [30, 31, 5])
+        assert self.fingerprint(graph) == before
+        assert 30 not in graph and 31 not in graph
+
+    def test_out_of_range_id_rejects_whole_batch(self, graph):
+        before = self.fingerprint(graph)
+        with pytest.raises(IndexError, match="not a dataset row"):
+            insert_many(graph, [30, 99])
+        assert self.fingerprint(graph) == before
+        assert 30 not in graph
+
+    def test_unindexed_id_rejects_whole_delete_batch(self, graph):
+        before = self.fingerprint(graph)
+        with pytest.raises(KeyError, match="not indexed"):
+            delete_many(graph, [1, 2, 35])
+        assert self.fingerprint(graph) == before
+        assert 1 in graph and 2 in graph
+
+    def test_duplicate_rejects_whole_delete_batch(self, graph):
+        before = self.fingerprint(graph)
+        with pytest.raises(ValueError, match="twice"):
+            delete_many(graph, [4, 5, 4])
+        assert self.fingerprint(graph) == before
+
+    def test_validators_normalize_to_ints(self, graph):
+        import numpy as np
+
+        rids = validate_insert_batch(graph, np.array([30, 31]))
+        assert rids == [30, 31]
+        assert all(type(r) is int for r in rids)
+        rids = validate_delete_batch(graph, np.array([3, 4]))
+        assert rids == [3, 4]
+        assert all(type(r) is int for r in rids)
 
 
 class TestDeleteMany:

@@ -148,6 +148,56 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_serve_init_probe_smoke(self, tmp_path, data_path, capsys):
+        serve_dir = str(tmp_path / "serving")
+        assert main(["serve", "--dir", serve_dir, "--init",
+                     "--data", data_path, "--fsync", "batch"]) == 0
+        assert "initialized" in capsys.readouterr().out
+
+        assert main(["serve", "--dir", serve_dir, "--probe"]) == 0
+        import json
+
+        probe = json.loads(capsys.readouterr().out)
+        assert probe["readiness"] == {"ready": True, "reasons": []}
+        assert probe["health"]["status"] == "ok"
+        assert probe["health"]["records"] == 120
+
+        assert main(["serve", "--dir", serve_dir, "--smoke", "10",
+                     "--fsync", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "10 mutations" in out
+        assert "concurrent reads" in out
+
+    def test_serve_init_requires_data(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --data"):
+            main(["serve", "--dir", str(tmp_path / "s"), "--init"])
+
+    def test_serve_init_refuses_existing_directory(
+        self, tmp_path, data_path
+    ):
+        serve_dir = str(tmp_path / "serving")
+        assert main(["serve", "--dir", serve_dir, "--init",
+                     "--data", data_path]) == 0
+        with pytest.raises(FileExistsError):
+            main(["serve", "--dir", serve_dir, "--init",
+                  "--data", data_path])
+
+    def test_serve_probe_unready_exits_1(self, tmp_path, data_path,
+                                         monkeypatch, capsys):
+        serve_dir = str(tmp_path / "serving")
+        assert main(["serve", "--dir", serve_dir, "--init",
+                     "--data", data_path]) == 0
+        from repro.serve.index import ServingIndex
+
+        real_readiness = ServingIndex.readiness
+
+        def unready(self):
+            doc = real_readiness(self)
+            return {"ready": False, "reasons": doc["reasons"] + ["test"]}
+
+        monkeypatch.setattr(ServingIndex, "readiness", unready)
+        assert main(["serve", "--dir", serve_dir, "--probe"]) == 1
+
     def test_module_entry_point(self):
         import subprocess
         import sys

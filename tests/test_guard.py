@@ -94,3 +94,48 @@ class TestBudgetedCounter:
         with pytest.raises(QueryBudgetExceeded) as excinfo:
             run_query(graph, F, 5, engine="naive", budget_records=3)
         assert excinfo.value.tier == "naive"
+
+
+class TestZeroAccessPaths:
+    """Regression: the wall-clock budget must bind even when a query
+    charges nothing.
+
+    Enforcement used to live only inside ``count_computed*``, so a tier
+    that scored zero records — every real record mark-deleted, an empty
+    candidate set — never checked the deadline and could return
+    arbitrarily late as if on time.  ``run_query`` now re-enforces at
+    tier completion.
+    """
+
+    @pytest.fixture
+    def emptied(self, graph):
+        for rid in sorted(graph.real_ids()):
+            mark_deleted(graph, rid)
+        return graph
+
+    def test_zero_access_query_still_trips_the_deadline(self, emptied):
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            run_query(emptied, F, 5, engine="naive", budget_ms=0.0)
+        assert excinfo.value.kind == "time"
+        assert excinfo.value.tier == "naive"
+
+    def test_zero_access_query_without_budget_answers_empty(self, emptied):
+        result = run_query(emptied, F, 5, engine="naive")
+        assert result.ids == ()
+        assert result.stats.computed == 0
+
+    def test_completion_check_applies_to_every_tier(self, emptied):
+        for engine in TIERS:
+            with pytest.raises(QueryBudgetExceeded) as excinfo:
+                run_query(
+                    emptied, F, 5, engine=engine, budget_ms=0.0,
+                    fallback=False,
+                )
+            assert excinfo.value.kind == "time"
+            assert excinfo.value.tier == engine
+
+    def test_record_budget_alone_lets_zero_access_queries_pass(self, emptied):
+        # Zero accesses can never exceed a record budget: only the
+        # wall-clock half of the completion check may fire here.
+        result = run_query(emptied, F, 5, engine="naive", budget_records=1)
+        assert result.ids == ()
