@@ -1,0 +1,40 @@
+"""Domain-aware static analysis for the Dominant Graph codebase.
+
+The engine layers (PR 1), the robustness contracts (PR 2), and the
+serving discipline (PR 3) all rest on code-level conventions — snapshot
+immutability, stats threading, typed errors, deterministic tie-breaking,
+single-writer WAL access, explicit dtypes, guard coverage, documented
+public APIs.  This package makes those conventions machine-checked:
+
+- :mod:`repro.analysis.engine` — the rule engine: file walker, per-rule
+  AST dispatch, :class:`~repro.analysis.engine.Finding` objects, and
+  ``# repro: noqa[rule-id] -- reason`` suppressions.
+- :mod:`repro.analysis.rules` — the domain rules themselves, one module
+  per rule.
+
+Run it as ``repro lint`` (text or JSON output, ``--strict`` exit codes);
+see ``docs/static_analysis.md`` for the rule catalog and the rationale
+tying each rule to a paper invariant or PR contract.
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    default_rules,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "default_rules",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+]

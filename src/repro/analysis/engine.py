@@ -1,0 +1,372 @@
+"""The static-analysis rule engine: walking, dispatch, suppression.
+
+Design
+------
+A :class:`Rule` sees one :class:`ModuleContext` at a time — the parsed
+AST plus the raw source, the project-relative path, and the parsed
+suppression comments — and yields :class:`Finding` objects.  The engine
+owns everything rule authors should not have to re-implement:
+
+- **walking** (:func:`lint_paths`): expand files/directories into the
+  ``.py`` modules to check, compute each module's path relative to the
+  ``repro`` package so rules can scope themselves to ``core/`` or
+  ``serve/``,
+- **dispatch**: run every applicable rule over every module, in a
+  deterministic order (paths sorted, rules in registration order),
+- **suppression**: drop findings whose line carries a
+  ``# repro: noqa[rule-id] -- reason`` comment for that rule id.  A
+  suppression *requires* the reason string — a silenced check with no
+  recorded justification is itself reported (rule id ``suppression``),
+  and that report cannot be suppressed,
+- **robust failure**: a module that does not parse produces a single
+  ``parse-error`` finding instead of crashing the run.
+
+Suppression syntax
+------------------
+::
+
+    risky_line()  # repro: noqa[typed-errors] -- fault injection must catch everything
+    other_line()  # repro: noqa[determinism, guard-coverage] -- reason here
+
+The comment silences only the listed rule ids, only on its own physical
+line (put it on the ``def`` line for function-level findings, on the
+``except`` line for handler findings).  ``[*]`` is deliberately not
+supported: every suppression names what it hides.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: ``# repro: noqa[rule-a, rule-b] -- reason`` (reason optional at parse
+#: time; its absence is reported as a ``suppression`` finding).
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+#: Rule id for a malformed / unjustified suppression comment.
+SUPPRESSION_RULE = "suppression"
+
+#: Rule id reported when a module cannot be parsed at all.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line.
+
+    Orders by ``(path, line, col, rule)`` so reports are deterministic
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """Render as ``path:line:col: [rule] message (hint: ...)``."""
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text = f"{text} (hint: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``repro lint --format json``)."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: noqa[...]`` comment on one physical line."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one module.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the module (as given to the engine).
+    relpath:
+        POSIX path relative to the ``repro`` package root (e.g.
+        ``core/layers.py``); rules scope themselves against this.
+    source:
+        Raw module text.
+    tree:
+        The parsed :class:`ast.Module`.
+    suppressions:
+        ``line -> Suppression`` for every ``# repro: noqa[...]`` comment.
+    """
+
+    def __init__(self, path: str, relpath: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(source)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is silenced on this physical ``line``."""
+        noqa = self.suppressions.get(line)
+        return noqa is not None and rule in noqa.rules
+
+
+class Rule:
+    """Base class for one domain rule.
+
+    Subclasses set :attr:`id`, :attr:`summary`, :attr:`hint`, and
+    optionally :attr:`paths` (relpath prefixes the rule applies to —
+    empty means every module), then implement :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+    hint: str = ""
+    #: Relpath prefixes this rule scopes itself to ("" matches all).
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule should run over the module at ``relpath``."""
+        if not self.paths:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.paths)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST | int,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or a line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col if not isinstance(node, int) else 0,
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map physical line number -> parsed ``# repro: noqa[...]`` comment.
+
+    Scans real COMMENT tokens (not raw text), so a suppression example
+    quoted inside a docstring is never treated as live.
+    """
+    result: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason")
+        result[lineno] = Suppression(line=lineno, rules=rules, reason=reason)
+    return result
+
+
+def default_rules() -> list[Rule]:
+    """The shipped rule set, in catalog order."""
+    from repro.analysis.rules import ALL_RULES
+
+    return [cls() for cls in ALL_RULES]
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule] | None = None,
+    *,
+    path: str | None = None,
+    respect_scope: bool = True,
+) -> list[Finding]:
+    """Lint one module given as text; the core entry point tests drive.
+
+    Parameters
+    ----------
+    source:
+        Module text.
+    relpath:
+        Path relative to the ``repro`` package root, used for rule
+        scoping and (by default) for report paths.
+    rules:
+        Rules to run; defaults to :func:`default_rules`.
+    path:
+        Report path; defaults to ``relpath``.
+    respect_scope:
+        When False, every rule runs regardless of its ``paths`` scope —
+        the fixture tests use this to aim one rule at one file.
+    """
+    report_path = relpath if path is None else path
+    active = list(default_rules() if rules is None else rules)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=report_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=PARSE_ERROR_RULE,
+                message=f"module does not parse: {exc.msg}",
+                hint="fix the syntax error; no rules were checked",
+            )
+        ]
+    ctx = ModuleContext(report_path, relpath, source, tree)
+
+    findings: list[Finding] = []
+    for noqa in ctx.suppressions.values():
+        problems = []
+        if not noqa.rules:
+            problems.append("names no rule ids")
+        if noqa.reason is None:
+            problems.append("records no reason")
+        if problems:
+            findings.append(
+                Finding(
+                    path=report_path,
+                    line=noqa.line,
+                    col=0,
+                    rule=SUPPRESSION_RULE,
+                    message=f"suppression {' and '.join(problems)}",
+                    hint=(
+                        "write `# repro: noqa[rule-id] -- why this is"
+                        " intentionally exempt`"
+                    ),
+                )
+            )
+
+    for rule in active:
+        if respect_scope and not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def _iter_module_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (linting default)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    respect_scope: bool = True,
+) -> list[Finding]:
+    """Lint files/directories; the entry point behind ``repro lint``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint; defaults to the whole ``repro``
+        package tree.
+    root:
+        Package root that relpaths (rule scopes) are computed against;
+        defaults to the installed ``repro`` package directory.  Files
+        outside ``root`` scope by their bare file name.
+    rules, respect_scope:
+        As :func:`lint_source`.
+    """
+    base = package_root() if root is None else Path(root).resolve()
+    targets = [Path(p).resolve() for p in paths] if paths else [base]
+    active = list(default_rules() if rules is None else rules)
+
+    findings: list[Finding] = []
+    for module in _iter_module_files(targets):
+        try:
+            relpath = module.relative_to(base).as_posix()
+        except ValueError:
+            relpath = module.name
+        try:
+            source = module.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=str(module),
+                    line=1,
+                    col=0,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"module is unreadable: {exc}",
+                    hint="the file must be readable UTF-8 to be checked",
+                )
+            )
+            continue
+        findings.extend(
+            lint_source(
+                source,
+                relpath,
+                active,
+                path=str(module),
+                respect_scope=respect_scope,
+            )
+        )
+    findings.sort()
+    return findings
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], rules: Sequence[Rule] | None = None) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    active = default_rules() if rules is None else list(rules)
+    payload = {
+        "count": len(findings),
+        "rules": [
+            {"id": rule.id, "summary": rule.summary} for rule in active
+        ],
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,40 @@
+"""The domain rule catalog, one module per rule.
+
+Every rule checks one convention the codebase's correctness arguments
+rely on; ``docs/static_analysis.md`` ties each to the paper invariant or
+PR contract it protects.  Order here is catalog order (report order is
+by file/line regardless).
+"""
+
+from repro.analysis.rules.snapshot_immutability import SnapshotImmutabilityRule
+from repro.analysis.rules.stats_threading import StatsThreadingRule
+from repro.analysis.rules.typed_errors import TypedErrorsRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.writer_discipline import WriterDisciplineRule
+from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
+from repro.analysis.rules.guard_coverage import GuardCoverageRule
+from repro.analysis.rules.public_api import PublicApiRule
+
+#: Shipped rules, in catalog order.
+ALL_RULES = (
+    SnapshotImmutabilityRule,
+    StatsThreadingRule,
+    TypedErrorsRule,
+    DeterminismRule,
+    WriterDisciplineRule,
+    DtypeDisciplineRule,
+    GuardCoverageRule,
+    PublicApiRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "DtypeDisciplineRule",
+    "GuardCoverageRule",
+    "PublicApiRule",
+    "SnapshotImmutabilityRule",
+    "StatsThreadingRule",
+    "TypedErrorsRule",
+    "WriterDisciplineRule",
+]

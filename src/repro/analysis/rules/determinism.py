@@ -1,0 +1,146 @@
+"""Rule: no unordered iteration or unseeded randomness in query paths.
+
+Bit-identical parity between engines (PR 1) and the crash-recovery
+equivalence proofs (PR 3) compare *exact* results, including tie order.
+:class:`~repro.core.graph.DominantGraph` stores adjacency as frozensets,
+so iterating ``layer()`` / ``children_of()`` / ``parents_of()`` directly
+feeds Python's arbitrary set order into candidate lists, edge rebuilds,
+and reports — the classic source of answers that differ between runs
+with equal scores.  Every such loop must impose an explicit order
+(``sorted(...)``) unless the consumer is order-insensitive
+(``any``/``all``/``min``/``max``/``sum``/``len``/``set``/``frozenset``).
+
+Unseeded randomness is the time-dependent cousin: library code must take
+an explicit ``seed``/``rng`` so reruns reproduce; only application
+entry points may roll dice.
+
+Detection:
+
+- ``for``/comprehension iteration whose iterable is a direct call to a
+  set-returning graph accessor, except as the sole generator argument of
+  an order-insensitive builtin;
+- iteration over ``<expr>.keys()`` in the same positions (iterate the
+  dict itself — insertion-ordered — or sort);
+- ``default_rng()`` / legacy ``np.random.*`` global-state calls with no
+  seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: DominantGraph accessors returning frozensets (arbitrary iteration order).
+SET_ACCESSORS = {"children_of", "parents_of", "layer", "layers"}
+
+#: Builtins whose result does not depend on iteration order.
+ORDER_INSENSITIVE = {
+    "any", "all", "sum", "len", "min", "max", "set", "frozenset", "sorted",
+}
+
+#: Legacy numpy global-RNG functions (stateful, unseedable per-call).
+LEGACY_NP_RANDOM = {"rand", "randn", "randint", "random", "shuffle", "choice"}
+
+
+def _unordered_iterable(node: ast.expr) -> str | None:
+    """Describe why iterating ``node`` is order-unstable, or None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in SET_ACCESSORS:
+            return f"set-returning accessor .{node.func.attr}()"
+        if node.func.attr == "keys" and not node.args:
+            return ".keys() view"
+    return None
+
+
+class DeterminismRule(Rule):
+    """Explicit order for set iteration; explicit seeds for randomness."""
+
+    id = "determinism"
+    summary = (
+        "query/maintenance paths must not depend on set iteration order "
+        "or unseeded randomness"
+    )
+    hint = (
+        "wrap the iterable in sorted(...) (ties break by id), or seed the "
+        "RNG from an explicit parameter"
+    )
+    paths = ("core/", "serve/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for unordered iteration and unseeded RNG."""
+        exempt = self._order_insensitive_generators(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = _unordered_iterable(node.iter)
+                if reason is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"loop iterates a {reason}: tie order varies by"
+                        " run",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                if id(node) in exempt:
+                    continue
+                for gen in node.generators:
+                    reason = _unordered_iterable(gen.iter)
+                    if reason is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"comprehension iterates a {reason}: element"
+                            " order varies by run",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_rng(ctx, node)
+
+    @staticmethod
+    def _order_insensitive_generators(tree: ast.Module) -> set[int]:
+        """ids of generator expressions consumed order-insensitively."""
+        exempt: set[int] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ORDER_INSENSITIVE
+            ):
+                for arg in node.args:
+                    if isinstance(
+                        arg,
+                        (ast.GeneratorExp, ast.ListComp, ast.SetComp),
+                    ):
+                        exempt.add(id(arg))
+        return exempt
+
+    def _check_rng(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "default_rng() without a seed: results differ per run",
+                hint="thread an explicit seed or rng parameter through",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in LEGACY_NP_RANDOM
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "np"
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"np.random.{func.attr} uses hidden global RNG state",
+                hint="use np.random.default_rng(seed) and thread it through",
+            )

@@ -1,0 +1,72 @@
+"""Rule: flat-array code states its dtypes explicitly.
+
+The compiled engine (PR 1) is bit-identical to the reference only
+because every array it builds has a pinned dtype: ``float64`` values,
+``int32`` CSR indices, ``int64`` record ids.  A bare ``np.array(...)``
+lets numpy infer — ``int64`` on Linux, ``int32`` on Windows, ``object``
+for ragged input — and the persistence layer (PR 2) then round-trips
+whatever it was handed, so an inferred dtype silently becomes an
+on-disk format change.  In dtype-critical modules (the compiled
+snapshot, the serving layer, the persistence code) every array
+constructor must say what it means.
+
+Detection: ``np.array``/``asarray``/``zeros``/``ones``/``empty``/
+``full``/``arange``/``fromiter``/``frombuffer`` without a ``dtype=``
+keyword (``fromiter``/``frombuffer`` may pass dtype as the second
+positional argument) in the scoped modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: Constructors that infer a dtype when none is given.
+CONSTRUCTORS = {
+    "array", "asarray", "zeros", "ones", "empty", "full", "arange",
+    "fromiter", "frombuffer",
+}
+
+#: Constructors whose second positional argument is the dtype.
+DTYPE_SECOND_POSITIONAL = {"fromiter", "frombuffer"}
+
+
+class DtypeDisciplineRule(Rule):
+    """Array constructors in flat-array modules must pin their dtype."""
+
+    id = "dtype-discipline"
+    summary = (
+        "flat-array modules must construct arrays with explicit dtypes, "
+        "never bare np.array(...)"
+    )
+    hint = (
+        "pass dtype= explicitly (float64 values, int32 CSR indices, "
+        "int64 record ids) so layouts cannot drift by platform or input"
+    )
+    paths = ("core/compiled.py", "core/io.py", "serve/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per dtype-less array constructor call."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in CONSTRUCTORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "np"
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if func.attr in DTYPE_SECOND_POSITIONAL and len(node.args) >= 2:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{func.attr}(...) without an explicit dtype lets the"
+                " array layout depend on input and platform",
+            )

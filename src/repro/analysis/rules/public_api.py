@@ -1,0 +1,91 @@
+"""Rule: public APIs carry docstrings and complete annotations.
+
+``core/`` and ``serve/`` are the contract surface other layers (CLI,
+benchmarks, tests, future subsystems) build on; ``mypy --strict`` runs
+over exactly these two packages in CI.  A public function without
+annotations is a hole in that gate — mypy infers ``Any`` and checks
+nothing downstream — and one without a docstring leaves the *semantic*
+contract (what the paper calls it, what the invariants are) unwritten.
+
+Detection: every public module-level function, and every public method
+of a public class, must have a docstring, a return annotation, and an
+annotation on each parameter (``self``/``cls`` excepted).  Private
+helpers (leading underscore) and dunders other than ``__init__`` are
+exempt — ``__init__`` must annotate its parameters (docstring optional;
+the class docstring covers construction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+
+def _missing_param_annotations(args: ast.arguments) -> list[str]:
+    params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    missing = [
+        a.arg
+        for a in params
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append(star.arg)
+    return missing
+
+
+class PublicApiRule(Rule):
+    """Public functions need docstrings and full annotations."""
+
+    id = "public-api"
+    summary = (
+        "public core/serve functions must have docstrings and complete "
+        "type annotations (the mypy --strict surface)"
+    )
+    hint = (
+        "annotate every parameter and the return type, and document the "
+        "contract in a docstring"
+    )
+    paths = ("core/", "serve/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for under-documented / under-annotated APIs."""
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, method=False)
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_function(ctx, member, method=True)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        method: bool,
+    ) -> Iterator[Finding]:
+        name = node.name
+        is_init = name == "__init__"
+        if name.startswith("_") and not is_init:
+            return
+        label = "method" if method else "function"
+        if not is_init and ast.get_docstring(node) is None:
+            yield self.finding(
+                ctx, node, f"public {label} {name}() has no docstring"
+            )
+        if not is_init and node.returns is None:
+            yield self.finding(
+                ctx, node, f"public {label} {name}() has no return annotation"
+            )
+        missing = _missing_param_annotations(node.args)
+        if missing:
+            listed = ", ".join(missing)
+            yield self.finding(
+                ctx,
+                node,
+                f"public {label} {name}() has un-annotated parameter(s):"
+                f" {listed}",
+            )

@@ -1,0 +1,81 @@
+"""Rule: WAL writes happen only inside the single-writer methods.
+
+The durability argument of PR 3 is a strict protocol: *one* writer,
+holding ``_writer_lock``, appends to the WAL **before** touching the
+in-memory graph, and checkpoints sync/rotate the log under the same
+lock.  The crash-recovery proof (replay of a prefix of appended ops
+equals a prefix of applied ops) is only valid if no other code path can
+reach ``WriteAheadLog.append`` / ``sync`` / ``close`` — a stray append
+from a reader would interleave un-applied operations into the log and
+recovery would replay writes that never happened.
+
+Detection: any call of ``append``/``sync``/``close`` on a ``_wal``
+attribute outside the allow-listed single-writer methods of
+``ServingIndex`` (``_mutate``, ``_checkpoint_locked``, ``close``) is a
+finding.  Reads (``_wal.last_seq``, ``_wal.path``) are fine anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: WriteAheadLog methods that move the durability state machine.
+WAL_MUTATORS = {"append", "sync", "close"}
+
+#: ServingIndex methods allowed to drive the WAL (all run under the
+#: writer lock or during teardown).
+ALLOWED_METHODS = {"_mutate", "_checkpoint_locked", "close"}
+
+
+class WriterDisciplineRule(Rule):
+    """``_wal`` mutations only from the single-writer methods."""
+
+    id = "writer-discipline"
+    summary = (
+        "WAL append/sync/close must be reachable only from the "
+        "single-writer methods of ServingIndex"
+    )
+    hint = (
+        "route the mutation through _mutate()/_checkpoint_locked() so it "
+        "happens under the writer lock, in WAL-before-graph order"
+    )
+    paths = ("serve/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for WAL mutations outside the allow-list."""
+        yield from self._walk(ctx, ctx.tree, enclosing=None)
+
+    def _walk(
+        self, ctx: ModuleContext, node: ast.AST, enclosing: str | None
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(ctx, child, enclosing=child.name)
+                continue
+            call = child if isinstance(child, ast.Call) else None
+            if call is not None and self._is_wal_mutation(call):
+                if enclosing not in ALLOWED_METHODS:
+                    where = (
+                        f"in {enclosing}()" if enclosing else "at module level"
+                    )
+                    method = call.func.attr  # type: ignore[union-attr]
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"_wal.{method}() called {where}, outside the "
+                        f"single-writer methods {sorted(ALLOWED_METHODS)}",
+                    )
+            yield from self._walk(ctx, child, enclosing=enclosing)
+
+    @staticmethod
+    def _is_wal_mutation(call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in WAL_MUTATORS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "_wal"
+        )

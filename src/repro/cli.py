@@ -161,11 +161,48 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cross_check_compiled(graph) -> list:
+    """Probe-query divergence check: compiled engine vs reference Traveler.
+
+    The two engines are bit-identical by contract (PR 1); a divergence
+    here means the index data itself round-trips differently through the
+    flat-array compile, which deep verification alone cannot see.
+    """
+    from repro.core.advanced import AdvancedTraveler
+    from repro.core.compiled import CompiledAdvancedTraveler
+
+    if not len(graph) or not graph.real_ids():
+        return []
+    problems = []
+    compiled = graph.compile()
+    rng = np.random.default_rng(0)
+    k = min(10, len(graph.real_ids()))
+    for trial in range(4):
+        weights = rng.dirichlet(np.ones(graph.dataset.dims))
+        function = LinearFunction(weights)
+        reference = AdvancedTraveler(graph).top_k(function, k)
+        fast = CompiledAdvancedTraveler(compiled).top_k(function, k)
+        if reference.ids != fast.ids or reference.scores != fast.scores:
+            problems.append(
+                f"compiled engine diverges from the reference Traveler on "
+                f"probe query {trial} "
+                f"(weights {np.round(weights, 3).tolist()}, k={k})"
+            )
+    return problems
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Diagnose — and optionally repair — a persisted index (`repro doctor`).
 
+    This is the *runtime* half of the project's checking story: it
+    verifies the data a process would actually serve (structural
+    invariants via ``verify_graph``, plus a compiled-vs-reference engine
+    cross-check on probe queries).  The *static* half — source-level
+    contract checks that need no index at all — is ``repro lint``.
+
     Exit status: 0 healthy (or repaired clean), 1 deep-verification
-    issues, 2 corruption (unrepaired or unrepairable).
+    issues or engine divergence, 2 corruption (unrepaired or
+    unrepairable).
     """
     from repro.core.verify import format_issues, verify_graph
 
@@ -194,7 +231,50 @@ def cmd_doctor(args: argparse.Namespace) -> int:
           f"layers: {graph.num_layers}, edges: {graph.edge_count()}")
     issues = verify_graph(graph)
     print("  " + format_issues(issues).replace("\n", "\n  "))
-    return 1 if issues else 0
+    mismatches = _cross_check_compiled(graph)
+    if mismatches:
+        for note in mismatches:
+            print(f"  cross-check: {note}")
+    else:
+        print("  cross-check: compiled engine matches the reference "
+              "Traveler on probe queries")
+    return 1 if issues or mismatches else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project's AST static analyzer (`repro lint`).
+
+    This is the *static* half of the checking story: source-level rules
+    for the contracts the paper and the serving layer impose (snapshot
+    immutability, stats threading, typed errors, determinism, writer
+    discipline, dtype discipline, guard coverage, public-API docs).
+    The *runtime* half — verifying an actual index's data — is
+    ``repro doctor``.
+
+    Exit status: 0 clean (or findings without ``--strict``), 1 findings
+    under ``--strict``, 2 bad rule selection.
+    """
+    from repro.analysis import default_rules, format_json, format_text, lint_paths
+
+    rules = list(default_rules())
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",") if r.strip()}
+        known = {rule.id for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+    findings = lint_paths(args.paths or None, rules=rules)
+    if args.format == "json":
+        print(format_json(findings, rules=rules))
+    else:
+        print(format_text(findings))
+    return 1 if findings and args.strict else 0
 
 
 def cmd_insert(args: argparse.Namespace) -> int:
@@ -417,7 +497,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(always uses the reference engine)")
     p.set_defaults(run=cmd_query)
 
-    p = sub.add_parser("doctor", help="diagnose (and repair) a saved index")
+    p = sub.add_parser(
+        "doctor",
+        help="diagnose (and repair) a saved index",
+        description="Runtime checks: load an index, verify its structural "
+                    "invariants, and cross-check the compiled engine "
+                    "against the reference Traveler on probe queries.  "
+                    "For the static (source-level) checks, see "
+                    "'repro lint'.",
+    )
     p.add_argument("--index", required=True)
     p.add_argument("--repair", action="store_true",
                    help="on corruption, rebuild from surviving data "
@@ -426,6 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write the repaired index "
                         "(default: overwrite --index atomically)")
     p.set_defaults(run=cmd_doctor)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project's static analyzer over the source tree",
+        description="Static checks: AST rules for the contracts the "
+                    "paper and the serving layer impose (snapshot "
+                    "immutability, stats threading, typed errors, "
+                    "determinism, writer discipline, dtype discipline, "
+                    "guard coverage, public-API docs).  Suppress an "
+                    "intentional exception with "
+                    "'# repro: noqa[rule-id] -- reason'.  For the "
+                    "runtime checks on an actual index, see "
+                    "'repro doctor'.",
+    )
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files or directories to lint "
+                        "(default: the installed repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (json includes the rule catalog)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any finding is reported")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.set_defaults(run=cmd_lint)
 
     p = sub.add_parser("inspect", help="print index statistics")
     p.add_argument("--index", required=True)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import bisect
 
-from repro.core.functions import ScoringFunction
+from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
@@ -119,7 +119,7 @@ class AdvancedTraveler:
         self,
         function: ScoringFunction,
         k: int,
-        where=None,
+        where: WherePredicate | None = None,
         *,
         stats: AccessCounter | None = None,
     ) -> TopKResult:

@@ -62,7 +62,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.functions import ScoringFunction
+from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.errors import StaleSnapshotError
@@ -215,7 +215,7 @@ def _traverse(
     compiled: CompiledDG,
     function: ScoringFunction,
     k: int,
-    where,
+    where: WherePredicate | None,
     algorithm: str,
     stats: AccessCounter | None = None,
 ) -> TopKResult:
@@ -364,7 +364,7 @@ class CompiledAdvancedTraveler:
         self,
         function: ScoringFunction,
         k: int,
-        where=None,
+        where: WherePredicate | None = None,
         *,
         stats: AccessCounter | None = None,
     ) -> TopKResult:

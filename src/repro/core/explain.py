@@ -46,6 +46,7 @@ class QueryExplain:
 
     @property
     def total_accessed(self) -> int:
+        """Total records scored (the paper's accessed-records metric)."""
         return self.result.stats.computed
 
     def format(self) -> str:

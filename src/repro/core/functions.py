@@ -51,6 +51,12 @@ class ScoringFunction(Protocol):
         ...
 
 
+#: Selection predicate for constrained queries: ``vector -> bool``.
+#: Records failing it are traversed (they still unlock subtrees) but are
+#: never reported; see :meth:`AdvancedTraveler.top_k`.
+WherePredicate = Callable[[np.ndarray], bool]
+
+
 class LinearFunction:
     """Weighted sum ``F(x) = sum_i w_i * x_i`` with non-negative weights.
 
@@ -114,6 +120,7 @@ class ProductFunction:
 
     @property
     def dims(self) -> int:
+        """Number of attributes the function consumes."""
         return self.weights.size
 
     def __call__(self, vector: np.ndarray) -> float:
@@ -168,6 +175,7 @@ class WeightedPowerFunction:
 
     @property
     def dims(self) -> int:
+        """Number of attributes the function consumes."""
         return self.weights.size
 
     def __call__(self, vector: np.ndarray) -> float:

@@ -44,13 +44,18 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import replace
+from typing import Sequence
 
 from repro.core.advanced import AdvancedTraveler
 from repro.core.compiled import CompiledAdvancedTraveler, CompiledDG
-from repro.core.functions import ScoringFunction
+from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
-from repro.errors import DegradedResultWarning, QueryBudgetExceeded
+from repro.errors import (
+    DegradedResultWarning,
+    InvariantViolation,
+    QueryBudgetExceeded,
+)
 from repro.metrics.counters import AccessCounter
 
 #: Serving tiers, fastest first; run_query walks this chain.
@@ -111,12 +116,16 @@ class BudgetedAccessCounter(AccessCounter):
                     "time", limit=self.budget_ms, spent=elapsed_ms
                 )
 
-    def count_computed(self, record_id=None, pseudo: bool = False) -> None:
+    def count_computed(
+        self, record_id: int | None = None, pseudo: bool = False
+    ) -> None:
         """Charge one evaluation, then enforce the budgets."""
         super().count_computed(record_id, pseudo=pseudo)
         self.enforce()
 
-    def count_computed_batch(self, record_ids, pseudo: int = 0) -> None:
+    def count_computed_batch(
+        self, record_ids: Sequence[int], pseudo: int = 0
+    ) -> None:
         """Charge a batch of evaluations, then enforce the budgets."""
         super().count_computed_batch(record_ids, pseudo=pseudo)
         self.enforce()
@@ -128,7 +137,7 @@ def _run_tier(
     snapshot: CompiledDG | None,
     function: ScoringFunction,
     k: int,
-    where,
+    where: WherePredicate | None,
     stats: AccessCounter,
 ) -> TopKResult:
     if tier == "compiled":
@@ -159,7 +168,7 @@ def run_query(
     k: int,
     *,
     engine: str = "auto",
-    where=None,
+    where: WherePredicate | None = None,
     budget_ms: float | None = None,
     budget_records: int | None = None,
     fallback: bool = True,
@@ -233,7 +242,7 @@ def run_query(
             # typed error with the tier that tripped it.
             exc.tier = tier
             raise
-        except Exception as exc:  # engine fault: degrade, never crash
+        except Exception as exc:  # repro: noqa[typed-errors] -- the degradation chain exists to absorb arbitrary engine faults; anything narrower would crash on the exact bugs it guards against
             failure = exc
             if position + 1 == len(chain):
                 raise
@@ -246,4 +255,6 @@ def run_query(
             )
             continue
         return replace(result, tier=tier)
-    raise failure if failure is not None else RuntimeError("no serving tier ran")
+    if failure is not None:
+        raise failure
+    raise InvariantViolation("no serving tier ran")

@@ -112,7 +112,10 @@ def compute_manifest(payload: dict) -> tuple:
         for key in payload
         if key not in _MANIFEST_KEYS and key != "format_version"
     )
-    digests = [_digest(np.asarray(payload[key])) for key in names]
+    digests = [
+        _digest(np.asarray(payload[key]))  # repro: noqa[dtype-discipline] -- the digest must cover each array exactly as stored, whatever its dtype
+        for key in names
+    ]
     return names, digests
 
 
@@ -171,10 +174,10 @@ def save_graph(graph: DominantGraph, path: str, *, durable: bool = False) -> str
     pseudo_vectors = (
         np.vstack([graph.vector(rid) for rid in pseudo_ids])
         if pseudo_ids
-        else np.empty((0, graph.dataset.dims))
+        else np.empty((0, graph.dataset.dims), dtype=np.float64)
     )
     payload = {
-        "values": np.asarray(graph.dataset.values),
+        "values": np.asarray(graph.dataset.values, dtype=np.float64),
         "attribute_names": np.asarray(graph.dataset.attribute_names, dtype=str),
         "record_ids": np.asarray(record_ids, dtype=np.intp),
         "layer_of": np.asarray(layer_of, dtype=np.intp),
@@ -185,7 +188,7 @@ def save_graph(graph: DominantGraph, path: str, *, durable: bool = False) -> str
     names, digests = compute_manifest(payload)
     payload["manifest_names"] = np.asarray(names, dtype=str)
     payload["manifest_sha256"] = np.asarray(digests, dtype=str)
-    payload["format_version"] = np.asarray(FORMAT_VERSION)
+    payload["format_version"] = np.asarray(FORMAT_VERSION, dtype=np.int64)
 
     if not path.endswith(".npz"):
         path = path + ".npz"
@@ -273,7 +276,7 @@ def _verify_manifest(payload: dict, path: str) -> None:
             raise IndexCorruptionError(
                 "array listed in manifest but absent", path=path, array=name
             )
-        if _digest(np.asarray(payload[name])) != digest:
+        if _digest(np.asarray(payload[name])) != digest:  # repro: noqa[dtype-discipline] -- verification must hash the array exactly as loaded, whatever its dtype
             raise IndexCorruptionError(
                 "checksum mismatch", path=path, array=name
             )
@@ -482,13 +485,13 @@ def _salvage(path: str) -> dict:
     payload: dict = {}
     try:
         archive = np.load(path, allow_pickle=False)
-    except Exception:
+    except Exception:  # repro: noqa[typed-errors] -- best-effort salvage of a corrupt archive must survive whatever np.load throws
         return payload
     with archive:
         for key in archive.files:
             try:
                 payload[key] = archive[key]
-            except Exception:
+            except Exception:  # repro: noqa[typed-errors] -- each member is decoded independently; any failure just skips that array
                 continue
     return payload
 

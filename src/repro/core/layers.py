@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.dominance import dominators_of, maximal_mask
+from repro.errors import InvariantViolation
 
 # A skyline routine maps an (n, m) block to a boolean mask of its maximal
 # rows.  Every algorithm in repro.skyline conforms to this signature via
@@ -31,7 +32,7 @@ SkylineFunction = Callable[[np.ndarray], np.ndarray]
 def compute_layers(
     values: np.ndarray,
     skyline: SkylineFunction | None = None,
-) -> list:
+) -> list[np.ndarray]:
     """Decompose ``values`` into maximal layers by iterative peeling.
 
     Parameters
@@ -61,7 +62,7 @@ def compute_layers(
     while remaining.size:
         mask = np.asarray(skyline(values[remaining]), dtype=bool)
         if not mask.any():
-            raise RuntimeError(
+            raise InvariantViolation(
                 "skyline routine returned an empty maximal set for a non-empty "
                 "block; it would loop forever"
             )
@@ -95,7 +96,7 @@ def layer_indices_by_chains(values: np.ndarray) -> np.ndarray:
     return layer
 
 
-def layers_from_indices(layer_of: np.ndarray) -> list:
+def layers_from_indices(layer_of: np.ndarray) -> list[np.ndarray]:
     """Group record ids by layer index (inverse of the flat representation)."""
     layer_of = np.asarray(layer_of)
     if layer_of.size == 0:

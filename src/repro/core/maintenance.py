@@ -34,11 +34,14 @@ for deletion — mark the record as pseudo so the Advanced Traveler skips it
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.core.dominance import dominated_by, dominates, dominators_of
 from repro.core.graph import DominantGraph
 from repro.core.pseudo import count_pseudo_levels, pseudo_parent_vector
+from repro.errors import InvariantViolation
 
 
 # ----------------------------------------------------------------------
@@ -158,11 +161,10 @@ def _repair_pseudo_cover(graph: DominantGraph, vector: np.ndarray) -> None:
         above = sorted(graph.layer(level - 1))
         for pid in sorted(graph.layer(level)):
             pv = graph.vector(pid)
-            parents = [
-                up for up in graph.parents_of(pid)
-                if dominates(graph.vector(up), pv)
-            ]
-            if parents:
+            if any(
+                dominates(graph.vector(up), pv)
+                for up in graph.parents_of(pid)
+            ):
                 continue
             covering = [up for up in above if dominates(graph.vector(up), pv)]
             if covering:
@@ -188,12 +190,14 @@ def _repair_pseudo_cover(graph: DominantGraph, vector: np.ndarray) -> None:
                 continue
             others = [
                 member
-                for member in graph.layer(level)
+                for member in sorted(graph.layer(level))
                 if member != pid
                 and dominators_of(vectors[i], graph.vector(member)[None, :]).any()
             ]
             if not others:
                 continue
+            # Lowest-id dominator inherits: without the sort above the heir
+            # followed Python's set order and merges differed between runs.
             heir = others[0]
             for child in list(graph.children_of(pid)):
                 graph.add_edge(heir, child)
@@ -220,7 +224,7 @@ def _reattach_pseudo_parent(graph: DominantGraph, record_id: int) -> None:
         if dominates(graph.vector(pid), vector):
             graph.add_edge(pid, record_id)
             return
-    raise RuntimeError(
+    raise InvariantViolation(
         "pseudo cover repair did not produce a dominating parent — "
         "Extended DG invariant broken"
     )
@@ -392,7 +396,9 @@ def delete_record(graph: DominantGraph, record_id: int) -> None:
     graph.prune_empty_layers()
 
 
-def validate_insert_batch(graph: DominantGraph, record_ids) -> list:
+def validate_insert_batch(
+    graph: DominantGraph, record_ids: Iterable[int]
+) -> list[int]:
     """Normalize and fully validate an insertion batch *before* mutation.
 
     Returns the ids as ``int``\\ s.  Raises ``ValueError`` on a duplicate
@@ -413,7 +419,9 @@ def validate_insert_batch(graph: DominantGraph, record_ids) -> list:
     return record_ids
 
 
-def validate_delete_batch(graph: DominantGraph, record_ids) -> list:
+def validate_delete_batch(
+    graph: DominantGraph, record_ids: Iterable[int]
+) -> list[int]:
     """Normalize and fully validate a deletion batch *before* mutation.
 
     Returns the ids as ``int``\\ s.  Raises ``ValueError`` on a duplicate
@@ -432,7 +440,7 @@ def validate_delete_batch(graph: DominantGraph, record_ids) -> list:
     return record_ids
 
 
-def insert_many(graph: DominantGraph, record_ids) -> list:
+def insert_many(graph: DominantGraph, record_ids: Iterable[int]) -> list[int]:
     """Index a batch of dataset rows; returns each record's layer.
 
     The paper notes that batched maintenance is what its rivals *require*
@@ -459,7 +467,7 @@ def insert_many(graph: DominantGraph, record_ids) -> list:
     return layers
 
 
-def delete_many(graph: DominantGraph, record_ids) -> None:
+def delete_many(graph: DominantGraph, record_ids: Iterable[int]) -> None:
     """Remove a batch of records (loop over :func:`delete_record`).
 
     All-or-nothing with respect to validation, exactly like

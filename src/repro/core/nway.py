@@ -48,9 +48,9 @@ class _RankedStream:
         self._graph = graph
         self._function = sub_function
         self._stats = stats
-        self._heap: list = []  # (-sub_score, record_id)
-        self._computed: set = set()
-        self._popped: set = set()
+        self._heap: list[tuple[float, int]] = []  # (-sub_score, record_id)
+        self._computed: set[int] = set()
+        self._popped: set[int] = set()
         for rid in sorted(graph.layer(0)):
             self._push(rid)
 
@@ -128,7 +128,7 @@ class NWayTraveler:
         flat = [d for dims in self._dimension_sets for d in dims]
         if len(flat) != len(set(flat)):
             raise ValueError("dimension sets must be disjoint")
-        self._graphs: list = []
+        self._graphs: list[DominantGraph] = []
         for dims in self._dimension_sets:
             projected = dataset.project(dims)
             if extended:
@@ -140,7 +140,7 @@ class NWayTraveler:
             self._graphs.append(graph)
 
     @staticmethod
-    def even_split(dims: int, ways: int) -> list:
+    def even_split(dims: int, ways: int) -> list[tuple[int, ...]]:
         """Split ``range(dims)`` into ``ways`` near-equal contiguous sets.
 
         >>> NWayTraveler.even_split(10, 2)
@@ -157,12 +157,12 @@ class NWayTraveler:
         return sets
 
     @property
-    def dimension_sets(self) -> list:
+    def dimension_sets(self) -> list[tuple[int, ...]]:
         """The dimension partition this traveler was built with."""
         return list(self._dimension_sets)
 
     @property
-    def graphs(self) -> list:
+    def graphs(self) -> list[DominantGraph]:
         """The per-set Dominant Graphs (projected-coordinate indexes)."""
         return list(self._graphs)
 
@@ -187,19 +187,30 @@ class NWayTraveler:
             f"which decomposes automatically); got {type(function).__name__}"
         )
 
-    def top_k(self, function: ScoringFunction, k: int) -> TopKResult:
-        """Answer a top-k query by parallel ranked traversal of the sub-DGs."""
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        stats: AccessCounter | None = None,
+    ) -> TopKResult:
+        """Answer a top-k query by parallel ranked traversal of the sub-DGs.
+
+        ``stats`` lets a caller supply the access counter every scored
+        record (and every sub-function examination) is charged to — the
+        query guard passes a budget-enforcing subclass here.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
         decomposed = self._decompose(function)
-        stats = AccessCounter()
+        stats = stats if stats is not None else AccessCounter()
         streams = [
             _RankedStream(graph, sub, stats)
             for graph, sub in zip(self._graphs, decomposed.sub_functions)
         ]
 
-        scores: dict = {}
-        ranked: list = []  # (-F score, record_id), ascending
+        scores: dict[int, float] = {}
+        ranked: list[tuple[float, int]] = []  # (-F score, record_id), ascending
 
         def see(rid: int) -> None:
             """Compute F for a record the first time any stream surfaces it."""

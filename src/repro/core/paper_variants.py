@@ -53,14 +53,14 @@ def paper_insert_record(graph: DominantGraph, record_id: int) -> int:
     # Lines 1-6: longest path of dominators, via DFS from the first layer.
     def longest_dominating_path(rid: int) -> int:
         best = 1
-        for child in graph.children_of(rid):
+        for child in sorted(graph.children_of(rid)):
             if dominates(graph.vector(child), vector):
                 best = max(best, 1 + longest_dominating_path(child))
         return best
 
     depth = 0
     if graph.num_layers:
-        for rid in graph.layer(0):
+        for rid in sorted(graph.layer(0)):
             if dominates(graph.vector(rid), vector):
                 depth = max(depth, longest_dominating_path(rid))
     target = depth  # paper's (n+1)th layer, 0-based
@@ -72,7 +72,7 @@ def paper_insert_record(graph: DominantGraph, record_id: int) -> int:
     if target < graph.num_layers:
         frontier = [
             rid
-            for rid in graph.layer(target)
+            for rid in sorted(graph.layer(target))
             if dominates(vector, graph.vector(rid))
         ]
         while frontier:
@@ -82,7 +82,7 @@ def paper_insert_record(graph: DominantGraph, record_id: int) -> int:
                     continue
                 seen.add(rid)
                 affected.append(rid)
-                nxt.extend(graph.children_of(rid))
+                nxt.extend(sorted(graph.children_of(rid)))
             frontier = nxt
 
     # Lines 10-14: degrade every record of S by exactly one layer.
@@ -100,11 +100,11 @@ def paper_insert_record(graph: DominantGraph, record_id: int) -> int:
         layer = graph.layer_of(rid)
         v = graph.vector(rid)
         if layer > 0:
-            for upper in graph.layer(layer - 1):
+            for upper in sorted(graph.layer(layer - 1)):
                 if dominates(graph.vector(upper), v):
                     graph.add_edge(upper, rid)
         if layer + 1 < graph.num_layers:
-            for lower in graph.layer(layer + 1):
+            for lower in sorted(graph.layer(layer + 1)):
                 if dominates(v, graph.vector(lower)):
                     graph.add_edge(rid, lower)
     graph.prune_empty_layers()

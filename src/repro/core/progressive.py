@@ -21,6 +21,7 @@ from typing import Iterator
 
 from repro.core.functions import ScoringFunction
 from repro.core.graph import DominantGraph
+from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
 
 
@@ -28,7 +29,7 @@ def iter_ranked(
     graph: DominantGraph,
     function: ScoringFunction,
     stats: AccessCounter | None = None,
-) -> Iterator:
+) -> Iterator[tuple[int, float]]:
     """Yield ``(record_id, score)`` best-first over a (possibly Extended) DG.
 
     Parameters
@@ -82,21 +83,25 @@ def iter_ranked(
 
 
 def top_k_progressive(
-    graph: DominantGraph, function: ScoringFunction, k: int
-):
+    graph: DominantGraph,
+    function: ScoringFunction,
+    k: int,
+    *,
+    stats: AccessCounter | None = None,
+) -> TopKResult:
     """Materialize the first k answers of :func:`iter_ranked`.
 
     A convenience wrapper returning the same
     :class:`~repro.core.result.TopKResult` shape as the Traveler classes;
     unlike them it never truncates its candidate list, so its search space
     can only be larger or equal (tests quantify the difference).
+    ``stats`` lets a caller supply the counter every scored record is
+    charged to — the query guard passes a budget-enforcing subclass.
     """
-    from repro.core.result import TopKResult
-
     if k <= 0:
         raise ValueError("k must be positive")
-    stats = AccessCounter()
-    pairs = []
+    stats = stats if stats is not None else AccessCounter()
+    pairs: list[tuple[float, int]] = []
     for rid, value in iter_ranked(graph, function, stats):
         pairs.append((value, rid))
         if len(pairs) == k:

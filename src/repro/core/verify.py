@@ -32,7 +32,7 @@ class Issue:
         return f"[{self.code}] {self.message}{suffix}"
 
 
-def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
+def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list[Issue]:
     """Collect every invariant violation, up to ``max_issues``.
 
     Checks, in order: layer bookkeeping, edge soundness (consecutive
@@ -48,7 +48,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
     >>> verify_graph(graph)
     []
     """
-    issues: list = []
+    issues: list[Issue] = []
 
     def add(code: str, message: str, record_id: int | None = None) -> bool:
         issues.append(Issue(code=code, message=message, record_id=record_id))
@@ -62,7 +62,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
         if not layer:
             if add("empty-layer", f"layer {index} is empty"):
                 return issues
-        for rid in layer:
+        for rid in sorted(layer):
             if rid in seen:
                 if add("duplicate", f"record in multiple layers", rid):
                     return issues
@@ -79,7 +79,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
 
     # Edge soundness.
     for rid in graph.iter_records():
-        for child in graph.children_of(rid):
+        for child in sorted(graph.children_of(rid)):
             if child not in in_graph:
                 continue  # already reported as dangling above
             if graph.layer_of(child) != graph.layer_of(rid) + 1:
@@ -103,7 +103,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
                     if add("intra-layer", f"records {a} and {b} dominate in layer {index}"):
                         return issues
         if index > 0:
-            for rid in layer:
+            for rid in sorted(layer):
                 if not graph.parents_of(rid):
                     if add("orphan", f"record in layer {index} has no parent", rid):
                         return issues
@@ -113,7 +113,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
         above = sorted(layers[index - 1])
         if any(graph.is_pseudo(p) for p in above):
             continue
-        for rid in layers[index]:
+        for rid in sorted(layers[index]):
             expected = {
                 p for p in above if dominates(graph.vector(p), graph.vector(rid))
             }
@@ -150,7 +150,7 @@ def verify_graph(graph: DominantGraph, max_issues: int = 100) -> list:
     return issues
 
 
-def format_issues(issues: list) -> str:
+def format_issues(issues: list[Issue]) -> str:
     """Readable multi-line report ('index OK' when the list is empty)."""
     if not issues:
         return "index OK: every invariant holds"

@@ -26,6 +26,13 @@ Hierarchy
     source graph mutated.  Recompile, or let
     :func:`repro.core.guard.run_query` do it for you.
 
+``InvariantViolation`` (also a ``RuntimeError``)
+    An internal invariant the paper's correctness argument relies on
+    (Definition 2.3/2.4 layer and edge properties, the Extended DG
+    pseudo cover, the guard's tier chain) was found broken at runtime.
+    Always a bug — in this codebase or in a caller that mutated
+    structures behind the index's back — never a recoverable condition.
+
 ``QueryBudgetExceeded``
     A guarded query ran past its wall-clock deadline or its
     accessed-record budget (see :mod:`repro.core.guard`).  Carries the
@@ -94,6 +101,16 @@ class IndexCorruptionError(ReproError, ValueError):
 
 class StaleSnapshotError(ReproError, RuntimeError):
     """A compiled snapshot was queried after its source graph mutated."""
+
+
+class InvariantViolation(ReproError, RuntimeError):
+    """An internal structural invariant was found broken at runtime.
+
+    Raised where the code proves itself wrong: a skyline routine that
+    makes no progress, a pseudo-cover repair that fails to cover, a
+    degradation chain that ran no tier.  Subclasses ``RuntimeError`` so
+    pre-PR-2 callers that caught the builtin keep working.
+    """
 
 
 class QueryBudgetExceeded(ReproError):

@@ -23,8 +23,11 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
 
 from repro.errors import QueryBudgetExceeded, ServiceOverloaded
+
+T = TypeVar("T")
 
 
 class AdmissionStats:
@@ -93,7 +96,7 @@ class AdmissionController:
             return self._waiting
 
     @contextmanager
-    def admit(self, timeout: float | None = None):
+    def admit(self, timeout: float | None = None) -> Iterator[None]:
         """Hold one execution slot for the duration of the ``with`` body.
 
         Raises :class:`~repro.errors.ServiceOverloaded` without blocking
@@ -162,15 +165,15 @@ class AdmissionController:
 
 
 def retry_with_backoff(
-    fn,
+    fn: Callable[[], T],
     *,
     attempts: int = 3,
     base_delay: float = 0.005,
     factor: float = 2.0,
-    retriable: tuple = (Exception,),
-    fatal: tuple = (QueryBudgetExceeded,),
-    sleep=time.sleep,
-):
+    retriable: tuple[type[BaseException], ...] = (Exception,),
+    fatal: tuple[type[BaseException], ...] = (QueryBudgetExceeded,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
     """Call ``fn`` until it succeeds, with exponential backoff between tries.
 
     ``fatal`` exceptions propagate immediately (budget violations must

@@ -61,13 +61,14 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, replace
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.core.builder import build_dominant_graph
 from repro.core.compiled import CompiledAdvancedTraveler, CompiledDG
 from repro.core.dataset import Dataset
-from repro.core.functions import ScoringFunction
+from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.guard import BudgetedAccessCounter
 from repro.core.io import fsync_directory, load_graph, save_graph
@@ -79,6 +80,7 @@ from repro.core.maintenance import (
     validate_insert_batch,
 )
 from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
 from repro.errors import (
     DegradedResultWarning,
     IndexCorruptionError,
@@ -195,8 +197,8 @@ def snapshot_scan(
     compiled: CompiledDG,
     function: ScoringFunction,
     k: int,
-    where=None,
-    stats=None,
+    where: WherePredicate | None = None,
+    stats: AccessCounter | None = None,
 ) -> TopKResult:
     """Full scan of a snapshot's real records: the serve-side oracle tier.
 
@@ -311,7 +313,9 @@ class ServingIndex:
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, directory: str, source, **kwargs) -> "ServingIndex":
+    def create(
+        cls, directory: str, source: DominantGraph | Dataset, **kwargs: Any
+    ) -> "ServingIndex":
         """Initialize a fresh serving directory and return the live index.
 
         ``source`` is a prebuilt (possibly Extended)
@@ -343,7 +347,7 @@ class ServingIndex:
         return cls(directory, graph, wal, **kwargs)
 
     @classmethod
-    def open(cls, directory: str, **kwargs) -> "ServingIndex":
+    def open(cls, directory: str, **kwargs: Any) -> "ServingIndex":
         """Recover a serving directory: checkpoint + WAL replay.
 
         Tolerates every crash window of the write path: a torn WAL tail
@@ -448,7 +452,7 @@ class ServingIndex:
         function: ScoringFunction,
         k: int,
         *,
-        where=None,
+        where: WherePredicate | None = None,
         budget_ms: float | None = None,
         budget_records: int | None = None,
         admission_timeout: float | None = None,
@@ -504,7 +508,7 @@ class ServingIndex:
             except QueryBudgetExceeded as exc:
                 exc.tier = "compiled"
                 raise
-            except Exception as exc:
+            except Exception as exc:  # repro: noqa[typed-errors] -- degrading to the snapshot scan must absorb whatever the compiled tier throws
                 if not fallback:
                     raise
                 warnings.warn(
@@ -561,7 +565,7 @@ class ServingIndex:
             apply=lambda: mark_deleted(self._graph, rid),
         )
 
-    def insert_many(self, record_ids) -> list:
+    def insert_many(self, record_ids: Iterable[int]) -> list[int]:
         """Durably index a batch; one WAL record, one snapshot publish.
 
         Readers see the whole batch or none of it — the snapshot is
@@ -577,7 +581,7 @@ class ServingIndex:
             apply=lambda: [insert_record(self._graph, r) for r in rids],
         )
 
-    def delete_many(self, record_ids) -> None:
+    def delete_many(self, record_ids: Iterable[int]) -> None:
         """Durably remove a batch; one WAL record, one snapshot publish."""
         rids = [int(r) for r in record_ids]
         if not rids:
@@ -594,7 +598,7 @@ class ServingIndex:
             validate()  # raises before anything is touched
             try:
                 result = apply()
-            except Exception as exc:
+            except Exception as exc:  # repro: noqa[typed-errors] -- any mid-apply failure, whatever its type, must poison the writer
                 # Validation passed yet apply failed: the in-memory graph
                 # may be half-mutated.  Nothing was logged or published,
                 # so durable state and readers are both still consistent;
@@ -604,7 +608,7 @@ class ServingIndex:
                 raise
             try:
                 self._wal.append(op)
-            except Exception as exc:
+            except Exception as exc:  # repro: noqa[typed-errors] -- a failed WAL append of any kind leaves durability unknown; the writer must poison
                 self._poisoned = exc
                 raise
             self._publish_locked()

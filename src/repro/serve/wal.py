@@ -276,6 +276,7 @@ class WriteAheadLog:
 
     @property
     def closed(self) -> bool:
+        """Whether the log file handle has been closed."""
         return self._handle.closed
 
     def tell(self) -> int:

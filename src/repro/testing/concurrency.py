@@ -51,7 +51,7 @@ def run_threads(*targets, timeout: float = 30.0) -> list:
     def runner(index: int, fn) -> None:
         try:
             results[index] = fn()
-        except BaseException as exc:  # noqa: BLE001 — must cross threads
+        except BaseException as exc:  # repro: noqa[typed-errors] -- the harness must carry any failure (including SystemExit) across the thread boundary
             with lock:
                 failures.append(exc)
 

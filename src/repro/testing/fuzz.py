@@ -64,14 +64,14 @@ def fuzz_trial(trial: int, directory: str, flips: int) -> str:
             repaired, _notes = repair_graph(path)
         except IndexCorruptionError:
             return "detected+unrepairable"
-        except Exception as exc:  # untyped escape from repair: contract bug
+        except Exception as exc:  # repro: noqa[typed-errors] -- the fuzzer exists to detect untyped escapes from repair; it must catch them all
             return f"repair-untyped-error:{type(exc).__name__}"
         try:
             repaired.validate()
         except AssertionError:
             return "repair-produced-invalid-graph"
         return "detected+repaired"
-    except Exception as exc:  # untyped escape from load: contract bug
+    except Exception as exc:  # repro: noqa[typed-errors] -- the fuzzer exists to detect untyped escapes from load; it must catch them all
         return f"load-untyped-error:{type(exc).__name__}"
     answer = _signature(AdvancedTraveler(reloaded).top_k(function, k))
     if answer != oracle:

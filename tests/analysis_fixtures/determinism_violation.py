@@ -1,0 +1,8 @@
+"""Fixture: iterating a layer set in hash order (determinism)."""
+
+
+def first_layer_ids(graph):
+    out = []
+    for rid in graph.layer(0):  # VIOLATION
+        out.append(rid)
+    return out

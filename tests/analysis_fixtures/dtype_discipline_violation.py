@@ -1,0 +1,7 @@
+"""Fixture: a numpy constructor with platform-dependent dtype (dtype-discipline)."""
+
+import numpy as np
+
+
+def blank_block(n):
+    return np.zeros((n, 4))  # VIOLATION

@@ -1,0 +1,5 @@
+"""Fixture: a public function with no docstring (public-api)."""
+
+
+def exposed(x: int) -> int:  # VIOLATION
+    return x + 1

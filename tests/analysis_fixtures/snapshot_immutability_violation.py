@@ -1,0 +1,7 @@
+"""Fixture: writes into a compiled snapshot's arrays (snapshot-immutability)."""
+
+
+def poke(graph):
+    snapshot = graph.compile()
+    snapshot.values[0] = 99.0  # VIOLATION
+    return snapshot

@@ -1,0 +1,5 @@
+"""Fixture: a query entry point that drops the caller's counter (stats-threading)."""
+
+
+def top_k(graph, function, k):  # VIOLATION
+    return sorted(function(graph.vector(rid)) for rid in graph.real_ids())[:k]

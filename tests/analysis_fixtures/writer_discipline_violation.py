@@ -1,0 +1,6 @@
+"""Fixture: appending to the WAL outside the writer path (writer-discipline)."""
+
+
+class SneakyIndex:
+    def record_note(self, note):
+        self._wal.append({"op": "note", "text": note})  # VIOLATION
