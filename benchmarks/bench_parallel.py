@@ -1,0 +1,196 @@
+"""Parallel query fabric throughput benchmark (``BENCH_parallel.json``).
+
+Answers one question: given a fixed batch of linear top-k queries over a
+compiled snapshot, how does aggregate throughput change when the batch
+is pushed through the multi-process fabric (:mod:`repro.parallel`) at
+1/2/4 workers, in ``full`` (one Traveler per query) and ``batch``
+(layer-progressive matrix kernel) modes, versus answering the queries
+one at a time in-process?  Every configuration is checked bit-identical
+to the single-process engine before it is timed, so the numbers compare
+*equivalent* work.
+
+Two effects stack in the fabric numbers:
+
+- the batched kernel scores all queries' weight vectors against each
+  layer block in single numpy calls, which wins even on one core;
+- multiple workers overlap traversals, which wins only when the host
+  actually has spare cores (the report records ``host_cpus`` so readers
+  can judge the worker curve accordingly).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke --out /tmp/b.json
+
+The default grid is n in {10_000, 50_000} at d=4, k=50, 32 queries;
+``--smoke`` shrinks it to a seconds-long sanity run for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_utils import measure  # noqa: E402
+
+from repro.core.builder import build_dominant_graph  # noqa: E402
+from repro.core.compiled import (  # noqa: E402
+    CompiledAdvancedTraveler,
+    batch_top_k,
+)
+from repro.core.functions import LinearFunction  # noqa: E402
+from repro.data.generators import uniform  # noqa: E402
+from repro.parallel import ParallelQueryExecutor, leaked_segments  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_queries(dims: int, count: int, seed: int = 0) -> list:
+    """A fixed workload of normalized linear preference functions."""
+    rng = np.random.default_rng(seed)
+    return [LinearFunction(rng.dirichlet(np.ones(dims))) for _ in range(count)]
+
+
+def check_identical(expected, got, label: str) -> None:
+    """Assert two result lists agree bit for bit, query by query."""
+    assert len(expected) == len(got), label
+    for index, (ref, out) in enumerate(zip(expected, got)):
+        assert ref.ids == out.ids and ref.scores == out.scores, (
+            f"{label}: query {index} diverged from single-process engine"
+        )
+
+
+def time_mode(operation, queries: int, repeats: int) -> dict:
+    """Throughput record for one configuration (warmed median timing)."""
+    timing = measure(operation, repeats=repeats, warmup=1)
+    seconds = timing["median_seconds"]
+    return {
+        "batch_seconds": seconds,
+        "queries_per_second": queries / seconds if seconds > 0 else float("inf"),
+        "timing": timing,
+    }
+
+
+def run_cell(n: int, dims: int, k: int, queries: int, repeats: int,
+             seed: int) -> dict:
+    """Benchmark one dataset size across all fabric configurations."""
+    dataset = uniform(n, dims, seed=seed)
+    graph = build_dominant_graph(dataset)
+    compiled = graph.compile()
+    workload = make_queries(dims, queries, seed=seed + 1)
+
+    single = CompiledAdvancedTraveler(compiled)
+    expected = [single.top_k(query, k) for query in workload]
+
+    cell = {"n": n, "dims": dims, "k": k, "queries": queries, "modes": {}}
+
+    cell["modes"]["single"] = time_mode(
+        lambda: [single.top_k(query, k) for query in workload],
+        queries, repeats,
+    )
+    base_qps = cell["modes"]["single"]["queries_per_second"]
+
+    check_identical(expected, batch_top_k(compiled, workload, k), "batch-inprocess")
+    cell["modes"]["batch-inprocess"] = time_mode(
+        lambda: batch_top_k(compiled, workload, k), queries, repeats,
+    )
+
+    for workers in WORKER_COUNTS:
+        pool = ParallelQueryExecutor(compiled, workers=workers)
+        try:
+            for mode in ("full", "batch"):
+                label = f"fabric-{mode}-w{workers}"
+                check_identical(
+                    expected, pool.map_queries(workload, k, mode=mode), label
+                )
+                cell["modes"][label] = time_mode(
+                    lambda m=mode: pool.map_queries(workload, k, mode=m),
+                    queries, repeats,
+                )
+        finally:
+            pool.shutdown()
+
+    for label, record in cell["modes"].items():
+        record["speedup_vs_single"] = record["queries_per_second"] / base_qps
+        print(f"n={n:>6} d={dims} k={k}  {label:<18} "
+              f"{record['queries_per_second']:9.1f} q/s  "
+              f"({record['speedup_vs_single']:5.2f}x single)")
+    return cell
+
+
+def main(argv=None) -> int:
+    """Entry point: run the grid and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid for CI smoke testing")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_parallel.json)")
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--dims", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        grid = [500]
+        args.queries = min(args.queries, 8)
+        args.repeats = 1
+        k = min(args.k, 10)
+    else:
+        grid = [10_000, 50_000]
+        k = args.k
+
+    start = time.perf_counter()
+    cells = [
+        run_cell(n, args.dims, k, args.queries, args.repeats, args.seed)
+        for n in grid
+    ]
+    leaked = leaked_segments()
+    assert not leaked, f"benchmark leaked shared-memory segments: {leaked}"
+
+    headline_cell = cells[-1]
+    headline = (
+        headline_cell["modes"]["fabric-batch-w4"]["speedup_vs_single"]
+    )
+    report = {
+        "benchmark": "parallel_query_fabric_throughput",
+        "workload": "uniform data, Dirichlet linear functions, plain DG",
+        "smoke": args.smoke,
+        "host_cpus": os.cpu_count(),
+        "worker_counts": list(WORKER_COUNTS),
+        "results": cells,
+        "headline": {
+            "description": (
+                "aggregate throughput of the 4-worker batched fabric vs "
+                "the single-process compiled engine, largest grid cell"
+            ),
+            "n": headline_cell["n"],
+            "dims": headline_cell["dims"],
+            "k": headline_cell["k"],
+            "speedup_vs_single": headline,
+        },
+        "wall_seconds": time.perf_counter() - start,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"headline: fabric-batch-w4 at n={headline_cell['n']} -> "
+          f"{headline:.2f}x single-process")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

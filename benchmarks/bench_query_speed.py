@@ -30,6 +30,9 @@ import numpy as np
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_utils import measure  # noqa: E402
 
 from repro.core.advanced import AdvancedTraveler  # noqa: E402
 from repro.core.builder import build_dominant_graph  # noqa: E402
@@ -47,20 +50,20 @@ def make_queries(dims: int, count: int, seed: int = 0) -> list:
 
 
 def time_engine(traveler, queries, k: int, repeats: int) -> dict:
-    """Best-of-``repeats`` mean wall clock per query, plus records/sec."""
-    per_round = []
-    computed = 0
-    for _ in range(repeats):
-        start = time.perf_counter()
+    """Warmed median-of-``repeats`` wall clock per query, plus records/sec."""
+
+    def one_round() -> None:
         for query in queries:
-            result = traveler.top_k(query, k)
-        per_round.append((time.perf_counter() - start) / len(queries))
-        computed = result.stats.computed
-    best = min(per_round)
+            traveler.top_k(query, k)
+
+    timing = measure(one_round, repeats=repeats, warmup=1)
+    per_query = timing["median_seconds"] / len(queries)
+    computed = traveler.top_k(queries[-1], k).stats.computed
     return {
-        "mean_query_seconds": best,
+        "mean_query_seconds": per_query,
         "last_query_computed": computed,
-        "records_per_second": computed / best if best > 0 else float("inf"),
+        "records_per_second": computed / per_query if per_query > 0 else float("inf"),
+        "timing": timing,
     }
 
 

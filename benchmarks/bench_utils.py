@@ -12,11 +12,47 @@ Scale with ``REPRO_BENCH_SCALE=<factor> pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import os
+import time
 
 from repro.bench.harness import ExperimentResult
 from repro.bench.report import format_table, save_result
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def measure(operation, *, repeats: int = 5, warmup: int = 1) -> dict:
+    """Median-of-``repeats`` wall clock of one operation, after warmup.
+
+    Timing a single cold call conflates the operation with allocator
+    warmup, page faults on freshly built arrays, and CPU frequency
+    ramp; taking the *minimum* of several calls instead biases toward
+    the luckiest scheduling slice.  The median of a few warmed rounds is
+    stable against both, so every timed figure in this suite funnels
+    through here.  Uses :func:`time.perf_counter` (monotonic, highest
+    available resolution).
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        operation()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        operation()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        median = samples[mid]
+    else:
+        median = 0.5 * (samples[mid - 1] + samples[mid])
+    return {
+        "median_seconds": median,
+        "min_seconds": samples[0],
+        "max_seconds": samples[-1],
+        "repeats": repeats,
+        "warmup": warmup,
+    }
 
 
 def emit(result: ExperimentResult, name: str) -> ExperimentResult:

@@ -14,6 +14,7 @@ from repro.analysis.rules.writer_discipline import WriterDisciplineRule
 from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.guard_coverage import GuardCoverageRule
 from repro.analysis.rules.public_api import PublicApiRule
+from repro.analysis.rules.worker_discipline import WorkerDisciplineRule
 
 #: Shipped rules, in catalog order.
 ALL_RULES = (
@@ -25,6 +26,7 @@ ALL_RULES = (
     DtypeDisciplineRule,
     GuardCoverageRule,
     PublicApiRule,
+    WorkerDisciplineRule,
 )
 
 __all__ = [
@@ -36,5 +38,6 @@ __all__ = [
     "SnapshotImmutabilityRule",
     "StatsThreadingRule",
     "TypedErrorsRule",
+    "WorkerDisciplineRule",
     "WriterDisciplineRule",
 ]

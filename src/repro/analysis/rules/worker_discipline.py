@@ -1,0 +1,157 @@
+"""Rule: fabric workers are stateless readers of the shared snapshot.
+
+The parallel query fabric (PR 5) keeps every worker process disposable:
+the executor may SIGKILL-heal a worker at any instant and re-dispatch
+its tasks elsewhere, and all workers map the *same* physical snapshot
+pages.  Two properties make that safe, and this rule pins both:
+
+- **No mutation through an attached snapshot.**  Every byte a worker can
+  reach through :func:`~repro.parallel.shm.attach_snapshot` is shared
+  with the owner and every sibling worker; a single in-place store would
+  corrupt answers pool-wide.  The arrays are frozen at runtime
+  (``setflags(write=False)``), but ``setflags(write=True)`` and attribute
+  rebinding would reopen the door — the same hole
+  ``snapshot-immutability`` closes for in-process snapshots.
+- **No module-global RNG state.**  A worker's answer must depend only on
+  the task and the snapshot epoch, or bit-identical parity across
+  re-dispatches (and the duplicate-reply dedup in the executor) breaks.
+  Module-level ``default_rng``/``RandomState``/``Random`` bindings or
+  ``seed`` calls create exactly the cross-task state that would make a
+  healed worker answer differently than its predecessor.
+
+Scope: ``parallel/`` modules — the only code that runs inside workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: Call names that create or reseed process-wide random state.
+_RNG_CALLS = {"default_rng", "RandomState", "Random", "seed"}
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Terminal name of a call target (``np.random.default_rng`` -> that)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_attach_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node.func) == "attach_snapshot"
+    )
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class WorkerDisciplineRule(Rule):
+    """Workers neither mutate shared snapshots nor hold global RNG state."""
+
+    id = "worker-discipline"
+    summary = (
+        "fabric workers must not mutate attached snapshots or keep "
+        "module-global RNG state"
+    )
+    hint = (
+        "treat attach_snapshot() views as frozen (copy before writing) and "
+        "create RNGs locally, seeded from the task, not at module scope"
+    )
+    paths = ("parallel/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per shared-state hazard in a worker module."""
+        yield from self._check_global_rng(ctx)
+        tracked = self._tracked_names(ctx.tree)
+        if not tracked:
+            return
+        for node in ast.walk(ctx.tree):
+            yield from self._check_mutation(ctx, node, tracked)
+
+    # -- module-global RNG state --------------------------------------
+
+    def _check_global_rng(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # locals made per call are task-scoped, not global
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and (
+                    _call_name(node.func) in _RNG_CALLS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"module-level {_call_name(node.func)}() creates "
+                        "global RNG state a healed worker would not share",
+                    )
+
+    # -- mutation through attached snapshots --------------------------
+
+    def _tracked_names(self, tree: ast.Module) -> set[str]:
+        tracked: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_attach_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracked.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_attach_call(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    tracked.add(node.target.id)
+        return tracked
+
+    def _check_mutation(
+        self, ctx: ModuleContext, node: ast.AST, tracked: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _root_name(target)
+                    if root in tracked:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "assignment mutates shared snapshot "
+                            f"{root!r} mapped by every worker",
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "setflags"
+                and _root_name(func.value) in tracked
+                and self._enables_write(node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "setflags(write=True) re-opens a shared snapshot array "
+                    f"of {_root_name(func.value)!r}",
+                )
+
+    @staticmethod
+    def _enables_write(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "write":
+                return not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is False
+                )
+        return bool(call.args)

@@ -56,7 +56,7 @@ def naive_top_k_subset(
     ids = np.fromiter((int(rid) for rid in record_ids), dtype=np.intp)
     if ids.size == 0:
         return TopKResult.from_pairs([], stats, algorithm="naive-scan")
-    stats.count_computed_batch(ids.tolist())
+    stats.count_computed_batch(ids)
     block = dataset.values[ids]
     scores = function.score_many(block)
     if where is not None:

@@ -99,15 +99,97 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_batch_functions(path: str, dims: int) -> list:
+    """Parse a --batch file: one comma-separated weight vector per line."""
+    functions = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            function = _parse_weights(text)
+            if function.dims != dims:
+                raise SystemExit(
+                    f"{path}:{lineno}: weight vector has {function.dims} "
+                    f"entries, index has {dims} attributes"
+                )
+            functions.append(function)
+    if not functions:
+        raise SystemExit(f"--batch file {path!r} contains no weight vectors")
+    return functions
+
+
+def _cmd_query_batch(args: argparse.Namespace, graph) -> int:
+    """The `repro query --batch` path: many queries, one compiled sweep."""
+    from repro.core.compiled import batch_top_k
+
+    if args.budget_ms is not None or args.budget_records is not None:
+        raise SystemExit("--batch does not support query budgets")
+    if args.explain:
+        raise SystemExit("--batch does not support --explain")
+    functions = _load_batch_functions(args.batch, graph.dataset.dims)
+    compiled = graph.compile()
+    with Timer() as timer:
+        if args.workers > 0:
+            from repro.parallel import ParallelQueryExecutor
+
+            with ParallelQueryExecutor(
+                compiled, workers=args.workers
+            ) as pool:
+                results = pool.map_queries(functions, args.k, mode="batch")
+        else:
+            results = batch_top_k(compiled, functions, args.k)
+    per_query = 1000 * timer.elapsed / len(results)
+    scored = sum(r.stats.computed for r in results)
+    print(
+        f"{len(results)} queries in {1000 * timer.elapsed:.2f}ms "
+        f"({per_query:.3f} ms/query, {scored} records scored, "
+        f"workers={args.workers})"
+    )
+    for index, result in enumerate(results):
+        row = ", ".join(f"{rid}:{score:g}" for rid, score in result)
+        print(f"  q{index}: [{row}]")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    """Answer a linear top-k query against an index (`repro query`)."""
+    """Answer linear top-k queries against an index (`repro query`)."""
     graph = load_graph(args.index)
+    if args.batch:
+        if args.weights:
+            raise SystemExit("--weights and --batch are mutually exclusive")
+        return _cmd_query_batch(args, graph)
+    if not args.weights:
+        raise SystemExit("one of --weights or --batch is required")
     function = _parse_weights(args.weights)
     if function.dims != graph.dataset.dims:
         raise SystemExit(
             f"--weights has {function.dims} entries, index has "
             f"{graph.dataset.dims} attributes"
         )
+    if args.workers > 0:
+        if args.budget_ms is not None or args.budget_records is not None:
+            raise SystemExit("--workers does not support query budgets")
+        from repro.parallel import ParallelQueryExecutor
+
+        with Timer() as timer:
+            with ParallelQueryExecutor(
+                graph.compile(), workers=args.workers
+            ) as pool:
+                result = pool.query(function, args.k)
+        print(
+            f"top-{args.k} in {1000 * timer.elapsed:.2f}ms "
+            f"({result.stats.computed} records scored, "
+            f"{args.workers}-worker fabric):"
+        )
+        names = graph.dataset.attribute_names
+        for rank, (rid, score) in enumerate(result, start=1):
+            detail = ", ".join(
+                f"{name}={value:g}"
+                for name, value in zip(names, graph.vector(rid))
+            )
+            print(f"  {rank:3d}. record {rid}  score={score:g}  [{detail}]")
+        return 0
     if args.explain:
         from repro.core.explain import explain_top_k
 
@@ -357,7 +439,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
 
-    index = ServingIndex.open(args.dir, fsync=args.fsync)
+    index = ServingIndex.open(
+        args.dir, fsync=args.fsync, workers=args.workers
+    )
     try:
         if args.probe:
             document = {
@@ -414,11 +498,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         stop.set()
         for thread in threads:
             thread.join(timeout=10)
+        fabric_note = ""
+        if args.workers > 0:
+            batch = index.query_batch([function] * 8, 10)
+            fabric_note = (
+                f", {len(batch)} fabric batch answers "
+                f"({args.workers} workers)"
+            )
         index.checkpoint()
         print(
             f"smoke: {mutations} mutations and {sum(read_counts)} "
             f"concurrent reads in {timer.elapsed:.2f}s "
-            f"(final epoch {index.epoch}, fsync={args.fsync})"
+            f"(final epoch {index.epoch}, fsync={args.fsync}{fabric_note})"
         )
         return 0
     finally:
@@ -472,10 +563,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(run=cmd_build)
 
-    p = sub.add_parser("query", help="answer a linear top-k query")
+    p = sub.add_parser("query", help="answer linear top-k queries")
     p.add_argument("--index", required=True)
-    p.add_argument("--weights", required=True,
+    p.add_argument("--weights", default=None,
                    help="comma-separated non-negative weights")
+    p.add_argument("--batch", default=None, metavar="FILE",
+                   help="answer many queries at once: FILE holds one "
+                        "comma-separated weight vector per line "
+                        "(# comments allowed); uses the layer-progressive "
+                        "batch kernel")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fan out across N worker processes sharing the "
+                        "snapshot over shared memory (0 = in-process)")
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--engine",
                    choices=["auto", "reference", "compiled", "naive"],
@@ -592,6 +691,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fsync", choices=["always", "batch", "never"],
                    default="always",
                    help="WAL durability policy (see docs/serving.md)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="attach an N-process query fabric over "
+                        "shared-memory snapshots (0 = in-process only)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(run=cmd_serve)
 

@@ -59,10 +59,11 @@ structure that no longer exists.  Recompile after maintenance batches.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.functions import ScoringFunction, WherePredicate
+from repro.core.functions import LinearFunction, ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.errors import StaleSnapshotError
@@ -246,7 +247,7 @@ def _traverse(
         scores = function.score_many(values[batch])
         originals = ids[batch]
         stats.count_computed_batch(
-            originals.tolist(), pseudo=int(pseudo[batch].sum())
+            originals, pseudo=int(pseudo[batch].sum())
         )
         if where is None:
             answerable[batch] = ~pseudo[batch]
@@ -376,3 +377,217 @@ class CompiledAdvancedTraveler:
         traversed (they still unlock their subtrees) but never reported.
         """
         return _traverse(self._compiled, function, k, where, self.name, stats)
+
+
+BATCH_ALGORITHM = "compiled-batch"
+
+
+def _layer_bounds(compiled: CompiledDG) -> np.ndarray:
+    """Dense-index boundaries of each layer block.
+
+    Dense order is sorted by ``(layer, record_id)``, so layer ``l``
+    occupies ``bounds[l]:bounds[l + 1]``.  Returns an int64 array of
+    length ``num_layers + 1``.
+    """
+    layer_index = compiled.layer_index
+    n = int(layer_index.shape[0])
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    num_layers = int(layer_index[-1]) + 1
+    bounds = np.searchsorted(
+        layer_index, np.arange(num_layers + 1, dtype=np.int64), side="left"
+    ).astype(np.int64)
+    bounds[num_layers] = n
+    return bounds
+
+
+def batch_top_k(
+    compiled: CompiledDG,
+    functions: Sequence[ScoringFunction],
+    k: int,
+    *,
+    where: WherePredicate | None = None,
+    stats: Sequence[AccessCounter] | None = None,
+) -> list[TopKResult]:
+    """Answer many top-k queries in one layer-progressive numpy sweep.
+
+    Instead of one best-first traversal per query, the batch kernel walks
+    the snapshot's layer blocks in order and scores each block for every
+    still-active query in a single broadcast numpy call (when every
+    function is a :class:`~repro.core.functions.LinearFunction`, one
+    ``(queries, block, dims)`` multiply; otherwise one ``score_many`` call
+    per active query per block).  A query retires as soon as it provably
+    cannot improve: by graph invariant every layer-``l + 1`` record is
+    dominated by some layer-``l`` record, so for any monotone function no
+    unseen record can beat the maximum score in the last processed layer;
+    once ``k`` answerable records are banked and the running ``k``-th best
+    score *strictly* exceeds that bound (strict, so score ties — which
+    tie-break on ascending id — are still resolved exactly) the remaining
+    layers cannot contribute.
+
+    Results are bit-identical to
+    :meth:`CompiledAdvancedTraveler.top_k` per query: identical ids,
+    identical float scores, identical ``(-score, id)`` ordering.  Access
+    tallies differ — the batch kernel charges whole layer blocks, the
+    traversal only unlocked frontiers — and are recorded per query in
+    ``stats``.
+
+    Parameters
+    ----------
+    compiled:
+        The snapshot to query (plain or Extended; pseudo records never
+        count toward ``k``).
+    functions:
+        One aggregate monotone scoring function per query.
+    k:
+        Answers per query (positive).
+    where:
+        Optional ``vector -> bool`` filter shared by the whole batch;
+        evaluated once per scored record, not once per query.
+    stats:
+        Optional per-query counters, one per function.  Fresh counters
+        are created when omitted.
+
+    Peak memory is ``len(functions) * num_records * 8`` bytes for the
+    score matrix; cap the batch size accordingly (the parallel executor
+    defaults to 64-query sub-batches).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if compiled.stale:
+        raise StaleSnapshotError(
+            "CompiledDG is stale: the source DominantGraph mutated after "
+            "compile(); rebuild the snapshot with graph.compile()"
+        )
+    num_queries = len(functions)
+    if stats is None:
+        counters = [AccessCounter() for _ in range(num_queries)]
+    else:
+        counters = list(stats)
+        if len(counters) != num_queries:
+            raise ValueError(
+                f"stats must have one counter per function: "
+                f"{len(counters)} != {num_queries}"
+            )
+    if num_queries == 0:
+        return []
+
+    values = compiled.values
+    ids_arr = compiled.record_ids
+    pseudo = compiled.pseudo_mask
+    n = int(values.shape[0])
+    if n == 0:
+        return [
+            TopKResult.from_pairs([], counters[q], algorithm=BATCH_ALGORITHM)
+            for q in range(num_queries)
+        ]
+
+    weights: np.ndarray | None = None
+    linear = [f for f in functions if isinstance(f, LinearFunction)]
+    if len(linear) == num_queries:
+        weights = np.stack([f.weights for f in linear])
+        if int(weights.shape[1]) != int(values.shape[1]):
+            raise ValueError(
+                f"function dims {int(weights.shape[1])} != "
+                f"snapshot dims {int(values.shape[1])}"
+            )
+
+    bounds = _layer_bounds(compiled)
+    num_layers = int(bounds.shape[0]) - 1
+    if where is None:
+        answerable = ~pseudo
+    else:
+        answerable = np.zeros(n, dtype=bool)
+
+    scores_all = np.empty((num_queries, n), dtype=np.float64)
+    active = np.ones(num_queries, dtype=bool)
+    topk = np.full((num_queries, k), -np.inf, dtype=np.float64)
+    stop_prefix = np.full(num_queries, n, dtype=np.int64)
+    ans_count = 0
+
+    for layer in range(num_layers):
+        lo, hi = int(bounds[layer]), int(bounds[layer + 1])
+        block = values[lo:hi]
+        act_idx = np.flatnonzero(active)
+        if weights is not None:
+            block_scores = np.sum(
+                block[None, :, :] * weights[act_idx, None, :], axis=2
+            )
+        else:
+            block_scores = np.empty((act_idx.size, hi - lo), dtype=np.float64)
+            for row, q in enumerate(act_idx.tolist()):
+                block_scores[row] = functions[q].score_many(block)
+        scores_all[act_idx, lo:hi] = block_scores
+
+        # One owning copy per layer, shared by every active query's
+        # counter — a slice view would pin the snapshot buffer (fatal for
+        # shared-memory workers) and get re-copied per query instead.
+        block_ids = ids_arr[lo:hi].copy()
+        block_pseudo = int(pseudo[lo:hi].sum())
+        for q in act_idx.tolist():
+            counters[q].count_computed_batch(block_ids, pseudo=block_pseudo)
+
+        if where is None:
+            ans_block = answerable[lo:hi]
+        else:
+            ans_block = np.zeros(hi - lo, dtype=bool)
+            for offset in range(hi - lo):
+                dense = lo + offset
+                ans_block[offset] = not pseudo[dense] and bool(
+                    where(values[dense])
+                )
+            answerable[lo:hi] = ans_block
+
+        num_answerable = int(ans_block.sum())
+        layer_max = block_scores.max(axis=1)
+        if num_answerable:
+            pool = np.concatenate(
+                [topk[act_idx], block_scores[:, ans_block]], axis=1
+            )
+            topk[act_idx] = np.partition(
+                pool, int(pool.shape[1]) - k, axis=1
+            )[:, -k:]
+            ans_count += num_answerable
+        # After any partition, column 0 of the kept slice is the k-th
+        # best (row minimum); before the first partition every entry is
+        # -inf, so column 0 is still the row minimum.
+        kth = topk[act_idx, 0]
+        done = (ans_count >= k) & (kth > layer_max)
+        if layer == num_layers - 1:
+            done = np.ones(act_idx.size, dtype=bool)
+        retired = act_idx[done]
+        stop_prefix[retired] = hi
+        active[retired] = False
+        if not active.any():
+            break
+
+    results: list[TopKResult] = []
+    for q in range(num_queries):
+        prefix = int(stop_prefix[q])
+        dense_idx = np.flatnonzero(answerable[:prefix])
+        scores_q = scores_all[q, :prefix][dense_idx]
+        available = int(dense_idx.size)
+        take = min(k, available)
+        if take == 0:
+            results.append(
+                TopKResult.from_pairs([], counters[q], algorithm=BATCH_ALGORITHM)
+            )
+            continue
+        if available > take:
+            kth_value = np.partition(scores_q, available - take)[
+                available - take
+            ]
+            keep = np.flatnonzero(scores_q >= kth_value)
+            kept_scores = scores_q[keep]
+            kept_ids = ids_arr[dense_idx[keep]]
+        else:
+            kept_scores = scores_q
+            kept_ids = ids_arr[dense_idx]
+        order = np.lexsort((kept_ids, -kept_scores))[:take]
+        pairs = [
+            (float(kept_scores[i]), int(kept_ids[i])) for i in order.tolist()
+        ]
+        results.append(
+            TopKResult.from_pairs(pairs, counters[q], algorithm=BATCH_ALGORITHM)
+        )
+    return results

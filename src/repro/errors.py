@@ -59,6 +59,13 @@ Hierarchy
     answered, but from a lower tier than requested (engine fallback) or
     from a repaired index.  The answer is still correct — the warning
     records that redundancy, not luck, produced it.
+
+``ParallelExecutionError`` (also a ``RuntimeError``)
+    The multi-process query fabric (:mod:`repro.parallel`) could not
+    complete a task: a worker reported a query error, or workers kept
+    dying faster than the pool could respawn them.  Single-process
+    engines remain available; callers typically retry without the
+    fabric.
 """
 
 from __future__ import annotations
@@ -219,6 +226,16 @@ class ServiceOverloaded(ServiceUnavailable):
             f"{waiting} waiting",
         )
         self.reason = "overloaded"
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """The multi-process query fabric could not complete a task.
+
+    Raised by :class:`repro.parallel.ParallelQueryExecutor` when a worker
+    reports a query-time error (the message carries the worker-side
+    exception summary) or when the pool exhausts its respawn budget while
+    trying to heal crashed workers mid-batch.
+    """
 
 
 class DegradedResultWarning(ReproError, UserWarning):

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class AccessCounter:
@@ -46,7 +48,12 @@ class AccessCounter:
     sequential: int = 0
     random: int = 0
     examined: int = 0
-    _computed_ids: set = field(default_factory=set, repr=False)
+    _computed_ids: set = field(default_factory=set, repr=False, compare=False)
+    # Batch charges are kept as int64 array chunks and only folded into the
+    # set when computed_ids is actually read: the parallel fabric ships
+    # counters across process boundaries on every reply, and pickling a
+    # few array buffers is ~10x cheaper than pickling thousands of ints.
+    _id_chunks: list = field(default_factory=list, repr=False, compare=False)
 
     def count_computed(self, record_id: int | None = None, pseudo: bool = False) -> None:
         """Charge one query-function evaluation (the paper's unit of cost)."""
@@ -63,12 +70,20 @@ class AccessCounter:
         calling :meth:`count_computed` once per record; the compiled engine
         (:mod:`repro.core.compiled`) scores unlocked records in batches and
         charges them here so the tallies stay identical to the reference
-        Travelers' per-record accounting.
+        Travelers' per-record accounting.  An owning ndarray argument is
+        stored by reference (callers must not mutate it afterwards); a
+        *view* is copied so the counter never pins someone else's buffer
+        — in particular a worker's shared-memory mapping, which must be
+        closable the moment the snapshot is released.
         """
-        ids = list(record_ids)
-        self.computed += len(ids)
+        if isinstance(record_ids, np.ndarray):
+            ids = record_ids if record_ids.flags.owndata else record_ids.copy()
+        else:
+            ids = np.asarray(list(record_ids), dtype=np.int64)
+        self.computed += int(ids.size)
         self.pseudo_computed += pseudo
-        self._computed_ids.update(ids)
+        if ids.size:
+            self._id_chunks.append(ids)
 
     def count_sequential(self, n: int = 1) -> None:
         """Charge ``n`` sequential (sorted-list) accesses."""
@@ -96,6 +111,11 @@ class AccessCounter:
     @property
     def computed_ids(self) -> frozenset:
         """Identifiers of records that were scored, when callers supplied them."""
+        if self._id_chunks:
+            self._computed_ids.update(
+                int(i) for i in np.concatenate(self._id_chunks)
+            )
+            self._id_chunks.clear()
         return frozenset(self._computed_ids)
 
     def merge(self, other: "AccessCounter") -> None:
@@ -106,6 +126,7 @@ class AccessCounter:
         self.random += other.random
         self.examined += other.examined
         self._computed_ids |= other._computed_ids
+        self._id_chunks.extend(other._id_chunks)
 
     def reset(self) -> None:
         """Zero every tally (reuse one counter across benchmark repetitions)."""
@@ -115,3 +136,32 @@ class AccessCounter:
         self.random = 0
         self.examined = 0
         self._computed_ids = set()
+        self._id_chunks = []
+
+    def __getstate__(self) -> dict:
+        """Compact pickle form: all charged ids as one int64 buffer.
+
+        Counters cross process boundaries on every parallel-fabric reply;
+        one consolidated array pickles as a single buffer copy instead of
+        one varint per id, and unpickling stays lazy (the set is only
+        rebuilt if ``computed_ids`` is read on the receiving side).
+        """
+        state = dict(self.__dict__)
+        chunks = list(state.pop("_id_chunks"))
+        ids = state.pop("_computed_ids")
+        if ids:
+            chunks.append(np.fromiter(ids, dtype=np.int64, count=len(ids)))
+        if chunks:
+            merged = np.concatenate(chunks)
+            if merged.size and -(2**31) <= int(merged.min()) and (
+                int(merged.max()) < 2**31
+            ):
+                merged = merged.astype(np.int32)  # halves the wire size
+            state["_id_chunks"] = [merged]
+        else:
+            state["_id_chunks"] = []
+        state["_computed_ids"] = set()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

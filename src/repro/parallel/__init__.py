@@ -1,0 +1,56 @@
+"""Multi-core query fabric: shared-memory snapshots and worker pools.
+
+The single-process compiled engine (:mod:`repro.core.compiled`) answers
+one query at a time on one core.  This package scales it out without
+giving up the bit-identical-results contract:
+
+- :mod:`repro.parallel.shm` — export a :class:`~repro.core.compiled.CompiledDG`
+  into one ``multiprocessing.shared_memory`` segment; workers re-view
+  the same pages zero-copy via a picklable :class:`SnapshotHandle`.
+- :mod:`repro.parallel.worker` — persistent worker processes answering
+  full-traversal, batched (:func:`~repro.core.compiled.batch_top_k`),
+  or hash-shard tasks against their attached snapshot.
+- :mod:`repro.parallel.executor` — the owner-side pool: round-robin
+  dispatch, snapshot republish on writer commits, crash healing, and
+  exact k-way shard merges.
+
+See ``docs/parallel.md`` for the architecture and the shard/merge
+exactness argument.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.executor import ParallelQueryExecutor, merge_shard_results
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    AttachedSnapshot,
+    SharedSnapshot,
+    SnapshotHandle,
+    attach_snapshot,
+    export_snapshot,
+    leaked_segments,
+)
+from repro.parallel.worker import (
+    PublishMessage,
+    QueryTask,
+    TaskResult,
+    shard_scan,
+    worker_main,
+)
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "AttachedSnapshot",
+    "ParallelQueryExecutor",
+    "PublishMessage",
+    "QueryTask",
+    "SharedSnapshot",
+    "SnapshotHandle",
+    "TaskResult",
+    "attach_snapshot",
+    "export_snapshot",
+    "leaked_segments",
+    "merge_shard_results",
+    "shard_scan",
+    "worker_main",
+]

@@ -1,0 +1,446 @@
+"""Owner-side worker pool of the parallel query fabric.
+
+:class:`ParallelQueryExecutor` exports a :class:`CompiledDG` to shared
+memory once, forks N persistent workers that each attach it once, and
+then streams query tasks to them over per-worker request queues.  Design
+points:
+
+- **Per-worker request queues, one shared result queue.**  Requests are
+  routed round-robin; replies carry the task id, so the collector can
+  match them regardless of completion order.  Per-worker queues make a
+  snapshot publish a simple FIFO barrier: every task enqueued after the
+  :class:`~repro.parallel.worker.PublishMessage` runs on the new epoch.
+- **Self-healing.**  The collector polls worker liveness whenever the
+  result queue goes quiet; a dead worker is replaced by a fresh process
+  on a *fresh* queue (the old queue's internal lock may have died with
+  the worker) and that worker's outstanding tasks are re-dispatched.
+  Duplicate replies — possible when a re-dispatched task raced its dying
+  first run — are dropped by task id.  A respawn budget turns systemic
+  crash loops into :class:`~repro.errors.ParallelExecutionError` instead
+  of a hang.
+- **Leak-proof segments.**  The executor owns every segment it exports;
+  ``shutdown`` (also a ``weakref.finalize`` backstop, also ``with``)
+  destroys the current segment, and ``publish`` destroys the previous
+  one immediately — POSIX keeps it alive for workers still mapping it.
+
+Execution modes mirror :mod:`repro.parallel.worker`: ``batch`` (default,
+fastest — amortizes per-query dispatch inside each worker), ``full``
+(one traversal per query, parallel across workers), ``shard`` (each
+query split across all workers, answers k-way merged).  All three return
+results bit-identical to the single-process compiled engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import queue
+import threading
+import weakref
+from typing import Optional, Sequence
+
+from repro.core.compiled import CompiledDG
+from repro.core.functions import ScoringFunction, WherePredicate
+from repro.core.result import TopKResult
+from repro.errors import ParallelExecutionError
+from repro.metrics.counters import AccessCounter
+from repro.parallel.shm import SharedSnapshot, export_snapshot
+from repro.parallel.worker import (
+    SHARD_ALGORITHM,
+    PublishMessage,
+    QueryTask,
+    TaskResult,
+    tag_epoch,
+    worker_main,
+)
+
+
+class _WorkerSlot:
+    """One pool slot: the live process plus its private request queue."""
+
+    def __init__(self, worker_id: int, process, requests) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.requests = requests
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+def merge_shard_results(
+    shard_payloads: "Sequence[tuple]", k: int
+) -> TopKResult:
+    """K-way merge per-shard candidate pairs into one exact top-k.
+
+    Each payload is ``(pairs, stats)`` from
+    :func:`repro.parallel.worker.shard_scan`; pairs arrive sorted by the
+    engine's ``(-score, id)`` rule, so a heap merge of the shard streams
+    yields the globally best ``k`` pairs in the same order the
+    single-process traversal reports them.
+    """
+    stats = AccessCounter()
+    for _, shard_stats in shard_payloads:
+        stats.merge(shard_stats)
+    streams = [list(pairs) for pairs, _ in shard_payloads]
+    merged = heapq.merge(
+        *streams, key=lambda pair: (-pair[0], pair[1])
+    )
+    best = list(itertools.islice(merged, k))
+    return TopKResult.from_pairs(best, stats, algorithm=SHARD_ALGORITHM)
+
+
+class ParallelQueryExecutor:
+    """Persistent multi-process query pool over a shared snapshot.
+
+    Examples
+    --------
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.builder import build_dominant_graph
+    >>> from repro.core.functions import LinearFunction
+    >>> ds = Dataset([[4.0, 1.0], [1.0, 4.0], [0.5, 0.5]])
+    >>> compiled = build_dominant_graph(ds).compile()
+    >>> with ParallelQueryExecutor(compiled, workers=2) as pool:
+    ...     result = pool.query(LinearFunction([0.5, 0.5]), k=2)
+    >>> sorted(result.ids)
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledDG,
+        *,
+        workers: int = 2,
+        batch_size: int = 64,
+        epoch: int = 0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.num_workers = int(workers)
+        self.batch_size = int(batch_size)
+        self._poll_interval = float(poll_interval)
+        self._context = multiprocessing.get_context("fork")
+        self._shared: SharedSnapshot = export_snapshot(compiled, epoch=epoch)
+        self._results = self._context.Queue()
+        self._task_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._counters = {
+            "tasks_dispatched": 0,
+            "tasks_completed": 0,
+            "tasks_redispatched": 0,
+            "workers_respawned": 0,
+            "publishes": 0,
+        }
+        self._slots = [self._spawn(i) for i in range(self.num_workers)]
+        # The backstop holds the slots list and a one-element holder for
+        # the current segment — both mutated in place — so it always
+        # tears down the *latest* pool state, not the initial one.
+        self._shared_ref = [self._shared]
+        self._finalizer = weakref.finalize(
+            self, _emergency_shutdown, self._slots, self._shared_ref
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> _WorkerSlot:
+        requests = self._context.Queue()
+        process = self._context.Process(
+            target=worker_main,
+            args=(worker_id, self._shared.handle, requests, self._results),
+            daemon=True,
+            name=f"repro-dg-worker-{worker_id}",
+        )
+        process.start()
+        return _WorkerSlot(worker_id, process, requests)
+
+    def publish(self, compiled: CompiledDG, *, epoch: int) -> None:
+        """Swap every worker onto a freshly exported snapshot.
+
+        Per-worker FIFO ordering makes this a barrier: tasks dispatched
+        after ``publish`` returns are answered from the new epoch.  The
+        previous segment is unlinked immediately — workers still mapping
+        it finish in-flight tasks on it and release it when they process
+        the publish message.
+        """
+        with self._lock:
+            self._ensure_open()
+            fresh = export_snapshot(compiled, epoch=epoch)
+            previous = self._shared
+            self._shared = fresh
+            self._shared_ref[0] = fresh
+            for slot in self._slots:
+                if slot.alive:
+                    slot.requests.put(PublishMessage(fresh.handle))
+            previous.destroy()
+            self._counters["publishes"] += 1
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop workers, drain queues, and unlink the segment.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for slot in self._slots:
+                if slot.alive:
+                    slot.requests.put(None)
+            for slot in self._slots:
+                slot.process.join(timeout=timeout)
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join(timeout=timeout)
+                slot.process.close()
+                slot.requests.close()
+            self._results.close()
+            self._shared.destroy()
+            self._finalizer.detach()
+
+    def __enter__(self) -> "ParallelQueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the snapshot new tasks are answered from."""
+        return self._shared.handle.epoch
+
+    def stats(self) -> dict:
+        """Counters for dispatch, healing, and publish activity."""
+        with self._lock:
+            snapshot = dict(self._counters)
+        snapshot["workers"] = self.num_workers
+        snapshot["batch_size"] = self.batch_size
+        return snapshot
+
+    # -- queries ------------------------------------------------------
+
+    def query(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        where: "WherePredicate | None" = None,
+    ) -> TopKResult:
+        """Answer one top-k query on a single worker (full traversal)."""
+        (result,) = self.map_queries([function], k, where=where, mode="full")
+        return result
+
+    def query_sharded(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        where: "WherePredicate | None" = None,
+    ) -> TopKResult:
+        """Answer one query split across every worker, k-way merged."""
+        (result,) = self.map_queries([function], k, where=where, mode="shard")
+        return result
+
+    def map_queries(
+        self,
+        functions: "Sequence[ScoringFunction]",
+        k: int,
+        *,
+        where: "WherePredicate | None" = None,
+        mode: str = "auto",
+    ) -> "list[TopKResult]":
+        """Answer many queries across the pool; results keep input order.
+
+        ``mode``: ``"batch"`` groups queries into ``batch_size`` chunks
+        answered by :func:`~repro.core.compiled.batch_top_k` inside each
+        worker (default via ``"auto"``); ``"full"`` runs one traversal
+        per query, spread round-robin; ``"shard"`` splits every query
+        across all workers and k-way merges.  All modes are bit-identical
+        to the single-process engine per query.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if mode == "auto":
+            mode = "batch"
+        if mode not in ("batch", "full", "shard"):
+            raise ValueError(f"unknown mode: {mode!r}")
+        functions = list(functions)
+        if not functions:
+            return []
+        with self._lock:
+            self._ensure_open()
+            if mode == "shard":
+                return self._run_sharded(functions, k, where)
+            return self._run_chunked(functions, k, where, mode)
+
+    # -- internals (callers hold self._lock) --------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ParallelExecutionError("executor is shut down")
+
+    def _next_task(
+        self,
+        mode: str,
+        functions: "Sequence[ScoringFunction]",
+        k: int,
+        where: "WherePredicate | None",
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> QueryTask:
+        return QueryTask(
+            task_id=next(self._task_ids),
+            mode=mode,
+            functions=tuple(functions),
+            k=k,
+            where=where,
+            shard_index=shard_index,
+            shard_count=shard_count,
+        )
+
+    def _run_chunked(
+        self,
+        functions: "Sequence[ScoringFunction]",
+        k: int,
+        where: "WherePredicate | None",
+        mode: str,
+    ) -> "list[TopKResult]":
+        chunk = self.batch_size if mode == "batch" else 1
+        tasks = {}
+        spans = {}
+        for start in range(0, len(functions), chunk):
+            task = self._next_task(
+                mode, functions[start : start + chunk], k, where
+            )
+            tasks[task.task_id] = task
+            spans[task.task_id] = start
+        replies = self._execute(tasks)
+        ordered: "list[Optional[TopKResult]]" = [None] * len(functions)
+        for task_id, reply in replies.items():
+            start = spans[task_id]
+            for offset, result in enumerate(reply.payload):
+                ordered[start + offset] = tag_epoch(result, reply.epoch)
+        return [result for result in ordered if result is not None]
+
+    def _run_sharded(
+        self,
+        functions: "Sequence[ScoringFunction]",
+        k: int,
+        where: "WherePredicate | None",
+    ) -> "list[TopKResult]":
+        shard_count = self.num_workers
+        tasks = {}
+        placement = {}
+        for index, function in enumerate(functions):
+            for shard in range(shard_count):
+                task = self._next_task(
+                    "shard", [function], k, where, shard, shard_count
+                )
+                tasks[task.task_id] = task
+                placement[task.task_id] = (index, shard)
+        replies = self._execute(tasks)
+        merged: "list[TopKResult]" = []
+        for index in range(len(functions)):
+            payloads = []
+            epoch = -1
+            for task_id, (query_index, _) in placement.items():
+                if query_index == index:
+                    reply = replies[task_id]
+                    payloads.append(reply.payload[0])
+                    epoch = reply.epoch
+            merged.append(tag_epoch(merge_shard_results(payloads, k), epoch))
+        return merged
+
+    def _execute(self, tasks: "dict[int, QueryTask]") -> "dict[int, TaskResult]":
+        """Dispatch tasks round-robin; collect, heal, and re-dispatch."""
+        pending: "dict[int, QueryTask]" = dict(tasks)
+        assignment: "dict[int, int]" = {}
+        order = itertools.cycle(range(len(self._slots)))
+        for task_id, task in tasks.items():
+            slot_index = self._dispatch(task, next(order))
+            assignment[task_id] = slot_index
+        replies: "dict[int, TaskResult]" = {}
+        respawn_budget = self.num_workers * 4
+        while pending:
+            try:
+                reply = self._results.get(timeout=self._poll_interval)
+            except queue.Empty:
+                respawn_budget -= self._heal(pending, assignment)
+                if respawn_budget < 0:
+                    raise ParallelExecutionError(
+                        "workers are crash-looping; respawn budget exhausted"
+                    )
+                continue
+            if reply.task_id not in pending:
+                continue  # duplicate from a healed re-dispatch
+            if reply.error is not None:
+                raise ParallelExecutionError(
+                    f"worker {reply.worker_id} failed task "
+                    f"{reply.task_id}: {reply.error}"
+                )
+            replies[reply.task_id] = reply
+            del pending[reply.task_id]
+            self._counters["tasks_completed"] += 1
+        return replies
+
+    def _dispatch(self, task: QueryTask, slot_index: int) -> int:
+        slot = self._slots[slot_index]
+        if not slot.alive:
+            self._slots[slot_index] = self._respawn(slot)
+            slot = self._slots[slot_index]
+        slot.requests.put(task)
+        self._counters["tasks_dispatched"] += 1
+        return slot_index
+
+    def _respawn(self, dead: _WorkerSlot) -> _WorkerSlot:
+        """Replace a dead worker with a fresh process on a fresh queue.
+
+        The dead worker's queue is abandoned, not reused: a process
+        killed mid-``get`` can leave the queue's internal lock held
+        forever, which would deadlock any successor reading it.
+        """
+        try:
+            dead.process.join(timeout=0)
+            dead.process.close()
+        except ValueError:
+            pass  # already closed
+        self._counters["workers_respawned"] += 1
+        return self._spawn(dead.worker_id)
+
+    def _heal(
+        self,
+        pending: "dict[int, QueryTask]",
+        assignment: "dict[int, int]",
+    ) -> int:
+        """Respawn dead workers and re-dispatch their outstanding tasks.
+
+        Returns the number of workers respawned so the caller can charge
+        its respawn budget.
+        """
+        respawned_slots = set()
+        for slot_index, slot in enumerate(self._slots):
+            if not slot.alive:
+                self._slots[slot_index] = self._respawn(slot)
+                respawned_slots.add(slot_index)
+        if not respawned_slots:
+            return 0
+        for task_id, slot_index in list(assignment.items()):
+            if task_id in pending and slot_index in respawned_slots:
+                slot = self._slots[slot_index]
+                slot.requests.put(pending[task_id])
+                self._counters["tasks_redispatched"] += 1
+        return len(respawned_slots)
+
+
+def _emergency_shutdown(
+    slots: "list[_WorkerSlot]", shared_ref: "list[SharedSnapshot]"
+) -> None:
+    """GC backstop: never leak processes or ``/dev/shm`` segments."""
+    for slot in slots:
+        try:
+            if slot.process.is_alive():
+                slot.process.terminate()
+        except ValueError:
+            pass  # process object already closed
+    shared_ref[0].destroy()

@@ -1,0 +1,236 @@
+"""Worker-process side of the parallel query fabric.
+
+Each worker is a long-lived process that attaches the shared snapshot
+once (:func:`repro.parallel.shm.attach_snapshot`) and then serves tasks
+from its private request queue until told to stop.  Workers never mutate
+the shared arrays — the snapshot views are read-only — and they carry no
+module-global randomness, so answers depend only on the task and the
+snapshot epoch (``repro lint``'s ``worker-discipline`` rule enforces
+both properties statically).
+
+Task modes
+----------
+``full``
+    One best-first :class:`~repro.core.compiled.CompiledAdvancedTraveler`
+    traversal per function — the same kernel as single-process serving.
+``batch``
+    All of the task's functions answered in one layer-progressive
+    :func:`~repro.core.compiled.batch_top_k` sweep.
+``shard``
+    The worker scores only dense rows with
+    ``row % shard_count == shard_index`` and returns its local top-k
+    *candidate pairs*; the executor k-way-merges shard pairs into the
+    final answer.  Exactness: the shards partition the record set, every
+    record's score is computed by the same ``score_many`` contract as the
+    reference engine (row values are identical regardless of which rows
+    sit beside them in the block), and the merge orders by the engine's
+    ``(-score, id)`` rule — so the merged top-k is the global top-k,
+    bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compiled import CompiledAdvancedTraveler, batch_top_k
+from repro.core.functions import ScoringFunction, WherePredicate
+from repro.core.result import TopKResult
+from repro.metrics.counters import AccessCounter
+from repro.parallel.shm import AttachedSnapshot, SnapshotHandle, attach_snapshot
+
+#: Algorithm label stamped on merged shard-mode results.
+SHARD_ALGORITHM = "compiled-shard-scan"
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One unit of fabric work: a group of queries against one snapshot."""
+
+    task_id: int
+    mode: str
+    functions: tuple
+    k: int
+    where: "WherePredicate | None" = None
+    shard_index: int = 0
+    shard_count: int = 1
+
+
+@dataclass(frozen=True)
+class PublishMessage:
+    """Tell a worker to switch to a newer shared snapshot."""
+
+    handle: SnapshotHandle
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Worker reply: per-function payloads, or an error summary."""
+
+    task_id: int
+    worker_id: int
+    epoch: int
+    payload: "tuple | None"
+    error: "str | None" = None
+
+
+def shard_scan(
+    snapshot: AttachedSnapshot,
+    function: ScoringFunction,
+    k: int,
+    *,
+    where: "WherePredicate | None" = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+) -> "tuple[tuple, AccessCounter]":
+    """Local top-k candidate pairs for one hash shard of the snapshot.
+
+    Scores every answerable record whose dense row index hashes to this
+    shard and returns up to ``k`` ``(score, record_id)`` pairs in the
+    engine's ``(-score, id)`` order, plus the access counter for the
+    scan.  The union of all shards' answerable rows is exactly the
+    snapshot's answerable set, so merging the per-shard pairs yields the
+    global top-k (see module docstring).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index {shard_index} out of range for "
+            f"shard_count {shard_count}"
+        )
+    compiled = snapshot.compiled
+    values = compiled.values
+    n = int(values.shape[0])
+    stats = AccessCounter()
+    rows = np.arange(shard_index, n, shard_count, dtype=np.int64)
+    if rows.size == 0:
+        return (), stats
+    pseudo_rows = compiled.pseudo_mask[rows]
+    stats.count_computed_batch(
+        compiled.record_ids[rows], pseudo=int(pseudo_rows.sum())
+    )
+    answerable = ~pseudo_rows
+    if where is not None:
+        for offset in np.flatnonzero(answerable).tolist():
+            answerable[offset] = bool(where(values[int(rows[offset])]))
+    rows = rows[answerable]
+    if rows.size == 0:
+        return (), stats
+    scores = function.score_many(values[rows])
+    ids = compiled.record_ids[rows]
+    take = min(k, int(rows.size))
+    if int(rows.size) > take:
+        kth_value = np.partition(scores, int(rows.size) - take)[
+            int(rows.size) - take
+        ]
+        keep = np.flatnonzero(scores >= kth_value)
+        scores = scores[keep]
+        ids = ids[keep]
+    order = np.lexsort((ids, -scores))[:take]
+    pairs = tuple(
+        (float(scores[i]), int(ids[i])) for i in order.tolist()
+    )
+    return pairs, stats
+
+
+def execute_task(snapshot: AttachedSnapshot, task: QueryTask) -> tuple:
+    """Run one task against an attached snapshot and return its payload.
+
+    ``full``/``batch`` payloads are tuples of :class:`TopKResult`;
+    ``shard`` payloads are tuples of ``(pairs, stats)`` per function.
+    """
+    if task.mode == "full":
+        traveler = CompiledAdvancedTraveler(snapshot.compiled)
+        return tuple(
+            traveler.top_k(function, task.k, task.where)
+            for function in task.functions
+        )
+    if task.mode == "batch":
+        return tuple(
+            batch_top_k(
+                snapshot.compiled,
+                list(task.functions),
+                task.k,
+                where=task.where,
+            )
+        )
+    if task.mode == "shard":
+        return tuple(
+            shard_scan(
+                snapshot,
+                function,
+                task.k,
+                where=task.where,
+                shard_index=task.shard_index,
+                shard_count=task.shard_count,
+            )
+            for function in task.functions
+        )
+    raise ValueError(f"unknown task mode: {task.mode!r}")
+
+
+def worker_main(
+    worker_id: int,
+    handle: SnapshotHandle,
+    requests: "object",
+    results: "object",
+) -> None:
+    """Entry point of one fabric worker process.
+
+    Attaches the shared snapshot, then loops: execute tasks, honour
+    :class:`PublishMessage` snapshot swaps, exit on ``None``.  Query
+    errors are reported back as :class:`TaskResult` errors — a bad query
+    must not kill the worker, or one malformed request could take down a
+    slot serving thousands of good ones.
+    """
+    snapshot = attach_snapshot(handle)
+    try:
+        while True:
+            message = requests.get()
+            if message is None:
+                break
+            if isinstance(message, PublishMessage):
+                try:
+                    fresh = attach_snapshot(message.handle)
+                except FileNotFoundError:
+                    # A newer publish already destroyed this segment; its
+                    # own PublishMessage is behind this one in the FIFO,
+                    # so keep serving the current mapping until it lands.
+                    continue
+                previous = snapshot
+                snapshot = fresh
+                previous.close()
+                continue
+            try:
+                payload = execute_task(snapshot, message)
+                reply = TaskResult(
+                    task_id=message.task_id,
+                    worker_id=worker_id,
+                    epoch=snapshot.epoch,
+                    payload=payload,
+                )
+            except Exception as exc:  # repro: noqa[typed-errors] -- a worker must survive any query-time error and report it to the executor instead of dying
+                reply = TaskResult(
+                    task_id=message.task_id,
+                    worker_id=worker_id,
+                    epoch=snapshot.epoch,
+                    payload=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            results.put(reply)
+    finally:
+        snapshot.close()
+
+
+def tag_epoch(result: TopKResult, epoch: int) -> TopKResult:
+    """Stamp a worker-reported snapshot epoch onto a result."""
+    return TopKResult(
+        ids=result.ids,
+        scores=result.scores,
+        stats=result.stats,
+        algorithm=result.algorithm,
+        tier=result.tier,
+        epoch=epoch,
+    )

@@ -10,11 +10,16 @@ queries are in flight* and survives being killed at any instant:
   LevelDB-style ``CURRENT`` checkpoints, and startup recovery.
 - :mod:`repro.serve.admission` — bounded concurrency, load shedding,
   and retry-with-backoff around transient engine faults.
+- :mod:`repro.serve.cache` — epoch-keyed LRU result cache, invalidated
+  implicitly by every writer publish.
 
-See ``docs/serving.md`` for the architecture and the durability matrix.
+See ``docs/serving.md`` for the architecture and the durability matrix,
+``docs/parallel.md`` for the multi-process query fabric the index can
+attach (``workers=``).
 """
 
 from repro.serve.admission import AdmissionController, retry_with_backoff
+from repro.serve.cache import ResultCache, cache_key
 from repro.serve.index import (
     ServingIndex,
     ServingSnapshot,
@@ -34,11 +39,13 @@ from repro.serve.wal import (
 __all__ = [
     "AdmissionController",
     "FSYNC_POLICIES",
+    "ResultCache",
     "ServingIndex",
     "ServingSnapshot",
     "WALScan",
     "WriteAheadLog",
     "apply_op",
+    "cache_key",
     "create_wal",
     "reset_wal",
     "retry_with_backoff",

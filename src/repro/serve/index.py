@@ -66,7 +66,11 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.core.builder import build_dominant_graph
-from repro.core.compiled import CompiledAdvancedTraveler, CompiledDG
+from repro.core.compiled import (
+    CompiledAdvancedTraveler,
+    CompiledDG,
+    batch_top_k,
+)
 from repro.core.dataset import Dataset
 from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
@@ -88,7 +92,9 @@ from repro.errors import (
     ServiceUnavailable,
     WALCorruptionError,
 )
+from repro.parallel.executor import ParallelQueryExecutor
 from repro.serve.admission import AdmissionController, retry_with_backoff
+from repro.serve.cache import CacheKey, ResultCache, cache_key
 from repro.serve.wal import WriteAheadLog, create_wal, scan_wal
 
 CURRENT_NAME = "CURRENT"
@@ -217,7 +223,7 @@ def snapshot_scan(
         return TopKResult((), (), stats, algorithm="snapshot-scan")
     values = compiled.values[real]
     scores = function.score_many(values)
-    stats.count_computed_batch(ids.tolist())
+    stats.count_computed_batch(ids)
     if where is not None:
         keep = np.fromiter(
             (bool(where(values[i])) for i in range(values.shape[0])),
@@ -261,6 +267,19 @@ class ServingIndex:
     query_retries:
         Extra attempts for a transiently failing snapshot traversal
         before degrading to the snapshot scan.
+    cache_size:
+        Capacity of the epoch-keyed LRU result cache
+        (:mod:`repro.serve.cache`); ``None`` or ``0`` disables caching.
+        Entries are keyed by ``(epoch, weights, k)``, so a publish
+        invalidates them all implicitly.
+    workers:
+        When positive, attach a :class:`~repro.parallel.executor.ParallelQueryExecutor`
+        of this many processes over a shared-memory copy of each
+        published snapshot; :meth:`query_batch` then fans out to it, and
+        every writer publish republishes the shared segment.
+    worker_batch_size:
+        Queries per fabric sub-batch (see
+        :func:`~repro.core.compiled.batch_top_k` for the memory bound).
 
     Examples
     --------
@@ -286,6 +305,9 @@ class ServingIndex:
         wait_timeout: float | None = 5.0,
         query_retries: int = 1,
         retry_base_delay: float = 0.005,
+        cache_size: int | None = 256,
+        workers: int = 0,
+        worker_batch_size: int = 64,
     ) -> None:
         self._directory = directory
         self._graph = graph
@@ -308,6 +330,15 @@ class ServingIndex:
         self._snapshot = ServingSnapshot(
             compiled=graph.compile().detach(), epoch=0, seq=wal.last_seq
         )
+        self._cache = ResultCache(cache_size) if cache_size else None
+        self._fabric: ParallelQueryExecutor | None = None
+        if workers > 0:
+            self._fabric = ParallelQueryExecutor(
+                self._snapshot.compiled,
+                workers=workers,
+                batch_size=worker_batch_size,
+                epoch=self._snapshot.epoch,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -426,6 +457,8 @@ class ServingIndex:
             if checkpoint and self._poisoned is None:
                 self._checkpoint_locked()
             self._wal.close()
+            if self._fabric is not None:
+                self._fabric.shutdown()
             self._closed = True
         return drained
 
@@ -484,6 +517,17 @@ class ServingIndex:
             )
         with self._admission.admit(timeout=admission_timeout):
             snap = self._snapshot
+            key: CacheKey | None = None
+            if (
+                self._cache is not None
+                and where is None
+                and budget_ms is None
+                and budget_records is None
+            ):
+                key = cache_key(function, k, snap.epoch)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached
             started = time.monotonic()
 
             def attempt() -> TopKResult:
@@ -533,7 +577,82 @@ class ServingIndex:
                     budget_exc.tier = "naive"
                     raise
                 tier = "naive"
-            return replace(result, tier=tier, epoch=snap.epoch)
+            final = replace(result, tier=tier, epoch=snap.epoch)
+            if key is not None and tier == "compiled" and self._cache is not None:
+                # Degraded answers are exact too, but caching them would
+                # keep reporting tier="naive" after the engine healed.
+                self._cache.put(key, final)
+            return final
+
+    def query_batch(
+        self,
+        functions: Iterable[ScoringFunction],
+        k: int,
+        *,
+        where: WherePredicate | None = None,
+        mode: str = "auto",
+        admission_timeout: float | None = None,
+    ) -> list[TopKResult]:
+        """Answer many top-k queries in one admission slot.
+
+        With ``workers`` configured the batch fans out to the shared
+        -memory fabric (``mode`` as in
+        :meth:`~repro.parallel.executor.ParallelQueryExecutor.map_queries`);
+        otherwise it runs the in-process
+        :func:`~repro.core.compiled.batch_top_k` sweep.  Either way each
+        result is bit-identical to :meth:`query` for the same function
+        and carries the epoch of the snapshot that answered it.  Cached
+        answers (epoch-keyed, linear functions, no ``where``) are reused
+        per query; only the misses are computed.
+
+        Budgets are not supported on the batch path — issue budgeted
+        queries individually through :meth:`query`.
+        """
+        if self._draining or self._closed:
+            raise ServiceUnavailable(
+                "draining" if not self._closed else "closed"
+            )
+        requested = list(functions)
+        if not requested:
+            return []
+        with self._admission.admit(timeout=admission_timeout):
+            snap = self._snapshot
+            results: list[TopKResult | None] = [None] * len(requested)
+            keys: list[CacheKey | None] = [None] * len(requested)
+            if self._cache is not None and where is None:
+                for index, function in enumerate(requested):
+                    keys[index] = cache_key(function, k, snap.epoch)
+                    cached = self._cache.get(keys[index])
+                    if cached is not None:
+                        results[index] = cached
+            misses = [i for i, result in enumerate(results) if result is None]
+            if misses:
+                miss_functions = [requested[i] for i in misses]
+                if self._fabric is not None:
+                    computed = [
+                        replace(result, tier="compiled")
+                        for result in self._fabric.map_queries(
+                            miss_functions, k, where=where, mode=mode
+                        )
+                    ]
+                else:
+                    computed = [
+                        replace(result, tier="compiled", epoch=snap.epoch)
+                        for result in batch_top_k(
+                            snap.compiled, miss_functions, k, where=where
+                        )
+                    ]
+                for index, result in zip(misses, computed):
+                    results[index] = result
+                    if (
+                        self._cache is not None
+                        and keys[index] is not None
+                        # A publish can race the fan-out; never file a
+                        # result under an epoch it was not computed from.
+                        and result.epoch == snap.epoch
+                    ):
+                        self._cache.put(keys[index], result)
+            return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
     # Writes (single-writer, validated, logged, published)
@@ -628,6 +747,14 @@ class ServingIndex:
             seq=self._wal.last_seq,
         )
         self._snapshot = snap  # atomic reference swap: the RCU publish
+        if self._fabric is not None:
+            # Republish over shared memory so fabric workers serve the
+            # new epoch; per-worker FIFO ordering makes this a barrier.
+            self._fabric.publish(snap.compiled, epoch=snap.epoch)
+        if self._cache is not None:
+            # Old-epoch entries can never hit again (the epoch is part
+            # of the key); purging just reclaims their memory early.
+            self._cache.purge_other_epochs(snap.epoch)
         return snap
 
     def _require_writable(self) -> None:
@@ -716,6 +843,12 @@ class ServingIndex:
                 "ops_since_checkpoint": self._ops_since_checkpoint,
             },
             "admission": self._admission.snapshot(),
+            "cache": (
+                self._cache.stats() if self._cache is not None else None
+            ),
+            "parallel": (
+                self._fabric.stats() if self._fabric is not None else None
+            ),
             "draining": self._draining,
             "poisoned": self._poisoned is not None,
         }

@@ -1,0 +1,14 @@
+"""Fixture: global RNG and shared-snapshot mutation in a worker (worker-discipline)."""
+
+import numpy as np
+
+from repro.parallel.shm import attach_snapshot
+
+_RNG = np.random.default_rng(0)  # VIOLATION
+
+
+def corrupt(handle):
+    snapshot = attach_snapshot(handle)
+    snapshot.compiled.values.setflags(write=True)  # VIOLATION
+    snapshot.compiled.values[0, 0] = _RNG.standard_normal()  # VIOLATION
+    return snapshot

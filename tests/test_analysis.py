@@ -45,6 +45,7 @@ FIXTURE_FOR_RULE = {
     "dtype-discipline": "dtype_discipline_violation.py",
     "guard-coverage": "guard_coverage_violation.py",
     "public-api": "public_api_violation.py",
+    "worker-discipline": "worker_discipline_violation.py",
 }
 
 

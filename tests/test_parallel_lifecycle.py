@@ -1,0 +1,166 @@
+"""Shared-memory lifecycle: the fabric must never leak ``/dev/shm``.
+
+Every segment the fabric creates carries the ``repro-dg-`` name prefix,
+so leak checks reduce to globbing ``/dev/shm`` before and after an
+operation (:func:`repro.parallel.leaked_segments`).  The invariants:
+
+- executor shutdown (explicit, ``with``, or the garbage-collection
+  backstop) unlinks the current segment;
+- a publish unlinks the *previous* segment immediately — POSIX keeps it
+  alive for workers still mapping it;
+- a worker SIGKILLed mid-query neither leaks a segment nor wedges the
+  pool: the executor respawns the slot on a fresh queue, re-dispatches
+  the dead worker's tasks, and still returns correct answers.
+"""
+
+import gc
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_dominant_graph
+from repro.core.functions import LinearFunction
+from repro.data.generators import uniform
+from repro.errors import ParallelExecutionError
+from repro.parallel import (
+    ParallelQueryExecutor,
+    attach_snapshot,
+    export_snapshot,
+    leaked_segments,
+)
+
+DIMS = 3
+
+
+@pytest.fixture
+def compiled():
+    return build_dominant_graph(uniform(200, DIMS, seed=1)).compile()
+
+
+@pytest.fixture
+def baseline_segments():
+    """Segments that exist before the test (owned by someone else)."""
+    return set(leaked_segments())
+
+
+def new_segments(baseline) -> set:
+    return set(leaked_segments()) - baseline
+
+
+def test_export_attach_round_trip(compiled, baseline_segments):
+    shared = export_snapshot(compiled, epoch=7)
+    assert shared.segment in new_segments(baseline_segments)
+    attached = attach_snapshot(shared.handle)
+    try:
+        assert attached.epoch == 7
+        for field in ("values", "record_ids", "layer_index", "pseudo_mask"):
+            np.testing.assert_array_equal(
+                getattr(attached.compiled, field), getattr(compiled, field)
+            )
+        with pytest.raises(ValueError):
+            attached.compiled.values[0, 0] = 1.0  # shared views are read-only
+    finally:
+        attached.close()
+        shared.destroy()
+    assert not new_segments(baseline_segments)
+    with pytest.raises(ValueError):
+        attached.compiled  # noqa: B018 -- closed attachments must not expose arrays
+
+
+def test_destroy_is_idempotent_and_context_managed(compiled, baseline_segments):
+    with export_snapshot(compiled) as shared:
+        assert not shared.destroyed
+    assert shared.destroyed
+    shared.destroy()  # second destroy is a no-op
+    assert not new_segments(baseline_segments)
+
+
+def test_shutdown_unlinks_segment(compiled, baseline_segments):
+    pool = ParallelQueryExecutor(compiled, workers=2)
+    assert len(new_segments(baseline_segments)) == 1
+    pool.shutdown()
+    assert not new_segments(baseline_segments)
+    pool.shutdown()  # idempotent
+    with pytest.raises(ParallelExecutionError):
+        pool.query(LinearFunction(np.full(DIMS, 1.0 / DIMS)), 5)
+
+
+def test_gc_backstop_unlinks_segment(compiled, baseline_segments):
+    pool = ParallelQueryExecutor(compiled, workers=1)
+    assert len(new_segments(baseline_segments)) == 1
+    del pool
+    gc.collect()
+    assert not new_segments(baseline_segments)
+
+
+def test_publish_unlinks_previous_segment(compiled, baseline_segments):
+    function = LinearFunction(np.full(DIMS, 1.0 / DIMS))
+    with ParallelQueryExecutor(compiled, workers=2) as pool:
+        first = set(new_segments(baseline_segments))
+        assert pool.query(function, 5).epoch == 0
+        pool.publish(compiled, epoch=1)
+        current = new_segments(baseline_segments)
+        assert len(current) == 1 and current != first
+        assert pool.query(function, 5).epoch == 1
+        assert pool.stats()["publishes"] == 1
+    assert not new_segments(baseline_segments)
+
+
+def _slow_filter(vector) -> bool:
+    """Keeps workers busy long enough to be killed mid-query."""
+    time.sleep(0.002)
+    return True
+
+
+def test_sigkill_mid_query_heals_and_leaks_nothing(compiled, baseline_segments):
+    rng = np.random.default_rng(5)
+    functions = [
+        LinearFunction(rng.dirichlet(np.ones(DIMS))) for _ in range(6)
+    ]
+    with ParallelQueryExecutor(compiled, workers=2) as pool:
+        expected = pool.map_queries(functions, 10, mode="full")
+
+        import threading
+
+        answers = {}
+        runner = threading.Thread(
+            target=lambda: answers.update(
+                results=pool.map_queries(
+                    functions, 10, where=_slow_filter, mode="full"
+                )
+            )
+        )
+        runner.start()
+        time.sleep(0.05)  # let workers pick tasks up, then kill one mid-query
+        victim = pool._slots[0].process.pid
+        os.kill(victim, signal.SIGKILL)
+        runner.join(timeout=30)
+        assert not runner.is_alive(), "pool wedged after worker death"
+
+        assert pool.stats()["workers_respawned"] >= 1
+        got = answers["results"]
+        assert [r.ids for r in got] == [r.ids for r in expected]
+        assert [r.scores for r in got] == [r.scores for r in expected]
+
+        # The healed pool keeps serving on the same shared segment.
+        after = pool.map_queries(functions, 10, mode="batch")
+        assert [r.ids for r in after] == [r.ids for r in expected]
+    assert not new_segments(baseline_segments)
+
+
+def test_worker_error_reply_raises_without_killing_pool(compiled, baseline_segments):
+    function = LinearFunction(np.full(DIMS, 1.0 / DIMS))
+    with ParallelQueryExecutor(compiled, workers=1) as pool:
+        with pytest.raises(ParallelExecutionError, match="failed task"):
+            pool.map_queries([function], 5, where=_raising_filter, mode="full")
+        # The worker survived the bad query and answers the next one.
+        assert pool.query(function, 5).ids
+        assert pool.stats()["workers_respawned"] == 0
+    assert not new_segments(baseline_segments)
+
+
+def _raising_filter(vector) -> bool:
+    raise RuntimeError("poison predicate")
