@@ -5,9 +5,13 @@ Runs the same linear top-k workload through the reference
 flat-array kernel (:mod:`repro.core.compiled`) over a grid of uniform
 datasets, and writes a machine-readable report.  Because the two engines
 return bit-identical answers (enforced per query here and exhaustively
-in ``tests/test_compiled_parity.py``), the comparison isolates pure
-engine overhead: Python object traversal + per-record scoring versus
-CSR arrays + heap CL + batch scoring.
+in ``tests/test_compiled_parity.py`` / ``tests/test_fast_lane.py``),
+the comparison isolates pure engine overhead: Python object traversal +
+per-record scoring versus the layer-progressive batch kernel (float32
+fast lane with exact float64 boundary re-check; see
+``docs/performance.md``).  Set ``REPRO_NATIVE=1`` with the ``[native]``
+extra installed to time the numba build of the chunk loop; the active
+lane is recorded under ``native`` in the report.
 
 Usage::
 
@@ -34,6 +38,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_utils import measure  # noqa: E402
 
+from repro.core import native  # noqa: E402
 from repro.core.advanced import AdvancedTraveler  # noqa: E402
 from repro.core.builder import build_dominant_graph  # noqa: E402
 from repro.core.compiled import CompiledAdvancedTraveler  # noqa: E402
@@ -50,7 +55,13 @@ def make_queries(dims: int, count: int, seed: int = 0) -> list:
 
 
 def time_engine(traveler, queries, k: int, repeats: int) -> dict:
-    """Warmed median-of-``repeats`` wall clock per query, plus records/sec."""
+    """Warmed median-of-``repeats`` wall clock per query, plus records/sec.
+
+    ``records_per_second`` is the engine's scoring throughput — records
+    actually scored (the access tally) divided by query wall clock — on
+    the single core this process runs on; it is the README's headline
+    per-core number.
+    """
 
     def one_round() -> None:
         for query in queries:
@@ -132,13 +143,29 @@ def main(argv=None) -> int:
         run_cell(n, d, k, args.queries, args.repeats, args.seed)
         for n, d in grid
     ]
+    headline = max(
+        (c for c in cells if (c["n"], c["dims"]) == (50_000, 4)),
+        default=cells[-1],
+        key=lambda c: c["n"],
+    )
     report = {
         "benchmark": "query_speed_reference_vs_compiled",
         "workload": "uniform data, Dirichlet linear functions, plain DG",
         "smoke": args.smoke,
+        "native": native.status(),
         "results": cells,
         "min_speedup": min(c["speedup"] for c in cells),
         "max_speedup": max(c["speedup"] for c in cells),
+        # The README's headline cell (n=50k, d=4, single process/core).
+        "headline": {
+            "n": headline["n"],
+            "dims": headline["dims"],
+            "k": headline["k"],
+            "speedup": headline["speedup"],
+            "compiled_records_per_second_per_core": (
+                headline["compiled"]["records_per_second"]
+            ),
+        },
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

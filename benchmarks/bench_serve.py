@@ -13,10 +13,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out /tmp/b.json
 
-Each cell reports reader p50/p99/mean in milliseconds, achieved reader
-throughput, the writer's achieved ops/s against its target rate, and the
-mean per-mutation latency (which under ``fsync=always`` is dominated by
-the fsync itself).
+Each cell reports an unloaded single-read baseline (warmup +
+median-of-repeats via :func:`bench_utils.measure`, the same timing
+discipline as the other BENCH_*.json reports), reader p50/p99/mean in
+milliseconds under load, achieved reader throughput, the writer's
+achieved ops/s against its target rate, and the mean per-mutation
+latency (which under ``fsync=always`` is dominated by the fsync itself).
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ import numpy as np
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_utils import measure  # noqa: E402
 
 from repro.core.builder import build_dominant_graph  # noqa: E402
 from repro.core.functions import LinearFunction  # noqa: E402
@@ -75,6 +81,13 @@ def run_cell(
             max_waiting=64,
         )
         try:
+            # Unloaded single-read baseline with the shared warmup +
+            # median-of-repeats discipline (bench_utils.measure), so this
+            # report's statistics are comparable with BENCH_query.json's.
+            baseline = measure(
+                lambda: index.query(function, k=10), repeats=5, warmup=2
+            )
+
             latencies: list = []
             writer_latencies: list = []
             stop = threading.Event()
@@ -133,6 +146,8 @@ def run_cell(
         "fsync": fsync,
         "target_write_rate": write_rate,
         "duration_seconds": elapsed,
+        "read_unloaded_median_ms": 1000.0 * baseline["median_seconds"],
+        "read_unloaded_timing": baseline,
         "reads": len(reads_ms),
         "read_p50_ms": percentile(reads_ms, 50),
         "read_p99_ms": percentile(reads_ms, 99),

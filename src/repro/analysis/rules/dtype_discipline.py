@@ -10,10 +10,22 @@ on-disk format change.  In dtype-critical modules (the compiled
 snapshot, the serving layer, the persistence code) every array
 constructor must say what it means.
 
+A second discipline rides the same scope since the two-precision fast
+lane (PR 6): **float32 containment**.  The engine's exactness argument
+allows reduced precision only inside the designated fast-lane functions
+of ``core/compiled.py`` — the ``_f32``-prefixed helpers whose every
+float32 result is covered by the proven error margin and the exact
+float64 boundary re-check.  A float32 array anywhere else in the scoped
+modules (a cast "for speed" in serving code, a float32 default leaking
+into the persistence layer) silently breaks the bit-identical answer
+contract, so it is flagged at the reference site.
+
 Detection: ``np.array``/``asarray``/``zeros``/``ones``/``empty``/
 ``full``/``arange``/``fromiter``/``frombuffer`` without a ``dtype=``
 keyword (``fromiter``/``frombuffer`` may pass dtype as the second
-positional argument) in the scoped modules.
+positional argument) in the scoped modules; plus any ``np.float32``
+attribute or exact ``"float32"`` string literal outside a function whose
+name starts with ``_f32``.
 """
 
 from __future__ import annotations
@@ -32,6 +44,23 @@ CONSTRUCTORS = {
 #: Constructors whose second positional argument is the dtype.
 DTYPE_SECOND_POSITIONAL = {"fromiter", "frombuffer"}
 
+#: Functions allowed to touch float32: the fast lane's designated
+#: helpers in core/compiled.py, whose reduced-precision results are all
+#: covered by the error margin + exact float64 re-check.
+FAST_LANE_PREFIX = "_f32"
+
+
+def _is_float32_reference(node: ast.AST) -> bool:
+    """``np.float32`` or an exact ``"float32"`` string literal."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "float32"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "np"
+    ):
+        return True
+    return isinstance(node, ast.Constant) and node.value == "float32"
+
 
 class DtypeDisciplineRule(Rule):
     """Array constructors in flat-array modules must pin their dtype."""
@@ -39,17 +68,35 @@ class DtypeDisciplineRule(Rule):
     id = "dtype-discipline"
     summary = (
         "flat-array modules must construct arrays with explicit dtypes, "
-        "never bare np.array(...)"
+        "and keep float32 inside the designated _f32 fast-lane functions"
     )
     hint = (
         "pass dtype= explicitly (float64 values, int32 CSR indices, "
-        "int64 record ids) so layouts cannot drift by platform or input"
+        "int64 record ids) so layouts cannot drift by platform or input; "
+        "reduced-precision float32 belongs only in the _f32* fast-lane "
+        "helpers of core/compiled.py, whose results are margin-checked"
     )
     paths = ("core/compiled.py", "core/io.py", "serve/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        """Yield a finding per dtype-less array constructor call."""
+        """Yield findings for dtype-less constructors and stray float32."""
+        fast_lane_spans = [
+            (node.lineno, node.end_lineno or node.lineno)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name.startswith(FAST_LANE_PREFIX)
+        ]
         for node in ast.walk(ctx.tree):
+            if _is_float32_reference(node) and not any(
+                lo <= node.lineno <= hi for lo, hi in fast_lane_spans
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "float32 outside a designated fast-lane (_f32*) "
+                    "function breaks the bit-identical answer contract; "
+                    "only the margin-checked fast lane may reduce precision",
+                )
             if not isinstance(node, ast.Call):
                 continue
             func = node.func

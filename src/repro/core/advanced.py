@@ -12,8 +12,14 @@ Pseudo records still pass through CL and RS — they are scored like anyone
 else ("accessed pseudo records also count" toward the cost metric in
 Experiment 1) and their membership in RS is what unlocks their children.
 
-On a plain DG (no pseudo records) the Advanced Traveler degenerates to the
-Basic Traveler, so it is the algorithm benchmarks call "DG".
+Tie contract: answers follow the global ``(-score, id)`` ordering, same
+as :mod:`repro.core.traveler` (see its module docstring for why the
+literal algorithm does not guarantee this and how boundary-tie popping,
+tie-inclusive truncation and the final sort restore it).  One extension
+is pseudo-specific: a pseudo record's vector can *equal* a descendant's
+(a one-member pseudo segment), so even under a strictly monotone
+function a boundary-tied pseudo pop must keep unlocking — its children
+may tie the k-th score exactly.
 """
 
 from __future__ import annotations
@@ -83,11 +89,34 @@ class _LazyCandidateList:
             self._s_head = 0
         return s[0], s[1], False
 
+    def best_neg(self) -> float:
+        """The ``-score`` key of the best live candidate (must be non-empty)."""
+        a = self._answerable[self._a_head] if self._a_head < len(self._answerable) else None
+        s = self._sheltered[self._s_head] if self._s_head < len(self._sheltered) else None
+        if s is None:
+            assert a is not None
+            return a[0]
+        if a is None:
+            return s[0]
+        return min(a, s)[0]
+
     def truncate(self, keep_answers: int) -> None:
-        """Drop all but the best ``keep_answers`` answerable candidates."""
-        limit = self._a_head + max(keep_answers, 0)
-        if limit < len(self._answerable):
-            del self._answerable[limit:]
+        """Drop all but the best ``keep_answers`` answerable candidates.
+
+        Tie-inclusive, like :meth:`_CandidateList.truncate`: candidates
+        tied with the last kept one stay, so the final ``(-score, id)``
+        tie-break can choose among them.
+        """
+        if keep_answers <= 0:
+            del self._answerable[self._a_head:]
+            return
+        limit = self._a_head + keep_answers
+        if limit >= len(self._answerable):
+            return
+        anchor = self._answerable[limit - 1][0]
+        while limit < len(self._answerable) and self._answerable[limit][0] == anchor:
+            limit += 1
+        del self._answerable[limit:]
 
 
 class AdvancedTraveler:
@@ -168,23 +197,37 @@ class AdvancedTraveler:
             score_into_cl(rid)
         candidates.truncate(k)
 
+        strict = bool(getattr(function, "strictly_monotone", False))
         answers: list = []
         in_result: set = set()
         found = 0
-        while found < k and len(candidates):
+        kth_neg: float | None = None
+        while len(candidates):
+            # After the k-th answerable answer, only candidates tying the
+            # k-th score can matter; pops are non-increasing, so the first
+            # strictly-worse peek ends the query.
+            if kth_neg is not None and candidates.best_neg() > kth_neg:
+                break
             neg_score, rid, answerable = candidates.pop_best()
             in_result.add(rid)
             if answerable:
                 answers.append((-neg_score, rid))
                 found += 1
-                if found == k:
-                    break
-            for child in sorted(graph.children_of(rid)):
-                if child in computed:
-                    continue
-                if any(parent not in in_result for parent in graph.parents_of(child)):
-                    continue
-                score_into_cl(child)
-            candidates.truncate(k - found)
+                if kth_neg is None and found == k:
+                    kth_neg = neg_score
+            # Unlocking continues past the k-th answer for functions with
+            # dominated ties, and always through boundary-tied *pseudo*
+            # pops: a pseudo vector can equal a descendant's, so its
+            # children may tie the k-th score even under a strict function.
+            if kth_neg is None or not strict or graph.is_pseudo(rid):
+                for child in sorted(graph.children_of(rid)):
+                    if child in computed:
+                        continue
+                    if any(parent not in in_result for parent in graph.parents_of(child)):
+                        continue
+                    score_into_cl(child)
+            if kth_neg is None:
+                candidates.truncate(k - found)
 
-        return TopKResult.from_pairs(answers, stats, algorithm=self.name)
+        answers.sort(key=lambda pair: (-pair[0], pair[1]))
+        return TopKResult.from_pairs(answers[:k], stats, algorithm=self.name)

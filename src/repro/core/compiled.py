@@ -1,4 +1,4 @@
-"""Compiled flat-array Dominant Graph engine.
+"""Compiled flat-array Dominant Graph engine: one batch kernel, two lanes.
 
 The reference Travelers (:mod:`repro.core.traveler`,
 :mod:`repro.core.advanced`) follow the paper line by line over the mutable
@@ -7,45 +7,73 @@ Python ``function(vector)`` call per scored record, a sorted candidate
 list.  Their cost is dominated by Python dispatch, not by record access.
 This module trades mutability for speed: :meth:`DominantGraph.compile`
 freezes the graph into a :class:`CompiledDG` — a handful of contiguous
-numpy arrays — and the compiled Travelers run Algorithm 1/2 over it with
+numpy arrays — and **every** compiled query, single or batched, runs
+through one layer-progressive kernel, :func:`batch_top_k`.  A single
+query is simply a batch of one; there is no separate traversal code path
+left to diverge from the batch kernel (the old best-first heap traversal
+was deleted when the batch kernel became strictly faster even at batch
+size one).
 
-- a contiguous ``(N, m)`` float64 **value matrix** (pseudo vectors
-  inlined alongside real rows),
-- **CSR adjacency**: ``children_indptr``/``children_indices`` and
-  ``parents_indptr``/``parents_indices`` int32 arrays,
-- a ``heapq`` **candidate list** of ``(-score, record_id)`` instead of a
-  sorted list with O(n) front pops,
-- **in-degree unlock**: each record carries its parent count; when a
-  parent is answered every child's counter is decremented *vectorized
-  over the CSR row*, and a child unlocks exactly when it hits zero —
-  O(1) per edge instead of re-scanning all parents per visit,
-- **batch scoring**: the first layer and every unlock batch go through
-  ``ScoringFunction.score_many`` — one numpy call per batch instead of
-  one Python call per record.
+The kernel walks the snapshot's layer blocks front to back, grouped into
+geometrically growing *chunks*, and for each chunk computes every active
+query's scores plus the chunk's per-query maximum in the same pass (the
+fused score+bound sweep).  A query retires as soon as it provably cannot
+improve: by the DG layer invariant every layer-``l + 1`` record is
+dominated by some layer-``l`` record, so for any monotone function no
+unseen record can beat the maximum score of the last processed layer.
 
-Bit-identical results
----------------------
-The compiled engine returns exactly the reference engine's
-:class:`~repro.core.result.TopKResult` — same ids, same float scores,
-same :class:`~repro.metrics.counters.AccessCounter` tallies — which is
-what ``tests/test_compiled_parity.py`` sweeps.  Two facts make this hold:
+Two scoring lanes
+-----------------
+**float64 lane** (always available, any monotone function): scores each
+chunk with ``ScoringFunction.score_many`` semantics in float64 and
+selects answers directly from those exact scores.  This is the parity
+oracle — bit-identical to the reference Travelers by the ``score_many``
+determinism contract (:mod:`repro.core.functions`).
 
-1. Bundled scoring functions guarantee ``score_many`` rows match
-   ``__call__`` bit-for-bit regardless of batch size (see
-   :mod:`repro.core.functions`); custom functions must uphold the same
-   contract to get bit-identical parity.
-2. The compiled kernels never truncate the candidate list, yet observable
-   behaviour is unchanged.  The paper's lines 10-11 drop every answerable
-   candidate beaten by the best ``k - n`` answerable candidates.  Once a
-   drop has occurred the retained answerable set stays saturated at
-   exactly ``k - n`` entries (pops shrink it in step with ``k - n``;
-   newly unlocked children enter only by displacing a worse retained
-   entry), so every retained entry always outranks every dropped one, the
-   best candidate is never a dropped one, and the loop reaches ``k``
-   answers before any dropped entry could pop.  Hence the pop sequence —
-   and with it the unlocked/scored set — is identical with or without
-   truncation; truncation only bounds memory, which the heap does not
-   need.
+**float32 fast lane** (all-:class:`~repro.core.functions.LinearFunction`
+batches): scores chunks in float32 — one BLAS ``sgemm`` per chunk over a
+cached float32 copy of the value matrix — and *re-checks the boundary in
+exact float64*.  Exactness argument:
+
+1. Any-order float32 evaluation of ``s = sum_i w_i * x_i`` (including
+   FMA contraction and blocked/reassociated BLAS or ``fastmath``
+   summation) satisfies ``|s32 - s| <= margin`` with ``margin =
+   (d + 4) * 2**-21 * sum_i|w_i| * max|values|`` — a >=4x inflation of
+   the standard ``gamma_{d+2}``-style bound on float32 dot products with
+   float32-rounded inputs, valid for every summation order, plus a tiny
+   absolute term for subnormal rounding.
+2. The exact k-th best score therefore sits within ``margin`` of the
+   float32 k-th best, so every member of the exact top-k has a float32
+   score ``>= kth32 - 2 * margin``.  The kernel re-scores exactly that
+   candidate set in float64 (same elementwise-multiply + ``np.sum``
+   reduction as ``LinearFunction.score_many``, hence bit-identical
+   scores) and runs the ordinary exact selection on it.
+3. Retirement is made conservative by the same margin on both sides —
+   retire only when ``kth32 - margin > chunk_max32 + margin`` — so the
+   fast lane may scan *at most more* records than the float64 lane,
+   never fewer, and extra records all score strictly below the k-th.
+
+The result is bit-identical ``(-score, id)`` answer orderings **by
+construction**, which ``tests/test_fast_lane.py`` stresses with
+sub-float32-epsilon near-ties and a hypothesis sweep, and the parity
+suites re-check against the reference Travelers.  Set
+``REPRO_FAST_LANE=0`` to force the float64 lane.
+
+An optional native build of the fused float32 score+max loop
+(:mod:`repro.core.native`, numba, ``REPRO_NATIVE=1``, the ``[native]``
+extra) slots in below the fast lane; the pure-numpy path remains the
+always-on oracle.
+
+Access accounting
+-----------------
+The kernel charges whole chunks of layers to each active query's
+:class:`~repro.metrics.counters.AccessCounter` — it trades extra score
+computations for vectorization — so compiled-engine tallies legitimately
+exceed the reference Travelers' best-first frontier counts.  Budgets
+(:class:`~repro.core.guard.BudgetedAccessCounter`) ride those charges
+and abort mid-kernel exactly as they aborted mid-traversal.  Use the
+reference Travelers when reproducing the paper's accessed-records
+figures.
 
 Staleness
 ---------
@@ -58,16 +86,30 @@ structure that no longer exists.  Recompile after maintenance batches.
 
 from __future__ import annotations
 
-import heapq
-from collections.abc import Sequence
+import os
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+from repro.core import native
 from repro.core.functions import LinearFunction, ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.errors import StaleSnapshotError
 from repro.metrics.counters import AccessCounter
+
+#: Algorithm label stamped on results produced by :func:`batch_top_k`
+#: unless the caller passes its own.
+BATCH_ALGORITHM = "compiled-batch"
+
+#: Environment variable: set to ``"0"`` to disable the float32 fast lane
+#: (every linear batch then runs the float64 oracle lane).
+FAST_LANE_ENV = "REPRO_FAST_LANE"
+
+#: Minimum rows per kernel chunk; consecutive layers are merged until a
+#: chunk reaches ``max(k, _CHUNK_MIN_ROWS)``, and the target doubles per
+#: chunk so deep scans pay O(log n) python iterations, not O(layers).
+_CHUNK_MIN_ROWS = 1024
 
 
 class CompiledDG:
@@ -79,7 +121,10 @@ class CompiledDG:
     query results are reported in original record ids.
 
     Build with :meth:`from_graph` (or ``graph.compile()``); query with
-    :class:`CompiledBasicTraveler` / :class:`CompiledAdvancedTraveler`.
+    :meth:`top_k` (single query) or :func:`batch_top_k` (many queries,
+    one sweep).  :class:`CompiledBasicTraveler` /
+    :class:`CompiledAdvancedTraveler` remain as thin batch-of-one
+    wrappers over the same kernel.
     """
 
     def __init__(
@@ -110,6 +155,10 @@ class CompiledDG:
         self.first_layer_size = int(first_layer_size)
         self._source = source
         self._source_version = source_version
+        # Lazy per-process query-kernel caches; never pickled or shared.
+        self._layer_bounds_cache: np.ndarray | None = None
+        self._values_f32_cache: np.ndarray | None = None
+        self._abs_max_cache: float | None = None
         for array in (
             values, record_ids, layer_index, pseudo_mask, children_indptr,
             children_indices, parents_indptr, parents_indices, indegree,
@@ -137,8 +186,8 @@ class CompiledDG:
 
         children_indptr = np.zeros(n + 1, dtype=np.int32)
         parents_indptr = np.zeros(n + 1, dtype=np.int32)
-        children_chunks: list = []
-        parents_chunks: list = []
+        children_chunks: "list[int]" = []
+        parents_chunks: "list[int]" = []
         for i, rid in enumerate(ids):
             kids = sorted(dense_of[c] for c in graph.children_of(rid))
             folks = sorted(dense_of[p] for p in graph.parents_of(rid))
@@ -193,8 +242,8 @@ class CompiledDG:
         """Sever the staleness link to the source graph; returns ``self``.
 
         Staleness tracking exists to stop a *single-version* deployment
-        from serving answers off a structure that no longer matches its
-        graph.  A multi-version deployment — the RCU snapshot rotation of
+        from serving answers off a structure that no longer exists.  A
+        multi-version deployment — the RCU snapshot rotation of
         :class:`~repro.serve.index.ServingIndex` — wants the opposite:
         in-flight readers must keep answering from the snapshot they
         pinned while the writer mutates the graph and publishes the next
@@ -204,6 +253,83 @@ class CompiledDG:
         self._source = None
         return self
 
+    def layer_bounds(self) -> np.ndarray:
+        """Dense-index boundaries of each layer block (cached).
+
+        Dense order is sorted by ``(layer, record_id)``, so layer ``l``
+        occupies ``bounds[l]:bounds[l + 1]``.  Returns an int64 array of
+        length ``num_layers + 1``; computed once per snapshot because the
+        kernel reads it on every query.
+        """
+        if self._layer_bounds_cache is None:
+            layer_index = self.layer_index
+            n = int(layer_index.shape[0])
+            if n == 0:
+                bounds = np.zeros(1, dtype=np.int64)
+            else:
+                num_layers = int(layer_index[-1]) + 1
+                bounds = np.searchsorted(
+                    layer_index,
+                    np.arange(num_layers + 1, dtype=np.int64),
+                    side="left",
+                ).astype(np.int64)
+                bounds[num_layers] = n
+            bounds.setflags(write=False)
+            self._layer_bounds_cache = bounds
+        return self._layer_bounds_cache
+
+    def _f32_values(self) -> np.ndarray:
+        """Cached float32 copy of the value matrix for the fast lane.
+
+        Built once per snapshot per process; the exact float64 matrix
+        stays the source of truth (the fast lane only uses this copy for
+        provisional scores it re-checks in float64).
+        """
+        if self._values_f32_cache is None:
+            block = np.ascontiguousarray(self.values, dtype=np.float32)
+            block.setflags(write=False)
+            self._values_f32_cache = block
+        return self._values_f32_cache
+
+    def abs_max(self) -> float:
+        """Largest absolute attribute value in the snapshot (cached).
+
+        The fast lane's error margin scales with this bound; an empty
+        snapshot reports ``0.0``.
+        """
+        if self._abs_max_cache is None:
+            self._abs_max_cache = (
+                float(np.abs(self.values).max()) if self.values.size else 0.0
+            )
+        return self._abs_max_cache
+
+    def top_k(
+        self,
+        function: ScoringFunction,
+        k: int,
+        *,
+        where: WherePredicate | None = None,
+        stats: AccessCounter | None = None,
+        algorithm: str = BATCH_ALGORITHM,
+    ) -> TopKResult:
+        """Answer one top-k query: a batch of one through the kernel.
+
+        This is the single internal execution path — the guard's
+        compiled tier, :class:`~repro.serve.index.ServingIndex` reads,
+        and the parallel fabric's ``full`` worker mode all land here.
+        Parameters mirror
+        :meth:`repro.core.advanced.AdvancedTraveler.top_k`.
+        """
+        (result,) = batch_top_k(
+            self,
+            [function],
+            k,
+            where=where,
+            stats=None if stats is None else [stats],
+            algorithm=algorithm,
+        )
+        return result
+
     def __repr__(self) -> str:
         return (
             f"CompiledDG(records={self.num_records}, "
@@ -212,85 +338,12 @@ class CompiledDG:
         )
 
 
-def _traverse(
-    compiled: CompiledDG,
-    function: ScoringFunction,
-    k: int,
-    where: WherePredicate | None,
-    algorithm: str,
-    stats: AccessCounter | None = None,
-) -> TopKResult:
-    """Shared Algorithm 1/2 kernel over a :class:`CompiledDG`.
-
-    Best-first heap traversal with in-degree unlocking and batch scoring;
-    see the module docstring for why skipping CL truncation is exact.
-    """
-    if k <= 0:
-        raise ValueError("k must be positive")
-    if compiled.stale:
-        raise StaleSnapshotError(
-            "CompiledDG is stale: the source DominantGraph mutated after "
-            "compile(); rebuild the snapshot with graph.compile()"
-        )
-    values = compiled.values
-    ids = compiled.record_ids
-    pseudo = compiled.pseudo_mask
-    indptr = compiled.children_indptr
-    indices = compiled.children_indices
-    remaining = compiled.indegree.copy()
-    stats = stats if stats is not None else AccessCounter()
-    answerable = np.zeros(compiled.num_records, dtype=bool)
-    heap: list = []
-
-    def unlock(batch: np.ndarray) -> None:
-        """Score a dense-index batch and push it onto the candidate heap."""
-        scores = function.score_many(values[batch])
-        originals = ids[batch]
-        stats.count_computed_batch(
-            originals, pseudo=int(pseudo[batch].sum())
-        )
-        if where is None:
-            answerable[batch] = ~pseudo[batch]
-        else:
-            for dense in batch.tolist():
-                answerable[dense] = not pseudo[dense] and bool(
-                    where(values[dense])
-                )
-        for dense, orig, score in zip(
-            batch.tolist(), originals.tolist(), scores.tolist()
-        ):
-            heapq.heappush(heap, (-score, orig, dense))
-
-    if compiled.first_layer_size:
-        unlock(np.arange(compiled.first_layer_size, dtype=np.intp))
-
-    answers: list = []
-    found = 0
-    while found < k and heap:
-        neg_score, orig, dense = heapq.heappop(heap)
-        if answerable[dense]:
-            answers.append((-neg_score, orig))
-            found += 1
-            if found == k:
-                break
-        lo, hi = int(indptr[dense]), int(indptr[dense + 1])
-        if lo == hi:
-            continue
-        kids = indices[lo:hi].astype(np.intp)
-        decremented = remaining[kids] - 1
-        remaining[kids] = decremented
-        ready = kids[decremented == 0]
-        if ready.size:
-            unlock(ready)
-
-    return TopKResult.from_pairs(answers, stats, algorithm=algorithm)
-
-
 class CompiledBasicTraveler:
-    """Basic Traveler (Algorithm 1) over a :class:`CompiledDG` snapshot.
+    """Basic Traveler interface (Algorithm 1) over a :class:`CompiledDG`.
 
     Same contract as :class:`~repro.core.traveler.BasicTraveler` — plain
-    DGs only — with bit-identical results and access counts.
+    DGs only — with identical ``(-score, id)`` answer orderings.  A thin
+    batch-of-one wrapper over :func:`batch_top_k`.
 
     Examples
     --------
@@ -328,15 +381,18 @@ class CompiledBasicTraveler:
         stats: AccessCounter | None = None,
     ) -> TopKResult:
         """Answer a top-k query for any aggregate monotone ``function``."""
-        return _traverse(self._compiled, function, k, None, self.name, stats)
+        return self._compiled.top_k(
+            function, k, stats=stats, algorithm=self.name
+        )
 
 
 class CompiledAdvancedTraveler:
-    """Advanced Traveler (Algorithm 2) over a :class:`CompiledDG` snapshot.
+    """Advanced Traveler interface (Algorithm 2) over a :class:`CompiledDG`.
 
     Handles Extended DGs (pseudo records never count toward ``k``) and the
-    ``where=`` filtered path, bit-identical to
-    :class:`~repro.core.advanced.AdvancedTraveler`.
+    ``where=`` filtered path, with answers identical to
+    :class:`~repro.core.advanced.AdvancedTraveler`.  A thin batch-of-one
+    wrapper over :func:`batch_top_k`.
 
     Examples
     --------
@@ -374,31 +430,144 @@ class CompiledAdvancedTraveler:
         Parameters mirror
         :meth:`repro.core.advanced.AdvancedTraveler.top_k`: ``where`` is an
         optional ``vector -> bool`` predicate; non-matching records are
-        traversed (they still unlock their subtrees) but never reported.
+        scanned (they still bound the search) but never reported.
         """
-        return _traverse(self._compiled, function, k, where, self.name, stats)
+        return self._compiled.top_k(
+            function, k, where=where, stats=stats, algorithm=self.name
+        )
 
 
-BATCH_ALGORITHM = "compiled-batch"
+def fast_lane_enabled() -> bool:
+    """Whether the float32 fast lane may run (``REPRO_FAST_LANE`` != 0)."""
+    return os.environ.get(FAST_LANE_ENV, "") != "0"
 
 
-def _layer_bounds(compiled: CompiledDG) -> np.ndarray:
-    """Dense-index boundaries of each layer block.
+def _f32_margin(dims: int, weight_abs_sums: np.ndarray, abs_max: float) -> np.ndarray:
+    """Per-query error bound of the float32 lane, in float64.
 
-    Dense order is sorted by ``(layer, record_id)``, so layer ``l``
-    occupies ``bounds[l]:bounds[l + 1]``.  Returns an int64 array of
-    length ``num_layers + 1``.
+    Any-order float32 evaluation of ``sum_i w_i * x_i`` from
+    float32-rounded inputs — sequential, blocked, reassociated, or
+    FMA-contracted — deviates from the exact float64 value by at most
+    ``gamma_{d+2} * sum_i |w_i| |x_i|`` with
+    ``gamma_m = m * u / (1 - m * u)`` and ``u = 2**-24``.  Bounding
+    ``|x_i|`` by the snapshot's ``abs_max`` and inflating the constant
+    >=4x gives the margin used here, ``(d + 4) * 2**-21 * sum|w| *
+    abs_max``, plus ``2**-100`` to absorb subnormal rounding, where the
+    relative model breaks down.  The bound only needs to be *valid*, not
+    tight: it sizes the exact-re-check candidate set and pads the
+    retirement test, so looseness costs a few extra float64 re-scores,
+    never correctness.
     """
-    layer_index = compiled.layer_index
-    n = int(layer_index.shape[0])
-    if n == 0:
-        return np.zeros(1, dtype=np.int64)
-    num_layers = int(layer_index[-1]) + 1
-    bounds = np.searchsorted(
-        layer_index, np.arange(num_layers + 1, dtype=np.int64), side="left"
-    ).astype(np.int64)
-    bounds[num_layers] = n
-    return bounds
+    unit = float(dims + 4) * 2.0 ** -21
+    return unit * weight_abs_sums * abs_max + 2.0 ** -100
+
+
+def _f32_round_down(value: float) -> np.float32:
+    """The largest float32 that is ``<= value``.
+
+    The candidate threshold is computed in float64; comparing it against
+    float32 scores must not round it *up* (that could drop a provable
+    candidate), so nearest-rounding is corrected downward when needed.
+    """
+    rounded = np.float32(value)
+    if float(rounded) > value:
+        rounded = np.nextafter(rounded, np.float32(-np.inf))
+    return rounded
+
+
+def _f32_chunk_scores(
+    values_f32: np.ndarray,
+    weights_f32: np.ndarray,
+    lo: int,
+    hi: int,
+    kernel: "native.NativeChunkKernel | None",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Fused score+bound pass of the fast lane over one chunk.
+
+    Returns ``(scores, maxima)``: the ``(rows, queries)`` float32 score
+    block and its per-query column maxima, computed in the same pass.
+    Dispatches to the optional native kernel
+    (:mod:`repro.core.native`) when built, else one BLAS ``sgemm`` plus
+    a column-max reduction.
+    """
+    if kernel is not None:
+        return kernel.score_chunk(values_f32, weights_f32, lo, hi)
+    block = values_f32[lo:hi] @ weights_f32.T
+    return block, block.max(axis=0)
+
+
+def _iter_chunks(bounds: np.ndarray, k: int) -> Iterator["tuple[int, int]"]:
+    """Yield ``(lo, hi)`` dense-row chunks aligned to layer boundaries.
+
+    Consecutive layers are merged until a chunk holds at least
+    ``max(k, _CHUNK_MIN_ROWS)`` rows, and the target doubles per chunk,
+    so a scan touching ``m`` rows costs ``O(log m)`` python iterations.
+    Chunk edges stay on layer edges, which keeps the retirement bound
+    valid: everything beyond a chunk is dominated into some layer inside
+    or before it.
+    """
+    num_layers = int(bounds.shape[0]) - 1
+    n = int(bounds[num_layers])
+    target = max(int(k), _CHUNK_MIN_ROWS)
+    layer = 0
+    lo = 0
+    while lo < n:
+        hi = lo
+        while layer < num_layers and hi - lo < target:
+            layer += 1
+            hi = int(bounds[layer])
+        yield lo, hi
+        lo = hi
+        target *= 2
+
+
+def _chunk_answerable(
+    compiled: CompiledDG,
+    answerable: np.ndarray,
+    where: WherePredicate | None,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """The chunk's answerable mask, evaluating ``where`` once per record.
+
+    Predicates always see the exact float64 vectors, never the fast
+    lane's float32 copies.
+    """
+    if where is None:
+        return answerable[lo:hi]
+    pseudo = compiled.pseudo_mask
+    values = compiled.values
+    block = np.zeros(hi - lo, dtype=bool)
+    for offset in range(hi - lo):
+        dense = lo + offset
+        block[offset] = not pseudo[dense] and bool(where(values[dense]))
+    answerable[lo:hi] = block
+    return block
+
+
+def _order_pairs(
+    ids: np.ndarray, scores: np.ndarray, take: int
+) -> "list[tuple[float, int]]":
+    """Rank ``(score, id)`` pairs by the engine's ``(-score, id)`` rule."""
+    order = np.lexsort((ids, -scores))[:take]
+    return [
+        (float(scores[i]), int(ids[i])) for i in order.tolist()
+    ]
+
+
+def _select_exact(
+    ids: np.ndarray, scores: np.ndarray, k: int
+) -> "list[tuple[float, int]]":
+    """Exact top-k selection over float64 ``scores`` (ties kept, then ranked)."""
+    available = int(scores.shape[0])
+    take = min(k, available)
+    if take == 0:
+        return []
+    if available > take:
+        kth_value = np.partition(scores, available - take)[available - take]
+        keep = scores >= kth_value
+        ids, scores = ids[keep], scores[keep]
+    return _order_pairs(ids, scores, take)
 
 
 def batch_top_k(
@@ -408,29 +577,31 @@ def batch_top_k(
     *,
     where: WherePredicate | None = None,
     stats: Sequence[AccessCounter] | None = None,
-) -> list[TopKResult]:
-    """Answer many top-k queries in one layer-progressive numpy sweep.
+    algorithm: str = BATCH_ALGORITHM,
+) -> "list[TopKResult]":
+    """Answer many top-k queries in one layer-progressive sweep.
 
-    Instead of one best-first traversal per query, the batch kernel walks
-    the snapshot's layer blocks in order and scores each block for every
-    still-active query in a single broadcast numpy call (when every
-    function is a :class:`~repro.core.functions.LinearFunction`, one
-    ``(queries, block, dims)`` multiply; otherwise one ``score_many`` call
-    per active query per block).  A query retires as soon as it provably
-    cannot improve: by graph invariant every layer-``l + 1`` record is
-    dominated by some layer-``l`` record, so for any monotone function no
-    unseen record can beat the maximum score in the last processed layer;
-    once ``k`` answerable records are banked and the running ``k``-th best
-    score *strictly* exceeds that bound (strict, so score ties — which
-    tie-break on ascending id — are still resolved exactly) the remaining
-    layers cannot contribute.
+    This is the *only* compiled execution path: every public entry point
+    (:meth:`CompiledDG.top_k`, the compiled Travelers, the guard's
+    compiled tier, serving reads, fabric workers) routes here, single
+    queries as batches of one.  The kernel walks the snapshot's layer
+    chunks in order; for each chunk it computes every still-active
+    query's scores and the per-query chunk maximum in one fused pass
+    (all-linear batches ride the float32 fast lane with an exact float64
+    boundary re-check — see the module docstring — other monotone
+    functions take one float64 ``score_many`` call per active query per
+    chunk).  A query retires as soon as it provably cannot improve: by
+    the layer invariant no unseen record can beat the last processed
+    layer's maximum, so once ``k`` answerable records are banked and the
+    running ``k``-th best *provably* exceeds that bound the remaining
+    layers cannot contribute.  Ties on the k-th score are resolved
+    exactly (ascending id), in both lanes.
 
-    Results are bit-identical to
-    :meth:`CompiledAdvancedTraveler.top_k` per query: identical ids,
-    identical float scores, identical ``(-score, id)`` ordering.  Access
-    tallies differ — the batch kernel charges whole layer blocks, the
-    traversal only unlocked frontiers — and are recorded per query in
-    ``stats``.
+    Results carry identical ids, identical float scores, and identical
+    ``(-score, id)`` orderings to the reference
+    :class:`~repro.core.advanced.AdvancedTraveler` per query.  Access
+    tallies charge whole chunks (see module docstring) and are recorded
+    per query in ``stats``.
 
     Parameters
     ----------
@@ -447,10 +618,15 @@ def batch_top_k(
     stats:
         Optional per-query counters, one per function.  Fresh counters
         are created when omitted.
+    algorithm:
+        Label stamped on the returned
+        :class:`~repro.core.result.TopKResult` objects (batch-of-one
+        wrappers pass their public engine names).
 
-    Peak memory is ``len(functions) * num_records * 8`` bytes for the
-    score matrix; cap the batch size accordingly (the parallel executor
-    defaults to 64-query sub-batches).
+    Peak memory is ``len(functions) * num_records * 4`` bytes of float32
+    scores on the fast lane (``* 8`` float64 on the oracle lane); cap the
+    batch size accordingly (the parallel executor defaults to 64-query
+    sub-batches).
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -471,14 +647,9 @@ def batch_top_k(
             )
     if num_queries == 0:
         return []
-
-    values = compiled.values
-    ids_arr = compiled.record_ids
-    pseudo = compiled.pseudo_mask
-    n = int(values.shape[0])
-    if n == 0:
+    if compiled.num_records == 0:
         return [
-            TopKResult.from_pairs([], counters[q], algorithm=BATCH_ALGORITHM)
+            TopKResult.from_pairs([], counters[q], algorithm=algorithm)
             for q in range(num_queries)
         ]
 
@@ -486,14 +657,166 @@ def batch_top_k(
     linear = [f for f in functions if isinstance(f, LinearFunction)]
     if len(linear) == num_queries:
         weights = np.stack([f.weights for f in linear])
-        if int(weights.shape[1]) != int(values.shape[1]):
+        if int(weights.shape[1]) != int(compiled.values.shape[1]):
             raise ValueError(
                 f"function dims {int(weights.shape[1])} != "
-                f"snapshot dims {int(values.shape[1])}"
+                f"snapshot dims {int(compiled.values.shape[1])}"
             )
 
-    bounds = _layer_bounds(compiled)
-    num_layers = int(bounds.shape[0]) - 1
+    if weights is not None and _f32_lane_applies(compiled, weights):
+        return _f32_lane(compiled, weights, k, where, counters, algorithm)
+    return _f64_lane(compiled, functions, weights, k, where, counters, algorithm)
+
+
+def _f32_lane_applies(compiled: CompiledDG, weights: np.ndarray) -> bool:
+    """Fast-lane guard: enabled, and float32 cannot overflow.
+
+    The margin model assumes finite float32 arithmetic; data or weights
+    large enough to push ``dims * max|w| * max|x|`` near ``float32 max``
+    (or already non-finite in float32) fall back to the float64 lane.
+    """
+    if not fast_lane_enabled():
+        return False
+    dims = int(weights.shape[1])
+    headroom = float(np.finfo(np.float32).max) / 8.0
+    scale = float(np.abs(weights).max(initial=0.0)) * compiled.abs_max()
+    return dims * scale < headroom
+
+
+def _f32_lane(
+    compiled: CompiledDG,
+    weights: np.ndarray,
+    k: int,
+    where: WherePredicate | None,
+    counters: "list[AccessCounter]",
+    algorithm: str,
+) -> "list[TopKResult]":
+    """The two-precision lane: float32 scan, exact float64 boundary re-check."""
+    num_queries = int(weights.shape[0])
+    values = compiled.values
+    values_f32 = compiled._f32_values()
+    weights_f32 = np.ascontiguousarray(weights, dtype=np.float32)
+    ids_arr = compiled.record_ids
+    pseudo = compiled.pseudo_mask
+    n = int(values.shape[0])
+    bounds = compiled.layer_bounds()
+    margin = _f32_margin(
+        int(weights.shape[1]), np.abs(weights).sum(axis=1), compiled.abs_max()
+    )
+
+    if where is None:
+        answerable = ~pseudo
+    else:
+        answerable = np.zeros(n, dtype=bool)
+
+    neg_inf = np.float32(-np.inf)
+    active = np.ones(num_queries, dtype=bool)
+    topk32 = np.full((num_queries, k), neg_inf, dtype=np.float32)
+    stop_prefix = np.full(num_queries, n, dtype=np.int64)
+    # Per-chunk (lo, hi, act_idx, float32 score block) kept for the final
+    # candidate re-check; chunks tile the scanned prefix contiguously.
+    scanned: "list[tuple[int, int, np.ndarray, np.ndarray]]" = []
+    ans_count = 0
+
+    kernel = native.kernel()
+    for lo, hi in _iter_chunks(bounds, k):
+        act_idx = np.flatnonzero(active)
+        block32, chunk_max32 = _f32_chunk_scores(
+            values_f32, weights_f32[act_idx], lo, hi, kernel
+        )
+        scanned.append((lo, hi, act_idx, block32))
+
+        block_ids = ids_arr[lo:hi].copy()
+        block_pseudo = int(pseudo[lo:hi].sum())
+        for q in act_idx.tolist():
+            counters[q].count_computed_batch(block_ids, pseudo=block_pseudo)
+
+        ans_block = _chunk_answerable(compiled, answerable, where, lo, hi)
+        num_answerable = int(ans_block.sum())
+        if num_answerable:
+            pool = np.concatenate(
+                [topk32[act_idx], block32[ans_block].T], axis=1
+            )
+            topk32[act_idx] = np.partition(
+                pool, int(pool.shape[1]) - k, axis=1
+            )[:, -k:]
+            ans_count += num_answerable
+        # Column 0 of the kept slice is the running k-th best (row
+        # minimum); all -inf until k answerable records have been seen.
+        kth32 = topk32[act_idx, 0].astype(np.float64)
+        marg = margin[act_idx]
+        if hi >= n:
+            done = np.ones(act_idx.size, dtype=bool)
+        else:
+            # Conservative retirement: the exact k-th is >= kth32 - marg
+            # and no unseen exact score exceeds chunk_max32 + marg.
+            done = (ans_count >= k) & (
+                (kth32 - marg) > (chunk_max32.astype(np.float64) + marg)
+            )
+        retired = act_idx[done]
+        stop_prefix[retired] = hi
+        active[retired] = False
+        if not active.any():
+            break
+
+    results: "list[TopKResult]" = []
+    for q in range(num_queries):
+        prefix = int(stop_prefix[q])
+        threshold = float(topk32[q, 0]) - 2.0 * float(margin[q])
+        threshold32 = _f32_round_down(threshold)
+        cand: "list[np.ndarray]" = []
+        for lo, hi, act_idx, block32 in scanned:
+            if lo >= prefix:
+                break
+            column = block32[:, int(np.searchsorted(act_idx, q))]
+            keep = np.flatnonzero(
+                answerable[lo:hi] & (column >= threshold32)
+            )
+            if keep.size:
+                cand.append(keep.astype(np.int64) + lo)
+        if not cand:
+            results.append(
+                TopKResult.from_pairs([], counters[q], algorithm=algorithm)
+            )
+            continue
+        rows = np.concatenate(cand)
+        # Exact float64 boundary re-check: same elementwise-multiply +
+        # np.sum reduction as LinearFunction.score_many, so the kept
+        # scores are bit-identical to the reference engine's.
+        exact = np.sum(values[rows] * weights[q], axis=1)
+        results.append(
+            TopKResult.from_pairs(
+                _select_exact(ids_arr[rows], exact, k),
+                counters[q],
+                algorithm=algorithm,
+            )
+        )
+    return results
+
+
+def _f64_lane(
+    compiled: CompiledDG,
+    functions: Sequence[ScoringFunction],
+    weights: np.ndarray | None,
+    k: int,
+    where: WherePredicate | None,
+    counters: "list[AccessCounter]",
+    algorithm: str,
+) -> "list[TopKResult]":
+    """The exact float64 lane: the parity oracle for every function class.
+
+    Linear batches score with the same broadcast elementwise-multiply +
+    ``np.sum`` reduction as ``LinearFunction.score_many`` (bit-identical
+    rows by the determinism contract); other monotone functions get one
+    ``score_many`` call per active query per chunk.
+    """
+    num_queries = len(functions)
+    values = compiled.values
+    ids_arr = compiled.record_ids
+    pseudo = compiled.pseudo_mask
+    n = int(values.shape[0])
+    bounds = compiled.layer_bounds()
+
     if where is None:
         answerable = ~pseudo
     else:
@@ -505,8 +828,7 @@ def batch_top_k(
     stop_prefix = np.full(num_queries, n, dtype=np.int64)
     ans_count = 0
 
-    for layer in range(num_layers):
-        lo, hi = int(bounds[layer]), int(bounds[layer + 1])
+    for lo, hi in _iter_chunks(bounds, k):
         block = values[lo:hi]
         act_idx = np.flatnonzero(active)
         if weights is not None:
@@ -518,8 +840,12 @@ def batch_top_k(
             for row, q in enumerate(act_idx.tolist()):
                 block_scores[row] = functions[q].score_many(block)
         scores_all[act_idx, lo:hi] = block_scores
+        # Fused score+bound: the chunk maximum comes off the block just
+        # scored, before any filtering (pseudo records still bound their
+        # children).
+        chunk_max = block_scores.max(axis=1)
 
-        # One owning copy per layer, shared by every active query's
+        # One owning copy per chunk, shared by every active query's
         # counter — a slice view would pin the snapshot buffer (fatal for
         # shared-memory workers) and get re-copied per query instead.
         block_ids = ids_arr[lo:hi].copy()
@@ -527,19 +853,8 @@ def batch_top_k(
         for q in act_idx.tolist():
             counters[q].count_computed_batch(block_ids, pseudo=block_pseudo)
 
-        if where is None:
-            ans_block = answerable[lo:hi]
-        else:
-            ans_block = np.zeros(hi - lo, dtype=bool)
-            for offset in range(hi - lo):
-                dense = lo + offset
-                ans_block[offset] = not pseudo[dense] and bool(
-                    where(values[dense])
-                )
-            answerable[lo:hi] = ans_block
-
+        ans_block = _chunk_answerable(compiled, answerable, where, lo, hi)
         num_answerable = int(ans_block.sum())
-        layer_max = block_scores.max(axis=1)
         if num_answerable:
             pool = np.concatenate(
                 [topk[act_idx], block_scores[:, ans_block]], axis=1
@@ -552,42 +867,29 @@ def batch_top_k(
         # best (row minimum); before the first partition every entry is
         # -inf, so column 0 is still the row minimum.
         kth = topk[act_idx, 0]
-        done = (ans_count >= k) & (kth > layer_max)
-        if layer == num_layers - 1:
+        if hi >= n:
             done = np.ones(act_idx.size, dtype=bool)
+        else:
+            # Strict, so score ties — which tie-break on ascending id —
+            # are still resolved exactly.
+            done = (ans_count >= k) & (kth > chunk_max)
         retired = act_idx[done]
         stop_prefix[retired] = hi
         active[retired] = False
         if not active.any():
             break
 
-    results: list[TopKResult] = []
+    results: "list[TopKResult]" = []
     for q in range(num_queries):
         prefix = int(stop_prefix[q])
         dense_idx = np.flatnonzero(answerable[:prefix])
-        scores_q = scores_all[q, :prefix][dense_idx]
-        available = int(dense_idx.size)
-        take = min(k, available)
-        if take == 0:
-            results.append(
-                TopKResult.from_pairs([], counters[q], algorithm=BATCH_ALGORITHM)
-            )
-            continue
-        if available > take:
-            kth_value = np.partition(scores_q, available - take)[
-                available - take
-            ]
-            keep = np.flatnonzero(scores_q >= kth_value)
-            kept_scores = scores_q[keep]
-            kept_ids = ids_arr[dense_idx[keep]]
-        else:
-            kept_scores = scores_q
-            kept_ids = ids_arr[dense_idx]
-        order = np.lexsort((kept_ids, -kept_scores))[:take]
-        pairs = [
-            (float(kept_scores[i]), int(kept_ids[i])) for i in order.tolist()
-        ]
         results.append(
-            TopKResult.from_pairs(pairs, counters[q], algorithm=BATCH_ALGORITHM)
+            TopKResult.from_pairs(
+                _select_exact(
+                    ids_arr[dense_idx], scores_all[q, :prefix][dense_idx], k
+                ),
+                counters[q],
+                algorithm=algorithm,
+            )
         )
     return results

@@ -14,6 +14,17 @@ Traveler (Section IV-C) additionally needs a *decomposable* function
 ``F(x) = G(f1(x_I1), ..., fn(x_In))`` with monotone ``G``; see
 :class:`DecomposableFunction`.
 
+Tie contract: every engine in this repo reports equal-score answers in
+ascending record-id order — the global ``(-score, id)`` ordering.  The
+bundled functions additionally expose ``strictly_monotone`` (``True``
+when strict dominance implies a strictly larger score, so dominated
+records can never tie their dominators): the reference Travelers use it
+to skip tie-closure probing at the k-th boundary.  Functions that admit
+dominated ties — ``MinFunction``, zero weights, zero-annihilated
+products — return ``False`` and pay a few extra probes when the k-th
+score is tied.  User-defined functions without the attribute are treated
+as non-strict, which is always safe.
+
 Determinism contract: for every bundled function, ``__call__(v)`` returns
 bit-for-bit the same float as the matching row of ``score_many(block)``,
 for any batch size and row subset.  The compiled DG engine
@@ -87,6 +98,15 @@ class LinearFunction:
         """Number of attributes the function consumes."""
         return self.weights.size
 
+    @property
+    def strictly_monotone(self) -> bool:
+        """True when every weight is positive: dominated records cannot tie.
+
+        A zero weight ignores its attribute, so a record strictly better
+        only there would tie its dominator; such instances report False.
+        """
+        return bool(np.all(self.weights > 0))
+
     def __call__(self, vector: np.ndarray) -> float:
         return float(np.sum(self.weights * vector))
 
@@ -123,6 +143,15 @@ class ProductFunction:
         """Number of attributes the function consumes."""
         return self.weights.size
 
+    @property
+    def strictly_monotone(self) -> bool:
+        """Always False: a zero attribute annihilates the whole product.
+
+        ``(2, 0)`` strictly dominates ``(1, 0)`` yet both score 0, so
+        dominated ties are possible regardless of the weights.
+        """
+        return False
+
     def __call__(self, vector: np.ndarray) -> float:
         v = np.asarray(vector, dtype=np.float64)
         if np.any(v < 0):
@@ -142,6 +171,11 @@ class ProductFunction:
 
 class MinFunction:
     """Bottleneck aggregate ``F(x) = min_i x_i`` (monotone, non-linear)."""
+
+    @property
+    def strictly_monotone(self) -> bool:
+        """False: improving a non-bottleneck attribute leaves the min tied."""
+        return False
 
     def __call__(self, vector: np.ndarray) -> float:
         return float(np.min(vector))
@@ -177,6 +211,11 @@ class WeightedPowerFunction:
     def dims(self) -> int:
         """Number of attributes the function consumes."""
         return self.weights.size
+
+    @property
+    def strictly_monotone(self) -> bool:
+        """True when every weight is positive (see LinearFunction)."""
+        return bool(np.all(self.weights > 0))
 
     def __call__(self, vector: np.ndarray) -> float:
         v = np.asarray(vector, dtype=np.float64)
@@ -247,6 +286,11 @@ class DecomposableFunction:
     def n_ways(self) -> int:
         """Number of dimension sets (the "N" in N-Way)."""
         return len(self.dimension_sets)
+
+    @property
+    def strictly_monotone(self) -> bool:
+        """False: the combiner ``G`` is only known to be monotone."""
+        return False
 
     def sub_score(self, i: int, vector: np.ndarray) -> float:
         """Score of the i-th sub-function on a *full* attribute vector."""

@@ -8,6 +8,22 @@ n-th answer, only the best ``k - n`` candidates are kept (paper lines
 10-11); anything beaten by ``k - n`` candidates plus ``n`` answers cannot
 be in the top-k.
 
+Tie contract: answers follow the global ``(-score, id)`` ordering — among
+equal scores, ascending record id wins, no matter where the records sit
+in the graph.  A literal reading of Algorithm 1 does not guarantee this:
+a record enters ``CL`` only after all its parents are answered, so among
+equal-score records the pop order (and, at the k-th boundary, even the
+answer *set*) would depend on unlock timing.  This traveler therefore
+keeps popping while the best candidate still ties the k-th score,
+truncates ``CL`` tie-inclusively, and — for functions that admit
+dominated ties (``strictly_monotone`` false, e.g. ``MinFunction``) —
+keeps unlocking through boundary-tied answers so a tied child of a tied
+parent is reachable.  The over-collected answers are sorted by
+``(-score, id)`` and cut to ``k``.  For strictly monotone functions a
+dominated record scores strictly lower than its parent, so no extra
+records are ever scored and the access tally of Theorem 3.1 is
+unchanged.
+
 The search space — the set of records scored — is exactly
 ``S1 = S2 ∪ S3`` of Theorem 3.1, which :mod:`repro.core.cost` verifies.
 """
@@ -52,11 +68,31 @@ class _CandidateList:
             self._head = 0
         return -neg_score, record_id
 
+    def best_neg(self) -> float:
+        """The ``-score`` key of the best live candidate (must be non-empty)."""
+        return self._entries[self._head][0]
+
     def truncate(self, keep: int) -> None:
-        """Keep only the ``keep`` best candidates (paper lines 10-11)."""
-        limit = self._head + max(keep, 0)
-        if limit < len(self._entries):
-            del self._entries[limit:]
+        """Keep the ``keep`` best candidates plus any tied with the last kept.
+
+        Paper lines 10-11 keep exactly ``k - n``; keeping the boundary tie
+        class as well costs nothing (those records are already scored) and
+        is what makes the final ``(-score, id)`` tie-break exact: a
+        candidate tied with the ``keep``-th best may still out-rank it by
+        record id.  Every dropped candidate scores strictly below the last
+        kept one and is beaten by ``k`` strictly better records, so it can
+        never reach the top-k under any tie-break.
+        """
+        if keep <= 0:
+            del self._entries[self._head:]
+            return
+        limit = self._head + keep
+        if limit >= len(self._entries):
+            return
+        anchor = self._entries[limit - 1][0]
+        while limit < len(self._entries) and self._entries[limit][0] == anchor:
+            limit += 1
+        del self._entries[limit:]
 
     def entries(self) -> list:
         """Snapshot of ``(score, record_id)`` pairs, best first."""
@@ -129,26 +165,39 @@ class BasicTraveler:
             candidates.insert(score, rid)
         candidates.truncate(k)
 
+        strict = bool(getattr(function, "strictly_monotone", False))
         answers: list = []
         in_result: set = set()
-        while len(answers) < k and len(candidates):
+        kth_neg: float | None = None
+        while len(candidates):
+            # Once k answers are banked, only candidates tying the k-th
+            # score can still matter; pops are non-increasing, so the
+            # first strictly-worse peek ends the query.
+            if kth_neg is not None and candidates.best_neg() > kth_neg:
+                break
             # Lines 2/12: move the best candidate into RS.
             score, rid = candidates.pop_best()
             answers.append((score, rid))
             in_result.add(rid)
-            if len(answers) == k:
-                break
+            if kth_neg is None and len(answers) == k:
+                kth_neg = -score
             # Lines 5-9: unlock children whose parents are all answered.
-            for child in sorted(graph.children_of(rid)):
-                if child in computed:
-                    continue
-                if any(parent not in in_result for parent in graph.parents_of(child)):
-                    continue
-                child_score = function(graph.vector(child))
-                stats.count_computed(child)
-                computed.add(child)
-                candidates.insert(child_score, child)
-            # Lines 10-11: keep only the k-n best candidates.
-            candidates.truncate(k - len(answers))
+            # After the k-th answer this continues only for functions that
+            # admit dominated ties: a boundary-tied answer may then hide an
+            # equal-score child that out-ranks it by record id.
+            if kth_neg is None or not strict:
+                for child in sorted(graph.children_of(rid)):
+                    if child in computed:
+                        continue
+                    if any(parent not in in_result for parent in graph.parents_of(child)):
+                        continue
+                    child_score = function(graph.vector(child))
+                    stats.count_computed(child)
+                    computed.add(child)
+                    candidates.insert(child_score, child)
+            if kth_neg is None:
+                # Lines 10-11: keep only the k-n best candidates (plus ties).
+                candidates.truncate(k - len(answers))
 
-        return TopKResult.from_pairs(answers, stats, algorithm=self.name)
+        answers.sort(key=lambda pair: (-pair[0], pair[1]))
+        return TopKResult.from_pairs(answers[:k], stats, algorithm=self.name)

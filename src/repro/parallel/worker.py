@@ -11,8 +11,9 @@ both properties statically).
 Task modes
 ----------
 ``full``
-    One best-first :class:`~repro.core.compiled.CompiledAdvancedTraveler`
-    traversal per function — the same kernel as single-process serving.
+    One :meth:`~repro.core.compiled.CompiledDG.top_k` call per function —
+    a batch of one through the same layer-progressive kernel as
+    single-process serving, with per-function access counters.
 ``batch``
     All of the task's functions answered in one layer-progressive
     :func:`~repro.core.compiled.batch_top_k` sweep.
@@ -34,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.compiled import CompiledAdvancedTraveler, batch_top_k
+from repro.core.compiled import batch_top_k
 from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
@@ -142,9 +143,8 @@ def execute_task(snapshot: AttachedSnapshot, task: QueryTask) -> tuple:
     ``shard`` payloads are tuples of ``(pairs, stats)`` per function.
     """
     if task.mode == "full":
-        traveler = CompiledAdvancedTraveler(snapshot.compiled)
         return tuple(
-            traveler.top_k(function, task.k, task.where)
+            snapshot.compiled.top_k(function, task.k, where=task.where)
             for function in task.functions
         )
     if task.mode == "batch":

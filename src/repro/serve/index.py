@@ -66,11 +66,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.core.builder import build_dominant_graph
-from repro.core.compiled import (
-    CompiledAdvancedTraveler,
-    CompiledDG,
-    batch_top_k,
-)
+from repro.core.compiled import CompiledDG, batch_top_k
 from repro.core.dataset import Dataset
 from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
@@ -536,7 +532,7 @@ class ServingIndex:
                     budget_ms=budget_ms,
                     started=started,
                 )
-                result = CompiledAdvancedTraveler(snap.compiled).top_k(
+                result = snap.compiled.top_k(
                     function, k, where=where, stats=stats
                 )
                 stats.enforce()

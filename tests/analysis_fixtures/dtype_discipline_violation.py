@@ -1,7 +1,17 @@
-"""Fixture: a numpy constructor with platform-dependent dtype (dtype-discipline)."""
+"""Fixture: inferred dtypes and stray float32 (dtype-discipline)."""
 
 import numpy as np
 
 
 def blank_block(n):
     return np.zeros((n, 4))  # VIOLATION
+
+
+def promote_for_speed(block):
+    return block.astype(np.float32)  # VIOLATION
+
+
+def _f32_shrink(block):
+    # Containment control: float32 inside a designated fast-lane
+    # function is the sanctioned pattern and must NOT be flagged.
+    return np.asarray(block, dtype=np.float32)

@@ -1,13 +1,22 @@
 """Parity sweep: the compiled engine must equal the reference bit-for-bit.
 
-The compiled flat-array kernels (:mod:`repro.core.compiled`) replace the
-reference Travelers' data structures wholesale — heap CL instead of a
-sorted list, in-degree countdown instead of all-parents scans, batch
-scoring instead of per-record calls — so the contract is checked at the
-strongest level available: identical ids, identical float scores, and
-identical :class:`~repro.metrics.counters.AccessCounter` tallies on every
-(data distribution × scoring function × k) combination, on plain and
-Extended (pseudo-level) graphs, including the ``where=`` filtered path.
+The compiled engine (:mod:`repro.core.compiled`) replaces the reference
+Travelers' execution model wholesale — every query runs the
+layer-progressive batch kernel (a single query is a batch of one), with
+a float32 fast lane whose boundary is re-checked in exact float64 — so
+the *answer* contract is checked at the strongest level available:
+identical ids and identical float scores on every (data distribution ×
+scoring function × k) combination, on plain and Extended (pseudo-level)
+graphs, including the ``where=`` filtered path.
+
+Access tallies are deliberately *not* compared against the reference:
+the batch kernel charges whole layer chunks (trading extra score
+computations for vectorization), so its counters legitimately exceed
+the best-first traversal's.  The counters are instead held to their own
+invariants — monotone in the reference's, consistent with the scanned
+id set, pseudo split correct — and
+``tests/test_guard.py``/``tests/test_fast_lane.py`` cover their budget
+and threading behaviour.
 """
 
 import numpy as np
@@ -47,12 +56,18 @@ def make_functions(seed: int) -> list:
 
 
 def assert_parity(reference, compiled):
-    """Ids, scores, and access tallies must match exactly."""
+    """Answers must match bit-for-bit; counters must be self-consistent.
+
+    The compiled kernel scans whole layer chunks, so it computes a
+    *superset* of the best-first traversal's records: its tally must
+    cover the reference's and agree with its own scanned-id set.
+    """
     assert reference.ids == compiled.ids
     assert reference.scores == compiled.scores
-    assert reference.stats.computed == compiled.stats.computed
-    assert reference.stats.pseudo_computed == compiled.stats.pseudo_computed
-    assert reference.stats.computed_ids == compiled.stats.computed_ids
+    assert compiled.stats.computed >= reference.stats.computed
+    assert compiled.stats.pseudo_computed >= reference.stats.pseudo_computed
+    assert compiled.stats.computed == len(compiled.stats.computed_ids)
+    assert reference.stats.computed_ids <= compiled.stats.computed_ids
 
 
 @pytest.mark.parametrize("kind", sorted(KINDS))

@@ -1,0 +1,292 @@
+"""Adversarial coverage for the float32 fast lane's boundary re-check.
+
+The fast lane (:mod:`repro.core.compiled`) scores in float32 and
+re-checks every candidate within a proven margin of the k-th score in
+exact float64.  Its failure mode, if the margin or the threshold
+rounding were wrong, is precisely *near-ties*: records whose exact
+scores differ by less than float32 can resolve, or that tie exactly and
+straddle the k-th rank.  Every test here builds such data on purpose
+and requires bit-identical ``(-score, id)`` answers against the
+reference traveler and against the float64 lane (toggled via
+``REPRO_FAST_LANE=0``).
+
+The native-kernel flag (``REPRO_NATIVE=1``) is covered at the end: with
+numba installed it must be bit-identical too (the margin bound holds for
+any summation order); without it the engine must warn once and fall
+back to the numpy lane.  CI runs the whole suite under the flag.
+"""
+
+import os
+import warnings
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import native
+from repro.core.advanced import AdvancedTraveler
+from repro.core.builder import build_dominant_graph, build_extended_graph
+from repro.core.compiled import (
+    FAST_LANE_ENV,
+    CompiledAdvancedTraveler,
+    CompiledBasicTraveler,
+    _f32_margin,
+    _f32_round_down,
+    fast_lane_enabled,
+)
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction, MinFunction
+from repro.core.maintenance import mark_deleted
+from repro.core.traveler import BasicTraveler
+from repro.data.generators import uniform
+
+#: A score gap far below float32 resolution at magnitude ~1: the float32
+#: lane cannot distinguish records this close, only the exact re-check can.
+SUB_F32_GAP = 1e-12
+
+
+def fast_lane_result(traveler, function, k, **kwargs):
+    """Query with the fast lane explicitly enabled."""
+    with mock.patch.dict(os.environ, {FAST_LANE_ENV: "1"}):
+        assert fast_lane_enabled()
+        return traveler.top_k(function, k, **kwargs)
+
+
+def f64_lane_result(traveler, function, k, **kwargs):
+    """Query with the fast lane disabled (pure float64 oracle)."""
+    with mock.patch.dict(os.environ, {FAST_LANE_ENV: "0"}):
+        assert not fast_lane_enabled()
+        return traveler.top_k(function, k, **kwargs)
+
+
+def assert_bit_identical(reference, result):
+    assert reference.ids == result.ids
+    assert reference.scores == result.scores
+
+
+def assert_canonical_tie_order(result):
+    """Equal scores must appear in ascending record-id order."""
+    for (s_a, i_a), (s_b, i_b) in zip(
+        zip(result.scores, result.ids), zip(result.scores[1:], result.ids[1:])
+    ):
+        assert s_a > s_b or (s_a == s_b and i_a < i_b)
+
+
+class TestNearTies:
+    def make_near_tie_dataset(self):
+        """Clusters of records whose exact scores differ by ~1e-12.
+
+        Each cluster shares a base row; members perturb one coordinate
+        by ``SUB_F32_GAP``-sized steps.  In float32 every cluster
+        collapses to one score, so ranking inside and across the k-th
+        boundary is decided entirely by the exact float64 re-check.
+        """
+        rng = np.random.default_rng(42)
+        base = rng.uniform(0.2, 1.0, size=(12, 3))
+        rows = []
+        for row in base:
+            for step in range(5):
+                bumped = row.copy()
+                bumped[step % 3] += step * SUB_F32_GAP
+                rows.append(bumped)
+        return Dataset(np.asarray(rows, dtype=np.float64))
+
+    @pytest.mark.parametrize("k", [1, 5, 17, 30, 60])
+    def test_sub_float32_gaps_resolved_exactly(self, k):
+        graph = build_dominant_graph(self.make_near_tie_dataset())
+        snapshot = graph.compile()
+        function = LinearFunction([0.4, 0.35, 0.25])
+        reference = BasicTraveler(graph).top_k(function, k)
+        fast = fast_lane_result(CompiledBasicTraveler(snapshot), function, k)
+        oracle = f64_lane_result(CompiledBasicTraveler(snapshot), function, k)
+        assert_bit_identical(reference, fast)
+        assert_bit_identical(reference, oracle)
+
+    @pytest.mark.parametrize("k", [1, 3, 8, 12, 24])
+    def test_duplicate_scores_straddling_kth_rank(self, k):
+        """Permuted coordinates give *exactly* equal unit-weight sums.
+
+        With blocks of identical scores wider than 1, most k values cut
+        straight through a tie class; the answer set and order must then
+        come from ascending record id, in both lanes.
+        """
+        rng = np.random.default_rng(7)
+        base = rng.integers(1, 5, size=(9, 3)).astype(np.float64)
+        rows = [np.roll(row, shift) for row in base for shift in range(3)]
+        graph = build_dominant_graph(Dataset(np.asarray(rows)))
+        snapshot = graph.compile()
+        function = LinearFunction([1.0, 1.0, 1.0])
+        reference = BasicTraveler(graph).top_k(function, k)
+        fast = fast_lane_result(CompiledBasicTraveler(snapshot), function, k)
+        assert_bit_identical(reference, fast)
+        assert_bit_identical(
+            reference, f64_lane_result(CompiledBasicTraveler(snapshot), function, k)
+        )
+        assert_canonical_tie_order(fast)
+
+    def test_overflow_scale_falls_back_to_f64_lane(self):
+        """Data near float32 max must bypass the fast lane, not wrap it."""
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.5, 1.0, size=(50, 3)) * 1.0e38
+        graph = build_dominant_graph(Dataset(values))
+        snapshot = graph.compile()
+        function = LinearFunction([0.5, 0.3, 0.2])
+        reference = BasicTraveler(graph).top_k(function, 10)
+        fast = fast_lane_result(CompiledBasicTraveler(snapshot), function, 10)
+        assert_bit_identical(reference, fast)
+
+
+class TestAcceptanceSweep:
+    """plain/pseudo/mark-deleted/where x dims 2-5 x k in {1, 10, 50}."""
+
+    KS = (1, 10, 50)
+
+    def check(self, graph, k, where=None):
+        snapshot = graph.compile()
+        dims = int(snapshot.values.shape[1])
+        rng = np.random.default_rng(dims * 1000 + k)
+        for function in (
+            LinearFunction(rng.dirichlet(np.ones(dims))),
+            MinFunction(),
+        ):
+            reference = AdvancedTraveler(graph).top_k(function, k, where=where)
+            compiled = CompiledAdvancedTraveler(snapshot)
+            fast = fast_lane_result(compiled, function, k, where=where)
+            oracle = f64_lane_result(compiled, function, k, where=where)
+            assert_bit_identical(reference, fast)
+            assert_bit_identical(reference, oracle)
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5])
+    @pytest.mark.parametrize("k", KS)
+    def test_plain(self, dims, k):
+        self.check(build_dominant_graph(uniform(160, dims, seed=dims)), k)
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5])
+    @pytest.mark.parametrize("k", KS)
+    def test_pseudo_levels(self, dims, k):
+        self.check(build_extended_graph(uniform(160, dims, seed=dims), theta=3), k)
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5])
+    @pytest.mark.parametrize("k", KS)
+    def test_mark_deleted(self, dims, k):
+        graph = build_extended_graph(uniform(160, dims, seed=dims), theta=4)
+        for rid in range(0, 160, 9):
+            mark_deleted(graph, rid)
+        self.check(graph, k)
+
+    @pytest.mark.parametrize("dims", [2, 3, 4, 5])
+    @pytest.mark.parametrize("k", KS)
+    def test_where_filtered(self, dims, k):
+        graph = build_extended_graph(uniform(160, dims, seed=dims), theta=3)
+        self.check(graph, k, where=lambda vector: vector[0] > 400.0)
+
+
+# Hypothesis sweep: small integer-grid blocks (ties and duplicates are
+# frequent) with occasional sub-float32 perturbations.
+tie_heavy_blocks = st.integers(min_value=2, max_value=4).flatmap(
+    lambda dims: arrays(
+        np.float64,
+        st.tuples(st.integers(min_value=1, max_value=36), st.just(dims)),
+        elements=st.sampled_from(
+            [0.0, 1.0, 2.0, 3.0, 1.0 + SUB_F32_GAP, 2.0 - SUB_F32_GAP]
+        ),
+    )
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    block=tie_heavy_blocks,
+    k=st.integers(min_value=1, max_value=12),
+    weight_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_fast_lane_matches_reference(block, k, weight_seed):
+    graph = build_dominant_graph(Dataset(block))
+    snapshot = graph.compile()
+    dims = block.shape[1]
+    weights = np.random.default_rng(weight_seed).dirichlet(np.ones(dims))
+    for function in (LinearFunction(weights), MinFunction()):
+        reference = BasicTraveler(graph).top_k(function, k)
+        compiled = CompiledBasicTraveler(snapshot)
+        fast = fast_lane_result(compiled, function, k)
+        assert_bit_identical(reference, fast)
+        assert_bit_identical(reference, f64_lane_result(compiled, function, k))
+        assert_canonical_tie_order(fast)
+
+
+class TestMargin:
+    def test_margin_covers_observed_float32_error(self):
+        """The proven bound must dominate the measured error, with room."""
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0.0, 1000.0, size=(4096, 5))
+        weights = rng.dirichlet(np.ones(5), size=8)
+        exact = values @ weights.T
+        approx = (
+            values.astype(np.float32) @ weights.T.astype(np.float32)
+        ).astype(np.float64)
+        margin = _f32_margin(
+            5, np.abs(weights).sum(axis=1), float(np.abs(values).max())
+        )
+        assert np.all(np.abs(exact - approx) <= margin[None, :])
+
+    def test_margin_grows_with_dims_and_scale(self):
+        sums = np.asarray([1.0])
+        assert _f32_margin(8, sums, 1.0) > _f32_margin(2, sums, 1.0)
+        assert _f32_margin(2, sums, 100.0) > _f32_margin(2, sums, 1.0)
+
+    def test_round_down_never_rounds_up(self):
+        for value in (0.1, 1.0 + 1e-9, -0.3, 1e-40, 7.25, np.pi):
+            rounded = _f32_round_down(value)
+            assert float(rounded) <= value
+            assert float(np.nextafter(rounded, np.float32(np.inf))) > value
+
+
+class TestNativeFlag:
+    @pytest.fixture(autouse=True)
+    def fresh_kernel_state(self):
+        native.reset()
+        yield
+        native.reset()
+
+    def test_flag_off_means_no_kernel(self):
+        with mock.patch.dict(os.environ, {native.NATIVE_ENV: ""}):
+            assert not native.requested()
+            assert native.kernel() is None
+
+    def test_requested_kernel_is_exact_or_warns_and_falls_back(self):
+        """Both sides of the [native] extra, decided by the environment.
+
+        With numba importable the kernel must activate and stay
+        bit-identical to the reference; without it the first query warns
+        (once) and the numpy lane answers, still bit-identically.
+        """
+        graph = build_dominant_graph(uniform(200, 3, seed=1))
+        snapshot = graph.compile()
+        function = LinearFunction([0.5, 0.3, 0.2])
+        reference = BasicTraveler(graph).top_k(function, 10)
+        with mock.patch.dict(os.environ, {native.NATIVE_ENV: "1"}):
+            assert native.requested()
+            if native.available():
+                result = CompiledBasicTraveler(snapshot).top_k(function, 10)
+                assert native.status()["active"]
+            else:
+                with pytest.warns(RuntimeWarning, match="falling back"):
+                    result = CompiledBasicTraveler(snapshot).top_k(function, 10)
+                assert not native.status()["active"]
+                # The unavailability latch must make later queries silent.
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    again = CompiledBasicTraveler(snapshot).top_k(function, 10)
+                assert_bit_identical(reference, again)
+        assert_bit_identical(reference, result)
+
+    def test_status_reports_all_three_signals(self):
+        with mock.patch.dict(os.environ, {native.NATIVE_ENV: ""}):
+            status = native.status()
+        assert set(status) == {"requested", "importable", "active"}
+        assert status["requested"] is False
+        assert status["active"] is False

@@ -46,13 +46,15 @@ def weights3() -> LinearFunction:
 
 
 class TraversalOnlyFault:
-    """Scoring function that dies in traversal but survives the scan.
+    """Scoring function that dies in the batch kernel but survives the scan.
 
-    The compiled traversal scores layer/unlock batches (always smaller
-    than the full record set); :func:`repro.serve.index.snapshot_scan`
-    scores every real record in one block.  Failing any partial batch
-    exercises "every traversal attempt fails, the degraded scan
-    succeeds" without counting calls.
+    The batch kernel scores read-only slice views of the frozen snapshot's
+    value matrix, while :func:`repro.serve.index.snapshot_scan` extracts
+    the real records with a boolean mask — a fresh, writeable copy.
+    Failing every read-only block exercises "every compiled-tier attempt
+    fails, the degraded scan succeeds" regardless of chunk geometry (small
+    datasets fit in one chunk, so batch *size* no longer distinguishes the
+    two paths).
     """
 
     def __init__(self, inner, full_count: int) -> None:
@@ -63,7 +65,7 @@ class TraversalOnlyFault:
         raise RuntimeError("injected scoring fault")
 
     def score_many(self, block: np.ndarray) -> np.ndarray:
-        if block.shape[0] < self.full_count:
+        if not block.flags.writeable:
             raise RuntimeError("injected scoring fault")
         return self.inner.score_many(block)
 
