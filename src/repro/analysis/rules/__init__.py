@@ -15,6 +15,7 @@ from repro.analysis.rules.dtype_discipline import DtypeDisciplineRule
 from repro.analysis.rules.guard_coverage import GuardCoverageRule
 from repro.analysis.rules.public_api import PublicApiRule
 from repro.analysis.rules.worker_discipline import WorkerDisciplineRule
+from repro.analysis.rules.deadline_discipline import DeadlineDisciplineRule
 
 #: Shipped rules, in catalog order.
 ALL_RULES = (
@@ -27,10 +28,12 @@ ALL_RULES = (
     GuardCoverageRule,
     PublicApiRule,
     WorkerDisciplineRule,
+    DeadlineDisciplineRule,
 )
 
 __all__ = [
     "ALL_RULES",
+    "DeadlineDisciplineRule",
     "DeterminismRule",
     "DtypeDisciplineRule",
     "GuardCoverageRule",

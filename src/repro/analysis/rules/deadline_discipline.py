@@ -1,0 +1,117 @@
+"""Rule: a serving/fabric function that accepts a deadline must use it.
+
+The end-to-end deadline contract (PR 7) only holds if every layer that
+*accepts* a request :class:`~repro.resilience.deadline.Deadline` (or a
+``deadline_ms`` budget) also *propagates* it — threads it into a
+downstream call, enforces it (``deadline.check()``), clamps a wait with
+it, or stores/returns it for a later stage.  A function that takes the
+parameter and then drops it is worse than one that never took it: the
+caller believes its time budget is being honoured while the work below
+runs unbounded, which is exactly the silent-wedge failure mode the
+deadline machinery exists to kill.
+
+What counts as propagation:
+
+- the name used anywhere inside a call's arguments
+  (``top_k(..., deadline=deadline)``, ``Deadline.after_ms(deadline_ms)``);
+- a method/attribute access on it (``deadline.check()``,
+  ``deadline.clamp(timeout)``, ``deadline.remaining_ms()``);
+- storing it (``self._deadline = deadline``) or returning/yielding it —
+  handing the obligation to a later stage is propagation.
+
+What does **not** count: a bare truthiness or ``is None`` test.
+``if deadline is not None: pass`` inspects the deadline without ever
+spending, enforcing, or forwarding it.
+
+Scope: ``serve/`` and ``parallel/`` modules — the layers a request's
+deadline must traverse on its way from admission to the kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: Parameter names that carry a request's time budget.
+_PARAM_NAMES = ("deadline", "deadline_ms")
+
+
+def _parameters(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[str]:
+    """Deadline-carrying parameter names of ``func``, in signature order."""
+    args = func.args
+    every = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    return [arg.arg for arg in every if arg.arg in _PARAM_NAMES]
+
+
+def _names_in(node: ast.AST, name: str) -> bool:
+    """Whether ``name`` is loaded anywhere inside ``node``'s subtree."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and inner.id == name:
+            return True
+    return False
+
+
+class DeadlineDisciplineRule(Rule):
+    """Deadline parameters in serve/parallel code must be propagated."""
+
+    id = "deadline-discipline"
+    summary = (
+        "a serving/fabric function accepting a deadline must propagate, "
+        "enforce, or hand it off — never silently drop it"
+    )
+    hint = (
+        "thread the deadline into the downstream call, enforce it with "
+        "deadline.check()/clamp(), or store/return it for a later stage; "
+        "a bare `if deadline:` test strands the caller's time budget"
+    )
+    paths = ("serve/", "parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per deadline parameter that is never used."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for name in _parameters(node):
+                if not self._propagates(node, name):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"function {node.name!r} accepts {name!r} but "
+                        "never propagates or enforces it; the caller's "
+                        "time budget is silently dropped",
+                    )
+
+    def _propagates(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", name: str
+    ) -> bool:
+        # Closures count: a nested `attempt()` that calls
+        # `deadline.check()` is how the retry pattern propagates the
+        # outer function's deadline, so the walk deliberately descends
+        # into nested function bodies.
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Attribute):
+                    value = node.value
+                    if isinstance(value, ast.Name) and value.id == name:
+                        return True
+                elif isinstance(node, ast.Call):
+                    operands = [
+                        *node.args,
+                        *[keyword.value for keyword in node.keywords],
+                    ]
+                    if any(
+                        _names_in(operand, name) for operand in operands
+                    ):
+                        return True
+                elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    if node.value is not None and not isinstance(
+                        node.value, ast.Compare
+                    ):
+                        if _names_in(node.value, name):
+                            return True
+                elif isinstance(node, (ast.Return, ast.Yield)):
+                    if node.value is not None and _names_in(node.value, name):
+                        return True
+        return False

@@ -22,6 +22,7 @@ Datasets are stored as ``.npz`` archives with ``values`` and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -36,7 +37,11 @@ from repro.core.io import load_graph, repair_graph, save_graph
 from repro.core.maintenance import delete_record, insert_record
 from repro.data.generators import make_dataset
 from repro.data.server import server_dataset
-from repro.errors import IndexCorruptionError, QueryBudgetExceeded
+from repro.errors import (
+    IndexCorruptionError,
+    QueryBudgetExceeded,
+    WALCorruptionError,
+)
 from repro.metrics.timing import Timer
 
 
@@ -279,48 +284,206 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     This is the *runtime* half of the project's checking story: it
     verifies the data a process would actually serve (structural
     invariants via ``verify_graph``, plus a compiled-vs-reference engine
-    cross-check on probe queries).  The *static* half — source-level
-    contract checks that need no index at all — is ``repro lint``.
+    cross-check on probe queries), audits ``/dev/shm`` for segments
+    leaked by dead query fabrics, and — with ``--wal`` — scans a
+    write-ahead log for torn tails and mid-log corruption.  The
+    *static* half — source-level contract checks that need no index at
+    all — is ``repro lint``.  ``--format json`` emits the whole report
+    as one machine-readable object for dashboards and CI.
 
     Exit status: 0 healthy (or repaired clean), 1 deep-verification
-    issues or engine divergence, 2 corruption (unrepaired or
-    unrepairable).
+    issues or engine divergence, 2 corruption (unrepaired, unrepairable,
+    or a damaged WAL beyond its recoverable torn tail).
     """
     from repro.core.verify import format_issues, verify_graph
+    from repro.parallel.shm import leaked_segments
 
-    print(f"doctor: {args.index}")
+    text = args.format != "json"
+    report: dict = {"index": args.index}
+
+    def say(line: str) -> None:
+        if text:
+            print(line)
+
+    def finish(code: int) -> int:
+        report["exit_code"] = code
+        if not text:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        return code
+
+    say(f"doctor: {args.index}")
     try:
         graph = load_graph(args.index)
     except FileNotFoundError as exc:
-        print(f"  cannot read index: {exc}")
-        return 2
+        say(f"  cannot read index: {exc}")
+        report["error"] = f"cannot read index: {exc}"
+        return finish(2)
     except IndexCorruptionError as exc:
-        print(f"  CORRUPT: {exc}")
+        say(f"  CORRUPT: {exc}")
+        report["corruption"] = str(exc)
         if not args.repair:
-            print("  re-run with --repair to rebuild from surviving data")
-            return 2
+            say("  re-run with --repair to rebuild from surviving data")
+            return finish(2)
         try:
             graph, notes = repair_graph(args.index)
         except IndexCorruptionError as fatal:
-            print(f"  unrepairable: {fatal}")
-            return 2
+            say(f"  unrepairable: {fatal}")
+            report["error"] = f"unrepairable: {fatal}"
+            return finish(2)
         for note in notes:
-            print(f"  repair: {note}")
+            say(f"  repair: {note}")
         out = args.out if args.out else args.index
         save_graph(graph, out)
-        print(f"  repaired index written to {out}")
-    print(f"  records indexed: {len(graph)} ({graph.num_pseudo} pseudo), "
-          f"layers: {graph.num_layers}, edges: {graph.edge_count()}")
+        say(f"  repaired index written to {out}")
+        report["repaired"] = {"notes": list(notes), "out": out}
+    say(f"  records indexed: {len(graph)} ({graph.num_pseudo} pseudo), "
+        f"layers: {graph.num_layers}, edges: {graph.edge_count()}")
+    report["graph"] = {
+        "records": len(graph),
+        "pseudo": graph.num_pseudo,
+        "layers": graph.num_layers,
+        "edges": graph.edge_count(),
+    }
     issues = verify_graph(graph)
-    print("  " + format_issues(issues).replace("\n", "\n  "))
+    say("  " + format_issues(issues).replace("\n", "\n  "))
+    report["issues"] = [str(issue) for issue in issues]
     mismatches = _cross_check_compiled(graph)
+    report["cross_check_mismatches"] = list(mismatches)
     if mismatches:
         for note in mismatches:
-            print(f"  cross-check: {note}")
+            say(f"  cross-check: {note}")
     else:
-        print("  cross-check: compiled engine matches the reference "
-              "Traveler on probe queries")
-    return 1 if issues or mismatches else 0
+        say("  cross-check: compiled engine matches the reference "
+            "Traveler on probe queries")
+    leaked = leaked_segments()
+    report["shm"] = {"leaked_segments": leaked}
+    if leaked:
+        say(f"  shm: {len(leaked)} repro-dg segment(s) present in "
+            f"/dev/shm: {', '.join(leaked)} (leaked unless a live "
+            "fabric owns them)")
+    else:
+        say("  shm: no repro-dg segments in /dev/shm")
+    wal_damaged = False
+    if args.wal:
+        from repro.serve.wal import scan_wal
+
+        try:
+            scan = scan_wal(args.wal)
+        except (FileNotFoundError, WALCorruptionError) as exc:
+            say(f"  wal: DAMAGED: {exc}")
+            report["wal"] = {"path": args.wal, "error": str(exc)}
+            wal_damaged = True
+        else:
+            report["wal"] = {
+                "path": args.wal,
+                "base_seq": scan.base_seq,
+                "records": len(scan.records),
+                "valid_bytes": scan.valid_bytes,
+                "torn_bytes": scan.torn_bytes,
+            }
+            if scan.torn_bytes:
+                say(f"  wal: {len(scan.records)} intact record(s); "
+                    f"torn tail of {scan.torn_bytes} byte(s) will be "
+                    "dropped on recovery")
+            else:
+                say(f"  wal: {len(scan.records)} intact record(s), "
+                    "clean tail")
+    if wal_damaged:
+        return finish(2)
+    return finish(1 if issues or mismatches else 0)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos scenario suite against live indexes (`repro chaos`).
+
+    Each scenario boots a fresh :class:`~repro.serve.index.ServingIndex`
+    (real fabric workers, real WAL), runs its scripted fault schedule,
+    and asserts the resilience invariants: never a wrong answer, never a
+    query wedged past its deadline, bounded recovery time.  ``--out``
+    writes the ``BENCH_resilience.json`` payload (availability, p99
+    latency under fault, per-fault recovery time).
+
+    Exit status: 0 when every scenario×seed run upholds every
+    invariant, 1 when any invariant is violated, 2 on an unknown
+    scenario name.
+    """
+    import time as time_module
+    import warnings
+
+    from repro.errors import DegradedResultWarning
+    from repro.testing.scenarios import SCENARIOS, ChaosConfig, run_suite
+
+    if args.list:
+        for name, script in SCENARIOS.items():
+            summary = (script.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {summary}")
+        return 0
+    names = args.scenario if args.scenario else None
+    unknown = sorted(set(names or []) - set(SCENARIOS))
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    config = ChaosConfig(
+        records=args.records,
+        rounds=args.rounds,
+        deadline_ms=args.deadline_ms,
+        reply_timeout=args.reply_timeout,
+    )
+    with warnings.catch_warnings():
+        # Degradations are the point of the exercise; the reports tally
+        # them, so the per-query warnings are pure noise here.
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        reports = run_suite(names, seeds=args.seeds, config=config)
+    for report in reports:
+        verdict = "PASS" if report.passed else "FAIL"
+        print(
+            f"{verdict} {report.name} (seed {report.seed}): "
+            f"availability {report.availability:.1%}, "
+            f"p99 {report.p99_ms:.0f} ms, "
+            f"recovery "
+            + (
+                f"{report.recovery_ms:.0f} ms"
+                if report.recovery_ms is not None
+                else "never"
+            )
+        )
+        if not report.passed:
+            failed = sorted(
+                name
+                for name, held in report.invariants().items()
+                if not held
+            )
+            print(f"  violated: {', '.join(failed)}")
+            for event in report.events:
+                print(f"  {event}")
+    passed = all(report.passed for report in reports)
+    if args.out:
+        payload = {
+            "bench": "resilience",
+            "generated_at": time_module.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time_module.localtime()
+            ),
+            "config": {
+                "records": config.records,
+                "rounds": config.rounds,
+                "deadline_ms": config.deadline_ms,
+                "reply_timeout": config.reply_timeout,
+                "workers": config.workers,
+                "recovery_limit_ms": config.recovery_limit_ms,
+            },
+            "seeds": list(args.seeds),
+            "scenarios": [report.to_dict() for report in reports],
+            "passed": passed,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if passed else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -612,7 +775,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="where to write the repaired index "
                         "(default: overwrite --index atomically)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (json emits one report object)")
+    p.add_argument("--wal", default=None,
+                   help="also scan this write-ahead log for torn tails "
+                        "and mid-log corruption")
     p.set_defaults(run=cmd_doctor)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run scripted fault schedules against a live serving index",
+        description="The chaos control plane: boots a real ServingIndex "
+                    "per scenario and seed, injects the scripted faults "
+                    "(hung workers, SIGKILL storms, shm tampering, "
+                    "failing fsync), and asserts the resilience "
+                    "invariants — never a wrong answer, never a query "
+                    "wedged past its deadline, bounded recovery time.",
+    )
+    p.add_argument("--scenario", action="append", default=None,
+                   help="scenario to run (repeatable; default: all)")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0],
+                   help="dataset/workload seeds to sweep (default: 0)")
+    p.add_argument("--records", type=int, default=500,
+                   help="dataset size per scenario index")
+    p.add_argument("--rounds", type=int, default=6,
+                   help="fault/query rounds per scenario")
+    p.add_argument("--deadline-ms", type=float, default=1500.0,
+                   help="end-to-end deadline applied to every query")
+    p.add_argument("--reply-timeout", type=float, default=0.3,
+                   help="seconds before a silent fabric worker is "
+                        "presumed hung and replaced")
+    p.add_argument("--out", default=None,
+                   help="write the BENCH_resilience.json payload here")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered scenarios and exit")
+    p.set_defaults(run=cmd_chaos)
 
     p = sub.add_parser(
         "lint",

@@ -97,6 +97,7 @@ from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.errors import StaleSnapshotError
 from repro.metrics.counters import AccessCounter
+from repro.resilience.deadline import Deadline
 
 #: Algorithm label stamped on results produced by :func:`batch_top_k`
 #: unless the caller passes its own.
@@ -311,6 +312,7 @@ class CompiledDG:
         where: WherePredicate | None = None,
         stats: AccessCounter | None = None,
         algorithm: str = BATCH_ALGORITHM,
+        deadline: Deadline | None = None,
     ) -> TopKResult:
         """Answer one top-k query: a batch of one through the kernel.
 
@@ -318,7 +320,8 @@ class CompiledDG:
         compiled tier, :class:`~repro.serve.index.ServingIndex` reads,
         and the parallel fabric's ``full`` worker mode all land here.
         Parameters mirror
-        :meth:`repro.core.advanced.AdvancedTraveler.top_k`.
+        :meth:`repro.core.advanced.AdvancedTraveler.top_k`; ``deadline``
+        is checked between layer chunks (see :func:`batch_top_k`).
         """
         (result,) = batch_top_k(
             self,
@@ -327,6 +330,7 @@ class CompiledDG:
             where=where,
             stats=None if stats is None else [stats],
             algorithm=algorithm,
+            deadline=deadline,
         )
         return result
 
@@ -424,6 +428,7 @@ class CompiledAdvancedTraveler:
         where: WherePredicate | None = None,
         *,
         stats: AccessCounter | None = None,
+        deadline: Deadline | None = None,
     ) -> TopKResult:
         """Answer a top-k query; only real, ``where``-matching records count.
 
@@ -431,9 +436,15 @@ class CompiledAdvancedTraveler:
         :meth:`repro.core.advanced.AdvancedTraveler.top_k`: ``where`` is an
         optional ``vector -> bool`` predicate; non-matching records are
         scanned (they still bound the search) but never reported.
+        ``deadline`` is checked at kernel chunk boundaries.
         """
         return self._compiled.top_k(
-            function, k, where=where, stats=stats, algorithm=self.name
+            function,
+            k,
+            where=where,
+            stats=stats,
+            algorithm=self.name,
+            deadline=deadline,
         )
 
 
@@ -578,6 +589,7 @@ def batch_top_k(
     where: WherePredicate | None = None,
     stats: Sequence[AccessCounter] | None = None,
     algorithm: str = BATCH_ALGORITHM,
+    deadline: Deadline | None = None,
 ) -> "list[TopKResult]":
     """Answer many top-k queries in one layer-progressive sweep.
 
@@ -622,6 +634,13 @@ def batch_top_k(
         Label stamped on the returned
         :class:`~repro.core.result.TopKResult` objects (batch-of-one
         wrappers pass their public engine names).
+    deadline:
+        Optional end-to-end :class:`~repro.resilience.deadline.Deadline`
+        checked at every layer-chunk boundary; expiry raises
+        :class:`~repro.errors.DeadlineExceeded` mid-sweep.  Chunks are
+        the kernel's natural preemption points: within a chunk the work
+        is one fused matrix pass, so checkpointing between them bounds
+        overrun by a single chunk's scoring time.
 
     Peak memory is ``len(functions) * num_records * 4`` bytes of float32
     scores on the fast lane (``* 8`` float64 on the oracle lane); cap the
@@ -664,8 +683,12 @@ def batch_top_k(
             )
 
     if weights is not None and _f32_lane_applies(compiled, weights):
-        return _f32_lane(compiled, weights, k, where, counters, algorithm)
-    return _f64_lane(compiled, functions, weights, k, where, counters, algorithm)
+        return _f32_lane(
+            compiled, weights, k, where, counters, algorithm, deadline
+        )
+    return _f64_lane(
+        compiled, functions, weights, k, where, counters, algorithm, deadline
+    )
 
 
 def _f32_lane_applies(compiled: CompiledDG, weights: np.ndarray) -> bool:
@@ -690,6 +713,7 @@ def _f32_lane(
     where: WherePredicate | None,
     counters: "list[AccessCounter]",
     algorithm: str,
+    deadline: Deadline | None = None,
 ) -> "list[TopKResult]":
     """The two-precision lane: float32 scan, exact float64 boundary re-check."""
     num_queries = int(weights.shape[0])
@@ -720,6 +744,8 @@ def _f32_lane(
 
     kernel = native.kernel()
     for lo, hi in _iter_chunks(bounds, k):
+        if deadline is not None:
+            deadline.check(stage="kernel")
         act_idx = np.flatnonzero(active)
         block32, chunk_max32 = _f32_chunk_scores(
             values_f32, weights_f32[act_idx], lo, hi, kernel
@@ -802,6 +828,7 @@ def _f64_lane(
     where: WherePredicate | None,
     counters: "list[AccessCounter]",
     algorithm: str,
+    deadline: Deadline | None = None,
 ) -> "list[TopKResult]":
     """The exact float64 lane: the parity oracle for every function class.
 
@@ -829,6 +856,8 @@ def _f64_lane(
     ans_count = 0
 
     for lo, hi in _iter_chunks(bounds, k):
+        if deadline is not None:
+            deadline.check(stage="kernel")
         block = values[lo:hi]
         act_idx = np.flatnonzero(active)
         if weights is not None:

@@ -52,11 +52,14 @@ from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.graph import DominantGraph
 from repro.core.result import TopKResult
 from repro.errors import (
+    DeadlineExceeded,
     DegradedResultWarning,
     InvariantViolation,
     QueryBudgetExceeded,
 )
 from repro.metrics.counters import AccessCounter
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
 
 #: Serving tiers, fastest first; run_query walks this chain.
 TIERS = ("compiled", "reference", "naive")
@@ -83,6 +86,14 @@ class BudgetedAccessCounter(AccessCounter):
         ``time.monotonic()`` timestamp the budget is measured from;
         defaults to construction time.  The guard passes one start time
         to every tier so fallbacks share the original deadline.
+    deadline:
+        Optional end-to-end :class:`~repro.resilience.deadline.Deadline`
+        enforced alongside the per-tier budgets.  This is how the
+        deadline reaches *mid-traversal* in tiers with no kernel
+        checkpoint of their own (reference and naive): they charge this
+        counter per scored record, and the counter raises
+        :class:`~repro.errors.DeadlineExceeded` the moment the request's
+        time is gone.
     """
 
     def __init__(
@@ -90,11 +101,13 @@ class BudgetedAccessCounter(AccessCounter):
         max_records: int | None = None,
         budget_ms: float | None = None,
         started: float | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         super().__init__()
         self.max_records = max_records
         self.budget_ms = budget_ms
         self.started = time.monotonic() if started is None else started
+        self.deadline = deadline
 
     def enforce(self) -> None:
         """Raise :class:`QueryBudgetExceeded` if either budget is spent.
@@ -115,6 +128,8 @@ class BudgetedAccessCounter(AccessCounter):
                 raise QueryBudgetExceeded(
                     "time", limit=self.budget_ms, spent=elapsed_ms
                 )
+        if self.deadline is not None:
+            self.deadline.check(stage="counter")
 
     def count_computed(
         self, record_id: int | None = None, pseudo: bool = False
@@ -139,12 +154,13 @@ def _run_tier(
     k: int,
     where: WherePredicate | None,
     stats: AccessCounter,
+    deadline: Deadline | None = None,
 ) -> TopKResult:
     if tier == "compiled":
         if snapshot is None or snapshot.stale:
             snapshot = graph.compile()
         return CompiledAdvancedTraveler(snapshot).top_k(
-            function, k, where=where, stats=stats
+            function, k, where=where, stats=stats, deadline=deadline
         )
     if tier == "reference":
         return AdvancedTraveler(graph).top_k(function, k, where=where, stats=stats)
@@ -173,6 +189,8 @@ def run_query(
     budget_records: int | None = None,
     fallback: bool = True,
     snapshot: CompiledDG | None = None,
+    deadline: Deadline | None = None,
+    breakers: BreakerBoard | None = None,
 ) -> TopKResult:
     """Answer a top-k query with budgets and engine degradation.
 
@@ -199,6 +217,24 @@ def run_query(
     snapshot:
         Optional pre-built :class:`~repro.core.compiled.CompiledDG` for
         the compiled tier; ignored (and rebuilt) when stale.
+    deadline:
+        Optional end-to-end request deadline, shared across the whole
+        degradation chain (unlike ``budget_ms``, which restarts per
+        tier).  Checked before each tier attempt, enforced
+        mid-traversal through the budgeted counter and the kernel chunk
+        checkpoints, and consulted for remaining-time-aware skipping:
+        when a tier fails and the breakers' smoothed latency estimate
+        for the *next* tier already exceeds the time left, the guard
+        raises :class:`~repro.errors.DeadlineExceeded` instead of
+        starting a fallback that provably cannot finish.
+    breakers:
+        Optional :class:`~repro.resilience.breaker.BreakerBoard` of
+        per-tier circuit breakers (keys ``"tier:<name>"``).  A tier
+        whose breaker is open is skipped with a
+        :class:`~repro.errors.DegradedResultWarning`; outcomes and
+        latencies feed back into the board.  The last tier in the chain
+        is always attempted — a breaker must never leave a query with
+        no tier at all.
 
     Returns
     -------
@@ -227,11 +263,47 @@ def run_query(
 
     failure: Exception | None = None
     for position, tier in enumerate(chain):
+        last = position + 1 == len(chain)
+        if deadline is not None:
+            deadline.check(stage="guard", tier=tier)
+        breaker = None if breakers is None else breakers.get(f"tier:{tier}")
+        if breaker is not None and not last and not breaker.allow():
+            warnings.warn(
+                DegradedResultWarning(
+                    f"{tier} tier skipped: its circuit breaker is "
+                    f"{breaker.state}; degrading to the "
+                    f"{chain[position + 1]} tier"
+                ),
+                stacklevel=2,
+            )
+            continue
+        if (
+            deadline is not None
+            and breaker is not None
+            and not last
+            and (estimate := breaker.latency_ewma_ms) is not None
+            and deadline.remaining_ms() < estimate
+        ):
+            # This tier's typical latency already exceeds the time left,
+            # and every later tier is slower still: fail fast rather
+            # than burn the remaining budget on a doomed attempt.
+            raise DeadlineExceeded(
+                deadline.total_ms,
+                deadline.spent_ms(),
+                stage="guard-skip",
+                tier=tier,
+            )
         stats = BudgetedAccessCounter(
-            max_records=budget_records, budget_ms=budget_ms, started=started
+            max_records=budget_records,
+            budget_ms=budget_ms,
+            started=started,
+            deadline=deadline,
         )
+        tier_started = time.monotonic()
         try:
-            result = _run_tier(tier, graph, snapshot, function, k, where, stats)
+            result = _run_tier(
+                tier, graph, snapshot, function, k, where, stats, deadline
+            )
             # Completion check: a tier that scored nothing (zero-access
             # fast path) never tripped the per-access enforcement, but
             # the wall-clock budget applies to elapsed time regardless.
@@ -239,12 +311,15 @@ def run_query(
         except QueryBudgetExceeded as exc:
             # Lower tiers access at least as many records: degrading
             # around a budget would just spend more of it.  Surface the
-            # typed error with the tier that tripped it.
-            exc.tier = tier
+            # typed error with the tier that tripped it.  Budget trips
+            # are the caller's fault, not the tier's: no breaker charge.
+            exc.tier = exc.tier or tier
             raise
         except Exception as exc:  # repro: noqa[typed-errors] -- the degradation chain exists to absorb arbitrary engine faults; anything narrower would crash on the exact bugs it guards against
+            if breaker is not None:
+                breaker.record_failure()
             failure = exc
-            if position + 1 == len(chain):
+            if last:
                 raise
             warnings.warn(
                 DegradedResultWarning(
@@ -254,6 +329,10 @@ def run_query(
                 stacklevel=2,
             )
             continue
+        if breaker is not None:
+            breaker.record_success(
+                1000.0 * (time.monotonic() - tier_started)
+            )
         return replace(result, tier=tier)
     if failure is not None:
         raise failure

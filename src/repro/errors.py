@@ -39,6 +39,20 @@ Hierarchy
     budget ``kind`` (``"records"`` or ``"time"``), the ``limit``, and
     what was actually ``spent``.
 
+``DeadlineExceeded`` (a ``QueryBudgetExceeded``)
+    An end-to-end request deadline (:class:`repro.resilience.Deadline`)
+    expired before the request finished.  Subclasses
+    :class:`QueryBudgetExceeded` with ``kind="time"`` so every existing
+    budget handler — the guard's never-degrade-around-budgets path, the
+    retry loop's fatal set, the CLI's exit code 3 — applies unchanged.
+
+``CircuitOpenError`` (also a ``RuntimeError``)
+    A circuit breaker (:class:`repro.resilience.CircuitBreaker`) is open
+    for the requested dependency: recent calls failed at a rate past the
+    threshold, and the cooldown has not elapsed.  The call was rejected
+    *before* doing any work; callers degrade to the next tier or retry
+    after the breaker's cooldown.
+
 ``WALCorruptionError`` (also a ``ValueError``)
     A write-ahead log failed an integrity check beyond the torn tail a
     crash legitimately leaves behind (see :mod:`repro.serve.wal`).
@@ -146,6 +160,55 @@ class QueryBudgetExceeded(ReproError):
         super().__init__(
             f"query exceeded its {kind} budget: "
             f"spent {spent:g} of {limit:g} {unit}"
+        )
+
+
+class DeadlineExceeded(QueryBudgetExceeded):
+    """An end-to-end request deadline expired before the request finished.
+
+    Attributes
+    ----------
+    stage:
+        The pipeline stage that observed the expiry (``"admission"``,
+        ``"guard"``, ``"fabric"``, ``"kernel"``, ...) — for debugging
+        which layer the time went to, not for control flow.
+
+    ``kind``/``limit``/``spent``/``tier`` follow the
+    :class:`QueryBudgetExceeded` contract with ``kind="time"``: the
+    limit is the request's total deadline in milliseconds and ``spent``
+    is the wall-clock elapsed when the expiry was observed.
+    """
+
+    def __init__(
+        self,
+        limit_ms: float,
+        spent_ms: float,
+        *,
+        stage: str = "",
+        tier: str = "",
+    ) -> None:
+        super().__init__("time", limit_ms, spent_ms, tier=tier)
+        self.stage = stage
+        if stage:
+            self.args = (f"{self.args[0]} [stage={stage}]",)
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A circuit breaker rejected the call before any work was done.
+
+    Attributes
+    ----------
+    name:
+        The breaker's name (e.g. ``"tier:compiled"``, ``"worker:2"``).
+    retry_after:
+        Seconds until the breaker will admit a half-open probe.
+    """
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        self.name = name
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit {name!r} is open; retry after {retry_after:.3f}s"
         )
 
 

@@ -10,14 +10,35 @@ points:
   match them regardless of completion order.  Per-worker queues make a
   snapshot publish a simple FIFO barrier: every task enqueued after the
   :class:`~repro.parallel.worker.PublishMessage` runs on the new epoch.
-- **Self-healing.**  The collector polls worker liveness whenever the
-  result queue goes quiet; a dead worker is replaced by a fresh process
-  on a *fresh* queue (the old queue's internal lock may have died with
-  the worker) and that worker's outstanding tasks are re-dispatched.
-  Duplicate replies — possible when a re-dispatched task raced its dying
-  first run — are dropped by task id.  A respawn budget turns systemic
-  crash loops into :class:`~repro.errors.ParallelExecutionError` instead
-  of a hang.
+- **Self-healing, including hung workers.**  The collector polls worker
+  liveness whenever the result queue goes quiet; a dead worker is
+  replaced by a fresh process on a *fresh* queue (the old queue's
+  internal lock may have died with the worker) and that worker's
+  outstanding tasks are re-dispatched.  With a ``reply_timeout``, an
+  *alive-but-silent* worker — stopped by a signal, wedged in a syscall,
+  spinning in a poisoned allocator — is SIGKILLed and healed the same
+  way; liveness alone cannot catch it (a ``SIGSTOP``ped process reports
+  ``is_alive()``), only the missing reply can.  Before the kill
+  threshold, a pending task is *hedged*: a duplicate is dispatched to
+  another healthy worker, so one slow slot costs a duplicate execution
+  instead of the whole request.  Duplicate replies — from hedges, or
+  from a re-dispatched task racing its dying first run — are dropped by
+  task id.  A worker that dies mid-reply can poison the shared reply
+  queue itself (its cross-process write lock dies held), so post-crash
+  reply silence triggers a full pool rebuild onto a fresh queue.  A
+  respawn budget turns systemic crash loops into
+  :class:`~repro.errors.ParallelExecutionError` instead of a hang.
+- **Per-worker circuit breakers.**  Each slot's outcomes feed a
+  :class:`~repro.resilience.breaker.CircuitBreaker`; dispatch prefers
+  slots whose breaker admits traffic, and a respawned slot starts with
+  a fresh breaker.  Breaker state is exported through :meth:`stats`
+  into the serving health probe.
+- **Deadline propagation.**  ``map_queries(..., deadline=...)`` bounds
+  the whole fan-out: collection waits are clamped to the deadline, the
+  deadline rides each :class:`~repro.parallel.worker.QueryTask` into
+  the workers' kernel chunk loops (``CLOCK_MONOTONIC`` is system-wide,
+  so the instant survives the fork), and expiry raises a typed
+  :class:`~repro.errors.DeadlineExceeded` — never a silent stall.
 - **Leak-proof segments.**  The executor owns every segment it exports;
   ``shutdown`` (also a ``weakref.finalize`` backstop, also ``with``)
   destroys the current segment, and ``publish`` destroys the previous
@@ -27,7 +48,7 @@ Execution modes mirror :mod:`repro.parallel.worker`: ``batch`` (default,
 fastest — amortizes per-query dispatch inside each worker), ``full``
 (one traversal per query, parallel across workers), ``shard`` (each
 query split across all workers, answers k-way merged).  All three return
-results bit-identical to the single-process compiled engine.
+results bit-identical to the single-process engine.
 """
 
 from __future__ import annotations
@@ -35,15 +56,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
+import os
 import queue
 import threading
+import time
 import weakref
 from typing import Optional, Sequence
 
 from repro.core.compiled import CompiledDG
 from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.result import TopKResult
-from repro.errors import ParallelExecutionError
+from repro.errors import DeadlineExceeded, ParallelExecutionError
 from repro.metrics.counters import AccessCounter
 from repro.parallel.shm import SharedSnapshot, export_snapshot
 from repro.parallel.worker import (
@@ -54,6 +77,27 @@ from repro.parallel.worker import (
     tag_epoch,
     worker_main,
 )
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
+
+
+#: Set ``REPRO_FABRIC_TRACE`` to a file path to append a timestamped
+#: line per pool lifecycle event (spawn, dispatch, heal, reap, reply).
+#: Post-mortem fuel for exactly the class of bug that only shows up as
+#: "the suite hung once on Tuesday"; off (and free) by default.
+_TRACE_PATH = os.environ.get("REPRO_FABRIC_TRACE")
+
+
+def _trace(event: str) -> None:
+    if _TRACE_PATH is None:
+        return
+    try:
+        with open(_TRACE_PATH, "a") as sink:
+            sink.write(
+                f"{time.monotonic():.4f} pid={os.getpid()} {event}\n"
+            )
+    except OSError:  # tracing must never take the fabric down
+        pass
 
 
 class _WorkerSlot:
@@ -63,6 +107,7 @@ class _WorkerSlot:
         self.worker_id = worker_id
         self.process = process
         self.requests = requests
+        self.generation = 0
 
     @property
     def alive(self) -> bool:
@@ -94,6 +139,27 @@ def merge_shard_results(
 class ParallelQueryExecutor:
     """Persistent multi-process query pool over a shared snapshot.
 
+    Parameters
+    ----------
+    compiled:
+        Snapshot to export and serve.
+    workers:
+        Pool size (positive).
+    batch_size:
+        Queries per ``batch``-mode task.
+    epoch:
+        Epoch stamp of the initial snapshot.
+    poll_interval:
+        Seconds between liveness checks while the reply queue is quiet.
+    reply_timeout:
+        Seconds a dispatched task may go unanswered before its worker is
+        presumed hung, SIGKILLed, and replaced (``None`` — the default —
+        waits forever, the pre-resilience behaviour).
+    hedge_fraction:
+        Fraction of ``reply_timeout`` after which a still-pending task
+        is duplicated onto another healthy worker.  Ignored when
+        ``reply_timeout`` is ``None``.
+
     Examples
     --------
     >>> from repro.core.dataset import Dataset
@@ -107,6 +173,12 @@ class ParallelQueryExecutor:
     [0, 1]
     """
 
+    #: Seconds of post-crash reply silence before the reply queue is
+    #: presumed poisoned and the pool is rebuilt (see _check_wedged).
+    #: Far above a healthy respawn-and-answer round trip (~10 ms), far
+    #: below any caller-visible timeout.
+    _WEDGE_GRACE = 1.0
+
     def __init__(
         self,
         compiled: CompiledDG,
@@ -115,25 +187,43 @@ class ParallelQueryExecutor:
         batch_size: int = 64,
         epoch: int = 0,
         poll_interval: float = 0.05,
+        reply_timeout: float | None = None,
+        hedge_fraction: float = 0.5,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if reply_timeout is not None and reply_timeout <= 0:
+            raise ValueError("reply_timeout must be positive or None")
+        if not 0.0 < hedge_fraction <= 1.0:
+            raise ValueError("hedge_fraction must be in (0, 1]")
         self.num_workers = int(workers)
         self.batch_size = int(batch_size)
         self._poll_interval = float(poll_interval)
+        self.reply_timeout = reply_timeout
+        self.hedge_delay = (
+            None if reply_timeout is None else reply_timeout * hedge_fraction
+        )
         self._context = multiprocessing.get_context("fork")
         self._shared: SharedSnapshot = export_snapshot(compiled, epoch=epoch)
         self._results = self._context.Queue()
+        # Monotonic instant of the most recent unexpected worker death
+        # with no reply received since; None while the reply queue is
+        # above suspicion.  See _check_wedged for why a corpse makes
+        # the queue itself a suspect.
+        self._suspect_since: "float | None" = None
         self._task_ids = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
+        self._breakers = BreakerBoard(window=8, min_calls=2, cooldown=0.5)
         self._counters = {
             "tasks_dispatched": 0,
             "tasks_completed": 0,
             "tasks_redispatched": 0,
+            "tasks_hedged": 0,
             "workers_respawned": 0,
+            "workers_killed_hung": 0,
             "publishes": 0,
         }
         self._slots = [self._spawn(i) for i in range(self.num_workers)]
@@ -156,6 +246,7 @@ class ParallelQueryExecutor:
             name=f"repro-dg-worker-{worker_id}",
         )
         process.start()
+        _trace(f"spawn worker={worker_id} child={process.pid}")
         return _WorkerSlot(worker_id, process, requests)
 
     def publish(self, compiled: CompiledDG, *, epoch: int) -> None:
@@ -185,6 +276,10 @@ class ParallelQueryExecutor:
             if self._closed:
                 return
             self._closed = True
+            _trace(
+                "shutdown children="
+                f"{[slot.process.pid for slot in self._slots]}"
+            )
             for slot in self._slots:
                 if slot.alive:
                     slot.requests.put(None)
@@ -192,6 +287,11 @@ class ParallelQueryExecutor:
                 slot.process.join(timeout=timeout)
                 if slot.process.is_alive():
                     slot.process.terminate()
+                    slot.process.join(timeout=timeout)
+                if slot.process.is_alive():
+                    # A SIGSTOPped worker leaves SIGTERM pending forever;
+                    # only SIGKILL reaches a stopped process.
+                    slot.process.kill()
                     slot.process.join(timeout=timeout)
                 slot.process.close()
                 slot.requests.close()
@@ -211,11 +311,13 @@ class ParallelQueryExecutor:
         return self._shared.handle.epoch
 
     def stats(self) -> dict:
-        """Counters for dispatch, healing, and publish activity."""
+        """Counters for dispatch, healing, hedging, and breaker state."""
         with self._lock:
             snapshot = dict(self._counters)
         snapshot["workers"] = self.num_workers
         snapshot["batch_size"] = self.batch_size
+        snapshot["reply_timeout"] = self.reply_timeout
+        snapshot["breakers"] = self._breakers.snapshot()
         return snapshot
 
     # -- queries ------------------------------------------------------
@@ -226,9 +328,12 @@ class ParallelQueryExecutor:
         k: int,
         *,
         where: "WherePredicate | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> TopKResult:
         """Answer one top-k query on a single worker (full traversal)."""
-        (result,) = self.map_queries([function], k, where=where, mode="full")
+        (result,) = self.map_queries(
+            [function], k, where=where, mode="full", deadline=deadline
+        )
         return result
 
     def query_sharded(
@@ -237,9 +342,12 @@ class ParallelQueryExecutor:
         k: int,
         *,
         where: "WherePredicate | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> TopKResult:
         """Answer one query split across every worker, k-way merged."""
-        (result,) = self.map_queries([function], k, where=where, mode="shard")
+        (result,) = self.map_queries(
+            [function], k, where=where, mode="shard", deadline=deadline
+        )
         return result
 
     def map_queries(
@@ -249,6 +357,7 @@ class ParallelQueryExecutor:
         *,
         where: "WherePredicate | None" = None,
         mode: str = "auto",
+        deadline: "Deadline | None" = None,
     ) -> "list[TopKResult]":
         """Answer many queries across the pool; results keep input order.
 
@@ -258,6 +367,12 @@ class ParallelQueryExecutor:
         per query, spread round-robin; ``"shard"`` splits every query
         across all workers and k-way merges.  All modes are bit-identical
         to the single-process engine per query.
+
+        ``deadline`` bounds the whole call: it rides each task into the
+        workers (kernel chunk checkpoints), clamps every collection
+        wait, and raises :class:`~repro.errors.DeadlineExceeded` when it
+        expires with tasks still pending — abandoned replies are
+        dropped by task-id dedup when they eventually arrive.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -271,8 +386,8 @@ class ParallelQueryExecutor:
         with self._lock:
             self._ensure_open()
             if mode == "shard":
-                return self._run_sharded(functions, k, where)
-            return self._run_chunked(functions, k, where, mode)
+                return self._run_sharded(functions, k, where, deadline)
+            return self._run_chunked(functions, k, where, mode, deadline)
 
     # -- internals (callers hold self._lock) --------------------------
 
@@ -286,6 +401,7 @@ class ParallelQueryExecutor:
         functions: "Sequence[ScoringFunction]",
         k: int,
         where: "WherePredicate | None",
+        deadline: "Deadline | None" = None,
         shard_index: int = 0,
         shard_count: int = 1,
     ) -> QueryTask:
@@ -297,6 +413,7 @@ class ParallelQueryExecutor:
             where=where,
             shard_index=shard_index,
             shard_count=shard_count,
+            deadline=deadline,
         )
 
     def _run_chunked(
@@ -305,17 +422,18 @@ class ParallelQueryExecutor:
         k: int,
         where: "WherePredicate | None",
         mode: str,
+        deadline: "Deadline | None",
     ) -> "list[TopKResult]":
         chunk = self.batch_size if mode == "batch" else 1
         tasks = {}
         spans = {}
         for start in range(0, len(functions), chunk):
             task = self._next_task(
-                mode, functions[start : start + chunk], k, where
+                mode, functions[start : start + chunk], k, where, deadline
             )
             tasks[task.task_id] = task
             spans[task.task_id] = start
-        replies = self._execute(tasks)
+        replies = self._execute(tasks, deadline)
         ordered: "list[Optional[TopKResult]]" = [None] * len(functions)
         for task_id, reply in replies.items():
             start = spans[task_id]
@@ -328,6 +446,7 @@ class ParallelQueryExecutor:
         functions: "Sequence[ScoringFunction]",
         k: int,
         where: "WherePredicate | None",
+        deadline: "Deadline | None",
     ) -> "list[TopKResult]":
         shard_count = self.num_workers
         tasks = {}
@@ -335,11 +454,11 @@ class ParallelQueryExecutor:
         for index, function in enumerate(functions):
             for shard in range(shard_count):
                 task = self._next_task(
-                    "shard", [function], k, where, shard, shard_count
+                    "shard", [function], k, where, deadline, shard, shard_count
                 )
                 tasks[task.task_id] = task
                 placement[task.task_id] = (index, shard)
-        replies = self._execute(tasks)
+        replies = self._execute(tasks, deadline)
         merged: "list[TopKResult]" = []
         for index in range(len(functions)):
             payloads = []
@@ -352,85 +471,391 @@ class ParallelQueryExecutor:
             merged.append(tag_epoch(merge_shard_results(payloads, k), epoch))
         return merged
 
-    def _execute(self, tasks: "dict[int, QueryTask]") -> "dict[int, TaskResult]":
-        """Dispatch tasks round-robin; collect, heal, and re-dispatch."""
+    def _execute(
+        self,
+        tasks: "dict[int, QueryTask]",
+        deadline: "Deadline | None" = None,
+    ) -> "dict[int, TaskResult]":
+        """Dispatch tasks round-robin; collect, heal, hedge, re-dispatch.
+
+        ``assignment`` maps each pending task to the slots currently
+        holding a copy of it (one, or two once hedged), each stamped
+        with the slot's *generation* at dispatch and its own dispatch
+        time.  The generation makes orphaned copies visible: a respawn
+        bumps it, so a copy whose recorded generation no longer matches
+        its slot's was sent to a process that is gone — along with the
+        request queue holding the task — no matter which code path did
+        the respawn.  The per-copy dispatch time keeps the hung-worker
+        threshold per *copy*, so a hedge sent moments ago is never
+        blamed for the primary's stall.  ``sent_at`` records the first
+        dispatch time, which the hedge delay and reported latency are
+        measured from.
+        """
         pending: "dict[int, QueryTask]" = dict(tasks)
-        assignment: "dict[int, int]" = {}
+        assignment: "dict[int, dict[int, tuple[int, float]]]" = {}
+        sent_at: "dict[int, float]" = {}
+        hedged: "set[int]" = set()
         order = itertools.cycle(range(len(self._slots)))
         for task_id, task in tasks.items():
             slot_index = self._dispatch(task, next(order))
-            assignment[task_id] = slot_index
+            assignment[task_id] = {
+                slot_index: (
+                    self._slots[slot_index].generation,
+                    time.monotonic(),
+                )
+            }
+            sent_at[task_id] = time.monotonic()
         replies: "dict[int, TaskResult]" = {}
         respawn_budget = self.num_workers * 4
         while pending:
+            timeout = self._poll_interval
+            if deadline is not None:
+                deadline.check(stage="fabric")
+                timeout = deadline.clamp(timeout)
             try:
-                reply = self._results.get(timeout=self._poll_interval)
+                reply = self._results.get(timeout=max(timeout, 1e-4))
             except queue.Empty:
-                respawn_budget -= self._heal(pending, assignment)
+                healed = self._heal(pending, assignment, sent_at, hedged)
+                healed += self._reap_hung(pending, assignment, sent_at, hedged)
+                healed += self._check_wedged(
+                    pending, assignment, sent_at, hedged
+                )
+                respawn_budget -= healed
                 if respawn_budget < 0:
                     raise ParallelExecutionError(
                         "workers are crash-looping; respawn budget exhausted"
                     )
+                self._hedge_stragglers(pending, assignment, sent_at, hedged)
                 continue
+            # Any reply proves the queue flows, so a prior worker death
+            # did not poison it.
+            self._suspect_since = None
             if reply.task_id not in pending:
-                continue  # duplicate from a healed re-dispatch
+                continue  # duplicate from a hedge or healed re-dispatch
             if reply.error is not None:
+                for slot_index in assignment.get(reply.task_id, {}):
+                    self._breakers.get(
+                        self._breaker_name(self._slots[slot_index])
+                    ).record_failure()
+                if reply.error_kind == "deadline":
+                    limit = (
+                        deadline.total_ms
+                        if deadline is not None
+                        else float("nan")
+                    )
+                    spent = (
+                        deadline.spent_ms()
+                        if deadline is not None
+                        else float("nan")
+                    )
+                    raise DeadlineExceeded(limit, spent, stage="fabric-worker")
                 raise ParallelExecutionError(
                     f"worker {reply.worker_id} failed task "
                     f"{reply.task_id}: {reply.error}"
                 )
+            latency_ms = 1000.0 * (
+                time.monotonic() - sent_at.get(reply.task_id, time.monotonic())
+            )
+            for slot_index in assignment.get(reply.task_id, {}):
+                slot = self._slots[slot_index]
+                if slot.worker_id == reply.worker_id:
+                    self._breakers.get(
+                        self._breaker_name(slot)
+                    ).record_success(latency_ms)
+            _trace(
+                f"reply task={reply.task_id} worker={reply.worker_id}"
+            )
             replies[reply.task_id] = reply
             del pending[reply.task_id]
             self._counters["tasks_completed"] += 1
         return replies
 
-    def _dispatch(self, task: QueryTask, slot_index: int) -> int:
-        slot = self._slots[slot_index]
+    def _breaker_name(self, slot: _WorkerSlot) -> str:
+        return f"worker:{slot.worker_id}.g{slot.generation}"
+
+    def _choose_slot(self, preferred: int, exclude: "set[int]") -> int | None:
+        """The first breaker-admitted live slot at or after ``preferred``.
+
+        Falls back to ``preferred`` itself when every slot's breaker is
+        open — an all-open board must degrade to "pick anyone", never to
+        "dispatch nowhere".  Returns ``None`` only when ``exclude``
+        rules out every slot.
+        """
+        count = len(self._slots)
+        candidates = [
+            (preferred + step) % count
+            for step in range(count)
+            if (preferred + step) % count not in exclude
+        ]
+        if not candidates:
+            return None
+        for slot_index in candidates:
+            breaker = self._breakers.get(
+                self._breaker_name(self._slots[slot_index])
+            )
+            if breaker.allow():
+                return slot_index
+        return candidates[0]
+
+    def _dispatch(
+        self, task: QueryTask, slot_index: int, exclude: "set[int]" = frozenset()
+    ) -> int:
+        chosen = self._choose_slot(slot_index, set(exclude))
+        if chosen is None:
+            chosen = slot_index
+        slot = self._slots[chosen]
         if not slot.alive:
-            self._slots[slot_index] = self._respawn(slot)
-            slot = self._slots[slot_index]
+            self._slots[chosen] = self._respawn(slot)
+            slot = self._slots[chosen]
+            if self._suspect_since is None:
+                self._suspect_since = time.monotonic()
         slot.requests.put(task)
         self._counters["tasks_dispatched"] += 1
-        return slot_index
+        _trace(
+            f"dispatch task={task.task_id} slot={chosen} "
+            f"child={slot.process.pid}"
+        )
+        return chosen
 
     def _respawn(self, dead: _WorkerSlot) -> _WorkerSlot:
         """Replace a dead worker with a fresh process on a fresh queue.
 
         The dead worker's queue is abandoned, not reused: a process
         killed mid-``get`` can leave the queue's internal lock held
-        forever, which would deadlock any successor reading it.
+        forever, which would deadlock any successor reading it.  The
+        replacement also gets a fresh circuit breaker — the failures
+        belonged to the process, not the slot.
         """
+        self._breakers.drop(self._breaker_name(dead))
+        _trace(
+            f"respawn worker={dead.worker_id} gen={dead.generation} "
+            f"dead_child={dead.process.pid}"
+        )
         try:
             dead.process.join(timeout=0)
             dead.process.close()
         except ValueError:
             pass  # already closed
         self._counters["workers_respawned"] += 1
-        return self._spawn(dead.worker_id)
+        fresh = self._spawn(dead.worker_id)
+        fresh.generation = dead.generation + 1
+        return fresh
 
     def _heal(
         self,
         pending: "dict[int, QueryTask]",
-        assignment: "dict[int, int]",
+        assignment: "dict[int, dict[int, tuple[int, float]]]",
+        sent_at: "dict[int, float]",
+        hedged: "set[int]",
     ) -> int:
-        """Respawn dead workers and re-dispatch their outstanding tasks.
+        """Respawn dead workers and re-dispatch orphaned task copies.
 
-        Returns the number of workers respawned so the caller can charge
-        its respawn budget.
+        A copy is *orphaned* when its slot's generation has moved past
+        the one stamped at dispatch: the process it was sent to is gone,
+        and the task died unread in that process's abandoned request
+        queue.  Checking generations rather than "slots this pass found
+        dead" matters because :meth:`_dispatch` also respawns dead slots
+        inline — a slot can be freshly respawned and perfectly alive by
+        the time this runs, yet still hold orphans from its previous
+        incarnation.  Returns the number of workers respawned so the
+        caller can charge its respawn budget.
         """
         respawned_slots = set()
         for slot_index, slot in enumerate(self._slots):
             if not slot.alive:
                 self._slots[slot_index] = self._respawn(slot)
                 respawned_slots.add(slot_index)
-        if not respawned_slots:
-            return 0
-        for task_id, slot_index in list(assignment.items()):
-            if task_id in pending and slot_index in respawned_slots:
-                slot = self._slots[slot_index]
-                slot.requests.put(pending[task_id])
-                self._counters["tasks_redispatched"] += 1
+        if respawned_slots:
+            _trace(f"heal slots={sorted(respawned_slots)}")
+            if self._suspect_since is None:
+                self._suspect_since = time.monotonic()
+        for task_id, copies in list(assignment.items()):
+            if task_id not in pending:
+                continue
+            survivors = {
+                slot_index: (generation, dispatched_at)
+                for slot_index, (generation, dispatched_at) in copies.items()
+                if self._slots[slot_index].generation == generation
+            }
+            if len(survivors) == len(copies):
+                continue
+            if survivors:
+                # A hedge copy is still in flight on a live worker; no
+                # need to re-dispatch, just forget the orphaned copies.
+                assignment[task_id] = survivors
+                continue
+            _trace(f"heal redispatch task={task_id}")
+            target = self._dispatch(pending[task_id], min(copies))
+            assignment[task_id] = {
+                target: (self._slots[target].generation, time.monotonic())
+            }
+            sent_at[task_id] = time.monotonic()
+            hedged.discard(task_id)
+            self._counters["tasks_redispatched"] += 1
         return len(respawned_slots)
+
+    def _reap_hung(
+        self,
+        pending: "dict[int, QueryTask]",
+        assignment: "dict[int, dict[int, tuple[int, float]]]",
+        sent_at: "dict[int, float]",
+        hedged: "set[int]",
+    ) -> int:
+        """SIGKILL workers holding tasks past ``reply_timeout``; rebuild.
+
+        Liveness polling cannot see these workers — a stopped or wedged
+        process is still ``is_alive()`` — so the only trustworthy signal
+        is the reply that never came, measured per dispatched *copy*: a
+        hedge sent moments ago is never blamed for the primary's stall.
+
+        Killing is not surgical.  A worker SIGKILLed mid-reply can die
+        holding the shared reply queue's cross-process write lock,
+        wedging every other worker's ``put`` forever — so a reap
+        replaces the reply queue and respawns the *whole* pool onto it
+        (:meth:`_rebuild_pool`), then re-dispatches every pending task.
+        Returns the number of workers replaced (charged to the respawn
+        budget by the caller).
+        """
+        if self.reply_timeout is None:
+            return 0
+        now = time.monotonic()
+        overdue: "set[int]" = set()
+        for task_id in pending:
+            for slot_index, (generation, dispatched_at) in assignment.get(
+                task_id, {}
+            ).items():
+                # A stale-generation copy belongs to a dead incarnation;
+                # the current occupant of the slot is not to blame for
+                # it (``_heal`` re-dispatches such orphans).
+                if (
+                    self._slots[slot_index].generation == generation
+                    and now - dispatched_at >= self.reply_timeout
+                ):
+                    overdue.add(slot_index)
+        overdue = {
+            slot_index
+            for slot_index in overdue
+            if self._slots[slot_index].alive
+        }
+        if not overdue:
+            return 0
+        self._counters["workers_killed_hung"] += len(overdue)
+        _trace(f"reap overdue_slots={sorted(overdue)}")
+        rebuilt = self._rebuild_pool()
+        self._redispatch_pending(pending, assignment, sent_at, hedged)
+        return rebuilt
+
+    def _check_wedged(
+        self,
+        pending: "dict[int, QueryTask]",
+        assignment: "dict[int, dict[int, tuple[int, float]]]",
+        sent_at: "dict[int, float]",
+        hedged: "set[int]",
+    ) -> int:
+        """Rebuild when post-crash silence implicates the reply queue.
+
+        A worker that dies mid-``put`` — SIGKILLed by a reap, by the
+        OOM killer, or by a test — can take the shared reply queue's
+        cross-process write lock to the grave, silently blocking every
+        other worker's feeder thread.  The parent then sees healthy,
+        idle-looking workers and an empty queue forever.  So any
+        unexpected death marks the queue *suspect*; if no reply lands
+        within the grace period while tasks are pending, the queue is
+        presumed poisoned and the pool is rebuilt onto a fresh one.
+        This is the only repair path for pools without a
+        ``reply_timeout`` (whose reap would otherwise catch it later).
+        Returns the number of workers replaced, charged to the respawn
+        budget by the caller.
+        """
+        if self._suspect_since is None or not pending:
+            return 0
+        if time.monotonic() - self._suspect_since < self._WEDGE_GRACE:
+            return 0
+        _trace("wedge: post-crash silence; rebuilding the pool")
+        rebuilt = self._rebuild_pool()
+        self._redispatch_pending(pending, assignment, sent_at, hedged)
+        return rebuilt
+
+    def _redispatch_pending(
+        self,
+        pending: "dict[int, QueryTask]",
+        assignment: "dict[int, dict[int, tuple[int, float]]]",
+        sent_at: "dict[int, float]",
+        hedged: "set[int]",
+    ) -> None:
+        """Re-dispatch every pending task after a pool rebuild."""
+        for task_id, task in pending.items():
+            preferred = min(assignment.get(task_id, {0: (0, 0.0)}))
+            target = self._dispatch(task, preferred)
+            assignment[task_id] = {
+                target: (self._slots[target].generation, time.monotonic())
+            }
+            sent_at[task_id] = time.monotonic()
+            hedged.discard(task_id)
+            self._counters["tasks_redispatched"] += 1
+
+    def _rebuild_pool(self) -> int:
+        """Replace the reply queue and every worker; returns the count.
+
+        The nuclear repair for a suspected-wedged reply queue: abandon
+        the old queue (its write lock may be held by a corpse), create a
+        fresh one, and respawn all workers onto it — live workers too,
+        since they still hold the old queue and their future replies
+        would vanish into it.  Buffered replies are lost by design;
+        their tasks are still pending and get re-dispatched.
+        """
+        _trace("rebuild: abandoning reply queue")
+        self._results = self._context.Queue()
+        rebuilt = 0
+        for slot_index, slot in enumerate(self._slots):
+            if slot.alive:
+                slot.process.kill()
+                slot.process.join(timeout=5.0)
+            self._slots[slot_index] = self._respawn(slot)
+            rebuilt += 1
+        # The fresh queue has never been touched by a corpse.
+        self._suspect_since = None
+        return rebuilt
+
+    def _hedge_stragglers(
+        self,
+        pending: "dict[int, QueryTask]",
+        assignment: "dict[int, dict[int, tuple[int, float]]]",
+        sent_at: "dict[int, float]",
+        hedged: "set[int]",
+    ) -> None:
+        """Dispatch duplicates of tasks pending past the hedge delay.
+
+        The duplicate goes to a healthy slot not already holding the
+        task; whichever copy replies first wins, the loser is dropped by
+        task-id dedup.  Each task is hedged at most once per dispatch
+        epoch (re-dispatch after a heal re-arms it).
+        """
+        if self.hedge_delay is None or len(self._slots) < 2:
+            return
+        now = time.monotonic()
+        for task_id, task in pending.items():
+            if task_id in hedged:
+                continue
+            if now - sent_at[task_id] < self.hedge_delay:
+                continue
+            current = assignment.get(task_id, {})
+            target = self._choose_slot(
+                (min(current, default=0) + 1) % len(self._slots),
+                set(current),
+            )
+            if target is None:
+                continue
+            # _dispatch may pick a different admitted slot; trust its
+            # return value rather than the pre-chosen target.
+            target = self._dispatch(task, target, exclude=set(current))
+            assignment[task_id] = {
+                **current,
+                target: (self._slots[target].generation, now),
+            }
+            hedged.add(task_id)
+            self._counters["tasks_hedged"] += 1
+            _trace(f"hedge task={task_id} slot={target}")
 
 
 def _emergency_shutdown(
@@ -440,7 +865,10 @@ def _emergency_shutdown(
     for slot in slots:
         try:
             if slot.process.is_alive():
-                slot.process.terminate()
+                # SIGKILL, not SIGTERM: a stopped worker never sees the
+                # latter, and the backstop must not leave processes
+                # behind.
+                slot.process.kill()
         except ValueError:
             pass  # process object already closed
     shared_ref[0].destroy()

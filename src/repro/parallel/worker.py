@@ -38,8 +38,10 @@ import numpy as np
 from repro.core.compiled import batch_top_k
 from repro.core.functions import ScoringFunction, WherePredicate
 from repro.core.result import TopKResult
+from repro.errors import DeadlineExceeded
 from repro.metrics.counters import AccessCounter
 from repro.parallel.shm import AttachedSnapshot, SnapshotHandle, attach_snapshot
+from repro.resilience.deadline import Deadline
 
 #: Algorithm label stamped on merged shard-mode results.
 SHARD_ALGORITHM = "compiled-shard-scan"
@@ -47,7 +49,16 @@ SHARD_ALGORITHM = "compiled-shard-scan"
 
 @dataclass(frozen=True)
 class QueryTask:
-    """One unit of fabric work: a group of queries against one snapshot."""
+    """One unit of fabric work: a group of queries against one snapshot.
+
+    ``deadline`` is the request's end-to-end
+    :class:`~repro.resilience.deadline.Deadline`, pickled across the
+    fork boundary — valid because ``CLOCK_MONOTONIC`` is system-wide on
+    Linux, so parent and worker measure the same instant.  The worker
+    threads it into the kernel's chunk-loop checkpoints; a worker that
+    wakes from a stall mid-query stops at the next chunk instead of
+    finishing an answer nobody is waiting for.
+    """
 
     task_id: int
     mode: str
@@ -56,6 +67,7 @@ class QueryTask:
     where: "WherePredicate | None" = None
     shard_index: int = 0
     shard_count: int = 1
+    deadline: "Deadline | None" = None
 
 
 @dataclass(frozen=True)
@@ -67,13 +79,21 @@ class PublishMessage:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Worker reply: per-function payloads, or an error summary."""
+    """Worker reply: per-function payloads, or an error summary.
+
+    ``error_kind`` discriminates typed failures so the executor can
+    re-raise them typed instead of wrapping everything in
+    :class:`~repro.errors.ParallelExecutionError`: ``"deadline"`` marks
+    a :class:`~repro.errors.DeadlineExceeded` tripped inside the
+    worker's kernel checkpoints; ``"query"`` covers everything else.
+    """
 
     task_id: int
     worker_id: int
     epoch: int
     payload: "tuple | None"
     error: "str | None" = None
+    error_kind: "str | None" = None
 
 
 def shard_scan(
@@ -142,9 +162,15 @@ def execute_task(snapshot: AttachedSnapshot, task: QueryTask) -> tuple:
     ``full``/``batch`` payloads are tuples of :class:`TopKResult`;
     ``shard`` payloads are tuples of ``(pairs, stats)`` per function.
     """
+    if task.deadline is not None:
+        # A task that sat in a queue past its deadline (behind a stall,
+        # behind a publish) must not start scoring at all.
+        task.deadline.check(stage="worker")
     if task.mode == "full":
         return tuple(
-            snapshot.compiled.top_k(function, task.k, where=task.where)
+            snapshot.compiled.top_k(
+                function, task.k, where=task.where, deadline=task.deadline
+            )
             for function in task.functions
         )
     if task.mode == "batch":
@@ -154,6 +180,7 @@ def execute_task(snapshot: AttachedSnapshot, task: QueryTask) -> tuple:
                 list(task.functions),
                 task.k,
                 where=task.where,
+                deadline=task.deadline,
             )
         )
     if task.mode == "shard":
@@ -185,11 +212,15 @@ def worker_main(
     must not kill the worker, or one malformed request could take down a
     slot serving thousands of good ones.
     """
+    from repro.parallel.executor import _trace
+
     snapshot = attach_snapshot(handle)
+    _trace(f"worker-up id={worker_id}")
     try:
         while True:
             message = requests.get()
             if message is None:
+                _trace(f"worker-sentinel id={worker_id}")
                 break
             if isinstance(message, PublishMessage):
                 try:
@@ -218,8 +249,16 @@ def worker_main(
                     epoch=snapshot.epoch,
                     payload=None,
                     error=f"{type(exc).__name__}: {exc}",
+                    error_kind=(
+                        "deadline"
+                        if isinstance(exc, DeadlineExceeded)
+                        else "query"
+                    ),
                 )
             results.put(reply)
+            _trace(
+                f"worker-replied id={worker_id} task={message.task_id}"
+            )
     finally:
         snapshot.close()
 

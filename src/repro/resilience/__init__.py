@@ -1,0 +1,33 @@
+"""Resilience primitives: deadlines, circuit breakers, retry policies.
+
+This package is the serving stack's answer to partial failure under a
+latency contract.  One :class:`Deadline` travels the whole request path
+(admission → guard → fabric → kernel chunk loop), a
+:class:`CircuitBreaker` per dependency stops throwing good traffic at a
+failing tier or worker, and :class:`RetryPolicy`/:class:`TimeoutPolicy`
+replace scattered ad-hoc retry/timeout knobs.  The chaos orchestrator
+(:mod:`repro.testing.scenarios`, ``repro chaos``) exercises all of it
+under scripted faults and asserts the invariants: never a wrong answer,
+never a query wedged past its deadline, bounded recovery.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import RetryPolicy, TimeoutPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "TimeoutPolicy",
+]

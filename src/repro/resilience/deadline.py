@@ -1,0 +1,111 @@
+"""End-to-end request deadlines.
+
+A :class:`Deadline` is one immutable expiry instant threaded through the
+whole request path: admission waits are clamped to it, the guard refuses
+to start a tier it cannot finish, the fabric executor bounds how long it
+waits for worker replies, and the batch kernel checks it between layer
+chunks.  Every layer observes the *same* instant, so "the request has
+80 ms left" means the same thing everywhere — there is no place a
+request can hide past its budget.
+
+Clock discipline
+----------------
+Deadlines are anchored to ``time.monotonic()`` (``CLOCK_MONOTONIC``).
+On Linux that clock is system-wide, not per-process, so a pickled
+deadline crossing a ``fork()`` boundary into a fabric worker still
+measures the same instant — which is what lets the kernel chunk loop
+inside a worker honour a deadline created in the serving process.
+
+Relation to budgets
+-------------------
+``budget_ms`` (:class:`repro.core.guard.BudgetedAccessCounter`) is a
+*per-tier* wall-clock allowance that restarts on every degradation
+step; a :class:`Deadline` is the *end-to-end* allowance that does not.
+Expiry raises :class:`repro.errors.DeadlineExceeded`, a subclass of
+:class:`~repro.errors.QueryBudgetExceeded`, so every budget handler
+(never-degrade-around, retry-fatal, CLI exit 3) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceeded
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An immutable monotonic-clock expiry for one request.
+
+    Attributes
+    ----------
+    expires_at:
+        ``time.monotonic()`` timestamp after which the request is late.
+    total_ms:
+        The originally granted budget in milliseconds (kept for error
+        messages and reporting; the expiry instant is authoritative).
+    """
+
+    expires_at: float
+    total_ms: float
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now.
+
+        ``budget_ms`` must be positive — a request that arrives already
+        out of time should be rejected by the caller, not given a
+        pre-expired deadline that every layer then trips over.
+        """
+        if budget_ms <= 0:
+            raise ValueError("budget_ms must be positive")
+        return cls(
+            expires_at=time.monotonic() + budget_ms / 1000.0,
+            total_ms=float(budget_ms),
+        )
+
+    def remaining(self) -> float:
+        """Seconds until expiry; negative once the deadline has passed."""
+        return self.expires_at - time.monotonic()
+
+    def remaining_ms(self) -> float:
+        """Milliseconds until expiry; negative once expired."""
+        return self.remaining() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the expiry instant has passed."""
+        return self.remaining() <= 0.0
+
+    def spent_ms(self) -> float:
+        """Milliseconds consumed so far out of ``total_ms``."""
+        return self.total_ms - self.remaining_ms()
+
+    def check(self, *, stage: str = "", tier: str = "") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired.
+
+        ``stage``/``tier`` annotate the error with where the expiry was
+        observed; they carry no control-flow meaning.
+        """
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                self.total_ms,
+                self.total_ms - remaining * 1000.0,
+                stage=stage,
+                tier=tier,
+            )
+
+    def clamp(self, timeout: float | None) -> float:
+        """The smaller of ``timeout`` and the time this deadline has left.
+
+        Use to bound any blocking wait (queue get, condition wait) so it
+        cannot outlive the request.  ``None`` means "no local timeout"
+        and yields the deadline's remaining time.  Never negative: an
+        expired deadline clamps to ``0.0`` (poll-and-fail, don't block).
+        """
+        remaining = max(self.remaining(), 0.0)
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)

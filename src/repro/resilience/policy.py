@@ -1,0 +1,148 @@
+"""Unified retry and timeout policies for the serving stack.
+
+Before this module, retry behaviour lived in ad-hoc
+``retry_with_backoff`` call sites and timeouts were scattered keyword
+defaults.  A :class:`RetryPolicy` is the declarative replacement: one
+frozen object that says how many attempts, what backoff, what is fatal —
+and, crucially, is *deadline-aware*: it never sleeps past the request's
+:class:`~repro.resilience.deadline.Deadline` and never starts an attempt
+the deadline has already killed.  A :class:`TimeoutPolicy` centralizes
+the stack's wall-clock knobs so admission, fabric dispatch, and hedging
+draw from one tuned set instead of per-call-site magic numbers.
+
+Both are plain frozen dataclasses: cheap to construct per-index, safe to
+share across threads, trivially comparable in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import QueryBudgetExceeded
+from repro.resilience.deadline import Deadline
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deadline-aware retry with deterministic backoff.
+
+    Attributes
+    ----------
+    attempts:
+        Total calls allowed (1 = no retry).
+    base_delay:
+        Seconds slept after the first failure; attempt ``i`` sleeps
+        ``base_delay * factor**i``.
+    factor:
+        Backoff multiplier between attempts.
+    retriable:
+        Exception types worth another attempt.
+    fatal:
+        Exception types that propagate immediately.  Defaults to
+        :class:`~repro.errors.QueryBudgetExceeded` (which covers
+        :class:`~repro.errors.DeadlineExceeded`): a retry spends the
+        very budget that tripped.
+    sleep:
+        Injectable sleeper for deterministic tests.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.005
+    factor: float = 2.0
+    retriable: tuple[type[BaseException], ...] = (Exception,)
+    fatal: tuple[type[BaseException], ...] = (QueryBudgetExceeded,)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        *,
+        deadline: "Deadline | None" = None,
+        stage: str = "",
+    ) -> T:
+        """Call ``fn`` until it succeeds, fails fatally, or runs out.
+
+        With a ``deadline``, each attempt is preceded by a
+        :meth:`~repro.resilience.deadline.Deadline.check` and backoff
+        sleeps are clamped to the remaining time — an exhausted deadline
+        surfaces as :class:`~repro.errors.DeadlineExceeded` rather than
+        a retry that cannot possibly finish.
+        """
+        for attempt in range(self.attempts):
+            if deadline is not None:
+                deadline.check(stage=stage or "retry")
+            try:
+                return fn()
+            except self.fatal:
+                raise
+            except self.retriable:
+                if attempt + 1 == self.attempts:
+                    raise
+                delay = self.base_delay * self.factor**attempt
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= delay:
+                        # No time for the backoff, let alone the retry.
+                        raise
+                    delay = deadline.clamp(delay)
+                self.sleep(delay)
+        raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """The serving stack's wall-clock knobs, in one place.
+
+    Attributes
+    ----------
+    default_deadline_ms:
+        End-to-end deadline granted to requests that do not bring their
+        own (``None`` = unbounded, the pre-resilience behaviour).
+    reply_timeout:
+        Seconds the fabric executor waits for a dispatched task's reply
+        before declaring the worker hung, SIGKILL-healing it, and
+        re-dispatching (``None`` = wait forever).
+    hedge_fraction:
+        Fraction of ``reply_timeout`` after which a duplicate of a
+        still-pending task is hedged to another healthy worker.  The
+        duplicate-reply dedup in the executor makes the race safe.
+    """
+
+    default_deadline_ms: float | None = None
+    reply_timeout: float | None = 2.0
+    hedge_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms <= 0
+        ):
+            raise ValueError("default_deadline_ms must be positive or None")
+        if self.reply_timeout is not None and self.reply_timeout <= 0:
+            raise ValueError("reply_timeout must be positive or None")
+        if not 0.0 < self.hedge_fraction <= 1.0:
+            raise ValueError("hedge_fraction must be in (0, 1]")
+
+    def deadline_for(
+        self, deadline_ms: float | None = None
+    ) -> "Deadline | None":
+        """A fresh request deadline: explicit budget, else the default."""
+        budget = self.default_deadline_ms if deadline_ms is None else deadline_ms
+        if budget is None:
+            return None
+        return Deadline.after_ms(budget)
+
+    @property
+    def hedge_delay(self) -> float | None:
+        """Seconds before a pending task is hedged (``None`` = never)."""
+        if self.reply_timeout is None:
+            return None
+        return self.reply_timeout * self.hedge_fraction

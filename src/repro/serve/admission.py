@@ -10,9 +10,10 @@ the front door:
   — because a queue that grows without bound converts overload into
   latency for everyone instead of fast failure for the marginal request.
 - :func:`retry_with_backoff` wraps a transient-faulty callable with a
-  bounded, exponentially backed-off retry loop.  The serving index uses
-  it around snapshot traversal so a flaky scoring function gets a
-  second chance before the query falls to the scan tier.
+  bounded, exponentially backed-off retry loop.  It is a thin
+  compatibility shim over :class:`repro.resilience.RetryPolicy`, which
+  the serving index now uses directly (deadline-aware: no retry ever
+  sleeps past the request's :class:`~repro.resilience.Deadline`).
 
 Everything takes injectable ``clock``/``sleep`` callables so the
 deterministic test harness can run interleavings without real waiting.
@@ -26,6 +27,8 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, TypeVar
 
 from repro.errors import QueryBudgetExceeded, ServiceOverloaded
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import RetryPolicy
 
 T = TypeVar("T")
 
@@ -96,15 +99,29 @@ class AdmissionController:
             return self._waiting
 
     @contextmanager
-    def admit(self, timeout: float | None = None) -> Iterator[None]:
+    def admit(
+        self,
+        timeout: float | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> Iterator[None]:
         """Hold one execution slot for the duration of the ``with`` body.
 
         Raises :class:`~repro.errors.ServiceOverloaded` without blocking
         when the waiting room is full, and after ``timeout`` (default:
-        the controller's ``wait_timeout``) when no slot frees up.
+        the controller's ``wait_timeout``) when no slot frees up.  With
+        a request ``deadline``, the wait is additionally clamped to the
+        deadline's remaining time and an already-expired deadline raises
+        :class:`~repro.errors.DeadlineExceeded` up front — a request
+        with no time left must not consume a waiting-room slot.
         """
-        timeout = self.wait_timeout if timeout is None else timeout
-        deadline = None if timeout is None else time.monotonic() + timeout
+        if deadline is not None:
+            deadline.check(stage="admission")
+            timeout = deadline.clamp(
+                self.wait_timeout if timeout is None else timeout
+            )
+        else:
+            timeout = self.wait_timeout if timeout is None else timeout
+        wait_until = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             if self._active >= self.max_concurrent:
                 if self._waiting >= self.max_waiting:
@@ -115,10 +132,16 @@ class AdmissionController:
                     while self._active >= self.max_concurrent:
                         remaining = (
                             None
-                            if deadline is None
-                            else deadline - time.monotonic()
+                            if wait_until is None
+                            else wait_until - time.monotonic()
                         )
                         if remaining is not None and remaining <= 0:
+                            # Distinguish "the service is busy" from
+                            # "this request's time ran out while it
+                            # waited": the latter is a deadline expiry,
+                            # not an overload shed.
+                            if deadline is not None:
+                                deadline.check(stage="admission")
                             self.stats.shed += 1
                             raise ServiceOverloaded(
                                 self._active, self._waiting
@@ -182,16 +205,15 @@ def retry_with_backoff(
     sleeping ``base_delay * factor**i`` between them, then re-raised.
     The backoff schedule is deterministic so the chaos suite can assert
     exact behaviour; pass a recording ``sleep`` to observe it.
+
+    Compatibility shim over :class:`repro.resilience.RetryPolicy`; new
+    code should construct the policy (it adds deadline awareness).
     """
-    if attempts < 1:
-        raise ValueError("attempts must be at least 1")
-    for attempt in range(attempts):
-        try:
-            return fn()
-        except fatal:
-            raise
-        except retriable:
-            if attempt + 1 == attempts:
-                raise
-            sleep(base_delay * factor**attempt)
-    raise AssertionError("unreachable")
+    return RetryPolicy(
+        attempts=attempts,
+        base_delay=base_delay,
+        factor=factor,
+        retriable=retriable,
+        fatal=fatal,
+        sleep=sleep,
+    ).run(fn)

@@ -82,6 +82,7 @@ from repro.core.maintenance import (
 from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
 from repro.errors import (
+    DeadlineExceeded,
     DegradedResultWarning,
     IndexCorruptionError,
     QueryBudgetExceeded,
@@ -89,7 +90,10 @@ from repro.errors import (
     WALCorruptionError,
 )
 from repro.parallel.executor import ParallelQueryExecutor
-from repro.serve.admission import AdmissionController, retry_with_backoff
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import RetryPolicy, TimeoutPolicy
+from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheKey, ResultCache, cache_key
 from repro.serve.wal import WriteAheadLog, create_wal, scan_wal
 
@@ -242,6 +246,14 @@ def _fresh_stats():
     return AccessCounter()
 
 
+class _BreakerSkip(Exception):
+    """Internal control flow: a tier was skipped by its open breaker.
+
+    Raised into the degradation handler so a breaker-rejected tier and
+    a failed tier take the same fallback path; never escapes the index.
+    """
+
+
 # ----------------------------------------------------------------------
 # The serving index
 # ----------------------------------------------------------------------
@@ -276,6 +288,17 @@ class ServingIndex:
     worker_batch_size:
         Queries per fabric sub-batch (see
         :func:`~repro.core.compiled.batch_top_k` for the memory bound).
+    timeout_policy:
+        The stack's wall-clock knobs
+        (:class:`~repro.resilience.policy.TimeoutPolicy`): the default
+        end-to-end request deadline, the fabric's hung-worker reply
+        timeout, and the hedge fraction.  The default grants no
+        deadline (unbounded requests, the pre-resilience behaviour) and
+        a 2-second reply timeout on the fabric.
+    retry_policy:
+        Deadline-aware retry for transiently failing snapshot
+        traversals (:class:`~repro.resilience.policy.RetryPolicy`);
+        overrides ``query_retries``/``retry_base_delay`` when given.
 
     Examples
     --------
@@ -304,14 +327,25 @@ class ServingIndex:
         cache_size: int | None = 256,
         workers: int = 0,
         worker_batch_size: int = 64,
+        timeout_policy: TimeoutPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._directory = directory
         self._graph = graph
         self._wal = wal
         self._fsync = fsync
         self._checkpoint_interval = checkpoint_interval
-        self._query_retries = query_retries
-        self._retry_base_delay = retry_base_delay
+        self._timeouts = (
+            TimeoutPolicy() if timeout_policy is None else timeout_policy
+        )
+        self._retry = (
+            RetryPolicy(
+                attempts=query_retries + 1, base_delay=retry_base_delay
+            )
+            if retry_policy is None
+            else retry_policy
+        )
+        self._breakers = BreakerBoard(window=8, min_calls=3, cooldown=0.5)
         self._admission = AdmissionController(
             max_concurrent=max_concurrent,
             max_waiting=max_waiting,
@@ -334,6 +368,8 @@ class ServingIndex:
                 workers=workers,
                 batch_size=worker_batch_size,
                 epoch=self._snapshot.epoch,
+                reply_timeout=self._timeouts.reply_timeout,
+                hedge_fraction=self._timeouts.hedge_fraction,
             )
 
     # ------------------------------------------------------------------
@@ -486,6 +522,7 @@ class ServingIndex:
         budget_records: int | None = None,
         admission_timeout: float | None = None,
         fallback: bool = True,
+        deadline_ms: float | None = None,
     ) -> TopKResult:
         """Answer a top-k query from the current snapshot.
 
@@ -499,19 +536,31 @@ class ServingIndex:
         :func:`snapshot_scan` under a :class:`DegradedResultWarning`
         unless ``fallback=False``.
 
+        ``deadline_ms`` grants the request an end-to-end deadline
+        (default: the index's
+        :attr:`~repro.resilience.policy.TimeoutPolicy.default_deadline_ms`).
+        The same :class:`~repro.resilience.Deadline` clamps the
+        admission wait, checkpoints the kernel's chunk loop, bounds the
+        retry backoff, and covers the degraded scan — expiry anywhere
+        raises :class:`~repro.errors.DeadlineExceeded`, never a silent
+        overrun.  A compiled tier whose circuit breaker is open is
+        skipped straight to the scan tier.
+
         Raises
         ------
         ServiceUnavailable
             Draining or closed (also its ``ServiceOverloaded`` subclass
             when admission sheds the request).
         QueryBudgetExceeded
-            A budget tripped; never retried, never degraded around.
+            A budget or deadline tripped; never retried, never degraded
+            around.
         """
         if self._draining or self._closed:
             raise ServiceUnavailable(
                 "draining" if not self._closed else "closed"
             )
-        with self._admission.admit(timeout=admission_timeout):
+        deadline = self._timeouts.deadline_for(deadline_ms)
+        with self._admission.admit(timeout=admission_timeout, deadline=deadline):
             snap = self._snapshot
             key: CacheKey | None = None
             if (
@@ -525,30 +574,41 @@ class ServingIndex:
                 if cached is not None:
                     return cached
             started = time.monotonic()
+            compiled_breaker = self._breakers.get("tier:compiled")
 
             def attempt() -> TopKResult:
                 stats = BudgetedAccessCounter(
                     max_records=budget_records,
                     budget_ms=budget_ms,
                     started=started,
+                    deadline=deadline,
                 )
                 result = snap.compiled.top_k(
-                    function, k, where=where, stats=stats
+                    function, k, where=where, stats=stats, deadline=deadline
                 )
                 stats.enforce()
                 return result
 
             try:
-                result = retry_with_backoff(
-                    attempt,
-                    attempts=self._query_retries + 1,
-                    base_delay=self._retry_base_delay,
+                if fallback and not compiled_breaker.allow():
+                    raise _BreakerSkip(
+                        f"compiled tier breaker is {compiled_breaker.state}"
+                    )
+                tier_started = time.monotonic()
+                result = self._retry.run(attempt, deadline=deadline)
+                compiled_breaker.record_success(
+                    1000.0 * (time.monotonic() - tier_started)
                 )
                 tier = "compiled"
             except QueryBudgetExceeded as exc:
-                exc.tier = "compiled"
+                # Budget and deadline expiries are the request's verdict,
+                # not the tier's failure: no breaker charge, no fallback
+                # (every lower tier only spends more of what ran out).
+                exc.tier = exc.tier or "compiled"
                 raise
             except Exception as exc:  # repro: noqa[typed-errors] -- degrading to the snapshot scan must absorb whatever the compiled tier throws
+                if not isinstance(exc, _BreakerSkip):
+                    compiled_breaker.record_failure()
                 if not fallback:
                     raise
                 warnings.warn(
@@ -563,6 +623,7 @@ class ServingIndex:
                     max_records=budget_records,
                     budget_ms=budget_ms,
                     started=started,
+                    deadline=deadline,
                 )
                 try:
                     result = snapshot_scan(
@@ -570,7 +631,7 @@ class ServingIndex:
                     )
                     stats.enforce()
                 except QueryBudgetExceeded as budget_exc:
-                    budget_exc.tier = "naive"
+                    budget_exc.tier = budget_exc.tier or "naive"
                     raise
                 tier = "naive"
             final = replace(result, tier=tier, epoch=snap.epoch)
@@ -588,6 +649,7 @@ class ServingIndex:
         where: WherePredicate | None = None,
         mode: str = "auto",
         admission_timeout: float | None = None,
+        deadline_ms: float | None = None,
     ) -> list[TopKResult]:
         """Answer many top-k queries in one admission slot.
 
@@ -601,6 +663,19 @@ class ServingIndex:
         answers (epoch-keyed, linear functions, no ``where``) are reused
         per query; only the misses are computed.
 
+        Degradation ladder: a fabric infrastructure failure (or an open
+        ``fabric`` circuit breaker) falls back to the in-process
+        compiled sweep, which in turn falls back to the per-query
+        :func:`snapshot_scan` — every rung answers from the same pinned
+        snapshot, so even a twice-degraded batch is epoch-consistent
+        and bit-identical.  A :class:`~repro.errors.DeadlineExceeded`
+        never falls through the ladder: when the request's time ran
+        out, a slower rung cannot help, so the typed error propagates.
+
+        ``deadline_ms`` grants the end-to-end deadline (default: the
+        index's timeout policy); it clamps the admission wait, rides
+        into the fabric workers, and checkpoints the in-process kernel.
+
         Budgets are not supported on the batch path — issue budgeted
         queries individually through :meth:`query`.
         """
@@ -611,7 +686,8 @@ class ServingIndex:
         requested = list(functions)
         if not requested:
             return []
-        with self._admission.admit(timeout=admission_timeout):
+        deadline = self._timeouts.deadline_for(deadline_ms)
+        with self._admission.admit(timeout=admission_timeout, deadline=deadline):
             snap = self._snapshot
             results: list[TopKResult | None] = [None] * len(requested)
             keys: list[CacheKey | None] = [None] * len(requested)
@@ -624,31 +700,102 @@ class ServingIndex:
             misses = [i for i, result in enumerate(results) if result is None]
             if misses:
                 miss_functions = [requested[i] for i in misses]
-                if self._fabric is not None:
-                    computed = [
-                        replace(result, tier="compiled")
-                        for result in self._fabric.map_queries(
-                            miss_functions, k, where=where, mode=mode
-                        )
-                    ]
-                else:
-                    computed = [
-                        replace(result, tier="compiled", epoch=snap.epoch)
-                        for result in batch_top_k(
-                            snap.compiled, miss_functions, k, where=where
-                        )
-                    ]
+                computed = self._compute_batch(
+                    snap, miss_functions, k, where, mode, deadline
+                )
                 for index, result in zip(misses, computed):
                     results[index] = result
                     if (
                         self._cache is not None
                         and keys[index] is not None
+                        # Scan-tier answers are exact but would keep
+                        # reporting tier="naive" after the engine healed.
+                        and result.tier == "compiled"
                         # A publish can race the fan-out; never file a
                         # result under an epoch it was not computed from.
                         and result.epoch == snap.epoch
                     ):
                         self._cache.put(keys[index], result)
             return [result for result in results if result is not None]
+
+    def _compute_batch(
+        self,
+        snap: ServingSnapshot,
+        miss_functions: list[ScoringFunction],
+        k: int,
+        where: WherePredicate | None,
+        mode: str,
+        deadline: Deadline | None,
+    ) -> list[TopKResult]:
+        """Run batch misses down the ladder: fabric → in-process → scan."""
+        fabric_breaker = self._breakers.get("fabric")
+        if self._fabric is not None and fabric_breaker.allow():
+            fabric_started = time.monotonic()
+            try:
+                computed = [
+                    replace(result, tier="compiled")
+                    for result in self._fabric.map_queries(
+                        miss_functions, k, where=where, mode=mode,
+                        deadline=deadline,
+                    )
+                ]
+            except DeadlineExceeded:
+                # The request's time is gone; no rung below is faster.
+                raise
+            except Exception as exc:  # repro: noqa[typed-errors] -- any fabric infrastructure fault must degrade to the in-process rung, not fail the batch
+                fabric_breaker.record_failure()
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"fabric batch failed ({type(exc).__name__}: "
+                        f"{exc}); degrading to the in-process compiled "
+                        "sweep"
+                    ),
+                    stacklevel=3,
+                )
+            else:
+                fabric_breaker.record_success(
+                    1000.0 * (time.monotonic() - fabric_started)
+                )
+                return computed
+        elif self._fabric is not None:
+            warnings.warn(
+                DegradedResultWarning(
+                    f"fabric skipped: its circuit breaker is "
+                    f"{fabric_breaker.state}; using the in-process "
+                    "compiled sweep"
+                ),
+                stacklevel=3,
+            )
+        try:
+            return [
+                replace(result, tier="compiled", epoch=snap.epoch)
+                for result in batch_top_k(
+                    snap.compiled, miss_functions, k, where=where,
+                    deadline=deadline,
+                )
+            ]
+        except QueryBudgetExceeded:
+            raise
+        except Exception as exc:  # repro: noqa[typed-errors] -- the last automatic rung before the scan oracle must absorb arbitrary kernel faults
+            warnings.warn(
+                DegradedResultWarning(
+                    f"in-process batch failed ({type(exc).__name__}: "
+                    f"{exc}); degrading to the snapshot scan"
+                ),
+                stacklevel=3,
+            )
+            computed = []
+            for function in miss_functions:
+                if deadline is not None:
+                    deadline.check(stage="scan", tier="naive")
+                stats = BudgetedAccessCounter(deadline=deadline)
+                result = snapshot_scan(
+                    snap.compiled, function, k, where=where, stats=stats
+                )
+                computed.append(
+                    replace(result, tier="naive", epoch=snap.epoch)
+                )
+            return computed
 
     # ------------------------------------------------------------------
     # Writes (single-writer, validated, logged, published)
@@ -839,6 +986,13 @@ class ServingIndex:
                 "ops_since_checkpoint": self._ops_since_checkpoint,
             },
             "admission": self._admission.snapshot(),
+            "breakers": self._breakers.snapshot(),
+            "policies": {
+                "default_deadline_ms": self._timeouts.default_deadline_ms,
+                "reply_timeout": self._timeouts.reply_timeout,
+                "hedge_fraction": self._timeouts.hedge_fraction,
+                "retry_attempts": self._retry.attempts,
+            },
             "cache": (
                 self._cache.stats() if self._cache is not None else None
             ),

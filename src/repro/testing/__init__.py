@@ -14,6 +14,10 @@ never a silent wrong answer.
 - :mod:`repro.testing.crashfuzz` — kill-the-writer-anywhere recovery
   fuzz CLI used by the CI concurrency job
   (``python -m repro.testing.crashfuzz``).
+- :mod:`repro.testing.scenarios` — the chaos control plane: scripted
+  fault schedules (hung workers, SIGKILL storms, shm tampering, fsync
+  failure) run against a live serving index, asserting the end-to-end
+  resilience invariants (``repro chaos``).
 """
 
 from repro.testing.concurrency import (
@@ -29,13 +33,27 @@ from repro.testing.faults import (
     tamper_array,
     truncate_file,
 )
+from repro.testing.scenarios import (
+    SCENARIOS,
+    ChaosConfig,
+    ChaosContext,
+    ScenarioReport,
+    run_scenario,
+    run_suite,
+)
 
 __all__ = [
+    "SCENARIOS",
+    "ChaosConfig",
+    "ChaosContext",
     "FlakyFunction",
     "Rendezvous",
+    "ScenarioReport",
     "crash_offsets",
     "crashed_copy",
     "flip_bits",
+    "run_scenario",
+    "run_suite",
     "run_threads",
     "set_format_version",
     "tamper_array",

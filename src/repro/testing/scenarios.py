@@ -1,0 +1,529 @@
+"""Chaos control plane: scripted fault schedules against a live index.
+
+Each scenario boots a real :class:`~repro.serve.index.ServingIndex`
+(fabric workers, WAL, cache disabled so every query exercises the
+engine), then runs a deterministic schedule of faults — stopped workers,
+SIGKILL storms, unlinked shared-memory segments, failing ``fsync`` —
+interleaved with query rounds and writer mutations.  Three invariants
+are asserted over every round:
+
+1. **Never a wrong answer.**  Every result is compared bit-for-bit
+   against a :func:`~repro.serve.index.snapshot_scan` oracle of the
+   snapshot *matching the result's epoch*; a typed
+   :class:`~repro.errors.DeadlineExceeded` or a degraded-tier answer is
+   acceptable, a silently different answer never is.
+2. **Never a wedged query.**  Every call returns (answer or typed
+   error) within the request deadline plus a scheduling grace; a query
+   blocked past that is the hung-fabric bug this layer exists to kill.
+3. **Bounded recovery.**  After the fault clears, the index must return
+   to undegraded (``tier == "compiled"``) service within the recovery
+   limit; the measured time is the scenario's MTTR.
+
+``repro chaos`` runs the registry and emits ``BENCH_resilience.json``
+(availability, p99-under-fault, recovery time per fault).  The same
+scenarios back the regression tests in ``tests/test_chaos_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.functions import LinearFunction
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ParallelExecutionError,
+    QueryBudgetExceeded,
+    ServiceUnavailable,
+)
+from repro.resilience.policy import TimeoutPolicy
+from repro.serve.index import ServingIndex, snapshot_scan
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for one scenario run; defaults sized for CI (seconds each)."""
+
+    records: int = 500
+    dims: int = 3
+    k: int = 10
+    workers: int = 2
+    deadline_ms: float = 1500.0
+    grace_ms: float = 2000.0
+    reply_timeout: float = 0.3
+    rounds: int = 6
+    batch: int = 4
+    recovery_limit_ms: float = 15000.0
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome tallies, invariant verdicts, and the event log of one run."""
+
+    name: str
+    seed: int
+    queries: int = 0
+    ok: int = 0
+    degraded: int = 0
+    deadline_exceeded: int = 0
+    unavailable: int = 0
+    wrong: int = 0
+    overruns: int = 0
+    latencies_ms: list = field(default_factory=list)
+    recovery_ms: "float | None" = None
+    events: list = field(default_factory=list)
+    recovery_limit_ms: float = 15000.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries that returned a correct answer (any tier)."""
+        if not self.queries:
+            return 1.0
+        return (self.ok + self.degraded) / self.queries
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency across every call made under fault."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return float(ordered[int(0.99 * (len(ordered) - 1))])
+
+    def invariants(self) -> dict:
+        """The three resilience invariants, each as a named verdict."""
+        return {
+            "never_wrong": self.wrong == 0,
+            "never_wedged_past_deadline": self.overruns == 0,
+            "bounded_recovery": (
+                self.recovery_ms is not None
+                and self.recovery_ms <= self.recovery_limit_ms
+            ),
+        }
+
+    @property
+    def passed(self) -> bool:
+        """Whether every invariant held."""
+        return all(self.invariants().values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for ``BENCH_resilience.json``."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "queries": self.queries,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "deadline_exceeded": self.deadline_exceeded,
+            "unavailable": self.unavailable,
+            "wrong": self.wrong,
+            "overruns": self.overruns,
+            "availability": round(self.availability, 4),
+            "p99_ms": round(self.p99_ms, 2),
+            "recovery_ms": (
+                None if self.recovery_ms is None else round(self.recovery_ms, 2)
+            ),
+            "invariants": self.invariants(),
+            "passed": self.passed,
+            "events": list(self.events),
+        }
+
+
+class ChaosContext:
+    """One scenario's live index plus fault and verification helpers.
+
+    The context owns the oracle: an epoch-keyed map of every snapshot
+    the index has published, so a result can always be checked against
+    the exact index state it claims to have been computed from — even
+    when a publish raced the query mid-flight.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        config: ChaosConfig,
+        directory: str,
+    ) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.report = ScenarioReport(
+            name=name, seed=seed, recovery_limit_ms=config.recovery_limit_ms
+        )
+        self.directory = directory
+        values = self.rng.uniform(0.0, 100.0, (config.records, config.dims))
+        self.dataset = Dataset(values.tolist())
+        self.index = self._boot(create=True)
+        self.oracle: dict = {}
+        self._register_epoch()
+        self._deleted: list = []
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _boot(self, create: bool = False) -> ServingIndex:
+        kwargs = dict(
+            workers=self.config.workers,
+            cache_size=0,
+            timeout_policy=TimeoutPolicy(
+                default_deadline_ms=self.config.deadline_ms,
+                reply_timeout=self.config.reply_timeout,
+            ),
+        )
+        if create:
+            return ServingIndex.create(self.directory, self.dataset, **kwargs)
+        return ServingIndex.open(self.directory, **kwargs)
+
+    def reopen(self) -> float:
+        """Close and recover the index; returns the reopen time in ms.
+
+        Used by scenarios whose fault poisons the writer: restart-with-
+        recovery is the documented repair, and its duration is the MTTR.
+        """
+        started = time.monotonic()
+        self.index.close(checkpoint=False)
+        self.index = self._boot(create=False)
+        self.oracle.clear()
+        self._register_epoch()
+        elapsed_ms = 1000.0 * (time.monotonic() - started)
+        self.log(f"reopened index in {elapsed_ms:.0f} ms")
+        return elapsed_ms
+
+    def close(self) -> None:
+        """Tear the index down (idempotent; scenario runner calls it)."""
+        try:
+            self.index.close(checkpoint=False)
+        except Exception:  # repro: noqa[typed-errors] -- teardown after a chaos schedule must not mask the scenario verdict, whatever state the index was left in
+            pass
+
+    def log(self, message: str) -> None:
+        """Append a timestamped line to the scenario's event log."""
+        offset = time.monotonic() - getattr(self, "_started", time.monotonic())
+        self.report.events.append(f"+{offset:6.2f}s {message}")
+
+    # -- oracle --------------------------------------------------------
+
+    def _register_epoch(self) -> None:
+        snap = self.index.snapshot()
+        self.oracle[snap.epoch] = snap.compiled
+
+    def expected(self, function: LinearFunction, epoch: int) -> "tuple | None":
+        """Oracle answer ``(ids, scores)`` for ``function`` at ``epoch``."""
+        compiled = self.oracle.get(epoch)
+        if compiled is None:
+            return None
+        result = snapshot_scan(compiled, function, self.config.k)
+        return result.ids, result.scores
+
+    # -- faults --------------------------------------------------------
+
+    def worker_pids(self) -> list:
+        """Live fabric worker PIDs, slot order (private-API reach-in)."""
+        fabric = self.index._fabric
+        if fabric is None:
+            return []
+        return [slot.process.pid for slot in fabric._slots]
+
+    def _signal_worker(self, slot: int, signum: int, label: str) -> None:
+        pids = self.worker_pids()
+        if not pids:
+            return
+        pid = pids[slot % len(pids)]
+        try:
+            os.kill(pid, signum)
+            self.log(f"{label} worker slot {slot} (pid {pid})")
+        except ProcessLookupError:
+            self.log(f"{label} worker slot {slot}: already gone")
+
+    def stop_worker(self, slot: int) -> None:
+        """SIGSTOP a fabric worker: alive for ``is_alive()``, silent forever."""
+        self._signal_worker(slot, signal.SIGSTOP, "SIGSTOP")
+
+    def cont_worker(self, slot: int) -> None:
+        """SIGCONT a previously stopped worker (no-op if it was killed)."""
+        self._signal_worker(slot, signal.SIGCONT, "SIGCONT")
+
+    def kill_worker(self, slot: int) -> None:
+        """SIGKILL a fabric worker outright."""
+        self._signal_worker(slot, signal.SIGKILL, "SIGKILL")
+
+    def unlink_segments(self) -> int:
+        """Unlink this index's ``/dev/shm`` segment names (mappings live on)."""
+        fabric = self.index._fabric
+        if fabric is None:
+            return 0
+        removed = 0
+        segment = fabric._shared.handle.segment
+        path = os.path.join("/dev/shm", segment)
+        try:
+            os.unlink(path)
+            removed += 1
+            self.log(f"unlinked shm segment {segment}")
+        except FileNotFoundError:
+            self.log(f"shm segment {segment} already gone")
+        return removed
+
+    def mutate(self) -> None:
+        """One writer operation (delete, or re-insert) → one publish."""
+        if self._deleted and self.rng.random() < 0.5:
+            rid = self._deleted.pop(0)
+            self.index.insert(rid)
+            self.log(f"insert({rid}) published epoch {self.index.epoch}")
+        else:
+            compiled = self.index.snapshot().compiled
+            real = sorted(
+                int(r)
+                for r, pseudo in zip(
+                    compiled.record_ids.tolist(),
+                    compiled.pseudo_mask.tolist(),
+                )
+                if not pseudo
+            )
+            rid = real[int(self.rng.integers(0, len(real)))]
+            self.index.delete(rid)
+            self._deleted.append(rid)
+            self.log(f"delete({rid}) published epoch {self.index.epoch}")
+        self._register_epoch()
+
+    # -- query rounds --------------------------------------------------
+
+    def _functions(self, count: int) -> list:
+        weights = self.rng.uniform(0.1, 1.0, (count, self.config.dims))
+        return [LinearFunction(w.tolist()) for w in weights]
+
+    def query_round(self, batches: "int | None" = None) -> None:
+        """Issue query batches under deadline; classify and oracle-check."""
+        config = self.config
+        for _ in range(batches if batches is not None else 1):
+            functions = self._functions(config.batch)
+            started = time.monotonic()
+            outcome = "ok"
+            results = []
+            try:
+                results = self.index.query_batch(
+                    functions, config.k, deadline_ms=config.deadline_ms
+                )
+            except DeadlineExceeded:
+                outcome = "deadline"
+            except (QueryBudgetExceeded, CircuitOpenError):
+                outcome = "deadline"
+            except (ServiceUnavailable, ParallelExecutionError):
+                outcome = "unavailable"
+            except Exception as exc:  # repro: noqa[typed-errors] -- an unexpected exception type is itself an invariant breach the report must record, not crash on
+                outcome = "wrong"
+                self.log(f"unexpected error: {type(exc).__name__}: {exc}")
+            elapsed_ms = 1000.0 * (time.monotonic() - started)
+            self.report.queries += config.batch
+            self.report.latencies_ms.append(elapsed_ms)
+            if elapsed_ms > config.deadline_ms + config.grace_ms:
+                self.report.overruns += 1
+                self.log(
+                    f"OVERRUN: call took {elapsed_ms:.0f} ms against a "
+                    f"{config.deadline_ms:.0f} ms deadline"
+                )
+            if outcome == "deadline":
+                self.report.deadline_exceeded += config.batch
+                continue
+            if outcome == "unavailable":
+                self.report.unavailable += config.batch
+                continue
+            if outcome == "wrong":
+                self.report.wrong += config.batch
+                continue
+            for function, result in zip(functions, results):
+                expected = self.expected(function, result.epoch)
+                if expected is None:
+                    self.report.wrong += 1
+                    self.log(
+                        f"WRONG: result claims unknown epoch {result.epoch}"
+                    )
+                    continue
+                if (result.ids, result.scores) != expected:
+                    self.report.wrong += 1
+                    self.log(
+                        f"WRONG: ids/scores diverge from oracle at "
+                        f"epoch {result.epoch}"
+                    )
+                    continue
+                if result.tier == "compiled":
+                    self.report.ok += 1
+                else:
+                    self.report.degraded += 1
+
+    def measure_recovery(self) -> None:
+        """Time from now until an undegraded (compiled-tier) answer."""
+        config = self.config
+        started = time.monotonic()
+        limit = config.recovery_limit_ms / 1000.0
+        while time.monotonic() - started < limit:
+            (function,) = self._functions(1)
+            try:
+                (result,) = self.index.query_batch(
+                    [function], config.k, deadline_ms=config.deadline_ms
+                )
+            except Exception:  # repro: noqa[typed-errors] -- recovery probing rides through every transient failure mode the fault just injected; only the clock decides the verdict
+                time.sleep(0.05)
+                continue
+            expected = self.expected(function, result.epoch)
+            if (
+                result.tier == "compiled"
+                and expected == (result.ids, result.scores)
+            ):
+                self.report.recovery_ms = 1000.0 * (
+                    time.monotonic() - started
+                )
+                self.log(
+                    f"recovered to compiled tier in "
+                    f"{self.report.recovery_ms:.0f} ms"
+                )
+                return
+            time.sleep(0.05)
+        self.log("recovery limit reached without an undegraded answer")
+
+
+# ----------------------------------------------------------------------
+# The scenarios
+# ----------------------------------------------------------------------
+def _scenario_hung_worker(ctx: ChaosContext) -> None:
+    """A worker goes silent (SIGSTOP) mid-service but stays 'alive'."""
+    ctx.query_round(2)
+    ctx.stop_worker(0)
+    for _ in range(ctx.config.rounds):
+        ctx.query_round()
+    ctx.cont_worker(0)  # no-op if the pool already SIGKILLed it
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+def _scenario_sigkill_storm(ctx: ChaosContext) -> None:
+    """Workers are SIGKILLed round after round; the pool keeps healing."""
+    ctx.query_round(1)
+    for index in range(ctx.config.rounds):
+        ctx.kill_worker(index % ctx.config.workers)
+        ctx.query_round()
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+def _scenario_slow_jitter(ctx: ChaosContext) -> None:
+    """Stop/continue pulses make replies arrive late and out of order."""
+    ctx.query_round(1)
+    for index in range(ctx.config.rounds):
+        slot = index % ctx.config.workers
+        ctx.stop_worker(slot)
+        time.sleep(ctx.config.reply_timeout / 3.0)
+        ctx.query_round()
+        ctx.cont_worker(slot)
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+def _scenario_shm_tamper(ctx: ChaosContext) -> None:
+    """The shared segment name vanishes; respawns fail until republish."""
+    ctx.query_round(2)
+    ctx.unlink_segments()
+    ctx.query_round(2)  # mappings outlive the name: still served
+    ctx.kill_worker(0)  # its replacement cannot attach the missing name
+    for _ in range(ctx.config.rounds):
+        ctx.query_round()
+    ctx.mutate()  # publish exports a fresh segment: the pool heals
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+def _scenario_wal_fsync_failure(ctx: ChaosContext) -> None:
+    """Durability fails: fsync raises, the writer poisons, reads go on."""
+    import repro.serve.wal as wal_module
+
+    ctx.query_round(2)
+    original = wal_module.os.fsync
+
+    def failing_fsync(fd: int) -> None:
+        raise OSError("chaos: fsync failed")
+
+    wal_module.os.fsync = failing_fsync
+    try:
+        ctx.log("fsync now failing")
+        try:
+            ctx.mutate()
+        except (OSError, ServiceUnavailable) as exc:
+            ctx.log(f"mutation failed as expected: {type(exc).__name__}")
+        for _ in range(ctx.config.rounds):
+            ctx.query_round()  # reads must keep serving the last snapshot
+        try:
+            ctx.mutate()
+        except ServiceUnavailable as exc:
+            ctx.log(f"writer poisoned as expected: {exc}")
+    finally:
+        wal_module.os.fsync = original
+    ctx.log("fsync restored")
+    ctx.report.recovery_ms = ctx.reopen()
+    ctx.query_round(2)
+    if ctx.report.recovery_ms > ctx.config.recovery_limit_ms:
+        ctx.log("reopen exceeded the recovery limit")
+
+
+def _scenario_mid_publish_kill(ctx: ChaosContext) -> None:
+    """Workers die at the publish barrier; epochs must never mix."""
+    ctx.query_round(1)
+    for index in range(ctx.config.rounds):
+        ctx.kill_worker(index % ctx.config.workers)
+        ctx.mutate()  # publish walks the pool with a corpse in it
+        ctx.query_round()
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+#: Registry: scenario name → script.  ``repro chaos`` runs these in order.
+SCENARIOS: "dict[str, Callable[[ChaosContext], None]]" = {
+    "hung_worker": _scenario_hung_worker,
+    "sigkill_storm": _scenario_sigkill_storm,
+    "slow_jitter": _scenario_slow_jitter,
+    "shm_tamper": _scenario_shm_tamper,
+    "wal_fsync_failure": _scenario_wal_fsync_failure,
+    "mid_publish_kill": _scenario_mid_publish_kill,
+}
+
+
+def run_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    config: "ChaosConfig | None" = None,
+) -> ScenarioReport:
+    """Run one scenario end to end and return its report."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r} (choose from {sorted(SCENARIOS)})"
+        )
+    config = config or ChaosConfig()
+    with tempfile.TemporaryDirectory(prefix=f"repro-chaos-{name}-") as tmp:
+        ctx = ChaosContext(name, seed, config, os.path.join(tmp, "index"))
+        try:
+            SCENARIOS[name](ctx)
+        finally:
+            ctx.close()
+        return ctx.report
+
+
+def run_suite(
+    names: "list[str] | None" = None,
+    *,
+    seeds: "list[int] | None" = None,
+    config: "ChaosConfig | None" = None,
+) -> "list[ScenarioReport]":
+    """Run scenarios × seeds; returns every report (order: seed-major)."""
+    names = list(SCENARIOS) if names is None else names
+    seeds = [0] if seeds is None else seeds
+    reports = []
+    for seed in seeds:
+        for name in names:
+            reports.append(run_scenario(name, seed=seed, config=config))
+    return reports

@@ -1,0 +1,23 @@
+"""Fixture: accepted-then-dropped deadlines (deadline-discipline)."""
+
+
+def admit(request, deadline=None):  # VIOLATION
+    if deadline is not None:
+        pass  # a bare test never spends, enforces, or forwards the budget
+    return request
+
+
+def dispatch(task, *, deadline_ms=None):  # VIOLATION
+    queue = [task]
+    while queue:
+        queue.pop()
+
+
+def honoured(task, deadline=None):
+    if deadline is not None:
+        deadline.check(stage="fixture")
+    return run(task, deadline=deadline)
+
+
+def run(task, deadline):
+    return task, deadline

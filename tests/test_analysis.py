@@ -46,6 +46,7 @@ FIXTURE_FOR_RULE = {
     "guard-coverage": "guard_coverage_violation.py",
     "public-api": "public_api_violation.py",
     "worker-discipline": "worker_discipline_violation.py",
+    "deadline-discipline": "deadline_discipline_violation.py",
 }
 
 
