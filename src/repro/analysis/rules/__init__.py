@@ -16,6 +16,7 @@ from repro.analysis.rules.guard_coverage import GuardCoverageRule
 from repro.analysis.rules.public_api import PublicApiRule
 from repro.analysis.rules.worker_discipline import WorkerDisciplineRule
 from repro.analysis.rules.deadline_discipline import DeadlineDisciplineRule
+from repro.analysis.rules.mmap_discipline import MmapDisciplineRule
 
 #: Shipped rules, in catalog order.
 ALL_RULES = (
@@ -29,6 +30,7 @@ ALL_RULES = (
     PublicApiRule,
     WorkerDisciplineRule,
     DeadlineDisciplineRule,
+    MmapDisciplineRule,
 )
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "DeterminismRule",
     "DtypeDisciplineRule",
     "GuardCoverageRule",
+    "MmapDisciplineRule",
     "PublicApiRule",
     "SnapshotImmutabilityRule",
     "StatsThreadingRule",

@@ -1,0 +1,169 @@
+"""Rule: store-mapped views are read-only, and mappings open read-only.
+
+The index store (PR 8) serves checkpoints zero-copy: one ``.dgs`` file
+on disk, one set of physical pages in the page cache, N processes
+mapping them.  Correctness of every answer served from a mapped store
+rests on those pages never changing under a reader, and the format's
+integrity story (per-section SHA-256 in the TOC) rests on the file
+never changing *after* its digests were computed.  Two properties make
+that safe, and this rule pins both:
+
+- **Read-only mappings.**  Every ``mmap.mmap`` call in store or worker
+  code must pass ``access=mmap.ACCESS_READ``.  A writable (or
+  copy-on-write) mapping would let a stray store reach the shared pages
+  — or silently diverge from the checksummed bytes on disk.
+- **No mutation through mapped views.**  Arrays handed out by
+  :func:`~repro.store.mapped.open_store` /
+  :func:`~repro.store.mapped.attach_store` (directly, or via
+  ``section()`` / ``sections()`` / ``compiled()``) are born read-only
+  from the ``ACCESS_READ`` buffer; in-place stores, attribute
+  rebinding, and ``setflags(write=True)`` are the holes that would
+  reopen them.  Code that needs private bytes copies first
+  (``np.array(view, copy=True)``), as the graph-store loader does.
+
+Scope: ``store/`` and ``parallel/`` — everywhere mapped views travel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: Calls whose return value is (or contains) store-mapped views.
+_MAPPED_SOURCES = {
+    "open_store",
+    "attach_store",
+    "attach_handle",
+    "section",
+    "sections",
+    "compiled",
+}
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Terminal name of a call target (``mapped.section`` -> ``section``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_mapped_source(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node.func) in _MAPPED_SOURCES
+    )
+
+
+def _is_mmap_call(node: ast.Call) -> bool:
+    """``mmap.mmap(...)`` (or a bare ``mmap(...)`` import alias)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "mmap" and _root_name(func.value) == "mmap"
+    return isinstance(func, ast.Name) and func.id == "mmap"
+
+
+def _reads_only(call: ast.Call) -> bool:
+    """True when the call passes ``access=mmap.ACCESS_READ``."""
+    for kw in call.keywords:
+        if kw.arg == "access":
+            return _call_name(kw.value) == "ACCESS_READ"
+    return False
+
+
+class MmapDisciplineRule(Rule):
+    """Mapped store bytes are immutable: read-only maps, frozen views."""
+
+    id = "mmap-discipline"
+    summary = (
+        "store mappings must be ACCESS_READ and store-mapped views must "
+        "never be written through"
+    )
+    hint = (
+        "pass access=mmap.ACCESS_READ to mmap.mmap, and copy mapped "
+        "arrays (np.array(view, copy=True)) before modifying them"
+    )
+    paths = ("store/", "parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per writable-mapping or view-mutation hazard."""
+        tracked = self._tracked_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_mmap_call(node):
+                if not _reads_only(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "mmap.mmap without access=mmap.ACCESS_READ opens "
+                        "a writable path onto checksummed store pages",
+                    )
+            if tracked:
+                yield from self._check_mutation(ctx, node, tracked)
+
+    def _tracked_names(self, tree: ast.Module) -> set[str]:
+        tracked: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_mapped_source(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracked.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_mapped_source(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    tracked.add(node.target.id)
+        return tracked
+
+    def _check_mutation(
+        self, ctx: ModuleContext, node: ast.AST, tracked: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _root_name(target)
+                    if root in tracked:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "assignment writes through store-mapped view "
+                            f"{root!r}; copy before modifying",
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "setflags"
+                and _root_name(func.value) in tracked
+                and self._enables_write(node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "setflags(write=True) unfreezes a store-mapped view "
+                    f"of {_root_name(func.value)!r}",
+                )
+
+    @staticmethod
+    def _enables_write(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "write":
+                return not (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                )
+        return bool(call.args)

@@ -285,8 +285,11 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     verifies the data a process would actually serve (structural
     invariants via ``verify_graph``, plus a compiled-vs-reference engine
     cross-check on probe queries), audits ``/dev/shm`` for segments
-    leaked by dead query fabrics, and — with ``--wal`` — scans a
-    write-ahead log for torn tails and mid-log corruption.  The
+    leaked by dead query fabrics, — with ``--wal`` — scans a
+    write-ahead log for torn tails and mid-log corruption, and — with
+    ``--store`` — audits an index-store directory for orphaned
+    generations, a damaged ``CURRENT`` pointer, stamp drift, stray
+    temps, and quarantine backlog.  The
     *static* half — source-level contract checks that need no index at
     all — is ``repro lint``.  ``--format json`` emits the whole report
     as one machine-readable object for dashboards and CI.
@@ -363,6 +366,35 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             "fabric owns them)")
     else:
         say("  shm: no repro-dg segments in /dev/shm")
+    store_damaged = False
+    store_issues: list = []
+    if getattr(args, "store", None):
+        from repro.store.directory import StoreDirectory
+
+        audit = StoreDirectory(args.store).audit()
+        report["store"] = audit
+        store_issues = list(audit["issues"])
+        # Damage (an unopenable live generation) is exit-2 territory;
+        # hygiene findings — orphans, stray temps, quarantine backlog,
+        # stamp drift — are exit-1 issues like deep-verify findings.
+        store_damaged = any(
+            "corrupt" in issue or "missing" in issue
+            for issue in store_issues
+        )
+        if audit["current"] is None and not store_issues:
+            say(f"  store: {args.store}: empty (no CURRENT, no "
+                "generation files)")
+        elif not store_issues:
+            say(f"  store: generation {audit['generation']} live "
+                f"({audit['current']}), "
+                f"{len(audit['generations'])} generation file(s), "
+                "no issues")
+        else:
+            say(f"  store: {len(store_issues)} issue(s):")
+            for issue in store_issues:
+                say(f"    - {issue}")
+            if audit["orphans"]:
+                say(f"    orphans: {', '.join(audit['orphans'])}")
     wal_damaged = False
     if args.wal:
         from repro.serve.wal import scan_wal
@@ -388,9 +420,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             else:
                 say(f"  wal: {len(scan.records)} intact record(s), "
                     "clean tail")
-    if wal_damaged:
+    if wal_damaged or store_damaged:
         return finish(2)
-    return finish(1 if issues or mismatches else 0)
+    return finish(1 if issues or mismatches or store_issues else 0)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -780,6 +812,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wal", default=None,
                    help="also scan this write-ahead log for torn tails "
                         "and mid-log corruption")
+    p.add_argument("--store", default=None,
+                   help="also audit this index-store directory: CURRENT "
+                        "pointer health, orphaned generations, stray "
+                        "temps, quarantine backlog, stamp drift")
     p.set_defaults(run=cmd_doctor)
 
     p = sub.add_parser(

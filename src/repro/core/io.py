@@ -141,6 +141,51 @@ def fsync_directory(directory: str) -> None:
         os.close(fd)
 
 
+def payload_from_graph(graph: DominantGraph) -> dict:
+    """The canonical serialized form of a graph: the seven data arrays.
+
+    This is the exact array vocabulary of the npz format (see the module
+    docstring), shared by :func:`save_graph` and the binary store format
+    (:mod:`repro.store.graphstore`) so both containers hold byte-for-byte
+    the same payload and validate through the same pipeline.
+    """
+    record_ids = list(graph.iter_records())
+    layer_of = [graph.layer_of(rid) for rid in record_ids]
+    edges = [
+        (parent, child)
+        for parent in record_ids
+        for child in sorted(graph.children_of(parent))
+    ]
+    pseudo_ids = [rid for rid in record_ids if graph.is_pseudo(rid)]
+    pseudo_vectors = (
+        np.vstack([graph.vector(rid) for rid in pseudo_ids])
+        if pseudo_ids
+        else np.empty((0, graph.dataset.dims), dtype=np.float64)
+    )
+    return {
+        "values": np.asarray(graph.dataset.values, dtype=np.float64),
+        "attribute_names": np.asarray(graph.dataset.attribute_names, dtype=str),
+        "record_ids": np.asarray(record_ids, dtype=np.intp),
+        "layer_of": np.asarray(layer_of, dtype=np.intp),
+        "edges": np.asarray(edges, dtype=np.intp).reshape(-1, 2),
+        "pseudo_ids": np.asarray(pseudo_ids, dtype=np.intp),
+        "pseudo_vectors": np.asarray(pseudo_vectors, dtype=np.float64),
+    }
+
+
+def graph_from_payload(payload: dict, path: str) -> DominantGraph:
+    """Validate a payload dict and reconstruct the graph from it.
+
+    Runs the full structural validation (shapes, dtypes, id ranges,
+    edge/layer invariants) before any construction, raising
+    :class:`~repro.errors.IndexCorruptionError` naming the damaged
+    array; ``path`` only labels errors.  Integrity (checksums) is the
+    *container's* job and must happen before this is called.
+    """
+    _validate_payload(payload, path)
+    return _construct(payload, path)
+
+
 def save_graph(graph: DominantGraph, path: str, *, durable: bool = False) -> str:
     """Serialize a graph (and its dataset) to ``path`` (.npz appended).
 
@@ -163,28 +208,7 @@ def save_graph(graph: DominantGraph, path: str, *, durable: bool = False) -> str
     >>> load_graph(path).layer_sizes()
     [2, 1]
     """
-    record_ids = list(graph.iter_records())
-    layer_of = [graph.layer_of(rid) for rid in record_ids]
-    edges = [
-        (parent, child)
-        for parent in record_ids
-        for child in sorted(graph.children_of(parent))
-    ]
-    pseudo_ids = [rid for rid in record_ids if graph.is_pseudo(rid)]
-    pseudo_vectors = (
-        np.vstack([graph.vector(rid) for rid in pseudo_ids])
-        if pseudo_ids
-        else np.empty((0, graph.dataset.dims), dtype=np.float64)
-    )
-    payload = {
-        "values": np.asarray(graph.dataset.values, dtype=np.float64),
-        "attribute_names": np.asarray(graph.dataset.attribute_names, dtype=str),
-        "record_ids": np.asarray(record_ids, dtype=np.intp),
-        "layer_of": np.asarray(layer_of, dtype=np.intp),
-        "edges": np.asarray(edges, dtype=np.intp).reshape(-1, 2),
-        "pseudo_ids": np.asarray(pseudo_ids, dtype=np.intp),
-        "pseudo_vectors": np.asarray(pseudo_vectors, dtype=np.float64),
-    }
+    payload = payload_from_graph(graph)
     names, digests = compute_manifest(payload)
     payload["manifest_names"] = np.asarray(names, dtype=str)
     payload["manifest_sha256"] = np.asarray(digests, dtype=str)

@@ -58,6 +58,22 @@ Hierarchy
     crash legitimately leaves behind (see :mod:`repro.serve.wal`).
     Carries the ``path`` and byte ``offset`` of the damage when known.
 
+``StoreCorruptionError`` (an ``IndexCorruptionError``)
+    A memory-mapped store file (:mod:`repro.store`) failed an integrity
+    check: bad magic, a header/TOC digest mismatch, a truncated payload,
+    or a section whose SHA-256 no longer matches its bytes.  Carries the
+    ``path`` and the offending ``section`` when the damage is localized.
+    Subclasses :class:`IndexCorruptionError` so every existing
+    corruption handler (``repro doctor``, recovery, the degradation
+    ladder) applies unchanged.
+
+``StoreStaleError`` (also a ``RuntimeError``)
+    A store file is intact but no longer matches the source it claims to
+    index: its staleness stamp (source dataset version, applied WAL
+    sequence, or format version) disagrees with what the opener
+    expected.  Serving it would be consistent-but-outdated, which the
+    stamp discipline exists to prevent; rebuild or republish instead.
+
 ``ServiceUnavailable`` (also a ``RuntimeError``)
     A :class:`~repro.serve.index.ServingIndex` cannot take the request:
     it is draining for shutdown, already closed, or its writer was
@@ -244,6 +260,67 @@ class WALCorruptionError(ReproError, ValueError):
         detail = reason
         if offset is not None:
             detail = f"{detail} [offset={offset}]"
+        if path is not None:
+            detail = f"{detail} ({path})"
+        super().__init__(detail)
+
+
+class StoreCorruptionError(IndexCorruptionError):
+    """A memory-mapped store file failed an integrity check.
+
+    Parameters
+    ----------
+    reason:
+        Human-readable description of the first check that failed.
+    path:
+        The store file being opened or scrubbed, when known.
+    section:
+        Name of the damaged section, when the damage is localized
+        (also exposed as :attr:`IndexCorruptionError.array` so generic
+        corruption tooling reports it).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: str | None = None,
+        section: str | None = None,
+    ) -> None:
+        super().__init__(reason, path=path, array=section)
+        self.section = section
+
+
+class StoreStaleError(ReproError, RuntimeError):
+    """A store file is intact but stamped for a different source state.
+
+    Attributes
+    ----------
+    field:
+        Which stamp field disagreed (``"source_version"``,
+        ``"applied_seq"``, ``"format_version"``, or ``"generation"``).
+    expected / found:
+        The value the opener required versus the one in the file.
+    path:
+        The store file, when known.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        expected: object,
+        found: object,
+        *,
+        path: str | None = None,
+    ) -> None:
+        self.field = field
+        self.expected = expected
+        self.found = found
+        self.path = path
+        detail = (
+            f"store stamp mismatch on {field}: expected {expected!r}, "
+            f"file carries {found!r}"
+        )
         if path is not None:
             detail = f"{detail} ({path})"
         super().__init__(detail)

@@ -79,6 +79,8 @@ from repro.parallel.worker import (
 )
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.deadline import Deadline
+from repro.store.directory import StoreDirectory
+from repro.store.mapped import StoreSnapshotHandle
 
 
 #: Set ``REPRO_FABRIC_TRACE`` to a file path to append a timestamped
@@ -98,6 +100,38 @@ def _trace(event: str) -> None:
             )
     except OSError:  # tracing must never take the fabric down
         pass
+
+
+class _FileSnapshot:
+    """Owner-side handle for a snapshot published as a mapped store file.
+
+    The file-backed twin of :class:`~repro.parallel.shm.SharedSnapshot`
+    (``handle`` / ``destroy`` / ``destroyed``), so the executor's
+    publish-rotate-destroy lifecycle runs unchanged over either
+    transport.  ``destroy`` unlinks the generation file; POSIX keeps it
+    readable for workers still mapping it, exactly like an unlinked
+    ``/dev/shm`` segment.
+    """
+
+    def __init__(self, handle: StoreSnapshotHandle) -> None:
+        self.handle = handle
+        self._destroyed = False
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def destroy(self) -> None:
+        """Unlink the generation file.  Idempotent.
+
+        Tolerates the file already being gone — the spool directory's
+        own orphan collection may have removed it at the next publish.
+        """
+        self._destroyed = True
+        try:
+            os.unlink(self.handle.path)
+        except FileNotFoundError:
+            pass
 
 
 class _WorkerSlot:
@@ -159,6 +193,15 @@ class ParallelQueryExecutor:
         Fraction of ``reply_timeout`` after which a still-pending task
         is duplicated onto another healthy worker.  Ignored when
         ``reply_timeout`` is ``None``.
+    snapshot_dir:
+        When set, snapshots are published as generation-numbered store
+        files (:mod:`repro.store`) in this directory instead of
+        ``/dev/shm`` segments: every worker maps the same physical file
+        (one copy for N processes, same as shm) and each attach runs
+        store fast-verification, so a tampered or torn publication can
+        never be served.  The spool is written ``durable=False`` — its
+        contents are derived data a restart regenerates — while the
+        generation/``CURRENT`` rotation still guarantees atomicity.
 
     Examples
     --------
@@ -189,6 +232,7 @@ class ParallelQueryExecutor:
         poll_interval: float = 0.05,
         reply_timeout: float | None = None,
         hedge_fraction: float = 0.5,
+        snapshot_dir: "str | None" = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -206,7 +250,12 @@ class ParallelQueryExecutor:
             None if reply_timeout is None else reply_timeout * hedge_fraction
         )
         self._context = multiprocessing.get_context("fork")
-        self._shared: SharedSnapshot = export_snapshot(compiled, epoch=epoch)
+        self._spool = (
+            None
+            if snapshot_dir is None
+            else StoreDirectory(snapshot_dir, keep=0)
+        )
+        self._shared = self._export(compiled, epoch)
         self._results = self._context.Queue()
         # Monotonic instant of the most recent unexpected worker death
         # with no reply received since; None while the reply queue is
@@ -237,6 +286,22 @@ class ParallelQueryExecutor:
 
     # -- lifecycle ----------------------------------------------------
 
+    def _export(
+        self, compiled: CompiledDG, epoch: int
+    ) -> "SharedSnapshot | _FileSnapshot":
+        """Publish a snapshot over the configured transport.
+
+        Shared memory by default; a generation-numbered store file when
+        ``snapshot_dir`` was given.  Both return an owner object with
+        the same ``handle``/``destroy`` lifecycle.
+        """
+        if self._spool is None:
+            return export_snapshot(compiled, epoch=epoch)
+        handle = self._spool.publish_compiled(
+            compiled, epoch=epoch, durable=False
+        )
+        return _FileSnapshot(handle)
+
     def _spawn(self, worker_id: int) -> _WorkerSlot:
         requests = self._context.Queue()
         process = self._context.Process(
@@ -260,7 +325,7 @@ class ParallelQueryExecutor:
         """
         with self._lock:
             self._ensure_open()
-            fresh = export_snapshot(compiled, epoch=epoch)
+            fresh = self._export(compiled, epoch)
             previous = self._shared
             self._shared = fresh
             self._shared_ref[0] = fresh
@@ -297,6 +362,10 @@ class ParallelQueryExecutor:
                 slot.requests.close()
             self._results.close()
             self._shared.destroy()
+            if self._spool is not None:
+                # The spool holds only derived data; leave the directory
+                # empty rather than with a dangling CURRENT pointer.
+                self._spool.clear()
             self._finalizer.detach()
 
     def __enter__(self) -> "ParallelQueryExecutor":
@@ -317,6 +386,7 @@ class ParallelQueryExecutor:
         snapshot["workers"] = self.num_workers
         snapshot["batch_size"] = self.batch_size
         snapshot["reply_timeout"] = self.reply_timeout
+        snapshot["transport"] = "file" if self._spool is not None else "shm"
         snapshot["breakers"] = self._breakers.snapshot()
         return snapshot
 

@@ -42,6 +42,7 @@ from repro.errors import DeadlineExceeded
 from repro.metrics.counters import AccessCounter
 from repro.parallel.shm import AttachedSnapshot, SnapshotHandle, attach_snapshot
 from repro.resilience.deadline import Deadline
+from repro.store.mapped import StoreSnapshotHandle, attach_store
 
 #: Algorithm label stamped on merged shard-mode results.
 SHARD_ALGORITHM = "compiled-shard-scan"
@@ -72,9 +73,30 @@ class QueryTask:
 
 @dataclass(frozen=True)
 class PublishMessage:
-    """Tell a worker to switch to a newer shared snapshot."""
+    """Tell a worker to switch to a newer snapshot.
 
-    handle: SnapshotHandle
+    ``handle`` is either a shared-memory
+    :class:`~repro.parallel.shm.SnapshotHandle` or a file-backed
+    :class:`~repro.store.mapped.StoreSnapshotHandle`; workers dispatch
+    on the type, so the two transports interleave freely.
+    """
+
+    handle: "SnapshotHandle | StoreSnapshotHandle"
+
+
+def attach_handle(
+    handle: "SnapshotHandle | StoreSnapshotHandle",
+) -> AttachedSnapshot:
+    """Attach whichever snapshot transport the handle describes.
+
+    File-backed handles run fast store verification on every attach, so
+    a tampered or torn file surfaces as a typed
+    :class:`~repro.errors.StoreCorruptionError` here — never as wrong
+    answers later.
+    """
+    if isinstance(handle, StoreSnapshotHandle):
+        return attach_store(handle)  # type: ignore[return-value]
+    return attach_snapshot(handle)
 
 
 @dataclass(frozen=True)
@@ -200,21 +222,32 @@ def execute_task(snapshot: AttachedSnapshot, task: QueryTask) -> tuple:
 
 def worker_main(
     worker_id: int,
-    handle: SnapshotHandle,
+    handle: "SnapshotHandle | StoreSnapshotHandle",
     requests: "object",
     results: "object",
 ) -> None:
     """Entry point of one fabric worker process.
 
-    Attaches the shared snapshot, then loops: execute tasks, honour
-    :class:`PublishMessage` snapshot swaps, exit on ``None``.  Query
-    errors are reported back as :class:`TaskResult` errors — a bad query
-    must not kill the worker, or one malformed request could take down a
-    slot serving thousands of good ones.
+    Attaches the snapshot (shared-memory or mapped file, per the handle
+    type), then loops: execute tasks, honour :class:`PublishMessage`
+    snapshot swaps, exit on ``None``.  Query errors are reported back as
+    :class:`TaskResult` errors — a bad query must not kill the worker,
+    or one malformed request could take down a slot serving thousands of
+    good ones.  A snapshot that cannot be attached at startup (already
+    superseded, or failing store verification) exits the worker cleanly;
+    the executor's healing machinery respawns it against the current
+    epoch.
     """
+    from repro.errors import StoreCorruptionError
     from repro.parallel.executor import _trace
 
-    snapshot = attach_snapshot(handle)
+    try:
+        snapshot = attach_handle(handle)
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        # Never serve an unverifiable snapshot: exit and let the
+        # executor respawn this slot onto the current publication.
+        _trace(f"worker-attach-failed id={worker_id} err={exc!r}")
+        return
     _trace(f"worker-up id={worker_id}")
     try:
         while True:
@@ -224,11 +257,22 @@ def worker_main(
                 break
             if isinstance(message, PublishMessage):
                 try:
-                    fresh = attach_snapshot(message.handle)
+                    fresh = attach_handle(message.handle)
                 except FileNotFoundError:
-                    # A newer publish already destroyed this segment; its
-                    # own PublishMessage is behind this one in the FIFO,
-                    # so keep serving the current mapping until it lands.
+                    # A newer publish already destroyed this segment or
+                    # generation file; its own PublishMessage is behind
+                    # this one in the FIFO, so keep serving the current
+                    # mapping until it lands.
+                    continue
+                except StoreCorruptionError as exc:
+                    # Quarantine-not-serve: a store file that fails
+                    # verification is never mapped — keep answering
+                    # from the (still correct) current snapshot until a
+                    # clean generation is published.
+                    _trace(
+                        f"worker-publish-rejected id={worker_id} "
+                        f"err={exc!r}"
+                    )
                     continue
                 previous = snapshot
                 snapshot = fresh

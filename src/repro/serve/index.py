@@ -49,8 +49,18 @@ ride :class:`~repro.core.guard.BudgetedAccessCounter` unchanged.
 Directory layout::
 
     <dir>/CURRENT               {"checkpoint": ..., "applied_seq": N}
-    <dir>/checkpoint-<seq>.npz  repro.core.io archive
+    <dir>/checkpoint-<seq>.dgs  repro.store checkpoint (graph payload)
     <dir>/wal.log               repro.serve.wal
+    <dir>/snapshots/            fabric snapshot spool (store files, when
+                                workers > 0; derived data, never durable)
+    <dir>/quarantine/           checkpoints that failed verification
+
+Checkpoints are written in the binary store format (:mod:`repro.store`):
+checksummed per section, stamped with the WAL sequence they cover, and
+scrubbabale in place.  Directories created by older builds (``.npz``
+checkpoints) still open — the loader dispatches on the extension the
+``CURRENT`` pointer names — and convert to the store format at their
+next checkpoint.
 """
 
 from __future__ import annotations
@@ -87,6 +97,7 @@ from repro.errors import (
     IndexCorruptionError,
     QueryBudgetExceeded,
     ServiceUnavailable,
+    StoreCorruptionError,
     WALCorruptionError,
 )
 from repro.parallel.executor import ParallelQueryExecutor
@@ -95,11 +106,37 @@ from repro.resilience.deadline import Deadline
 from repro.resilience.policy import RetryPolicy, TimeoutPolicy
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheKey, ResultCache, cache_key
+from repro.store.graphstore import load_graph_store, save_graph_store
+from repro.store.mapped import MappedStore, open_store
+from repro.store.scrub import StoreScrubber
 from repro.serve.wal import WriteAheadLog, create_wal, scan_wal
 
 CURRENT_NAME = "CURRENT"
 WAL_NAME = "wal.log"
-_CHECKPOINT_FMT = "checkpoint-{seq:016d}.npz"
+_CHECKPOINT_FMT = "checkpoint-{seq:016d}.dgs"
+#: Subdirectory holding the fabric's snapshot spool (derived data).
+SNAPSHOT_SPOOL = "snapshots"
+#: Subdirectory where damaged checkpoints are preserved, never served.
+QUARANTINE_DIR = "quarantine"
+
+
+def _save_checkpoint(graph: DominantGraph, path: str, seq: int) -> str:
+    """Write a checkpoint in the format its extension names."""
+    if path.endswith(".npz"):
+        return save_graph(graph, path, durable=True)
+    return save_graph_store(graph, path, applied_seq=seq, durable=True)
+
+
+def _load_checkpoint(path: str) -> DominantGraph:
+    """Load a checkpoint in whichever format ``CURRENT`` names.
+
+    ``.dgs`` store checkpoints and legacy ``.npz`` archives both come
+    back as the same validated :class:`DominantGraph`; corruption in
+    either raises a typed :class:`~repro.errors.IndexCorruptionError`.
+    """
+    if path.endswith(".dgs"):
+        return load_graph_store(path)
+    return load_graph(path)
 
 
 # ----------------------------------------------------------------------
@@ -329,12 +366,19 @@ class ServingIndex:
         worker_batch_size: int = 64,
         timeout_policy: TimeoutPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
+        scrub_interval: float | None = None,
     ) -> None:
         self._directory = directory
         self._graph = graph
         self._wal = wal
         self._fsync = fsync
         self._checkpoint_interval = checkpoint_interval
+        self._scrub_interval = scrub_interval
+        self._scrubber: StoreScrubber | None = None
+        self._scrub_store: MappedStore | None = None
+        self._store_recoveries = 0
+        self._publish_stats = {"count": 0, "last_ms": 0.0, "total_ms": 0.0}
+        self._checkpoint_stats = {"count": 0, "last_ms": 0.0, "total_ms": 0.0}
         self._timeouts = (
             TimeoutPolicy() if timeout_policy is None else timeout_policy
         )
@@ -363,6 +407,9 @@ class ServingIndex:
         self._cache = ResultCache(cache_size) if cache_size else None
         self._fabric: ParallelQueryExecutor | None = None
         if workers > 0:
+            # Snapshots reach the workers as mapped store files in the
+            # spool: one physical copy for N processes (page cache), and
+            # fast verification on every attach.
             self._fabric = ParallelQueryExecutor(
                 self._snapshot.compiled,
                 workers=workers,
@@ -370,7 +417,17 @@ class ServingIndex:
                 epoch=self._snapshot.epoch,
                 reply_timeout=self._timeouts.reply_timeout,
                 hedge_fraction=self._timeouts.hedge_fraction,
+                snapshot_dir=os.path.join(directory, SNAPSHOT_SPOOL),
             )
+        if scrub_interval is not None and scrub_interval > 0:
+            self._scrubber = StoreScrubber(
+                None,  # armed below, once a .dgs checkpoint exists
+                interval=scrub_interval,
+                breaker=self._breakers.get("store"),
+                on_corruption=self._on_store_corruption,
+            )
+            self._rearm_scrubber()
+            self._scrubber.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -402,7 +459,7 @@ class ServingIndex:
                 "use ServingIndex.open to recover it"
             )
         name = _CHECKPOINT_FMT.format(seq=0)
-        save_graph(graph, os.path.join(directory, name), durable=True)
+        _save_checkpoint(graph, os.path.join(directory, name), 0)
         _write_current(directory, name, 0)
         wal_path = os.path.join(directory, WAL_NAME)
         create_wal(wal_path, base_seq=0)
@@ -424,7 +481,14 @@ class ServingIndex:
         """
         checkpoint, applied_seq = _read_current(directory)
         checkpoint_path = os.path.join(directory, checkpoint)
-        graph = load_graph(checkpoint_path)
+        try:
+            graph = _load_checkpoint(checkpoint_path)
+        except StoreCorruptionError:
+            # Quarantine-not-serve: keep the evidence, surface the typed
+            # error.  Rebuild with `repro serve --init` (or restore the
+            # file) — a damaged checkpoint must never be guessed around.
+            _quarantine_file(directory, checkpoint_path)
+            raise
 
         wal_path = os.path.join(directory, WAL_NAME)
         if not os.path.exists(wal_path):
@@ -485,12 +549,20 @@ class ServingIndex:
                 return True
             self._draining = True
         drained = self._admission.drain(timeout=drain_timeout)
+        # Stop the scrubber outside the writer lock: its corruption
+        # callback takes that lock, and stopping must not deadlock with
+        # a recovery already in flight.
+        if self._scrubber is not None:
+            self._scrubber.stop()
         with self._writer_lock:
             if checkpoint and self._poisoned is None:
                 self._checkpoint_locked()
             self._wal.close()
             if self._fabric is not None:
                 self._fabric.shutdown()
+            if self._scrub_store is not None:
+                self._scrub_store.close()
+                self._scrub_store = None
             self._closed = True
         return drained
 
@@ -883,6 +955,7 @@ class ServingIndex:
             return result
 
     def _publish_locked(self) -> ServingSnapshot:
+        publish_started = time.monotonic()
         self._epoch += 1
         snap = ServingSnapshot(
             compiled=self._graph.compile().detach(),
@@ -891,13 +964,21 @@ class ServingIndex:
         )
         self._snapshot = snap  # atomic reference swap: the RCU publish
         if self._fabric is not None:
-            # Republish over shared memory so fabric workers serve the
-            # new epoch; per-worker FIFO ordering makes this a barrier.
+            # Republish so fabric workers serve the new epoch (a store
+            # file in the snapshot spool); per-worker FIFO ordering
+            # makes this a barrier.
             self._fabric.publish(snap.compiled, epoch=snap.epoch)
         if self._cache is not None:
             # Old-epoch entries can never hit again (the epoch is part
             # of the key); purging just reclaims their memory early.
             self._cache.purge_other_epochs(snap.epoch)
+        # Compile + republish cost, kept separate from WAL append and
+        # checkpoint cost so the write path's spend is attributable
+        # (benchmarks/bench_serve.py reports it as its own column).
+        elapsed_ms = 1000.0 * (time.monotonic() - publish_started)
+        self._publish_stats["count"] += 1
+        self._publish_stats["last_ms"] = elapsed_ms
+        self._publish_stats["total_ms"] += elapsed_ms
         return snap
 
     def _require_writable(self) -> None:
@@ -928,15 +1009,16 @@ class ServingIndex:
                 self._require_writable()  # surfaces the poisoned detail
             return self._checkpoint_locked()
 
-    def _checkpoint_locked(self) -> str:
+    def _checkpoint_locked(self, *, force: bool = False) -> str:
+        started = time.monotonic()
         seq = self._wal.last_seq
         name = _CHECKPOINT_FMT.format(seq=seq)
         current, current_seq = _read_current(self._directory)
-        if current == name and current_seq == seq:
+        if current == name and current_seq == seq and not force:
             return name  # nothing to checkpoint
         self._wal.sync()  # the log must be durable up to seq first
-        save_graph(
-            self._graph, os.path.join(self._directory, name), durable=True
+        _save_checkpoint(
+            self._graph, os.path.join(self._directory, name), seq
         )
         _write_current(self._directory, name, seq)
         # The swap is the commit point; everything after is cleanup that
@@ -947,7 +1029,72 @@ class ServingIndex:
         self._wal = WriteAheadLog(wal_path, fsync=self._fsync)
         _collect_orphan_checkpoints(self._directory, keep=name)
         self._ops_since_checkpoint = 0
+        elapsed_ms = 1000.0 * (time.monotonic() - started)
+        self._checkpoint_stats["count"] += 1
+        self._checkpoint_stats["last_ms"] = elapsed_ms
+        self._checkpoint_stats["total_ms"] += elapsed_ms
+        self._rearm_scrubber()
         return name
+
+    # ------------------------------------------------------------------
+    # Store scrubbing and recovery
+    # ------------------------------------------------------------------
+    def _rearm_scrubber(self) -> None:
+        """Point the scrubber at the current ``.dgs`` checkpoint, if any.
+
+        Called at startup and after every checkpoint rotation.  Legacy
+        ``.npz`` checkpoints are not scrubbable (their integrity check
+        is the load-time manifest); the scrubber idles until the next
+        checkpoint converts the directory.
+        """
+        if self._scrubber is None:
+            return
+        try:
+            current, _seq = _read_current(self._directory)
+        except (FileNotFoundError, IndexCorruptionError):
+            return
+        if not current.endswith(".dgs"):
+            return
+        path = os.path.join(self._directory, current)
+        try:
+            fresh = open_store(path)
+        except (FileNotFoundError, StoreCorruptionError):
+            return
+        previous = self._scrub_store
+        self._scrub_store = fresh
+        self._scrubber.replace(fresh)
+        if previous is not None:
+            previous.close()
+
+    def _on_store_corruption(self, exc: StoreCorruptionError) -> None:
+        """Scrubber detection handler: quarantine, then rebuild.
+
+        This is the degradation ladder for durable state: the mapped
+        checkpoint failed its re-checksum, so the damaged file is moved
+        to ``quarantine/`` (preserved as evidence, unservable) and a
+        fresh checkpoint is written from the healthy in-memory graph —
+        recompile-from-source, no downtime, queries unaffected
+        throughout because they never touch the checkpoint file.
+        """
+        with self._writer_lock:
+            if self._closed or self._poisoned is not None:
+                return
+            warnings.warn(
+                DegradedResultWarning(
+                    f"checkpoint failed scrubbing ({exc}); quarantining "
+                    "and rewriting from the in-memory index"
+                ),
+                stacklevel=2,
+            )
+            if self._scrub_store is not None:
+                self._scrub_store.close()
+                self._scrub_store = None
+            if exc.path is not None:
+                _quarantine_file(self._directory, exc.path)
+            self._store_recoveries += 1
+            # force: the WAL sequence has not moved, but the file on
+            # disk is gone (quarantined) and must be rewritten.
+            self._checkpoint_locked(force=True)
 
     # ------------------------------------------------------------------
     # Probes
@@ -999,6 +1146,16 @@ class ServingIndex:
             "parallel": (
                 self._fabric.stats() if self._fabric is not None else None
             ),
+            "store": {
+                "publish": dict(self._publish_stats),
+                "checkpoint": dict(self._checkpoint_stats),
+                "scrubber": (
+                    self._scrubber.stats()
+                    if self._scrubber is not None
+                    else None
+                ),
+                "recoveries": self._store_recoveries,
+            },
             "draining": self._draining,
             "poisoned": self._poisoned is not None,
         }
@@ -1028,14 +1185,40 @@ class ServingIndex:
 
 
 def _collect_orphan_checkpoints(directory: str, keep: str) -> None:
-    """Delete checkpoint files other than the one ``CURRENT`` names."""
+    """Delete checkpoint files other than the one ``CURRENT`` names.
+
+    Covers both formats, so converting a directory from ``.npz`` to
+    ``.dgs`` checkpoints garbage-collects the superseded archive.
+    """
     for name in os.listdir(directory):
         if (
             name.startswith("checkpoint-")
-            and name.endswith(".npz")
+            and (name.endswith(".npz") or name.endswith(".dgs"))
             and name != keep
         ):
             try:
                 os.unlink(os.path.join(directory, name))
             except OSError:
                 pass
+
+
+def _quarantine_file(directory: str, path: str) -> "str | None":
+    """Move a damaged file into ``<dir>/quarantine/``; returns new path.
+
+    Evidence preservation: the file is renamed, never deleted, and the
+    quarantine directory is outside every serving code path, so no later
+    open can accidentally serve it.  Returns ``None`` when the file
+    disappeared meanwhile.
+    """
+    if not os.path.exists(path):
+        return None
+    pen = os.path.join(directory, QUARANTINE_DIR)
+    os.makedirs(pen, exist_ok=True)
+    target = os.path.join(pen, os.path.basename(path))
+    suffix = 0
+    while os.path.exists(target):
+        suffix += 1
+        target = os.path.join(pen, f"{os.path.basename(path)}.{suffix}")
+    os.replace(path, target)
+    fsync_directory(directory)
+    return target

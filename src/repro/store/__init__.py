@@ -1,0 +1,77 @@
+"""Crash-safe, checksummed, memory-mapped index storage.
+
+The durable home of a precomputed Dominant Graph: a versioned binary
+container (:mod:`repro.store.format`) written atomically and served
+zero-copy through read-only ``mmap`` views (:mod:`repro.store.mapped`),
+rotated as generation-numbered files behind a ``CURRENT`` pointer with
+quarantine-based recovery (:mod:`repro.store.directory`), re-verified
+continuously by a background scrubber (:mod:`repro.store.scrub`), and
+able to carry either a compiled snapshot (``kind="compiled"``, for the
+parallel fabric) or a full graph checkpoint (``kind="graph"``, for the
+serving index — :mod:`repro.store.graphstore`).
+
+See ``docs/storage.md`` for the byte-level format specification and the
+recovery matrix.
+"""
+
+from repro.store.directory import (
+    CURRENT_NAME,
+    QUARANTINE_DIR,
+    STORE_FMT,
+    StoreDirectory,
+)
+from repro.store.format import (
+    ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    SectionSpec,
+    StoreInfo,
+    StoreStamp,
+    plan_sections,
+    read_toc,
+    section_digest,
+    serialize_store,
+    write_store,
+)
+from repro.store.graphstore import (
+    GRAPH_SECTIONS,
+    load_graph_store,
+    save_graph_store,
+)
+from repro.store.mapped import (
+    COMPILED_SECTIONS,
+    MappedSnapshot,
+    MappedStore,
+    StoreSnapshotHandle,
+    attach_store,
+    open_store,
+)
+from repro.store.scrub import StoreScrubber
+
+__all__ = [
+    "ALIGNMENT",
+    "COMPILED_SECTIONS",
+    "CURRENT_NAME",
+    "FORMAT_VERSION",
+    "GRAPH_SECTIONS",
+    "MAGIC",
+    "MappedSnapshot",
+    "MappedStore",
+    "QUARANTINE_DIR",
+    "STORE_FMT",
+    "SectionSpec",
+    "StoreDirectory",
+    "StoreInfo",
+    "StoreScrubber",
+    "StoreSnapshotHandle",
+    "StoreStamp",
+    "attach_store",
+    "load_graph_store",
+    "open_store",
+    "plan_sections",
+    "read_toc",
+    "save_graph_store",
+    "section_digest",
+    "serialize_store",
+    "write_store",
+]

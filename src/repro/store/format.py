@@ -1,0 +1,421 @@
+"""The ``.dgs`` on-disk format: header, section table, checksums.
+
+A store file is a versioned container of named numpy arrays laid out for
+``mmap`` serving (see ``docs/storage.md`` for the byte-level spec):
+
+- a fixed little-endian **header** (magic, format version, section
+  count, TOC size, total file size, and the staleness stamp binding the
+  file to its source: generation, source dataset version, applied WAL
+  sequence, first-layer size, payload kind);
+- a **section table** of fixed-size entries (name, dtype, shape, byte
+  offset, byte length, SHA-256 of the section bytes);
+- a 32-byte **header digest** (SHA-256 over every header+table byte
+  before it), closing the TOC;
+- the section payloads, each starting on a :data:`ALIGNMENT`-byte
+  boundary so mapped views are SIMD- and cacheline-aligned.
+
+Two verification tiers fall out of the layout.  *Fast* verification
+(:func:`read_toc`) reads only the TOC — magic, version, header digest,
+and a file-size check — so a multi-gigabyte index opens in O(header)
+time without touching a single section page.  *Deep* verification
+(:meth:`repro.store.mapped.MappedStore.verify`) re-hashes every section
+against its table digest and attributes any damage to the specific
+section, the same per-array discipline as the ``.npz`` manifest in
+:mod:`repro.core.io`.
+
+Writes are crash-safe by protocol, not by luck: :func:`write_store`
+assembles the full byte image, writes it to a temp file in the target
+directory, fsyncs, atomically ``os.replace``\\ s it over the target, and
+fsyncs the directory — the same temp+rename+dirsync dance as the WAL
+checkpoints, so a reader can never observe a torn file under the final
+name.  :func:`serialize_store` exposes the exact byte stream so the
+crash tests can truncate it at every offset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.io import fsync_directory
+from repro.errors import StoreCorruptionError
+
+#: First eight bytes of every store file; the trailing digit is the
+#: major layout revision (bumped only on incompatible layout changes).
+MAGIC = b"DGSTORE1"
+
+#: Format version of files this build writes.
+FORMAT_VERSION = 1
+
+#: Versions this build can read.
+SUPPORTED_VERSIONS = (1,)
+
+#: Section payloads start on this byte boundary inside the file
+#: (matches :data:`repro.parallel.shm.ALIGNMENT` so a mapped view has
+#: the same alignment guarantees as a shared-memory one).
+ALIGNMENT = 64
+
+#: SHA-256 digest size, used for both section and header digests.
+DIGEST_SIZE = 32
+
+#: magic, format_version, section_count, toc_bytes, file_bytes,
+#: generation, source_version, applied_seq, first_layer_size, kind.
+_HEADER = struct.Struct("<8sIIQQQQQQ16s")
+
+#: name, dtype, ndim, reserved, shape[4], offset, nbytes, sha256.
+_SECTION = struct.Struct("<32s16sIIQQQQQQ32s")
+
+#: Longest section name / dtype string the fixed-width table can hold.
+_NAME_BYTES = 32
+_DTYPE_BYTES = 16
+_MAX_NDIM = 4
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """Location, type, and digest of one section inside a store file."""
+
+    name: str
+    dtype: str
+    shape: tuple
+    offset: int
+    nbytes: int
+    sha256: bytes
+
+
+@dataclass(frozen=True)
+class StoreStamp:
+    """The staleness stamp binding a store file to its source.
+
+    ``kind`` names the payload vocabulary (``"compiled"`` for the flat
+    :class:`~repro.core.compiled.CompiledDG` arrays, ``"graph"`` for a
+    full checkpoint payload).  ``source_version`` is the source graph's
+    mutation counter at serialization time and ``applied_seq`` the WAL
+    sequence the payload includes — together they decide whether the
+    file still describes the data it claims to index.
+    """
+
+    kind: str
+    generation: int = 0
+    source_version: int = 0
+    applied_seq: int = 0
+    first_layer_size: int = 0
+    format_version: int = FORMAT_VERSION
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for audits and health probes."""
+        return {
+            "kind": self.kind,
+            "generation": self.generation,
+            "source_version": self.source_version,
+            "applied_seq": self.applied_seq,
+            "first_layer_size": self.first_layer_size,
+            "format_version": self.format_version,
+        }
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Everything fast verification learns: stamp, TOC, and extents."""
+
+    stamp: StoreStamp
+    sections: tuple
+    toc_bytes: int
+    file_bytes: int
+
+    def spec(self, name: str) -> SectionSpec:
+        """The table entry for ``name``; raises ``KeyError`` if absent."""
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KeyError(name)
+
+    @property
+    def section_names(self) -> tuple:
+        """Section names in file order."""
+        return tuple(section.name for section in self.sections)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def section_digest(array: np.ndarray) -> bytes:
+    """SHA-256 over a section's raw bytes (C-contiguous, as stored)."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.digest()
+
+
+def _encode_name(name: str, width: int, label: str) -> bytes:
+    raw = name.encode("ascii")
+    if not raw or len(raw) > width:
+        raise ValueError(
+            f"store {label} {name!r} must be 1..{width} ASCII bytes"
+        )
+    return raw.ljust(width, b"\x00")
+
+
+def _pack_toc(
+    specs: "tuple[SectionSpec, ...]", stamp: StoreStamp, file_bytes: int
+) -> bytes:
+    toc_bytes = _HEADER.size + len(specs) * _SECTION.size + DIGEST_SIZE
+    head = _HEADER.pack(
+        MAGIC,
+        int(stamp.format_version),
+        len(specs),
+        toc_bytes,
+        int(file_bytes),
+        int(stamp.generation),
+        int(stamp.source_version),
+        int(stamp.applied_seq),
+        int(stamp.first_layer_size),
+        _encode_name(stamp.kind, 16, "kind"),
+    )
+    body = bytearray(head)
+    for spec in specs:
+        shape = tuple(spec.shape) + (0,) * (_MAX_NDIM - len(spec.shape))
+        body += _SECTION.pack(
+            _encode_name(spec.name, _NAME_BYTES, "section name"),
+            _encode_name(spec.dtype, _DTYPE_BYTES, "dtype"),
+            len(spec.shape),
+            0,
+            *[int(dim) for dim in shape],
+            int(spec.offset),
+            int(spec.nbytes),
+            spec.sha256,
+        )
+    body += hashlib.sha256(bytes(body)).digest()
+    return bytes(body)
+
+
+def plan_sections(
+    arrays: "dict[str, np.ndarray]",
+) -> "tuple[tuple[SectionSpec, ...], int, int]":
+    """``(specs, toc_bytes, file_bytes)`` for a payload, in input order.
+
+    Section payloads start at the first :data:`ALIGNMENT` boundary past
+    the TOC, and every section start is re-aligned, mirroring the
+    shared-memory layout in :mod:`repro.parallel.shm`.
+    """
+    names = list(arrays)
+    toc_bytes = _HEADER.size + len(names) * _SECTION.size + DIGEST_SIZE
+    cursor = _aligned(toc_bytes)
+    specs = []
+    for name in names:
+        array = np.ascontiguousarray(arrays[name])
+        if array.ndim > _MAX_NDIM:
+            raise ValueError(
+                f"section {name!r} is {array.ndim}-d; the table holds "
+                f"at most {_MAX_NDIM} dimensions"
+            )
+        cursor = _aligned(cursor)
+        specs.append(
+            SectionSpec(
+                name=name,
+                dtype=array.dtype.str,
+                shape=tuple(int(dim) for dim in array.shape),
+                offset=cursor,
+                nbytes=int(array.nbytes),
+                sha256=section_digest(array),
+            )
+        )
+        cursor += int(array.nbytes)
+    return tuple(specs), toc_bytes, cursor
+
+
+def serialize_store(
+    arrays: "dict[str, np.ndarray]", stamp: StoreStamp
+) -> bytes:
+    """The complete byte image of a store file for this payload.
+
+    This is the exact stream :func:`write_store` puts on disk; the
+    torn-write tests truncate it at every offset to enumerate the crash
+    states a killed publish can leave behind.
+    """
+    specs, _toc_bytes, file_bytes = plan_sections(arrays)
+    image = bytearray(file_bytes)
+    toc = _pack_toc(specs, stamp, file_bytes)
+    image[: len(toc)] = toc
+    for spec in specs:
+        raw = np.ascontiguousarray(arrays[spec.name]).tobytes()
+        image[spec.offset : spec.offset + spec.nbytes] = raw
+    return bytes(image)
+
+
+def write_store(
+    path: str,
+    arrays: "dict[str, np.ndarray]",
+    stamp: StoreStamp,
+    *,
+    durable: bool = True,
+) -> str:
+    """Crash-safely write a store file; returns the path written.
+
+    Temp file in the target directory, optional fsync, atomic
+    ``os.replace``, optional directory fsync — a reader can never
+    observe a torn file under the final name, and with ``durable=True``
+    the finished file also survives power loss.  ``durable=False`` skips
+    both fsyncs for derived data whose loss a restart can regenerate
+    (the fabric's snapshot spool).
+    """
+    image = serialize_store(arrays, stamp)
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(image)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_directory(directory)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def _decode_name(raw: bytes, path: str, label: str) -> str:
+    try:
+        return raw.rstrip(b"\x00").decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise StoreCorruptionError(
+            f"non-ASCII {label} in section table: {exc}", path=path
+        ) from exc
+
+
+def read_toc(path: str, *, expected_size: "int | None" = None) -> StoreInfo:
+    """Fast verification: read and check the TOC without touching sections.
+
+    Validates the magic, format version, header digest, and the stated
+    file size against the real one — O(header) work however large the
+    payload is, which is what makes multi-gigabyte cold opens cheap.
+    Raises :class:`~repro.errors.StoreCorruptionError` on any mismatch
+    and ``FileNotFoundError`` when the file is simply absent.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise StoreCorruptionError(
+                f"file is {len(head)} bytes, shorter than the "
+                f"{_HEADER.size}-byte header",
+                path=path,
+            )
+        (
+            magic,
+            format_version,
+            section_count,
+            toc_bytes,
+            file_bytes,
+            generation,
+            source_version,
+            applied_seq,
+            first_layer_size,
+            kind_raw,
+        ) = _HEADER.unpack(head)
+        if magic != MAGIC:
+            raise StoreCorruptionError(
+                f"bad magic {magic!r} (expected {MAGIC!r})", path=path
+            )
+        if format_version not in SUPPORTED_VERSIONS:
+            raise StoreCorruptionError(
+                f"unsupported store format version {format_version} "
+                f"(this build reads {SUPPORTED_VERSIONS})",
+                path=path,
+            )
+        expected_toc = (
+            _HEADER.size + section_count * _SECTION.size + DIGEST_SIZE
+        )
+        if toc_bytes != expected_toc:
+            raise StoreCorruptionError(
+                f"TOC claims {toc_bytes} bytes but {section_count} "
+                f"sections need {expected_toc}",
+                path=path,
+            )
+        rest = handle.read(toc_bytes - _HEADER.size)
+        if len(rest) < toc_bytes - _HEADER.size:
+            raise StoreCorruptionError(
+                "file ends inside the section table", path=path
+            )
+    table, digest = rest[:-DIGEST_SIZE], rest[-DIGEST_SIZE:]
+    if hashlib.sha256(head + table).digest() != digest:
+        raise StoreCorruptionError(
+            "header digest mismatch (TOC bytes were altered)", path=path
+        )
+    real_size = (
+        os.path.getsize(path) if expected_size is None else expected_size
+    )
+    if real_size != file_bytes:
+        raise StoreCorruptionError(
+            f"file is {real_size} bytes but the header states "
+            f"{file_bytes} (torn or truncated write)",
+            path=path,
+        )
+    sections = []
+    for index in range(section_count):
+        entry = _SECTION.unpack_from(table, index * _SECTION.size)
+        name = _decode_name(entry[0], path, "section name")
+        dtype = _decode_name(entry[1], path, "dtype")
+        ndim = int(entry[2])
+        if ndim > _MAX_NDIM:
+            raise StoreCorruptionError(
+                f"section table entry claims {ndim} dimensions",
+                path=path,
+                section=name,
+            )
+        shape = tuple(int(dim) for dim in entry[4 : 4 + ndim])
+        offset, nbytes, sha256 = int(entry[8]), int(entry[9]), entry[10]
+        if offset + nbytes > file_bytes or offset < toc_bytes:
+            raise StoreCorruptionError(
+                "section extent falls outside the file",
+                path=path,
+                section=name,
+            )
+        try:
+            itemsize = np.dtype(dtype).itemsize
+        except TypeError as exc:
+            raise StoreCorruptionError(
+                f"unparseable dtype {dtype!r}: {exc}",
+                path=path,
+                section=name,
+            ) from exc
+        count = 1
+        for dim in shape:
+            count *= dim
+        if count * itemsize != nbytes:
+            raise StoreCorruptionError(
+                f"shape {shape} x dtype {dtype} is {count * itemsize} "
+                f"bytes, table says {nbytes}",
+                path=path,
+                section=name,
+            )
+        sections.append(
+            SectionSpec(
+                name=name,
+                dtype=dtype,
+                shape=shape,
+                offset=offset,
+                nbytes=nbytes,
+                sha256=sha256,
+            )
+        )
+    stamp = StoreStamp(
+        kind=_decode_name(kind_raw, path, "kind"),
+        generation=int(generation),
+        source_version=int(source_version),
+        applied_seq=int(applied_seq),
+        first_layer_size=int(first_layer_size),
+        format_version=int(format_version),
+    )
+    return StoreInfo(
+        stamp=stamp,
+        sections=tuple(sections),
+        toc_bytes=int(toc_bytes),
+        file_bytes=int(file_bytes),
+    )

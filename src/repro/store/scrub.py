@@ -1,0 +1,186 @@
+"""Background scrubbing: catch bit rot before a query does.
+
+Checksums only help if someone re-checks them: a section that rots
+*after* a deep verify passes would otherwise be served until the next
+restart.  :class:`StoreScrubber` is a daemon thread that walks the
+current store's sections round-robin, re-hashing one section per tick
+against its TOC digest, so the whole file is re-verified every
+``sections x interval`` seconds at a bounded, configurable I/O cost.
+
+On a mismatch it does three things, in order:
+
+1. records a failure on the store's circuit breaker (the existing
+   :class:`~repro.resilience.breaker.BreakerBoard` machinery — repeated
+   hits open the breaker and the serving layer stops routing to the
+   mapped tier);
+2. invokes the ``on_corruption`` callback with the typed
+   :class:`~repro.errors.StoreCorruptionError` (the serving index uses
+   this to quarantine the file and republish from source — the
+   mmap → recompile-from-source → reference ladder);
+3. stops scrubbing the damaged store (the callback replaces it; serving
+   a corpse twice teaches nothing).
+
+The scrubber never raises into its host: a typed corruption error is a
+*detection*, handled through the callback, and any other failure is
+recorded on the breaker and counted in :meth:`StoreScrubber.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import StoreCorruptionError
+from repro.store.mapped import MappedStore
+
+
+class StoreScrubber:
+    """Re-checksum a mapped store's sections, one per tick, forever.
+
+    Parameters
+    ----------
+    store:
+        The mapped store to scrub.  Replaceable at runtime via
+        :meth:`replace` (after recovery republishes a clean file).
+    interval:
+        Seconds between section checks.  One *section* — not the whole
+        file — is hashed per tick, keeping steady-state I/O small.
+    breaker:
+        Optional circuit breaker recording scrub outcomes; corruption
+        records a failure, a clean pass over a full cycle a success.
+    on_corruption:
+        Callback invoked (from the scrubber thread) with the
+        :class:`~repro.errors.StoreCorruptionError` when a section fails.
+    """
+
+    def __init__(
+        self,
+        store: "MappedStore | None",
+        *,
+        interval: float = 1.0,
+        breaker: "object | None" = None,
+        on_corruption: Optional[
+            Callable[[StoreCorruptionError], None]
+        ] = None,
+    ) -> None:
+        self.interval = float(interval)
+        self._breaker = breaker
+        self._on_corruption = on_corruption
+        self._lock = threading.Lock()
+        self._store: Optional[MappedStore] = store
+        self._cursor = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._checks = 0
+        self._cycles = 0
+        self._corruptions = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "StoreScrubber":
+        """Start the daemon thread.  Idempotent."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="store-scrubber", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread to exit and join it.  Idempotent."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    def replace(self, store: "MappedStore | None") -> None:
+        """Swap in a new store (or None to pause) after recovery."""
+        with self._lock:
+            self._store = store
+            self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # The scrub loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.scrub_once()
+
+    def scrub_once(self) -> "str | None":
+        """Check the next section; returns its name, or None when idle.
+
+        Public so tests (and ``repro doctor``) can drive a full cycle
+        synchronously instead of waiting out the interval.
+        """
+        with self._lock:
+            store = self._store
+            cursor = self._cursor
+        if store is None or store.closed:
+            return None
+        names = store.info.section_names
+        if not names:
+            return None
+        name = names[cursor % len(names)]
+        try:
+            store.verify_section(name)
+        except StoreCorruptionError as exc:
+            self._note_corruption(store, exc)
+            return name
+        except ValueError:
+            # The store was closed between the check above and the hash;
+            # the replacement will be scrubbed on the next tick.
+            return None
+        with self._lock:
+            self._checks += 1
+            self._cursor = cursor + 1
+            if self._cursor % len(names) == 0:
+                self._cycles += 1
+                if self._breaker is not None:
+                    self._breaker.record_success()
+        return name
+
+    def _note_corruption(
+        self, store: MappedStore, exc: StoreCorruptionError
+    ) -> None:
+        with self._lock:
+            self._checks += 1
+            self._corruptions += 1
+            # Stop scrubbing the corpse; recovery installs a fresh store.
+            if self._store is store:
+                self._store = None
+        if self._breaker is not None:
+            self._breaker.record_failure()
+        if self._on_corruption is not None:
+            try:
+                self._on_corruption(exc)
+            except StoreCorruptionError:
+                # Recovery re-raising the detection is redundant, not a
+                # scrubber failure.
+                pass
+            except (OSError, RuntimeError, ValueError):
+                with self._lock:
+                    self._errors += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready counters for health probes and BENCH reports."""
+        with self._lock:
+            store = self._store
+            return {
+                "running": bool(
+                    self._thread is not None and self._thread.is_alive()
+                ),
+                "path": None if store is None else store.path,
+                "checks": self._checks,
+                "full_cycles": self._cycles,
+                "corruptions_detected": self._corruptions,
+                "callback_errors": self._errors,
+                "interval_s": self.interval,
+            }

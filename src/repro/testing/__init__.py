@@ -30,6 +30,7 @@ from repro.testing.faults import (
     FlakyFunction,
     flip_bits,
     set_format_version,
+    store_crash_offsets,
     tamper_array,
     truncate_file,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "run_suite",
     "run_threads",
     "set_format_version",
+    "store_crash_offsets",
     "tamper_array",
     "truncate_file",
 ]

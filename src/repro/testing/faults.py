@@ -66,6 +66,29 @@ def truncate_file(path: str, keep: int | None = None, fraction: float = 0.5) -> 
     return keep
 
 
+def store_crash_offsets(path: str) -> list:
+    """Every store truncation point worth crashing at, ascending.
+
+    Mirrors :func:`repro.testing.concurrency.crash_offsets` for ``.dgs``
+    store files: a cut inside the fixed header, mid section table, the
+    bare TOC (no payload), each section's first byte present, each
+    section one byte short, each section boundary, and the whole file
+    one byte short — the shapes an interrupted ``write`` (or a
+    power-cut page cache) can leave behind.
+    """
+    from repro.store.format import read_toc
+
+    info = read_toc(path)
+    size = os.path.getsize(path)
+    offsets = {0, 1, info.toc_bytes // 2, info.toc_bytes - 1, info.toc_bytes}
+    for spec in info.sections:
+        offsets.add(spec.offset)
+        offsets.add(spec.offset + max(0, spec.nbytes - 1))
+        offsets.add(spec.offset + spec.nbytes)
+    offsets.add(size - 1)
+    return sorted(offset for offset in offsets if 0 <= offset < size)
+
+
 def _read_archive(path: str) -> dict:
     with np.load(path, allow_pickle=False) as archive:
         return {key: archive[key] for key in archive.files}

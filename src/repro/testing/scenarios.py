@@ -255,20 +255,101 @@ class ChaosContext:
         self._signal_worker(slot, signal.SIGKILL, "SIGKILL")
 
     def unlink_segments(self) -> int:
-        """Unlink this index's ``/dev/shm`` segment names (mappings live on)."""
+        """Unlink the current snapshot's backing name (mappings live on).
+
+        Dispatches on the fabric's transport: a shared-memory handle
+        names a ``/dev/shm`` segment, a store handle names a spool file.
+        Either way POSIX keeps existing mappings valid — only *new*
+        attaches (worker respawns) see the missing name.
+        """
         fabric = self.index._fabric
         if fabric is None:
             return 0
-        removed = 0
-        segment = fabric._shared.handle.segment
-        path = os.path.join("/dev/shm", segment)
+        handle = fabric._shared.handle
+        segment = getattr(handle, "segment", None)
+        if segment is not None:
+            path = os.path.join("/dev/shm", segment)
+        else:
+            path = handle.path
+        name = os.path.basename(path)
         try:
             os.unlink(path)
-            removed += 1
-            self.log(f"unlinked shm segment {segment}")
+            self.log(f"unlinked snapshot backing {name}")
+            return 1
         except FileNotFoundError:
-            self.log(f"shm segment {segment} already gone")
-        return removed
+            self.log(f"snapshot backing {name} already gone")
+            return 0
+
+    def _spool(self) -> "object | None":
+        """The fabric's store-file spool (None on shm transport)."""
+        fabric = self.index._fabric
+        if fabric is None:
+            return None
+        return getattr(fabric, "_spool", None)
+
+    def tamper_store_toc(self) -> "str | None":
+        """Flip one TOC byte of the live spool generation on disk.
+
+        The payload sections are untouched, so workers already mapping
+        the file keep answering correctly — the TOC is only read at
+        open time.  The damage surfaces at the *next* attach, where
+        fast verification rejects the whole file (quarantine-not-serve)
+        instead of mapping unverifiable bytes.
+        """
+        from repro.store.format import read_toc
+
+        spool = self._spool()
+        if spool is None:
+            return None
+        current = spool.read_current()
+        if current is None:
+            return None
+        path, generation = current
+        info = read_toc(path)
+        offset = info.toc_bytes - 1  # last byte of the header digest
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+            handle.flush()
+        self.log(
+            f"flipped TOC byte at offset {offset} of generation "
+            f"{generation}"
+        )
+        return path
+
+    def plant_torn_publish(self) -> "tuple | None":
+        """Leave the debris of a publish killed mid-write in the spool.
+
+        Two artifacts, matching the two windows a ``durable=False``
+        publish can die in: a stray ``.tmp.*`` file (killed during the
+        serialize/write), and a torn next-generation store file (killed
+        after the rename but before the page cache reached disk).
+        ``CURRENT`` still names the intact generation, so nothing serves
+        the debris; the next real publish must ride over it and the
+        orphan collector must remove it.
+        """
+        spool = self._spool()
+        if spool is None:
+            return None
+        current = spool.read_current()
+        if current is None:
+            return None
+        path, generation = current
+        with open(path, "rb") as handle:
+            image = handle.read()
+        torn = spool.path_for(generation + 1)
+        with open(torn, "wb") as handle:
+            handle.write(image[: max(1, len(image) // 2)])
+        stray = f"{spool.path_for(generation + 2)}.tmp.999"
+        with open(stray, "wb") as handle:
+            handle.write(image[:64])
+        self.log(
+            f"planted torn generation {generation + 1} and stray temp "
+            f"in the spool"
+        )
+        return torn, stray
 
     def mutate(self) -> None:
         """One writer operation (delete, or re-insert) → one publish."""
@@ -425,8 +506,51 @@ def _scenario_slow_jitter(ctx: ChaosContext) -> None:
     ctx.query_round(2)
 
 
+def _scenario_store_tamper_section(ctx: ChaosContext) -> None:
+    """A TOC byte of the live store generation rots on disk.
+
+    Live mappings bypass the TOC, so in-flight service stays correct;
+    the respawn of a killed worker must *reject* the tampered file at
+    fast verification (quarantine-not-serve) rather than map it, and
+    the next publish — a fresh generation — heals the pool.
+    """
+    ctx.query_round(2)
+    ctx.tamper_store_toc()
+    ctx.query_round(2)  # payload untouched: current mappings still right
+    ctx.kill_worker(0)  # its replacement must refuse the tampered file
+    for _ in range(ctx.config.rounds):
+        ctx.query_round()
+    ctx.mutate()  # publish writes a clean generation: the pool heals
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
+def _scenario_store_kill_mid_publish(ctx: ChaosContext) -> None:
+    """A publish dies mid-write, leaving torn debris in the spool.
+
+    ``CURRENT`` still names the intact generation, so service never
+    touches the debris; worker respawns re-attach the intact file; the
+    next real publish allocates past the torn generation and the orphan
+    collector clears the wreckage.
+    """
+    ctx.query_round(2)
+    debris = ctx.plant_torn_publish()
+    ctx.query_round(2)  # CURRENT is intact: service is unaffected
+    ctx.kill_worker(0)  # respawn re-attaches the intact generation
+    ctx.query_round()
+    ctx.mutate()  # publish must ride over the debris and remove it
+    for path in debris or ():
+        if os.path.exists(path):
+            ctx.log(f"DEBRIS SURVIVED: {os.path.basename(path)}")
+            ctx.report.wrong += 1
+    for _ in range(ctx.config.rounds):
+        ctx.query_round()
+    ctx.measure_recovery()
+    ctx.query_round(2)
+
+
 def _scenario_shm_tamper(ctx: ChaosContext) -> None:
-    """The shared segment name vanishes; respawns fail until republish."""
+    """The snapshot's backing name vanishes; respawns fail until republish."""
     ctx.query_round(2)
     ctx.unlink_segments()
     ctx.query_round(2)  # mappings outlive the name: still served
@@ -489,6 +613,8 @@ SCENARIOS: "dict[str, Callable[[ChaosContext], None]]" = {
     "shm_tamper": _scenario_shm_tamper,
     "wal_fsync_failure": _scenario_wal_fsync_failure,
     "mid_publish_kill": _scenario_mid_publish_kill,
+    "store_tamper_section": _scenario_store_tamper_section,
+    "store_kill_mid_publish": _scenario_store_kill_mid_publish,
 }
 
 

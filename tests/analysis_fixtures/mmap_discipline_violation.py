@@ -1,0 +1,21 @@
+"""Fixture: writable mapping and mutated mapped views (mmap-discipline)."""
+
+import mmap
+
+import numpy as np
+
+from repro.store.mapped import attach_store, open_store
+
+
+def writable_mapping(fd):
+    return mmap.mmap(fd, 0, access=mmap.ACCESS_WRITE)  # VIOLATION
+
+
+def scribble(path, handle):
+    store = open_store(path)
+    values = store.section("values")
+    values.setflags(write=True)  # VIOLATION
+    values[0] = np.float64(0.0)  # VIOLATION
+    snapshot = attach_store(handle)
+    snapshot.compiled.record_ids[0] = -1  # VIOLATION
+    return store

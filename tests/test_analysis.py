@@ -47,6 +47,7 @@ FIXTURE_FOR_RULE = {
     "public-api": "public_api_violation.py",
     "worker-discipline": "worker_discipline_violation.py",
     "deadline-discipline": "deadline_discipline_violation.py",
+    "mmap-discipline": "mmap_discipline_violation.py",
 }
 
 

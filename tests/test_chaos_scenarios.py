@@ -50,6 +50,8 @@ def test_registry_is_complete():
         "shm_tamper",
         "wal_fsync_failure",
         "mid_publish_kill",
+        "store_tamper_section",
+        "store_kill_mid_publish",
     }
     for fn in SCENARIOS.values():
         assert fn.__doc__, "every scenario documents its fault schedule"

@@ -176,7 +176,7 @@ class TestDurability:
         index.insert(22)
         index.insert(23)
         name = index.checkpoint()
-        assert name.endswith(".npz")
+        assert name.endswith(".dgs")
         scan = scan_wal(os.path.join(index._directory, WAL_NAME))
         assert scan.records == []
         assert scan.base_seq == 2
