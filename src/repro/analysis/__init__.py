@@ -19,22 +19,28 @@ tying each rule to a paper invariant or PR contract.
 
 from repro.analysis.engine import (
     Finding,
+    LintRun,
     ModuleContext,
     Rule,
     default_rules,
+    flow_rules,
     format_json,
     format_text,
     lint_paths,
     lint_source,
+    lint_tree,
 )
 
 __all__ = [
     "Finding",
+    "LintRun",
     "ModuleContext",
     "Rule",
     "default_rules",
+    "flow_rules",
     "format_json",
     "format_text",
     "lint_paths",
     "lint_source",
+    "lint_tree",
 ]

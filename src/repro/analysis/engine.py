@@ -28,10 +28,22 @@ Suppression syntax
     risky_line()  # repro: noqa[typed-errors] -- fault injection must catch everything
     other_line()  # repro: noqa[determinism, guard-coverage] -- reason here
 
-The comment silences only the listed rule ids, only on its own physical
-line (put it on the ``def`` line for function-level findings, on the
-``except`` line for handler findings).  ``[*]`` is deliberately not
-supported: every suppression names what it hides.
+The comment silences only the listed rule ids, anywhere within the
+*statement* its line belongs to: a comment on a decorated function's
+``def`` line also covers the decorator lines, and a comment on any
+physical line of a multi-line call covers the whole call.  Lines that
+belong to no statement (an ``except`` header, an ``else:``) match
+exactly as before.  ``[*]`` is deliberately not supported: every
+suppression names what it hides.
+
+Whole-program (flow) mode
+-------------------------
+Rules that set ``needs_project = True`` receive a
+:class:`repro.analysis.flow.project.Project` (every module parsed once,
+plus the resolved call graph) via :meth:`Rule.set_project` before
+dispatch; :func:`lint_tree` builds it when ``flow=True``.  Line rules
+that merely *benefit* from the call graph check ``self.project`` and
+degrade gracefully to their line-local behaviour when it is ``None``.
 """
 
 from __future__ import annotations
@@ -63,7 +75,10 @@ class Finding:
     """One rule violation, anchored to a file and line.
 
     Orders by ``(path, line, col, rule)`` so reports are deterministic
-    regardless of rule execution order.
+    regardless of rule execution order.  ``relpath`` is the
+    package-relative path (when known) — it is what baseline
+    fingerprints use, so a committed baseline stays valid across
+    machines and checkouts.
     """
 
     path: str
@@ -72,6 +87,7 @@ class Finding:
     rule: str
     message: str
     hint: str = ""
+    relpath: str = ""
 
     def format(self) -> str:
         """Render as ``path:line:col: [rule] message (hint: ...)``."""
@@ -119,11 +135,57 @@ class ModuleContext:
         self.tree = tree
         self.lines = source.splitlines()
         self.suppressions = parse_suppressions(source)
+        self.spans = _statement_spans(tree)
 
     def suppressed(self, line: int, rule: str) -> bool:
-        """True when ``rule`` is silenced on this physical ``line``."""
+        """True when ``rule`` is silenced on ``line``'s statement.
+
+        A suppression comment covers every physical line of the
+        (innermost) statement it sits on — decorators and the ``def``
+        header of a decorated function are one statement, as are all
+        lines of a multi-line call.  Lines outside any statement span
+        (an ``except`` header, an ``else:``) match exactly.
+        """
+        if self._suppressed_on(line, rule):
+            return True
+        return any(
+            self._suppressed_on(span_line, rule)
+            for span_line in self.spans.get(line, ())
+            if span_line != line
+        )
+
+    def _suppressed_on(self, line: int, rule: str) -> bool:
         noqa = self.suppressions.get(line)
         return noqa is not None and rule in noqa.rules
+
+
+def _statement_spans(tree: ast.Module) -> "dict[int, frozenset[int]]":
+    """Map each physical line to its (innermost) statement's line span.
+
+    For a function/class definition the span is the *header* — the
+    decorator lines through the signature, stopping before the body —
+    so a suppression on the ``def`` line covers a finding anchored to a
+    decorator line without silencing the entire body.  For any other
+    statement the span is ``lineno..end_lineno``.  ``ast.walk`` visits
+    outer statements before the statements nested inside them, so the
+    innermost statement wins each line.
+    """
+    spans: dict[int, frozenset[int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for decorator in node.decorator_list:
+                start = min(start, decorator.lineno)
+            end = node.body[0].lineno - 1 if node.body else node.lineno
+        else:
+            end = node.end_lineno or node.lineno
+        end = max(end, start)
+        span = frozenset(range(start, end + 1))
+        for line in span:
+            spans[line] = span
+    return spans
 
 
 class Rule:
@@ -132,6 +194,13 @@ class Rule:
     Subclasses set :attr:`id`, :attr:`summary`, :attr:`hint`, and
     optionally :attr:`paths` (relpath prefixes the rule applies to —
     empty means every module), then implement :meth:`check`.
+
+    Whole-program rules additionally set ``needs_project = True``; the
+    engine then guarantees :attr:`project` is populated (built by
+    :func:`lint_tree` in flow mode, or from the single module under
+    check as a fallback) before :meth:`check` runs.  Line rules may
+    also inspect :attr:`project` when present to cut false positives,
+    but must work with ``project is None``.
     """
 
     id: str = ""
@@ -139,6 +208,14 @@ class Rule:
     hint: str = ""
     #: Relpath prefixes this rule scopes itself to ("" matches all).
     paths: tuple[str, ...] = ()
+    #: True for interprocedural rules that cannot run without a Project.
+    needs_project: bool = False
+    #: The whole-program view, set by the engine in flow mode.
+    project: "object | None" = None
+
+    def set_project(self, project: "object | None") -> None:
+        """Install (or clear) the whole-program view for this run."""
+        self.project = project
 
     def applies_to(self, relpath: str) -> bool:
         """Whether this rule should run over the module at ``relpath``."""
@@ -170,6 +247,7 @@ class Rule:
             rule=self.id,
             message=message,
             hint=self.hint if hint is None else hint,
+            relpath=ctx.relpath,
         )
 
 
@@ -200,10 +278,95 @@ def parse_suppressions(source: str) -> dict[int, Suppression]:
 
 
 def default_rules() -> list[Rule]:
-    """The shipped rule set, in catalog order."""
+    """The shipped line-rule set, in catalog order."""
     from repro.analysis.rules import ALL_RULES
 
     return [cls() for cls in ALL_RULES]
+
+
+def flow_rules() -> list[Rule]:
+    """The interprocedural passes behind ``repro lint --flow``."""
+    from repro.analysis.flow import FLOW_RULES
+
+    return [cls() for cls in FLOW_RULES]
+
+
+def _parse_context(
+    source: str, relpath: str, report_path: str
+) -> "tuple[ModuleContext | None, list[Finding]]":
+    """Parse one module; a syntax error becomes a ``parse-error`` finding."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=report_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            rule=PARSE_ERROR_RULE,
+            message=f"module does not parse: {exc.msg}",
+            hint="fix the syntax error; no rules were checked",
+            relpath=relpath,
+        )
+        return None, [finding]
+    return ModuleContext(report_path, relpath, source, tree), []
+
+
+def _suppression_findings(ctx: ModuleContext) -> list[Finding]:
+    """Findings for malformed / unjustified suppression comments."""
+    findings: list[Finding] = []
+    for noqa in ctx.suppressions.values():
+        problems = []
+        if not noqa.rules:
+            problems.append("names no rule ids")
+        if noqa.reason is None:
+            problems.append("records no reason")
+        if problems:
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=noqa.line,
+                    col=0,
+                    rule=SUPPRESSION_RULE,
+                    message=f"suppression {' and '.join(problems)}",
+                    hint=(
+                        "write `# repro: noqa[rule-id] -- why this is"
+                        " intentionally exempt`"
+                    ),
+                    relpath=ctx.relpath,
+                )
+            )
+    return findings
+
+
+def _ensure_project(rules: Sequence[Rule], contexts: Sequence[ModuleContext]) -> None:
+    """Give project-requiring rules a Project when none was installed.
+
+    The single-module fallback lets fixture tests drive an
+    interprocedural rule through :func:`lint_source` without staging a
+    whole tree: the "program" is just that module.
+    """
+    needing = [rule for rule in rules if rule.needs_project and rule.project is None]
+    if not needing:
+        return
+    from repro.analysis.flow.project import Project
+
+    project = Project(contexts)
+    for rule in needing:
+        rule.set_project(project)
+
+
+def _lint_context(
+    ctx: ModuleContext, rules: Sequence[Rule], respect_scope: bool
+) -> list[Finding]:
+    """Run every applicable rule over one parsed module."""
+    findings = _suppression_findings(ctx)
+    for rule in rules:
+        if respect_scope and not rule.applies_to(ctx.relpath):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
 
 
 def lint_source(
@@ -224,7 +387,9 @@ def lint_source(
         Path relative to the ``repro`` package root, used for rule
         scoping and (by default) for report paths.
     rules:
-        Rules to run; defaults to :func:`default_rules`.
+        Rules to run; defaults to :func:`default_rules`.  Rules with
+        ``needs_project`` get a single-module Project built on the fly
+        when none is already installed.
     path:
         Report path; defaults to ``relpath``.
     respect_scope:
@@ -233,49 +398,11 @@ def lint_source(
     """
     report_path = relpath if path is None else path
     active = list(default_rules() if rules is None else rules)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=report_path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                rule=PARSE_ERROR_RULE,
-                message=f"module does not parse: {exc.msg}",
-                hint="fix the syntax error; no rules were checked",
-            )
-        ]
-    ctx = ModuleContext(report_path, relpath, source, tree)
-
-    findings: list[Finding] = []
-    for noqa in ctx.suppressions.values():
-        problems = []
-        if not noqa.rules:
-            problems.append("names no rule ids")
-        if noqa.reason is None:
-            problems.append("records no reason")
-        if problems:
-            findings.append(
-                Finding(
-                    path=report_path,
-                    line=noqa.line,
-                    col=0,
-                    rule=SUPPRESSION_RULE,
-                    message=f"suppression {' and '.join(problems)}",
-                    hint=(
-                        "write `# repro: noqa[rule-id] -- why this is"
-                        " intentionally exempt`"
-                    ),
-                )
-            )
-
-    for rule in active:
-        if respect_scope and not rule.applies_to(relpath):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.line, finding.rule):
-                findings.append(finding)
+    ctx, findings = _parse_context(source, relpath, report_path)
+    if ctx is None:
+        return findings
+    _ensure_project(active, [ctx])
+    findings = _lint_context(ctx, active, respect_scope)
     findings.sort()
     return findings
 
@@ -293,31 +420,23 @@ def package_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
-def lint_paths(
-    paths: Sequence[str | Path] | None = None,
-    *,
-    root: Path | None = None,
-    rules: Sequence[Rule] | None = None,
-    respect_scope: bool = True,
-) -> list[Finding]:
-    """Lint files/directories; the entry point behind ``repro lint``.
+@dataclasses.dataclass
+class LintRun:
+    """Everything one engine run produced.
 
-    Parameters
-    ----------
-    paths:
-        Files or directories to lint; defaults to the whole ``repro``
-        package tree.
-    root:
-        Package root that relpaths (rule scopes) are computed against;
-        defaults to the installed ``repro`` package directory.  Files
-        outside ``root`` scope by their bare file name.
-    rules, respect_scope:
-        As :func:`lint_source`.
+    ``stats`` carries the call-graph measurements in flow mode
+    (``calls``/``resolved``/``external``/``rate``); empty otherwise.
     """
-    base = package_root() if root is None else Path(root).resolve()
-    targets = [Path(p).resolve() for p in paths] if paths else [base]
-    active = list(default_rules() if rules is None else rules)
 
+    findings: list[Finding]
+    stats: dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+def _load_tree(
+    targets: Sequence[Path], base: Path
+) -> "tuple[list[ModuleContext], list[Finding]]":
+    """Parse every module under ``targets`` once, relative to ``base``."""
+    contexts: list[ModuleContext] = []
     findings: list[Finding] = []
     for module in _iter_module_files(targets):
         try:
@@ -335,20 +454,99 @@ def lint_paths(
                     rule=PARSE_ERROR_RULE,
                     message=f"module is unreadable: {exc}",
                     hint="the file must be readable UTF-8 to be checked",
+                    relpath=relpath,
                 )
             )
             continue
-        findings.extend(
-            lint_source(
-                source,
-                relpath,
-                active,
-                path=str(module),
-                respect_scope=respect_scope,
+        ctx, parse_findings = _parse_context(source, relpath, str(module))
+        findings.extend(parse_findings)
+        if ctx is not None:
+            contexts.append(ctx)
+    return contexts, findings
+
+
+def lint_tree(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    respect_scope: bool = True,
+    flow: bool = False,
+) -> LintRun:
+    """Lint files/directories; the full-featured entry point.
+
+    In flow mode the *whole* package under ``root`` is parsed once and
+    resolved into a project call graph — even when ``paths`` narrows
+    which modules get findings reported — because interprocedural facts
+    about a module depend on its callers and callees everywhere else.
+    ``paths`` then only scopes the report, never the analysis.
+    """
+    base = package_root() if root is None else Path(root).resolve()
+    targets = [Path(p).resolve() for p in paths] if paths else [base]
+    if rules is None:
+        active = list(default_rules())
+        if flow:
+            active.extend(flow_rules())
+    else:
+        active = list(rules)
+
+    stats: dict[str, object] = {}
+    contexts, findings = _load_tree(targets, base)
+    if flow:
+        if paths:
+            # The analysis always sees the whole package; explicitly
+            # targeted modules outside it (fixtures) join the program.
+            program, _ = _load_tree([base], base)
+            known = {ctx.relpath for ctx in program}
+            program.extend(
+                ctx for ctx in contexts if ctx.relpath not in known
             )
-        )
+        else:
+            program = contexts
+        from repro.analysis.flow.project import Project
+
+        project = Project(program)
+        stats = project.callgraph.stats()
+        for rule in active:
+            rule.set_project(project)
+    else:
+        _ensure_project(active, contexts)
+
+    for ctx in contexts:
+        findings.extend(_lint_context(ctx, active, respect_scope))
     findings.sort()
-    return findings
+    return LintRun(findings=findings, stats=stats)
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    respect_scope: bool = True,
+    flow: bool = False,
+) -> list[Finding]:
+    """Lint files/directories; the entry point behind ``repro lint``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint; defaults to the whole ``repro``
+        package tree.
+    root:
+        Package root that relpaths (rule scopes) are computed against;
+        defaults to the installed ``repro`` package directory.  Files
+        outside ``root`` scope by their bare file name.
+    rules, respect_scope:
+        As :func:`lint_source`.
+    flow:
+        Build the whole-program call graph and run project-aware rules
+        against it (see :func:`lint_tree`, which also exposes the
+        resolution statistics).
+    """
+    return lint_tree(
+        paths, root=root, rules=rules, respect_scope=respect_scope, flow=flow
+    ).findings
 
 
 def format_text(findings: Sequence[Finding]) -> str:
@@ -359,14 +557,25 @@ def format_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def format_json(findings: Sequence[Finding], rules: Sequence[Rule] | None = None) -> str:
-    """Machine-readable report (the CI artifact format)."""
+def format_json(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule] | None = None,
+    extra: "dict[str, object] | None" = None,
+) -> str:
+    """Machine-readable report (the CI artifact format).
+
+    ``extra`` merges additional top-level sections into the payload —
+    ``repro lint --flow`` adds ``callgraph`` (resolution statistics)
+    and ``baseline`` (ratchet accounting) this way.
+    """
     active = default_rules() if rules is None else list(rules)
-    payload = {
+    payload: dict[str, object] = {
         "count": len(findings),
         "rules": [
             {"id": rule.id, "summary": rule.summary} for rule in active
         ],
         "findings": [finding.as_dict() for finding in findings],
     }
+    if extra:
+        payload.update(extra)
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,73 @@
+"""Whole-program flow analysis on top of the rule engine.
+
+The line rules of :mod:`repro.analysis.rules` see one module at a time;
+the invariants that keep the serving stack correct are *cross-module* —
+a request deadline threaded from admission through the fabric into the
+kernel chunk loops, shared-memory segments and mmap views whose
+lifetimes span ``serve/``, ``parallel/`` and ``store/``, and the typed
+error contract at the public API.  This package follows those
+invariants along the project call graph:
+
+- :mod:`repro.analysis.flow.project` — every module parsed once into a
+  :class:`~repro.analysis.flow.project.Project`: modules, classes,
+  functions, import tables, and light type facts
+  (``self.attr = Klass(...)``, annotated parameters).
+- :mod:`repro.analysis.flow.callgraph` — resolved call edges over the
+  project, with a *measured* resolution rate so a resolver regression
+  is a visible number, not silently weaker passes.
+- :mod:`repro.analysis.flow.resources` — resource lifecycle: every
+  shm/mmap/store acquisition must reach a release on all paths.
+- :mod:`repro.analysis.flow.exceptions` — exception flow: the raise set
+  reachable from each public API function must stay inside
+  :mod:`repro.errors` plus the idiomatic builtins.
+- :mod:`repro.analysis.flow.deadlines` — deadline propagation: no
+  function on a query→wait path may drop the request's
+  :class:`~repro.resilience.deadline.Deadline` at a call boundary.
+- :mod:`repro.analysis.flow.baseline` — the findings baseline behind
+  the CI ratchet (``repro lint --flow --baseline``): only *new*
+  findings fail the build.
+
+Run it as ``repro lint --flow``; see ``docs/static_analysis.md`` for
+the architecture and the rule catalog entries.
+"""
+
+from repro.analysis.flow.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.deadlines import DeadlinePropagationRule
+from repro.analysis.flow.exceptions import ExceptionEscapeRule
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.resources import ResourceLifecycleRule
+
+#: The interprocedural passes, in catalog order.
+FLOW_RULES = (
+    ResourceLifecycleRule,
+    ExceptionEscapeRule,
+    DeadlinePropagationRule,
+)
+
+#: Minimum acceptable call-graph resolution rate (see ``--min-resolution``).
+#: Pinned below the measured rate on this tree; a drop past the floor
+#: means the resolver regressed and every pass silently weakened, so
+#: ``repro lint --flow --strict`` fails instead of shipping weaker checks.
+RESOLUTION_FLOOR = 0.80
+
+__all__ = [
+    "Baseline",
+    "CallGraph",
+    "DEFAULT_BASELINE",
+    "DeadlinePropagationRule",
+    "ExceptionEscapeRule",
+    "FLOW_RULES",
+    "Project",
+    "RESOLUTION_FLOOR",
+    "ResourceLifecycleRule",
+    "load_baseline",
+    "new_findings",
+    "write_baseline",
+]

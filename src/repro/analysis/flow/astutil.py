@@ -1,0 +1,77 @@
+"""Small AST helpers shared by the flow passes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def parent_map(root: ast.AST) -> "dict[int, ast.AST]":
+    """``id(child) -> parent`` for every node under ``root``."""
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def ancestors(
+    node: ast.AST, parents: "dict[int, ast.AST]"
+) -> Iterator[ast.AST]:
+    """The parent chain of ``node``, nearest first."""
+    current = parents.get(id(node))
+    while current is not None:
+        yield current
+        current = parents.get(id(current))
+
+
+def enclosing_statement(
+    node: ast.AST, parents: "dict[int, ast.AST]"
+) -> Optional[ast.stmt]:
+    """The innermost statement containing ``node`` (itself, if one)."""
+    if isinstance(node, ast.stmt):
+        return node
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, ast.stmt):
+            return ancestor
+    return None
+
+
+def names_in(node: ast.AST) -> "set[str]":
+    """Every ``Name`` loaded or stored anywhere inside ``node``."""
+    return {
+        inner.id for inner in ast.walk(node) if isinstance(inner, ast.Name)
+    }
+
+
+def try_field_of(
+    node: ast.AST, parents: "dict[int, ast.AST]"
+) -> "list[tuple[ast.Try, str]]":
+    """Each enclosing ``Try`` with the region holding ``node``.
+
+    The region is one of ``"body"``, ``"handler"``, ``"orelse"``,
+    ``"final"`` — resolved by walking up and remembering which child we
+    came from.  Nearest try first.
+    """
+    result: "list[tuple[ast.Try, str]]" = []
+    child = node
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, ast.Try):
+            if any(_contains(stmt, child) for stmt in ancestor.finalbody):
+                result.append((ancestor, "final"))
+            elif any(
+                _contains(handler, child) for handler in ancestor.handlers
+            ):
+                result.append((ancestor, "handler"))
+            elif any(_contains(stmt, child) for stmt in ancestor.orelse):
+                result.append((ancestor, "orelse"))
+            else:
+                result.append((ancestor, "body"))
+        child = ancestor
+    return result
+
+
+def _contains(root: ast.AST, node: ast.AST) -> bool:
+    if root is node:
+        return True
+    return any(child is node for child in ast.walk(root))

@@ -1,0 +1,112 @@
+"""The findings baseline behind the CI ratchet.
+
+A new whole-program pass over a mature tree is adopted as a *ratchet*,
+not a flag day: the findings present when the pass lands are recorded
+in a committed baseline file, CI fails only when a finding **not** in
+the baseline appears, and the baseline is only ever rewritten smaller
+(fix a finding, re-run ``repro lint --flow --write-baseline``).
+
+Fingerprints deliberately exclude line numbers: a baselined finding
+must survive unrelated edits above it, or every refactor would need a
+baseline refresh and the ratchet would train people to refresh blindly.
+A fingerprint is ``(relpath, rule, message)`` with a *count* — two
+identical findings in one file occupy two baseline slots, so fixing one
+of them still ratchets.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+
+#: Baseline file format version (bump on incompatible change).
+BASELINE_VERSION = 1
+
+#: Default committed baseline location, relative to the repository root.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+class Baseline:
+    """Fingerprint counts loaded from (or destined for) a baseline file."""
+
+    def __init__(self, counts: "Counter[tuple[str, str, str]]") -> None:
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+
+def fingerprint(finding: Finding) -> "tuple[str, str, str]":
+    """Line-number-free identity of a finding (see module docstring)."""
+    path = finding.relpath or finding.path
+    return (path, finding.rule, finding.message)
+
+
+def load_baseline(path: "str | Path") -> Baseline:
+    """Load a committed baseline; a missing file is an empty baseline.
+
+    An unreadable or wrong-version file raises ``ValueError`` — CI must
+    stop rather than silently compare against nothing.
+    """
+    file = Path(path)
+    if not file.exists():
+        return Baseline(Counter())
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable lint baseline {file}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"lint baseline {file} has version {payload.get('version')!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    counts: "Counter[tuple[str, str, str]]" = Counter()
+    for entry in payload.get("findings", []):
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return Baseline(counts)
+
+
+def write_baseline(path: "str | Path", findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    counts: "Counter[tuple[str, str, str]]" = Counter(
+        fingerprint(finding) for finding in findings
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+            for key, count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> "list[Finding]":
+    """Findings exceeding their baseline allowance — the ones that fail CI.
+
+    For a fingerprint with baseline count N and M>N occurrences now,
+    the M-N later ones (by line) are new.  Suppression findings are
+    never baselined: a silenced check with no reason must fail even on
+    day one.
+    """
+    remaining = Counter(baseline.counts)
+    fresh: list[Finding] = []
+    for finding in sorted(findings):
+        if finding.rule == "suppression":
+            fresh.append(finding)
+            continue
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

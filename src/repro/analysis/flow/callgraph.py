@@ -1,0 +1,303 @@
+"""Project call-graph construction with a measured resolution rate.
+
+Python call sites cannot all be resolved statically; what matters for
+the flow passes is (a) resolving the large disciplined majority this
+codebase actually contains, and (b) *measuring* the rest, so the
+passes' blind spots are a number CI can pin instead of silent decay.
+
+Classification of every call site:
+
+- **project** — resolved to a :class:`~repro.analysis.flow.project.FunctionInfo`
+  (direct call, from-import, module alias, ``self``/``cls`` method with
+  inheritance, typed receiver via ``self.attr = Klass(...)`` or an
+  annotated parameter, class construction → ``__init__``, or a method
+  name defined by exactly one project class);
+- **external** — provably not project code: builtins, attributes of
+  imported non-project modules, and method names no project class
+  defines (``queue.get``, ``array.sum``);
+- **unresolved** — could be project code but cannot be pinned down: a
+  computed callable, a call through a local rebinding, or a method name
+  several project classes define on an untyped receiver.
+
+``rate = resolved / (resolved + unresolved)`` — external calls are
+excluded from the denominator because no resolver could, or should,
+chase them.  ``repro lint --flow`` reports the rate and ``--strict``
+fails when it drops below the pinned floor
+(:data:`repro.analysis.flow.RESOLUTION_FLOOR`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.flow.project import (
+    BUILTIN_NAMES,
+    ClassInfo,
+    FunctionInfo,
+    _dotted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.project import Project
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one call site."""
+
+    kind: str  # "project" | "external" | "unresolved"
+    target: Optional[FunctionInfo] = None
+    #: Construction of a project class with no reachable ``__init__``
+    #: still resolves; the class is recorded here for exception flow.
+    klass: Optional[ClassInfo] = None
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved caller→callee edge, anchored to its call site."""
+
+    caller: str
+    callee: str
+    lineno: int
+    call: ast.Call
+
+
+class CallGraph:
+    """Resolved call edges over a project, plus resolution accounting."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.edges: dict[str, list[CallEdge]] = {}
+        self.reverse: dict[str, set[str]] = {}
+        self.resolved = 0
+        self.unresolved = 0
+        self.external = 0
+        self._local_types_cache: dict[str, dict[str, ClassInfo]] = {}
+        for func in project.functions.values():
+            self._build_function(func)
+
+    # -- construction --------------------------------------------------
+
+    def _build_function(self, func: FunctionInfo) -> None:
+        for node in func.body_nodes():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = f"{func.qualname}.<locals>.{node.name}"
+                if nested in self.project.functions:
+                    # Defining a closure implies it may run: one edge,
+                    # outside the resolution accounting.
+                    self._add_edge(func.qualname, nested, node.lineno, None)
+                continue
+            if isinstance(node, ast.Call):
+                resolution = self.resolve_call(func, node)
+                if resolution.kind == "project":
+                    self.resolved += 1
+                    if resolution.target is not None:
+                        self._add_edge(
+                            func.qualname,
+                            resolution.target.qualname,
+                            node.lineno,
+                            node,
+                        )
+                elif resolution.kind == "external":
+                    self.external += 1
+                else:
+                    self.unresolved += 1
+
+    def _add_edge(
+        self,
+        caller: str,
+        callee: str,
+        lineno: int,
+        call: "ast.Call | None",
+    ) -> None:
+        edge = CallEdge(
+            caller=caller,
+            callee=callee,
+            lineno=lineno,
+            call=call if call is not None else ast.Call(ast.Name(""), [], []),
+        )
+        self.edges.setdefault(caller, []).append(edge)
+        self.reverse.setdefault(callee, set()).add(caller)
+
+    # -- resolution ----------------------------------------------------
+
+    def local_types(self, func: FunctionInfo) -> "dict[str, ClassInfo]":
+        """name -> project class, from annotations and constructor assigns."""
+        cached = self._local_types_cache.get(func.qualname)
+        if cached is not None:
+            return cached
+        types: dict[str, ClassInfo] = {}
+        for param, annotation in func.annotations.items():
+            klass = self.project.class_of_annotation(annotation, func.relpath)
+            if klass is not None:
+                types[param] = klass
+        for node in func.body_nodes():
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                resolved = self.project.resolve_symbol(
+                    _dotted(node.value.func), func.relpath
+                )
+                if isinstance(resolved, ClassInfo):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            types[target.id] = resolved
+        self._local_types_cache[func.qualname] = types
+        return types
+
+    def resolve_call(self, func: FunctionInfo, call: ast.Call) -> Resolution:
+        """Classify one call site inside ``func`` (see module docstring)."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            return self._resolve_name_call(func, target.id)
+        if isinstance(target, ast.Attribute):
+            return self._resolve_attribute_call(func, target)
+        return Resolution(kind="unresolved")
+
+    def _resolve_name_call(self, func: FunctionInfo, name: str) -> Resolution:
+        module = self.project.module_of(func.relpath)
+        symbol = self.project.resolve_symbol(name, func.relpath)
+        if isinstance(symbol, FunctionInfo):
+            return Resolution(kind="project", target=symbol)
+        if isinstance(symbol, ClassInfo):
+            return self._resolve_construction(symbol)
+        if module is not None and (
+            name in module.import_symbols or name in module.import_modules
+        ):
+            # Imported, but from outside the project: external by fiat.
+            return Resolution(kind="external")
+        if name in BUILTIN_NAMES:
+            return Resolution(kind="external")
+        # A local rebinding, a parameter, or an unknown global: dynamic.
+        return Resolution(kind="unresolved")
+
+    def _resolve_construction(self, klass: ClassInfo) -> Resolution:
+        init = self.project.resolve_method(klass, "__init__")
+        return Resolution(kind="project", target=init, klass=klass)
+
+    def _resolve_attribute_call(
+        self, func: FunctionInfo, target: ast.Attribute
+    ) -> Resolution:
+        chain = _dotted(target)
+        attr = target.attr
+        if chain:
+            parts = chain.split(".")
+            root = parts[0]
+            resolved = self._resolve_rooted(func, parts)
+            if resolved is not None:
+                return resolved
+            module = self.project.module_of(func.relpath)
+            if module is not None and root in module.import_modules:
+                alias_target = module.import_modules[root]
+                if alias_target not in self.project.modules and not any(
+                    m.startswith(alias_target + ".") for m in self.project.modules
+                ):
+                    return Resolution(kind="external")
+        # Fall back on the method name itself: a name no project class
+        # defines cannot be project code; a unique definer resolves it;
+        # several definers on an untyped receiver stay honest-unresolved.
+        candidates = self.project.method_index.get(attr, [])
+        if not candidates and attr not in self.project.functions:
+            return Resolution(kind="external")
+        if len(candidates) == 1:
+            return Resolution(kind="project", target=candidates[0])
+        return Resolution(kind="unresolved")
+
+    def _resolve_rooted(
+        self, func: FunctionInfo, parts: "list[str]"
+    ) -> Optional[Resolution]:
+        """Resolve ``root.attr...`` chains with a known receiver type."""
+        root = parts[0]
+        if root in ("self", "cls") and func.class_name is not None:
+            module = self.project.module_of(func.relpath)
+            klass = module.classes.get(func.class_name) if module else None
+            if klass is None:
+                return None
+            if len(parts) == 2:
+                method = self.project.resolve_method(klass, parts[1])
+                if method is not None:
+                    return Resolution(kind="project", target=method)
+                return None
+            if len(parts) == 3 and parts[1] in klass.attr_types:
+                attr_klass = self.project.classes.get(klass.attr_types[parts[1]])
+                if attr_klass is not None:
+                    method = self.project.resolve_method(attr_klass, parts[2])
+                    if method is not None:
+                        return Resolution(kind="project", target=method)
+            return None
+        local_types = self.local_types(func)
+        if root in local_types and len(parts) == 2:
+            method = self.project.resolve_method(local_types[root], parts[1])
+            if method is not None:
+                return Resolution(kind="project", target=method)
+            return None
+        symbol = self.project.resolve_symbol(".".join(parts), func.relpath)
+        if isinstance(symbol, FunctionInfo):
+            return Resolution(kind="project", target=symbol)
+        if isinstance(symbol, ClassInfo):
+            return self._resolve_construction(symbol)
+        return None
+
+    # -- queries -------------------------------------------------------
+
+    def callees(self, qualname: str) -> Iterator[CallEdge]:
+        """Outgoing resolved edges of one function."""
+        yield from self.edges.get(qualname, ())
+
+    def callers(self, qualname: str) -> "set[str]":
+        """Qualnames of every resolved caller of one function."""
+        return self.reverse.get(qualname, set())
+
+    def reachable(
+        self, starts: "set[str]", *, forward: bool = True
+    ) -> "set[str]":
+        """Every function reachable from ``starts`` along resolved edges."""
+        seen = set(starts)
+        frontier = list(starts)
+        while frontier:
+            current = frontier.pop()
+            if forward:
+                nexts = [edge.callee for edge in self.edges.get(current, ())]
+            else:
+                nexts = list(self.reverse.get(current, ()))
+            for nxt in nexts:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def sample_path(
+        self, start: str, goal: str
+    ) -> "list[str]":
+        """One shortest resolved path start→goal (empty when none)."""
+        if start == goal:
+            return [start]
+        parents: dict[str, str] = {start: start}
+        frontier = [start]
+        while frontier:
+            nxt_frontier: list[str] = []
+            for current in frontier:
+                for edge in self.edges.get(current, ()):
+                    if edge.callee in parents:
+                        continue
+                    parents[edge.callee] = current
+                    if edge.callee == goal:
+                        path = [goal]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    nxt_frontier.append(edge.callee)
+            frontier = nxt_frontier
+        return []
+
+    def stats(self) -> "dict[str, object]":
+        """Resolution accounting for reports and the self-check floor."""
+        considered = self.resolved + self.unresolved
+        rate = (self.resolved / considered) if considered else 1.0
+        return {
+            "calls": considered + self.external,
+            "resolved": self.resolved,
+            "unresolved": self.unresolved,
+            "external": self.external,
+            "rate": round(rate, 4),
+        }

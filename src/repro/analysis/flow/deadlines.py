@@ -1,0 +1,208 @@
+"""Interprocedural pass: deadlines must survive the whole call path.
+
+A deadline that stops being forwarded one frame above a sleep is not a
+deadline — the query keeps its end-to-end budget only if every function
+between :meth:`ServingIndex.query` and the actual wait either receives
+the :class:`~repro.resilience.deadline.Deadline` or derives one.  The
+line-local ``deadline-discipline`` rule sees single functions; this
+pass walks the resolved call graph and reports two stronger facts:
+
+- **dropped at a boundary** — a function that *has* a deadline in
+  scope calls a resolved project function that *accepts* one, without
+  passing it.  The budget silently resets to infinity right there.
+- **hole on the query path** — a function that lies on a resolved path
+  from the serving entry points to a timed wait (a ``sleep`` or a
+  ``timeout=`` poll) but neither accepts a deadline parameter nor
+  constructs its own.  Even if today's callers behave, nothing *can*
+  thread the budget through this frame.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.project import FunctionInfo, Project
+
+#: Parameter names that carry the budget across a call boundary.
+DEADLINE_PARAMS = frozenset({"deadline", "deadline_ms"})
+
+#: Callables whose result is a fresh Deadline (constructors/derivers).
+DEADLINE_SOURCES = frozenset({"Deadline", "after_ms", "deadline_for", "clamp"})
+
+#: The serving entry points whose budget must reach every wait.
+ENTRY_QUALNAMES = (
+    "repro.serve.index.ServingIndex.query",
+    "repro.serve.index.ServingIndex.query_batch",
+)
+
+
+def _accepts_deadline(func: "FunctionInfo") -> bool:
+    return bool(DEADLINE_PARAMS & set(func.params))
+
+
+def _mentions_deadline(node: ast.AST) -> bool:
+    """Whether any name/attribute in ``node`` looks deadline-bearing."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and "deadline" in inner.id.lower():
+            return True
+        if isinstance(inner, ast.Attribute) and (
+            "deadline" in inner.attr.lower()
+        ):
+            return True
+    return False
+
+
+def _constructs_deadline(func: "FunctionInfo") -> bool:
+    """Whether the function derives its own Deadline internally."""
+    for node in func.body_nodes():
+        if isinstance(node, ast.Call):
+            target = node.func
+            name = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else ""
+            )
+            if name in DEADLINE_SOURCES:
+                return True
+    return False
+
+
+def _deadline_in_scope(func: "FunctionInfo") -> bool:
+    return _accepts_deadline(func) or _constructs_deadline(func)
+
+
+def _is_timed_wait(node: ast.Call) -> bool:
+    target = node.func
+    name = (
+        target.attr
+        if isinstance(target, ast.Attribute)
+        else target.id if isinstance(target, ast.Name) else ""
+    )
+    if name == "sleep":
+        return True
+    # ``join``/``terminate`` teardown waits are deliberately excluded:
+    # pool repair must finish regardless of the query budget, and its
+    # bounds are fixed constants, not deadline-clamped.
+    return name in ("wait", "poll", "acquire", "get") and any(
+        kw.arg == "timeout" for kw in node.keywords
+    )
+
+
+class DeadlinePropagationRule(Rule):
+    """The query deadline must be forwarded to every timed wait."""
+
+    id = "flow-deadline-propagation"
+    summary = (
+        "the Deadline is dropped before it reaches a timed wait on the "
+        "serving path"
+    )
+    hint = (
+        "accept a deadline parameter and forward it (or derive a "
+        "clamped child deadline) at every frame between query() and "
+        "the sleep/poll"
+    )
+    paths = ("serve/", "parallel/", "resilience/", "store/", "core/")
+    needs_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield deadline-drop findings for functions defined in ``ctx``."""
+        project = self.project
+        if project is None:  # pragma: no cover - engine guarantees it
+            return
+        on_path = self._query_path_functions(project)
+        for qualname, func in project.functions.items():
+            if func.relpath != ctx.relpath:
+                continue
+            yield from self._check_boundaries(ctx, project, func)
+            if qualname in on_path:
+                yield from self._check_path_hole(ctx, project, func)
+
+    # -- check A: dropped at a call boundary ---------------------------
+
+    def _check_boundaries(
+        self, ctx: ModuleContext, project: "Project", func: "FunctionInfo"
+    ) -> Iterator[Finding]:
+        if not _deadline_in_scope(func):
+            return
+        for edge in project.callgraph.callees(func.qualname):
+            callee = project.functions.get(edge.callee)
+            if callee is None or not _accepts_deadline(callee):
+                continue
+            if callee.name in DEADLINE_SOURCES:
+                continue
+            call = edge.call
+            if not isinstance(call.func, (ast.Name, ast.Attribute)):
+                continue
+            operands = [*call.args, *[kw.value for kw in call.keywords]]
+            forwarded = any(
+                kw.arg in DEADLINE_PARAMS for kw in call.keywords if kw.arg
+            ) or any(_mentions_deadline(op) for op in operands)
+            if forwarded:
+                continue
+            yield self.finding(
+                ctx,
+                call,
+                f"{func.name}() has a deadline in scope but calls "
+                f"{callee.name}() without forwarding it; the budget "
+                "resets at this boundary",
+            )
+
+    # -- check B: a hole on the query->wait path -----------------------
+
+    def _query_path_functions(self, project: "Project") -> "set[str]":
+        cached = getattr(project, "_deadline_path_funcs", None)
+        if cached is not None:
+            return cached
+        graph = project.callgraph
+        entries = {q for q in ENTRY_QUALNAMES if q in project.functions}
+        sinks = {
+            qualname
+            for qualname, func in project.functions.items()
+            if any(
+                isinstance(node, ast.Call) and _is_timed_wait(node)
+                for node in func.body_nodes()
+            )
+        }
+        if not entries or not sinks:
+            project._deadline_path_funcs = set()  # type: ignore[attr-defined]
+            return set()
+        from_entries = graph.reachable(entries, forward=True)
+        to_sinks = graph.reachable(sinks, forward=False)
+        on_path = (from_entries & to_sinks) - entries
+        project._deadline_path_funcs = on_path  # type: ignore[attr-defined]
+        return on_path
+
+    def _check_path_hole(
+        self, ctx: ModuleContext, project: "Project", func: "FunctionInfo"
+    ) -> Iterator[Finding]:
+        if func.name == "__init__" or "<locals>" in func.qualname:
+            return
+        if _deadline_in_scope(func) or func.has_kwargs:
+            return
+        entry = next(
+            (
+                q
+                for q in ENTRY_QUALNAMES
+                if q in project.functions
+                and func.qualname
+                in project.callgraph.reachable({q}, forward=True)
+            ),
+            None,
+        )
+        via = ""
+        if entry is not None:
+            chain = project.callgraph.sample_path(entry, func.qualname)
+            if chain:
+                via = " (" + " -> ".join(
+                    part.rsplit(".", 1)[-1] + "()" for part in chain
+                ) + ")"
+        yield self.finding(
+            ctx,
+            func.node.lineno,
+            f"{func.name}() lies between the serving entry points and a "
+            f"timed wait but cannot carry the deadline{via}",
+        )

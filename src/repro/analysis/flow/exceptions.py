@@ -1,0 +1,346 @@
+"""Interprocedural pass: what can escape the public API, typed or not.
+
+The error contract (see ``repro.errors``) is that ``core``, ``serve``
+and ``store`` surface only :class:`~repro.errors.ReproError` subclasses
+plus a short list of conventional builtins (``ValueError`` for bad
+arguments, ``KeyError``/``IndexError`` for lookups, ``OSError`` for the
+filesystem edge).  The line-local ``typed-errors`` rule bans *raising*
+``RuntimeError`` at the raise site; this pass closes the interprocedural
+gap — a helper three calls deep raising ``RuntimeError`` that no caller
+catches is the same contract violation, invisible to any line rule.
+
+Per function we compute the **escape set**: exception names raised
+locally or propagated from resolved callees, minus whatever enclosing
+``try`` handlers absorb.  Handler semantics are deliberately
+conservative:
+
+- a handler catching ``T`` absorbs exactly the names that are ``T`` or
+  a subclass of ``T`` (builtin MRO plus the project class hierarchy);
+- a handler whose body re-raises the caught exception (bare ``raise``,
+  or ``raise e`` where ``e`` is the handler alias) is *transparent* —
+  it absorbs nothing;
+- ``raise New(...) from e`` inside a handler absorbs the caught set and
+  contributes ``New`` (the translation idiom the contract asks for).
+
+The fixpoint runs over the resolved call graph only; unresolved and
+external calls contribute nothing, which is exactly the blind spot the
+measured resolution rate quantifies.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.flow.astutil import parent_map, try_field_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.project import FunctionInfo, Project
+
+#: Builtins the public API may let escape without translation.
+ALLOWED_BUILTINS = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "AttributeError",
+        "OSError",
+        "FileNotFoundError",
+        "FileExistsError",
+        "PermissionError",
+        "IsADirectoryError",
+        "NotADirectoryError",
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "AssertionError",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+        "MemoryError",
+    }
+)
+
+
+def _builtin_mro_names() -> "dict[str, frozenset[str]]":
+    table: dict[str, frozenset[str]] = {}
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            table[name] = frozenset(
+                klass.__name__
+                for klass in obj.__mro__
+                if isinstance(klass, type)
+                and issubclass(klass, BaseException)
+            )
+    return table
+
+
+#: Exception class name -> its ancestor names (self included).
+BUILTIN_EXCEPTION_MRO = _builtin_mro_names()
+
+
+class ExceptionHierarchy:
+    """Subclass queries over builtins plus the project's own classes."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self._cache: dict[str, frozenset[str]] = {}
+
+    def ancestors(self, name: str) -> "frozenset[str]":
+        """Every ancestor class name of ``name``, itself included."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        self._cache[name] = frozenset({name})  # cycle guard
+        result = {name}
+        for klass in self.project.classes.values():
+            if klass.name != name:
+                continue
+            for base_name in klass.base_names:
+                terminal = base_name.rsplit(".", 1)[-1]
+                result.update(self.ancestors(terminal))
+        if name in BUILTIN_EXCEPTION_MRO:
+            result.update(BUILTIN_EXCEPTION_MRO[name])
+        frozen = frozenset(result)
+        self._cache[name] = frozen
+        return frozen
+
+    def catches(self, catch_name: str, exc_name: str) -> bool:
+        """Whether ``except catch_name`` absorbs an ``exc_name``."""
+        return catch_name in self.ancestors(exc_name)
+
+
+def _handler_catch_names(handler: ast.ExceptHandler) -> "list[str] | None":
+    """Names an ``except`` clause catches; ``None`` means catch-all."""
+    if handler.type is None:
+        return None
+    names: list[str] = []
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+        else:
+            return None  # computed type: assume catch-all, stay quiet
+    return names
+
+
+def _handler_is_transparent(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises what it caught."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                isinstance(node.exc, ast.Name)
+                and handler.name is not None
+                and node.exc.id == handler.name
+                and node.cause is None
+            ):
+                return True
+    return False
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The class name a ``raise`` statement raises, when it names one."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        # ``raise SomeError`` without a call still names the class when
+        # the name looks like one; ``raise err`` re-raises a value we
+        # cannot track and is handled by handler transparency instead.
+        return exc.id if exc.id[:1].isupper() else None
+    return None
+
+
+class EscapeAnalysis:
+    """Fixpoint escape sets for every project function, cached on it."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.hierarchy = ExceptionHierarchy(project)
+        self._parents: dict[str, dict[int, ast.AST]] = {}
+        #: qualname -> escaping exception names.
+        self.escapes: dict[str, set[str]] = {}
+        #: (qualname, exc name) -> anchor line for the report.
+        self.origins: dict[tuple[str, str], int] = {}
+        self._run()
+
+    @classmethod
+    def of(cls, project: "Project") -> "EscapeAnalysis":
+        cached = getattr(project, "_escape_analysis", None)
+        if cached is None:
+            cached = cls(project)
+            project._escape_analysis = cached  # type: ignore[attr-defined]
+        return cached
+
+    # -- fixpoint ------------------------------------------------------
+
+    def _run(self) -> None:
+        local: dict[str, set[str]] = {}
+        for qualname, func in self.project.functions.items():
+            raised = set()
+            for node in func.body_nodes():
+                if not isinstance(node, ast.Raise):
+                    continue
+                name = _raised_name(node)
+                if name is None:
+                    continue
+                survivors = self._filter(func, node, {name})
+                for excname in survivors:
+                    self.origins.setdefault((qualname, excname), node.lineno)
+                raised |= survivors
+            local[qualname] = raised
+        self.escapes = {q: set(s) for q, s in local.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, func in self.project.functions.items():
+                current = self.escapes[qualname]
+                for edge in self.project.callgraph.callees(qualname):
+                    incoming = self.escapes.get(edge.callee)
+                    if not incoming:
+                        continue
+                    survivors = self._filter(func, edge.call, set(incoming))
+                    for excname in survivors:
+                        if excname not in current:
+                            current.add(excname)
+                            self.origins.setdefault(
+                                (qualname, excname), edge.lineno
+                            )
+                            changed = True
+
+    def _filter(
+        self, func: "FunctionInfo", node: ast.AST, names: "set[str]"
+    ) -> "set[str]":
+        """Remove names absorbed by ``try`` blocks around ``node``."""
+        if not names:
+            return names
+        parents = self._parents.get(func.qualname)
+        if parents is None:
+            parents = parent_map(func.node)
+            self._parents[func.qualname] = parents
+        survivors = set(names)
+        for try_stmt, region in try_field_of(node, parents):
+            if region not in ("body", "orelse"):
+                continue
+            if region == "orelse":
+                # ``else`` runs after the body succeeded; its exceptions
+                # bypass this try's handlers.
+                continue
+            for handler in try_stmt.handlers:
+                if _handler_is_transparent(handler):
+                    continue
+                catch_names = _handler_catch_names(handler)
+                if catch_names is None:
+                    return set()
+                survivors = {
+                    name
+                    for name in survivors
+                    if not any(
+                        self.hierarchy.catches(catch, name)
+                        for catch in catch_names
+                    )
+                }
+                if not survivors:
+                    return survivors
+        return survivors
+
+    # -- reporting helpers ---------------------------------------------
+
+    def trace(self, qualname: str, excname: str) -> "list[str]":
+        """A call chain from ``qualname`` to a function raising ``excname``."""
+        path = [qualname]
+        seen = {qualname}
+        current = qualname
+        while True:
+            func = self.project.functions.get(current)
+            if func is not None and any(
+                _raised_name(node) == excname
+                for node in func.body_nodes()
+                if isinstance(node, ast.Raise)
+            ):
+                return path
+            advanced = False
+            for edge in self.project.callgraph.callees(current):
+                if edge.callee in seen:
+                    continue
+                if excname in self.escapes.get(edge.callee, ()):
+                    path.append(edge.callee)
+                    seen.add(edge.callee)
+                    current = edge.callee
+                    advanced = True
+                    break
+            if not advanced:
+                return path
+
+
+class ExceptionEscapeRule(Rule):
+    """Public core/serve/store APIs must surface typed errors only."""
+
+    id = "flow-exception-escape"
+    summary = (
+        "an untyped exception can escape a public API function; the "
+        "contract allows repro.errors types and conventional builtins"
+    )
+    hint = (
+        "translate at the boundary: except the raw error and raise the "
+        "matching repro.errors type from it"
+    )
+    paths = ("core/", "serve/", "store/")
+    needs_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield untyped-escape findings for public APIs in ``ctx``."""
+        project = self.project
+        if project is None:  # pragma: no cover - engine guarantees it
+            return
+        analysis = EscapeAnalysis.of(project)
+        allowed = project.repro_error_names() | ALLOWED_BUILTINS
+        for qualname, func in project.functions.items():
+            if func.relpath != ctx.relpath or not func.is_public:
+                continue
+            if func.name == "__init__" and func.class_name is not None:
+                klass = project.classes.get(
+                    qualname.rsplit(".", 1)[0]
+                )
+                if klass is not None and any(
+                    base.rsplit(".", 1)[-1] in BUILTIN_EXCEPTION_MRO
+                    or base.rsplit(".", 1)[-1] in allowed
+                    for base in klass.base_names
+                ):
+                    # Exception-class constructors raise themselves by
+                    # design; the contract governs API functions.
+                    continue
+            for excname in sorted(analysis.escapes.get(qualname, ())):
+                if excname in allowed:
+                    continue
+                anchor = analysis.origins.get(
+                    (qualname, excname), func.node.lineno
+                )
+                chain = analysis.trace(qualname, excname)
+                via = ""
+                if len(chain) > 1:
+                    via = " via " + " -> ".join(
+                        part.rsplit(".", 1)[-1] + "()" for part in chain
+                    )
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"{excname} can escape public {func.name}(){via}; "
+                    "it is neither a repro.errors type nor an allowed "
+                    "builtin",
+                )

@@ -1,0 +1,444 @@
+"""The whole-program model: modules, classes, functions, imports, types.
+
+A :class:`Project` is built from the same :class:`ModuleContext`
+objects the line rules consume — every module is parsed exactly once
+per run, by the engine, and both layers share the trees.  On top of the
+raw ASTs the project records the facts interprocedural passes need:
+
+- a **function table** keyed by dotted qualname
+  (``repro.serve.index.ServingIndex.query``), including nested
+  functions (``...outer.<locals>.inner``);
+- a **class table** with base-class links resolved inside the project,
+  so method lookup follows inheritance;
+- per-module **import tables** (aliased imports, from-imports, relative
+  imports) distinguishing project symbols from external ones;
+- light **type facts**: ``self.attr = Klass(...)`` assignments and
+  class-annotated parameters/locals, enough to resolve most
+  ``self._part.method()`` call sites without a real type checker.
+
+The :class:`~repro.analysis.flow.callgraph.CallGraph` is built eagerly
+(``project.callgraph``) since every pass needs it.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.engine import ModuleContext
+
+#: Import roots that can resolve to project code.
+PROJECT_ROOT = "repro"
+
+#: Names every module can call without importing them.
+BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a package-relative path.
+
+    ``core/compiled.py`` → ``repro.core.compiled``; ``__init__.py``
+    files name their package.  Files outside the package (fixtures)
+    get a synthetic ``repro.``-rooted name so a single-module project
+    behaves like any other.
+    """
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([PROJECT_ROOT, *parts]) if parts else PROJECT_ROOT
+
+
+class FunctionInfo:
+    """One function or method, with the facts the passes ask about."""
+
+    def __init__(
+        self,
+        qualname: str,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        ctx: ModuleContext,
+        class_name: Optional[str] = None,
+    ) -> None:
+        self.qualname = qualname
+        self.node = node
+        self.ctx = ctx
+        self.relpath = ctx.relpath
+        self.name = node.name
+        self.class_name = class_name
+        args = node.args
+        self.params = [
+            a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        ]
+        self.has_kwargs = args.kwarg is not None
+        #: parameter name -> annotation AST (when present).
+        self.annotations: dict[str, ast.expr] = {
+            a.arg: a.annotation
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if a.annotation is not None
+        }
+
+    @property
+    def is_public(self) -> bool:
+        """Public by naming convention (no leading underscore anywhere)."""
+        if self.name.startswith("_") and not self.name.startswith("__"):
+            return False
+        if self.name.startswith("__") and self.name != "__init__":
+            return False
+        if self.class_name is not None and self.class_name.startswith("_"):
+            return False
+        return "<locals>" not in self.qualname
+
+    def body_nodes(self) -> Iterator[ast.AST]:
+        """Walk the function body, excluding nested function scopes."""
+        stack: list[ast.AST] = list(self.node.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname})"
+
+
+class ClassInfo:
+    """One class: its methods, raw base names, and instance-attr types."""
+
+    def __init__(self, qualname: str, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        self.qualname = qualname
+        self.node = node
+        self.ctx = ctx
+        self.name = node.name
+        self.base_names = [_dotted(base) for base in node.bases]
+        self.methods: dict[str, FunctionInfo] = {}
+        #: instance attribute name -> ClassInfo qualname (from
+        #: ``self.attr = Klass(...)`` assignments anywhere in the class).
+        self.attr_types: dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.qualname})"
+
+
+class ModuleInfo:
+    """One module's symbol tables."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.name = module_name(ctx.relpath)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: local alias -> dotted module name (``import x.y as z``).
+        self.import_modules: dict[str, str] = {}
+        #: local alias -> (dotted module, symbol) (``from x import y``).
+        self.import_symbols: dict[str, "tuple[str, str]"] = {}
+
+    def __repr__(self) -> str:
+        return f"ModuleInfo({self.name})"
+
+
+def _dotted(node: ast.expr) -> str:
+    """Dotted text of a Name/Attribute chain; '' when anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _package_of(modname: str, relpath: str) -> str:
+    """The package a module's relative imports resolve against."""
+    if relpath.endswith("__init__.py"):
+        return modname
+    return modname.rsplit(".", 1)[0] if "." in modname else modname
+
+
+class Project:
+    """Every module of one program, parsed once, with symbol tables.
+
+    Building is eager and single-pass per concern: modules and
+    definitions first, then imports, then type facts, then the call
+    graph (which needs all of the above).
+    """
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.contexts = list(contexts)
+        self.modules: dict[str, ModuleInfo] = {}
+        self.modules_by_relpath: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: method name -> every FunctionInfo with that name on a class.
+        self.method_index: dict[str, list[FunctionInfo]] = {}
+        for ctx in self.contexts:
+            self._index_module(ctx)
+        for info in self.modules.values():
+            self._index_imports(info)
+        for klass in self.classes.values():
+            self._index_attr_types(klass)
+        from repro.analysis.flow.callgraph import CallGraph
+
+        self.callgraph = CallGraph(self)
+
+    # -- construction --------------------------------------------------
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        info = ModuleInfo(ctx)
+        self.modules[info.name] = info
+        self.modules_by_relpath[ctx.relpath] = info
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, stmt, prefix=info.name)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(info, stmt)
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        prefix: str,
+        class_name: Optional[str] = None,
+    ) -> None:
+        qualname = f"{prefix}.{node.name}"
+        func = FunctionInfo(qualname, node, info.ctx, class_name=class_name)
+        self.functions[qualname] = func
+        if class_name is None and prefix == info.name:
+            info.functions[node.name] = func
+        for stmt in ast.walk(node):
+            if stmt is node:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = f"{qualname}.<locals>.{stmt.name}"
+                if nested not in self.functions:
+                    self.functions[nested] = FunctionInfo(
+                        nested, stmt, info.ctx, class_name=class_name
+                    )
+
+    def _add_class(self, info: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{info.name}.{node.name}"
+        klass = ClassInfo(qualname, node, info.ctx)
+        info.classes[node.name] = klass
+        self.classes[qualname] = klass
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(
+                    info, stmt, prefix=qualname, class_name=node.name
+                )
+                method = self.functions[f"{qualname}.{stmt.name}"]
+                klass.methods[stmt.name] = method
+                self.method_index.setdefault(stmt.name, []).append(method)
+
+    def _index_imports(self, info: ModuleInfo) -> None:
+        for stmt in ast.walk(info.ctx.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.import_modules[bound] = target
+            elif isinstance(stmt, ast.ImportFrom):
+                base = stmt.module or ""
+                if stmt.level:
+                    package = _package_of(info.name, info.ctx.relpath)
+                    for _ in range(stmt.level - 1):
+                        package = package.rsplit(".", 1)[0]
+                    base = f"{package}.{base}" if base else package
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}"
+                    if submodule in self.modules:
+                        info.import_modules[bound] = submodule
+                    else:
+                        info.import_symbols[bound] = (base, alias.name)
+
+    def _index_attr_types(self, klass: ClassInfo) -> None:
+        for method in klass.methods.values():
+            for node in method.body_nodes():
+                if not isinstance(node, ast.Assign):
+                    continue
+                constructed = self._constructed_class(node.value, method)
+                if constructed is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        klass.attr_types.setdefault(
+                            target.attr, constructed.qualname
+                        )
+
+    def _constructed_class(
+        self, value: ast.expr, scope: FunctionInfo
+    ) -> Optional[ClassInfo]:
+        """The project class ``value`` constructs, if it plainly does."""
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = self.resolve_symbol(_dotted(value.func), scope.ctx.relpath)
+        return resolved if isinstance(resolved, ClassInfo) else None
+
+    # -- lookup --------------------------------------------------------
+
+    def module_of(self, relpath: str) -> Optional[ModuleInfo]:
+        """The module at a package-relative path, if indexed."""
+        return self.modules_by_relpath.get(relpath)
+
+    def function_for_node(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Optional[FunctionInfo]:
+        """The FunctionInfo built from exactly this AST node, if any.
+
+        Line rules hold the same trees the project was built from (the
+        engine parses each module once and shares the contexts), so
+        identity lookup is exact — no name matching needed.
+        """
+        index = getattr(self, "_node_index", None)
+        if index is None:
+            index = {id(f.node): f for f in self.functions.values()}
+            self._node_index = index  # type: ignore[attr-defined]
+        return index.get(id(node))
+
+    def resolve_symbol(
+        self, dotted: str, relpath: str
+    ) -> "FunctionInfo | ClassInfo | None":
+        """Resolve a dotted name as used inside ``relpath``'s module.
+
+        Handles local definitions, from-imports, module aliases, and
+        fully-dotted module paths (``repro.core.compiled.batch_top_k``).
+        Returns None for external or unresolvable names.
+        """
+        info = self.modules_by_relpath.get(relpath)
+        if info is None or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        # Local definition?
+        if not rest:
+            if head in info.functions:
+                return info.functions[head]
+            if head in info.classes:
+                return info.classes[head]
+        # From-import of a symbol (function or class).
+        if head in info.import_symbols:
+            modname, symbol = info.import_symbols[head]
+            target = self.modules.get(modname)
+            if target is None:
+                return None
+            resolved: "FunctionInfo | ClassInfo | None"
+            resolved = target.functions.get(symbol) or target.classes.get(symbol)
+            if resolved is None:
+                return None
+            if not rest:
+                return resolved
+            if isinstance(resolved, ClassInfo) and "." not in rest:
+                return self.resolve_method(resolved, rest)
+            return None
+        # Module alias (import x.y as z / from x import submodule).
+        if head in info.import_modules:
+            dotted = info.import_modules[head] + ("." + rest if rest else "")
+        return self._resolve_dotted_module_path(dotted)
+
+    def _resolve_dotted_module_path(
+        self, dotted: str
+    ) -> "FunctionInfo | ClassInfo | None":
+        """Resolve ``pkg.module.symbol[.method]`` against the module table."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            modname = ".".join(parts[:cut])
+            target = self.modules.get(modname)
+            if target is None:
+                continue
+            remainder = parts[cut:]
+            symbol = remainder[0]
+            resolved: "FunctionInfo | ClassInfo | None"
+            resolved = target.functions.get(symbol) or target.classes.get(symbol)
+            if resolved is None:
+                return None
+            if len(remainder) == 1:
+                return resolved
+            if len(remainder) == 2 and isinstance(resolved, ClassInfo):
+                return self.resolve_method(resolved, remainder[1])
+            return None
+        return None
+
+    def resolve_method(
+        self, klass: ClassInfo, name: str, _seen: "frozenset[str]" = frozenset()
+    ) -> Optional[FunctionInfo]:
+        """Method lookup on a class, following project-resolvable bases."""
+        if name in klass.methods:
+            return klass.methods[name]
+        if klass.qualname in _seen:
+            return None
+        seen = _seen | {klass.qualname}
+        for base_name in klass.base_names:
+            base = self.resolve_symbol(base_name, klass.ctx.relpath)
+            if isinstance(base, ClassInfo):
+                found = self.resolve_method(base, name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def class_of_annotation(
+        self, annotation: ast.expr, relpath: str
+    ) -> Optional[ClassInfo]:
+        """The single project class an annotation names, if exactly one.
+
+        Understands plain names, ``X | None`` unions, ``Optional[X]``,
+        and string annotations (``"Deadline | None"``); gives up (None)
+        when zero or several project classes appear.
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        candidates: list[ClassInfo] = []
+        for node in ast.walk(annotation):
+            dotted = _dotted(node) if isinstance(node, (ast.Name, ast.Attribute)) else ""
+            if not dotted:
+                continue
+            resolved = self.resolve_symbol(dotted, relpath)
+            if isinstance(resolved, ClassInfo) and resolved not in candidates:
+                candidates.append(resolved)
+        return candidates[0] if len(candidates) == 1 else None
+
+    def subclasses_of(self, root_qualname: str) -> "set[str]":
+        """Qualnames of every project class under ``root_qualname``."""
+        result = {root_qualname}
+        changed = True
+        while changed:
+            changed = False
+            for klass in self.classes.values():
+                if klass.qualname in result:
+                    continue
+                for base_name in klass.base_names:
+                    base = self.resolve_symbol(base_name, klass.ctx.relpath)
+                    if isinstance(base, ClassInfo) and base.qualname in result:
+                        result.add(klass.qualname)
+                        changed = True
+                        break
+        return result
+
+    def repro_error_names(self) -> "set[str]":
+        """Class names of every :mod:`repro.errors` type in the program.
+
+        Whole-program: subclasses declared *outside* ``errors.py``
+        (e.g. a store-specific error) are included, which is what lets
+        exception-flow checks accept them anywhere.
+        """
+        errors_module = self.modules.get("repro.errors")
+        if errors_module is None:
+            return set()
+        roots = {
+            klass.qualname for klass in errors_module.classes.values()
+        }
+        names: set[str] = set()
+        for root in list(roots):
+            for qualname in self.subclasses_of(root):
+                names.add(qualname.rsplit(".", 1)[1])
+        return names

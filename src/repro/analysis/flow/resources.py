@@ -1,0 +1,408 @@
+"""Interprocedural pass: acquired resources must reach a release.
+
+The serving stack owns three kinds of process-spanning resources:
+shared-memory segments (:func:`repro.parallel.shm.export_snapshot` /
+``attach_snapshot``), mmap views of store files
+(:func:`repro.store.mapped.open_store` and the fabric's
+``attach_store``/``attach_handle``), and raw ``mmap``/``SharedMemory``
+objects underneath them.  Each carries a ``weakref.finalize`` GC
+backstop, but a backstop firing is exactly the leak the ``/dev/shm``
+audit (``repro doctor``) only catches at runtime — after worker churn
+has already piled up segments.  This pass proves the deterministic
+half statically.
+
+Per acquisition site, the acquired value must be **disposed**:
+
+- used as a ``with`` context manager,
+- returned/yielded (ownership moves to the caller — and the *caller*
+  is then analyzed the same way, because any function returning an
+  acquisition transitively becomes an acquirer),
+- passed into another call (a wrapper like ``MappedSnapshot(store, …)``
+  or ``weakref.finalize(…, store)`` takes ownership),
+- stored on an object or into a container (the owner's lifecycle),
+- explicitly released (``.close()`` / ``.destroy()`` / ``.shutdown()``
+  / ``.unlink()``).
+
+A site with **no** disposition is a leak.  A disposition that work can
+jump over is the second finding class: when statements that may raise
+sit between the acquisition and its disposition, the release must be
+exception-safe — in a ``finally``, in an ``except`` cleanup, or the
+resource managed by ``with`` — or the exception path leaks the
+mapping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.flow.astutil import (
+    enclosing_statement,
+    parent_map,
+    try_field_of,
+)
+from repro.analysis.flow.project import FunctionInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.project import Project
+
+#: Functions whose return value is an owned resource handle.
+ACQUIRER_NAMES = frozenset(
+    {
+        "export_snapshot",
+        "attach_snapshot",
+        "attach_store",
+        "attach_handle",
+        "open_store",
+        "mmap",
+        "SharedMemory",
+    }
+)
+
+#: Method names that release an owned resource.
+RELEASE_METHODS = frozenset(
+    {"close", "destroy", "shutdown", "unlink", "terminate", "release"}
+)
+
+
+def _call_terminal(call: ast.Call) -> str:
+    """Terminal name of a call target (``mmap.mmap`` → ``mmap``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def transitive_acquirers(
+    project: "Project", seeds: "frozenset[str]" = ACQUIRER_NAMES
+) -> "set[str]":
+    """Project functions that return an owned resource, transitively.
+
+    Seeded by name (``seeds``); a function that returns the result of
+    an acquirer — directly or through a tracked local — joins the set,
+    so leaking through a helper is still caught at the helper's caller.
+    Cached per ``(project, seeds)``; also used by ``worker-discipline``
+    to recognise attachments produced by helpers.
+    """
+    cache = getattr(project, "_resource_acquirers", None)
+    if cache is None:
+        cache = {}
+        project._resource_acquirers = cache  # type: ignore[attr-defined]
+    cached = cache.get(seeds)
+    if cached is not None:
+        return cached
+    acquirers: set[str] = {
+        qualname
+        for qualname, func in project.functions.items()
+        if func.name in seeds
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname, func in project.functions.items():
+            if qualname in acquirers:
+                continue
+            if _returns_acquisition(project, func, acquirers, seeds):
+                acquirers.add(qualname)
+                changed = True
+    cache[seeds] = acquirers
+    return acquirers
+
+
+def is_acquisition(
+    project: "Project",
+    func: FunctionInfo,
+    call: ast.Call,
+    acquirers: "set[str]",
+    seeds: "frozenset[str]" = ACQUIRER_NAMES,
+) -> bool:
+    """Whether ``call`` inside ``func`` produces an owned resource."""
+    if _call_terminal(call) in seeds:
+        return True
+    resolution = project.callgraph.resolve_call(func, call)
+    return (
+        resolution.target is not None
+        and resolution.target.qualname in acquirers
+    )
+
+
+def _returns_acquisition(
+    project: "Project",
+    func: FunctionInfo,
+    acquirers: "set[str]",
+    seeds: "frozenset[str]",
+) -> bool:
+    tracked = set()
+    for node in func.body_nodes():
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if is_acquisition(project, func, node.value, acquirers, seeds):
+                tracked.update(
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                )
+    for node in func.body_nodes():
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Call) and is_acquisition(
+                project, func, value, acquirers, seeds
+            ):
+                return True
+            if isinstance(value, ast.Name) and value.id in tracked:
+                return True
+    return False
+
+
+class ResourceLifecycleRule(Rule):
+    """Every shm/mmap/store acquisition must reach a release on all paths."""
+
+    id = "flow-resource-lifecycle"
+    summary = (
+        "acquired shm segments, mmap views and store handles must be "
+        "released, returned, or handed off on every path"
+    )
+    hint = (
+        "release in a finally/with, return the handle to the caller, or "
+        "hand it to an owner object; the GC finalizer backstop is the "
+        "leak the /dev/shm audit reports, not a lifecycle"
+    )
+    paths = ("serve/", "parallel/", "store/")
+    needs_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield lifecycle findings for functions defined in ``ctx``."""
+        project = self.project
+        if project is None:  # pragma: no cover - engine guarantees it
+            return
+        acquirers = transitive_acquirers(project)
+        for func in project.functions.values():
+            if func.relpath != ctx.relpath:
+                continue
+            yield from self._check_function(ctx, project, func, acquirers)
+
+    # -- per-function checking -----------------------------------------
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        project: "Project",
+        func: FunctionInfo,
+        acquirers: "set[str]",
+    ) -> Iterator[Finding]:
+        if func.name in ACQUIRER_NAMES:
+            # The designated constructors hand ownership outward by
+            # definition; their internals wrap the raw segment/mapping
+            # into the handle object they return.
+            return
+        acquisition_calls = [
+            node
+            for node in func.body_nodes()
+            if isinstance(node, ast.Call)
+            and is_acquisition(project, func, node, acquirers)
+        ]
+        if not acquisition_calls:
+            return
+        parents = parent_map(func.node)
+        for call in acquisition_calls:
+            yield from self._check_site(ctx, func, call, parents)
+
+    def _check_site(
+        self,
+        ctx: ModuleContext,
+        func: FunctionInfo,
+        call: ast.Call,
+        parents: "dict[int, ast.AST]",
+    ) -> Iterator[Finding]:
+        parent = parents.get(id(call))
+        terminal = _call_terminal(call)
+        # with acquire() [as x]: managed, done.
+        if isinstance(parent, ast.withitem):
+            return
+        # return/yield acquire(): ownership moves to the caller.
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return
+        # Wrapper(acquire()) / finalize(..., acquire()): callee owns it.
+        if isinstance(parent, ast.Call) and call is not parent.func:
+            return
+        if isinstance(parent, ast.keyword):
+            return
+        # x = acquire(): track the local through the function.
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                # self.attr = acquire() / container[k] = acquire():
+                # ownership escapes into the object's lifecycle.
+                return
+            for name in names:
+                yield from self._check_local(ctx, func, call, name, parents)
+            return
+        # Bare-expression acquisition: the handle is dropped on the floor.
+        yield self.finding(
+            ctx,
+            call,
+            f"{func.name}() discards the handle returned by "
+            f"{terminal}(); the resource can only be reclaimed by the "
+            "GC backstop",
+        )
+
+    def _check_local(
+        self,
+        ctx: ModuleContext,
+        func: FunctionInfo,
+        call: ast.Call,
+        name: str,
+        parents: "dict[int, ast.AST]",
+    ) -> Iterator[Finding]:
+        dispositions = self._dispositions(func, name, call)
+        terminal = _call_terminal(call)
+        if not dispositions:
+            yield self.finding(
+                ctx,
+                call,
+                f"{func.name}() acquires {name!r} from {terminal}() but "
+                "never releases, returns, or hands it off on any path",
+            )
+            return
+        if self._exception_safe(func, name, call, dispositions, parents):
+            return
+        yield self.finding(
+            ctx,
+            call,
+            f"{func.name}() releases {name!r} (from {terminal}()) only "
+            "on the straight-line path; an exception between the "
+            "acquisition and the release leaks it",
+            hint=(
+                "move the release into a finally/with, or release in an "
+                "except block that re-raises"
+            ),
+        )
+
+    def _dispositions(
+        self, func: FunctionInfo, name: str, acquisition: ast.Call
+    ) -> "list[ast.AST]":
+        """Every node that releases or hands off local ``name``."""
+        sinks: list[ast.AST] = []
+        for node in func.body_nodes():
+            if isinstance(node, ast.Call):
+                if node is acquisition:
+                    continue
+                target = node.func
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in RELEASE_METHODS
+                    and _root_name(target.value) == name
+                ):
+                    sinks.append(node)
+                    continue
+                operands = [*node.args, *[kw.value for kw in node.keywords]]
+                for operand in operands:
+                    if any(
+                        isinstance(inner, ast.Name) and inner.id == name
+                        for inner in ast.walk(operand)
+                    ):
+                        sinks.append(node)
+                        break
+            elif isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                if any(
+                    isinstance(inner, ast.Name) and inner.id == name
+                    for inner in ast.walk(node.value)
+                ):
+                    sinks.append(node)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Name)
+                        and item.context_expr.id == name
+                    ):
+                        sinks.append(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if value is not None and isinstance(value, ast.Name) and (
+                    value.id == name
+                ):
+                    # ``self.attr = x`` / ``table[k] = x`` escape into an
+                    # owner; ``other = x`` transfers to an alias whose
+                    # own lifecycle (e.g. a swap-then-close) owns it.
+                    for tgt in targets:
+                        if isinstance(
+                            tgt, (ast.Attribute, ast.Subscript, ast.Name)
+                        ):
+                            sinks.append(node)
+                            break
+        return sinks
+
+    def _exception_safe(
+        self,
+        func: FunctionInfo,
+        name: str,
+        acquisition: ast.Call,
+        dispositions: "list[ast.AST]",
+        parents: "dict[int, ast.AST]",
+    ) -> bool:
+        """Whether some disposition also covers the exception paths."""
+        for sink in dispositions:
+            if isinstance(sink, (ast.With, ast.AsyncWith)):
+                return True
+            for _try, region in try_field_of(sink, parents):
+                if region in ("final", "handler"):
+                    return True
+        # Straight-line-only dispositions are still fine when nothing
+        # that can raise sits between the acquisition statement and the
+        # first disposition statement.
+        acq_stmt = enclosing_statement(acquisition, parents)
+        first = min(
+            (
+                stmt.lineno
+                for stmt in (
+                    enclosing_statement(sink, parents) for sink in dispositions
+                )
+                if stmt is not None
+            ),
+            default=None,
+        )
+        if acq_stmt is None or first is None:
+            return False
+        acq_tries = {
+            id(try_stmt)
+            for try_stmt, region in try_field_of(acq_stmt, parents)
+            if region == "body"
+        }
+        for node in func.body_nodes():
+            if not isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+                continue
+            if node is acquisition:
+                continue
+            stmt = enclosing_statement(node, parents)
+            if stmt is None or stmt is acq_stmt:
+                continue
+            if not (acq_stmt.lineno < stmt.lineno < first):
+                continue
+            # A handler guarding the acquisition itself runs only when
+            # the acquisition raised — i.e. when there is nothing to
+            # leak — so raises inside it are outside the window.
+            if any(
+                region == "handler" and id(try_stmt) in acq_tries
+                for try_stmt, region in try_field_of(node, parents)
+            ):
+                continue
+            return False
+        return True

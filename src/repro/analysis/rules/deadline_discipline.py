@@ -103,7 +103,7 @@ class DeadlineDisciplineRule(Rule):
                     ]
                     if any(
                         _names_in(operand, name) for operand in operands
-                    ):
+                    ) and self._callee_can_receive(func, node):
                         return True
                 elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
                     if node.value is not None and not isinstance(
@@ -115,3 +115,35 @@ class DeadlineDisciplineRule(Rule):
                     if node.value is not None and _names_in(node.value, name):
                         return True
         return False
+
+    def _callee_can_receive(
+        self,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        call: ast.Call,
+    ) -> bool:
+        """Whole-program refinement: does the callee take a deadline?
+
+        Passing ``deadline`` into a resolved project function that has
+        no deadline-shaped parameter (and no ``**kwargs``) is not
+        propagation — the value lands in some unrelated positional slot
+        or not at all.  Unresolved and external callees keep the benefit
+        of the doubt, and without a project (plain ``repro lint``) the
+        line-local behaviour stands unchanged.
+        """
+        project = self.project
+        if project is None:
+            return True
+        info = project.function_for_node(func)
+        if info is None:
+            return True
+        resolution = project.callgraph.resolve_call(info, call)
+        target = resolution.target
+        if target is None:
+            return True
+        if target.has_kwargs or any(
+            param in _PARAM_NAMES for param in target.params
+        ):
+            return True
+        # Converters that *consume* the budget (Deadline.after_ms,
+        # TimeoutPolicy.deadline_for, clamp) propagate by construction.
+        return target.name in ("after_ms", "deadline_for", "clamp", "__init__")

@@ -83,7 +83,7 @@ class GuardCoverageRule(Rule):
                 scoring.append(node)
             if isinstance(node, ast.Attribute) and node.attr in COUNTER_ATTRS:
                 counted = True
-        if scoring and not counted:
+        if scoring and not counted and not self._delegates_counting(func):
             for call in scoring:
                 yield self.finding(
                     ctx,
@@ -91,6 +91,35 @@ class GuardCoverageRule(Rule):
                     f"{func.name}() scores records without charging an"
                     " access counter",
                 )
+
+    def _delegates_counting(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """Whole-program refinement: a resolved callee may charge for us.
+
+        ``batch_top_k``-style kernels charge ``count_computed_batch``
+        inside the helper the wrapper dispatches to; with the call graph
+        available, a scope is covered when any directly-called resolved
+        project function touches a counter method itself.  Without a
+        project (plain ``repro lint``) the line-local rule stands.
+        """
+        project = self.project
+        if project is None:
+            return False
+        info = project.function_for_node(func)
+        if info is None:
+            return False
+        for edge in project.callgraph.callees(info.qualname):
+            callee = project.functions.get(edge.callee)
+            if callee is None:
+                continue
+            if any(
+                isinstance(node, ast.Attribute)
+                and node.attr in COUNTER_ATTRS
+                for node in callee.body_nodes()
+            ):
+                return True
+        return False
 
     @staticmethod
     def _own_nodes(

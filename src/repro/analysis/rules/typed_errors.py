@@ -78,6 +78,8 @@ class TypedErrorsRule(Rule):
                     continue
                 for name, expr in _exception_names(node.type):
                     if name in BROAD:
+                        if self._handler_translates(node):
+                            continue
                         yield self.finding(
                             ctx,
                             node,
@@ -93,6 +95,47 @@ class TypedErrorsRule(Rule):
                         f"raises builtin {name} where a typed repro.errors"
                         " class belongs",
                     )
+
+    def _handler_translates(self, handler: ast.ExceptHandler) -> bool:
+        """Whole-program refinement: a broad handler that re-raises is fine.
+
+        Catching ``Exception`` only to re-raise it (bare ``raise`` /
+        ``raise exc``) or to translate it (``raise Typed(...) from exc``
+        with ``Typed`` anywhere in the project's ``repro.errors``
+        hierarchy) swallows nothing — it is the boundary-translation
+        idiom the error contract asks for.  Only applied when the
+        project call graph is available: recognising ``Typed`` needs
+        the whole-program class hierarchy, and the two exemptions must
+        move together or plain-mode findings would differ unpredictably
+        from flow-mode ones.
+        """
+        project = self.project
+        if project is None:
+            return False
+        typed = project.repro_error_names()
+        for node in ast.walk(handler):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                return True
+            if (
+                isinstance(node.exc, ast.Name)
+                and handler.name is not None
+                and node.exc.id == handler.name
+            ):
+                return True
+            if node.cause is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                name = (
+                    target.attr
+                    if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else ""
+                )
+                if name in typed:
+                    return True
+        return False
 
     @staticmethod
     def _raised_builtin(exc: ast.expr | None) -> str | None:

@@ -76,6 +76,7 @@ class WorkerDisciplineRule(Rule):
         """Yield a finding per shared-state hazard in a worker module."""
         yield from self._check_global_rng(ctx)
         tracked = self._tracked_names(ctx.tree)
+        tracked |= self._project_tracked(ctx)
         if not tracked:
             return
         for node in ast.walk(ctx.tree):
@@ -113,6 +114,45 @@ class WorkerDisciplineRule(Rule):
                     node.target, ast.Name
                 ):
                     tracked.add(node.target.id)
+        return tracked
+
+    def _project_tracked(self, ctx: ModuleContext) -> set[str]:
+        """Whole-program refinement: attachments via resolved helpers.
+
+        ``view = attach_snapshot(h)`` is visible line-locally, but
+        ``view = attach_handle(h)`` (the dispatcher) or any project
+        helper that *returns* an attachment is not.  With the call
+        graph available, every name assigned from a function in the
+        transitive attach set is tracked for the mutation checks.
+        """
+        project = self.project
+        if project is None:
+            return set()
+        from repro.analysis.flow.resources import transitive_acquirers
+
+        seeds = frozenset({"attach_snapshot", "attach_handle"})
+        attachers = transitive_acquirers(project, seeds)
+        tracked: set[str] = set()
+        for func in project.functions.values():
+            if func.relpath != ctx.relpath:
+                continue
+            for node in func.body_nodes():
+                if not (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                resolution = project.callgraph.resolve_call(func, node.value)
+                if (
+                    resolution.target is not None
+                    and resolution.target.qualname in attachers
+                    and resolution.target.name not in ("close", "destroy")
+                ):
+                    tracked.update(
+                        target.id
+                        for target in node.targets
+                        if isinstance(target, ast.Name)
+                    )
         return tracked
 
     def _check_mutation(

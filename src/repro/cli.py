@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -518,6 +519,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def _changed_py_paths() -> "list[str] | None":
+    """Changed/untracked ``.py`` files per git; ``None`` outside a repo.
+
+    ``repro lint --changed`` scopes the report to files touched since
+    ``HEAD`` (working tree + index) plus untracked files.  Outside a
+    git checkout there is no diff to scope by, so the caller falls back
+    to the full tree rather than silently linting nothing.
+    """
+    import subprocess
+
+    def _git(*argv: str) -> "list[str] | None":
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.splitlines()
+
+    changed = _git("diff", "--name-only", "HEAD")
+    if changed is None:
+        return None
+    untracked = _git("ls-files", "-o", "--exclude-standard") or []
+    top = _git("rev-parse", "--show-toplevel")
+    root = Path(top[0]) if top else Path.cwd()
+    result = []
+    for name in {*changed, *untracked}:
+        if not name.endswith(".py"):
+            continue
+        path = root / name
+        if path.exists():
+            result.append(str(path))
+    return sorted(result)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the project's AST static analyzer (`repro lint`).
 
@@ -525,15 +563,28 @@ def cmd_lint(args: argparse.Namespace) -> int:
     for the contracts the paper and the serving layer impose (snapshot
     immutability, stats threading, typed errors, determinism, writer
     discipline, dtype discipline, guard coverage, public-API docs).
-    The *runtime* half — verifying an actual index's data — is
-    ``repro doctor``.
+    ``--flow`` adds the whole-program layer: the project call graph
+    (with a measured resolution rate), the resource-lifecycle /
+    exception-escape / deadline-propagation passes, and the committed
+    findings baseline that turns CI into a ratchet.  The *runtime*
+    half — verifying an actual index's data — is ``repro doctor``.
 
     Exit status: 0 clean (or findings without ``--strict``), 1 findings
-    under ``--strict``, 2 bad rule selection.
+    under ``--strict`` (in flow mode: *new-after-baseline* findings, or
+    a call-graph resolution rate below the floor), 2 bad rule selection
+    or an unreadable baseline.
     """
-    from repro.analysis import default_rules, format_json, format_text, lint_paths
+    from repro.analysis import (
+        default_rules,
+        flow_rules,
+        format_json,
+        format_text,
+        lint_tree,
+    )
 
     rules = list(default_rules())
+    if args.flow:
+        rules.extend(flow_rules())
     if args.select:
         wanted = {r.strip() for r in args.select.split(",") if r.strip()}
         known = {rule.id for rule in rules}
@@ -546,12 +597,91 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
             return 2
         rules = [rule for rule in rules if rule.id in wanted]
-    findings = lint_paths(args.paths or None, rules=rules)
+
+    paths = args.paths or None
+    if args.changed:
+        changed = _changed_py_paths()
+        if changed is None:
+            print(
+                "lint --changed: not a git checkout; linting the full tree",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print("lint --changed: no modified Python files")
+            return 0
+        else:
+            paths = changed
+
+    run = lint_tree(paths, rules=rules, flow=args.flow)
+    findings = run.findings
+
+    extra: "dict[str, object]" = {}
+    fresh = findings
+    floor_failed = False
+    if args.flow:
+        from repro.analysis.flow import (
+            DEFAULT_BASELINE,
+            RESOLUTION_FLOOR,
+            load_baseline,
+            new_findings,
+            write_baseline,
+        )
+
+        baseline_path = args.baseline or DEFAULT_BASELINE
+        if args.write_baseline:
+            write_baseline(baseline_path, findings)
+            print(
+                f"wrote {len(findings)} finding(s) to baseline "
+                f"{baseline_path}"
+            )
+            return 0
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        fresh = new_findings(findings, baseline)
+        floor = (
+            args.min_resolution
+            if args.min_resolution is not None
+            else RESOLUTION_FLOOR
+        )
+        rate = float(run.stats.get("rate", 1.0))
+        floor_failed = rate < floor
+        extra["callgraph"] = dict(run.stats, floor=floor)
+        extra["baseline"] = {
+            "path": str(baseline_path),
+            "known": len(baseline),
+            "new": len(fresh),
+        }
+
     if args.format == "json":
-        print(format_json(findings, rules=rules))
+        print(format_json(findings, rules=rules, extra=extra))
     else:
         print(format_text(findings))
-    return 1 if findings and args.strict else 0
+        if args.flow:
+            stats = run.stats
+            print(
+                f"call graph: {stats.get('calls')} calls, "
+                f"{stats.get('resolved')} resolved, "
+                f"{stats.get('unresolved')} unresolved, "
+                f"{stats.get('external')} external; "
+                f"resolution rate {stats.get('rate')} "
+                f"(floor {extra['callgraph']['floor']})"  # type: ignore[index]
+            )
+            known = extra["baseline"]["known"]  # type: ignore[index]
+            print(
+                f"baseline: {known} known finding(s), "
+                f"{len(fresh)} new"
+            )
+            if floor_failed:
+                print(
+                    "call-graph resolution rate fell below the floor",
+                    file=sys.stderr,
+                )
+    if not args.strict:
+        return 0
+    return 1 if (fresh or floor_failed) else 0
 
 
 def cmd_insert(args: argparse.Namespace) -> int:
@@ -866,9 +996,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="output format (json includes the rule catalog)")
     p.add_argument("--strict", action="store_true",
-                   help="exit 1 when any finding is reported")
+                   help="exit 1 when any finding is reported (with "
+                        "--flow: any finding beyond the baseline, or a "
+                        "resolution rate below the floor)")
     p.add_argument("--select", default=None,
                    help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--flow", action="store_true",
+                   help="build the whole-program call graph and run the "
+                        "interprocedural passes (resource lifecycle, "
+                        "exception escape, deadline propagation)")
+    p.add_argument("--changed", action="store_true",
+                   help="only report findings in files changed since "
+                        "HEAD (full tree outside a git checkout)")
+    p.add_argument("--baseline", default=None,
+                   help="findings baseline for the --flow ratchet "
+                        "(default: lint_baseline.json)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record the current --flow findings as the new "
+                        "baseline and exit")
+    p.add_argument("--min-resolution", type=float, default=None,
+                   help="minimum acceptable call-graph resolution rate "
+                        "under --flow --strict (default: the pinned "
+                        "floor)")
     p.set_defaults(run=cmd_lint)
 
     p = sub.add_parser("inspect", help="print index statistics")

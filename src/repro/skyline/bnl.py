@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dominance import dominates
+from repro.errors import InvariantViolation
 
 
 def bnl_skyline(values: np.ndarray, window_size: int = 256) -> np.ndarray:
@@ -74,7 +75,9 @@ def bnl_skyline(values: np.ndarray, window_size: int = 256) -> np.ndarray:
         # is every window survivor (they each met all later arrivals).
         emitted_this_pass = [w_idx for w_idx, _ in window]
         if not emitted_this_pass and overflow:
-            raise RuntimeError("BNL made no progress; window_size too small?")
+            raise InvariantViolation(
+                "BNL made no progress; window_size too small?"
+            )
         skyline.extend(emitted_this_pass)
         # Overflowed records must still be checked against each other and
         # against records after them — and against the emitted skyline of

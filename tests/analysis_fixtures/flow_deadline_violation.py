@@ -1,0 +1,24 @@
+"""Fixture: ``flow-deadline-propagation`` — a hole on the query path.
+
+Linted as ``serve/index.py`` so the class below *is* the serving entry
+point.  ``_wait_for_slot`` sits between ``query()`` and a sleep but has
+no deadline-shaped parameter — nothing can thread the budget through
+it.  Exactly one violation, on the marked line.
+"""
+
+import time
+
+
+class ServingIndex:
+    """Mini serving index whose wait helper cannot carry the deadline."""
+
+    def query(self, function, k, deadline=None):
+        """Entry point: accepts the request deadline."""
+        if deadline is not None:
+            deadline.check(stage="serve")
+        return self._wait_for_slot(k)
+
+    def _wait_for_slot(self, k):  # VIOLATION
+        """Poll for capacity with no way to receive the budget."""
+        time.sleep(0.01)
+        return k

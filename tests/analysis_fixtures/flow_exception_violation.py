@@ -1,0 +1,13 @@
+"""Fixture: ``flow-exception-escape`` — an untyped error leaves the API.
+
+``serve_query`` is public and lets ``RuntimeError`` escape; the error
+contract allows only ``repro.errors`` types and conventional builtins.
+Exactly one violation, on the marked line.
+"""
+
+
+def serve_query(records):
+    """Public API whose failure mode is an untyped RuntimeError."""
+    if not records:
+        raise RuntimeError("no records loaded")  # VIOLATION
+    return records[0]

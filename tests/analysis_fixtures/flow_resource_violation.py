@@ -1,0 +1,17 @@
+"""Fixture: ``flow-resource-lifecycle`` — an acquired handle is dropped.
+
+``leak_segment`` acquires a shared-memory handle and neither releases
+it, returns it, nor hands it to an owner on any path.  Exactly one
+violation, on the marked line.
+"""
+
+
+def export_snapshot(payload):
+    """Stand-in acquirer (the real one lives in ``repro.parallel.shm``)."""
+    return object()
+
+
+def leak_segment(payload):
+    """Acquire a segment, then forget it on every path."""
+    handle = export_snapshot(payload)  # VIOLATION
+    return payload

@@ -1,0 +1,8 @@
+"""Mini-package fixture for the call-graph builder tests.
+
+Loaded with the flowpkg directory as the package root, so ``alpha.py``
+indexes as ``repro.alpha`` and ``beta.py`` as ``repro.beta`` — small
+enough to assert individual edges, rich enough to exercise from-imports,
+aliased imports, module aliases, method resolution through a constructed
+local, and an honestly-unresolvable dynamic call.
+"""

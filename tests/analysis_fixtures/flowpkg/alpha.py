@@ -1,0 +1,19 @@
+"""Callee side of the call-graph fixture: a function and a class."""
+
+
+def score(x):
+    """Score one value."""
+    return x * 2.0
+
+
+class Meter:
+    """Counts how often it is bumped."""
+
+    def __init__(self):
+        """Start at zero."""
+        self.total = 0
+
+    def bump(self, amount):
+        """Charge ``amount`` to the meter."""
+        self.total += amount
+        return self.total

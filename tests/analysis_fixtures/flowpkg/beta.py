@@ -1,0 +1,27 @@
+"""Caller side of the call-graph fixture: every import shape once."""
+
+from . import alpha as core
+from .alpha import Meter
+from .alpha import score as rank
+
+
+def use_from_import(x):
+    """Call through an aliased from-import (``score as rank``)."""
+    return rank(x)
+
+
+def use_module_alias(x):
+    """Call through a module alias (``from . import alpha as core``)."""
+    return core.score(x)
+
+
+def use_method(x):
+    """Call a method on a constructed local (typed receiver)."""
+    meter = Meter()
+    return meter.bump(x)
+
+
+def use_dynamic(chooser):
+    """A computed callable no static resolver can pin down."""
+    picked = chooser()
+    return picked(1)

@@ -23,13 +23,18 @@ from pathlib import Path
 
 import pytest
 
+import ast
+
 from repro.analysis import (
+    Rule,
     default_rules,
+    flow_rules,
     format_json,
     format_text,
     lint_paths,
     lint_source,
 )
+from repro.analysis.engine import _load_tree
 from repro.cli import main as cli_main
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
@@ -50,6 +55,24 @@ FIXTURE_FOR_RULE = {
     "mmap-discipline": "mmap_discipline_violation.py",
 }
 
+#: flow rule id -> (fixture file, relpath to lint it as).  The deadline
+#: fixture lints as ``serve/index.py`` so its ``ServingIndex.query`` is
+#: the real serving entry-point qualname the pass anchors on.
+FLOW_FIXTURE_FOR_RULE = {
+    "flow-resource-lifecycle": (
+        "flow_resource_violation.py",
+        "flow_resource_violation.py",
+    ),
+    "flow-exception-escape": (
+        "flow_exception_violation.py",
+        "flow_exception_violation.py",
+    ),
+    "flow-deadline-propagation": (
+        "flow_deadline_violation.py",
+        "serve/index.py",
+    ),
+}
+
 
 def _marked_lines(source: str) -> set[int]:
     return {
@@ -64,9 +87,15 @@ def _rule(rule_id: str):
     return rule
 
 
+def _flow_rule(rule_id: str):
+    (rule,) = [r for r in flow_rules() if r.id == rule_id]
+    return rule
+
+
 class TestFixtures:
     def test_every_rule_has_a_fixture(self):
         assert set(FIXTURE_FOR_RULE) == {r.id for r in default_rules()}
+        assert set(FLOW_FIXTURE_FOR_RULE) == {r.id for r in flow_rules()}
 
     @pytest.mark.parametrize("rule_id", sorted(FIXTURE_FOR_RULE))
     def test_rule_fires_on_marked_lines(self, rule_id):
@@ -99,6 +128,278 @@ class TestFixtures:
             respect_scope=False,
         )
         assert findings == []
+
+
+class TestFlowFixtures:
+    """The interprocedural passes, one single-module violation each."""
+
+    @pytest.mark.parametrize("rule_id", sorted(FLOW_FIXTURE_FOR_RULE))
+    def test_flow_rule_fires_on_marked_lines(self, rule_id):
+        fname, relpath = FLOW_FIXTURE_FOR_RULE[rule_id]
+        source = (FIXTURES / fname).read_text()
+        marked = _marked_lines(source)
+        assert marked, "fixture must mark its violation with # VIOLATION"
+        findings = lint_source(
+            source, relpath, rules=[_flow_rule(rule_id)], respect_scope=False
+        )
+        assert findings, f"{rule_id} did not fire on its fixture"
+        assert all(f.rule == rule_id for f in findings)
+        assert {f.line for f in findings} == marked
+
+    @pytest.mark.parametrize("rule_id", sorted(FLOW_FIXTURE_FOR_RULE))
+    def test_suppression_silences_the_flow_fixture(self, rule_id):
+        fname, relpath = FLOW_FIXTURE_FOR_RULE[rule_id]
+        source = (FIXTURES / fname).read_text()
+        suppressed = "\n".join(
+            line.replace(
+                "# VIOLATION", f"# repro: noqa[{rule_id}] -- fixture test"
+            )
+            for line in source.splitlines()
+        )
+        findings = lint_source(
+            suppressed,
+            relpath,
+            rules=[_flow_rule(rule_id)],
+            respect_scope=False,
+        )
+        assert findings == []
+
+
+class TestCallGraph:
+    """The resolver over the ``flowpkg`` mini-package fixture."""
+
+    @pytest.fixture(scope="class")
+    def project(self):
+        from repro.analysis.flow import Project
+
+        root = FIXTURES / "flowpkg"
+        contexts, parse_findings = _load_tree([root], root)
+        assert parse_findings == []
+        return Project(contexts)
+
+    def _edges(self, project):
+        return {
+            (edge.caller, edge.callee)
+            for edges in project.callgraph.edges.values()
+            for edge in edges
+        }
+
+    def test_aliased_from_import_resolves(self, project):
+        assert (
+            "repro.beta.use_from_import",
+            "repro.alpha.score",
+        ) in self._edges(project)
+
+    def test_module_alias_resolves(self, project):
+        assert (
+            "repro.beta.use_module_alias",
+            "repro.alpha.score",
+        ) in self._edges(project)
+
+    def test_method_call_on_constructed_local_resolves(self, project):
+        edges = self._edges(project)
+        assert ("repro.beta.use_method", "repro.alpha.Meter.__init__") in edges
+        assert ("repro.beta.use_method", "repro.alpha.Meter.bump") in edges
+
+    def test_dynamic_call_stays_unresolved(self, project):
+        # use_dynamic makes two calls no static resolver can pin down
+        # (a parameter call and a call through its result); they must be
+        # counted as unresolved, not silently resolved or external.
+        stats = project.callgraph.stats()
+        assert stats["unresolved"] == 2
+        assert project.callgraph.edges.get("repro.beta.use_dynamic") is None
+
+    def test_resolution_rate_accounting(self, project):
+        stats = project.callgraph.stats()
+        assert stats["resolved"] == 4
+        assert stats["rate"] == pytest.approx(4 / 6, abs=1e-4)
+
+    def test_reachability_and_sample_path(self, project):
+        graph = project.callgraph
+        reach = graph.reachable({"repro.beta.use_method"})
+        assert "repro.alpha.Meter.bump" in reach
+        path = graph.sample_path(
+            "repro.beta.use_from_import", "repro.alpha.score"
+        )
+        assert path == ["repro.beta.use_from_import", "repro.alpha.score"]
+
+
+class TestSuppressionSpans:
+    """``# repro: noqa`` anchored by statement span, not physical line."""
+
+    class _DecoratorRule(Rule):
+        id = "decorator-test"
+        summary = "test rule anchoring findings on decorator lines"
+        hint = ""
+
+        def check(self, ctx):
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for dec in node.decorator_list:
+                        yield self.finding(ctx, dec, "decorated")
+
+    DECORATED = "@decorate\ndef fn():{noqa}\n    pass\n"
+
+    def test_decorator_line_finding_fires(self):
+        findings = lint_source(
+            self.DECORATED.format(noqa=""),
+            "core/example.py",
+            rules=[self._DecoratorRule()],
+            respect_scope=False,
+        )
+        assert [f.line for f in findings] == [1]
+
+    def test_noqa_on_def_line_covers_decorator_lines(self):
+        source = self.DECORATED.format(
+            noqa="  # repro: noqa[decorator-test] -- span covers decorators"
+        )
+        findings = lint_source(
+            source,
+            "core/example.py",
+            rules=[self._DecoratorRule()],
+            respect_scope=False,
+        )
+        assert findings == []
+
+    def test_noqa_on_any_line_of_a_multiline_statement(self):
+        # The finding anchors on the first line of the call; the noqa
+        # sits on the closing line.  Same statement, so it must count.
+        source = (
+            "def run(graph):\n"
+            "    for rid in sorted(\n"
+            "        graph.layer(0),\n"
+            "        key=hash,\n"
+            "    ):  # repro: noqa[determinism] -- exercised by the span test\n"
+            "        print(rid)\n"
+        )
+        findings = lint_source(source, "core/example.py")
+        assert [f for f in findings if f.rule == "determinism"] == []
+
+    def test_noqa_on_def_does_not_leak_into_the_body(self):
+        # The def-statement span ends before the body: a suppression on
+        # the signature must not silence findings inside the function.
+        source = (
+            "def run(x):  # repro: noqa[determinism] -- header only\n"
+            "    for k in x.keys():\n"
+            "        print(k)\n"
+        )
+        findings = lint_source(source, "core/example.py")
+        assert "determinism" in {f.rule for f in findings}
+
+
+class TestBaselineRatchet:
+    """The committed-findings baseline: only *new* findings fail."""
+
+    def _finding(self, line, message="m", rule="flow-exception-escape"):
+        from repro.analysis import Finding
+
+        return Finding(
+            path="x.py",
+            line=line,
+            col=0,
+            rule=rule,
+            message=message,
+            relpath="serve/x.py",
+        )
+
+    def test_known_findings_pass_new_ones_fail(self, tmp_path):
+        from repro.analysis.flow import (
+            load_baseline,
+            new_findings,
+            write_baseline,
+        )
+
+        base = tmp_path / "baseline.json"
+        known = self._finding(10)
+        write_baseline(base, [known])
+        baseline = load_baseline(base)
+        # The same fingerprint on a *different line* is still known —
+        # baselines survive unrelated edits above the finding.
+        moved = self._finding(99)
+        assert new_findings([moved], baseline) == []
+        # A different message is a new finding; with the known one also
+        # present, exactly the new one is reported.
+        fresh = self._finding(20, message="other")
+        assert new_findings([moved, fresh], baseline) == [fresh]
+        # Two occurrences of a once-baselined fingerprint: the second
+        # exceeds the allowance.
+        assert new_findings([moved, self._finding(120)], baseline) == [
+            self._finding(120)
+        ]
+
+    def test_suppression_findings_are_never_baselined(self, tmp_path):
+        from repro.analysis.flow import load_baseline, new_findings, write_baseline
+
+        base = tmp_path / "baseline.json"
+        naked = self._finding(5, rule="suppression")
+        write_baseline(base, [naked])
+        assert new_findings([naked], load_baseline(base)) == [naked]
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        from repro.analysis.flow import load_baseline
+
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        from repro.analysis.flow import load_baseline
+
+        assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+    def test_cli_ratchet_fails_then_passes_then_ratchets(
+        self, tmp_path, capsys
+    ):
+        # A fixture finding not in the baseline fails --flow --strict...
+        base = str(tmp_path / "baseline.json")
+        target = str(FIXTURES / "typed_errors_violation.py")
+        assert (
+            cli_main(
+                ["lint", "--flow", "--strict", "--baseline", base, target]
+            )
+            == 1
+        )
+        # ...is accepted once recorded...
+        assert (
+            cli_main(
+                [
+                    "lint",
+                    "--flow",
+                    "--baseline",
+                    base,
+                    "--write-baseline",
+                    target,
+                ]
+            )
+            == 0
+        )
+        assert (
+            cli_main(
+                ["lint", "--flow", "--strict", "--baseline", base, target]
+            )
+            == 0
+        )
+        # ...and a synthetic *new* finding still fails the ratchet.
+        extra = str(FIXTURES / "snapshot_immutability_violation.py")
+        assert (
+            cli_main(
+                [
+                    "lint",
+                    "--flow",
+                    "--strict",
+                    "--baseline",
+                    base,
+                    target,
+                    extra,
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
 
 
 class TestEngine:
@@ -165,6 +466,36 @@ class TestSelfLint:
 
     def test_cli_rejects_unknown_rule(self, capsys):
         assert cli_main(["lint", "--select", "no-such-rule"]) == 2
+
+    def test_cli_flow_rule_ids_need_flow_mode(self, capsys):
+        # Flow rule ids are selectable only when --flow activates them.
+        assert cli_main(["lint", "--select", "flow-exception-escape"]) == 2
+
+    def test_flow_tree_is_clean_and_reports_resolution(self, capsys):
+        assert cli_main(["lint", "--flow", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution rate" in out
+        assert "baseline:" in out
+
+    def test_flow_strict_fails_below_resolution_floor(self, capsys):
+        # An impossible floor turns the self-check into a failure even
+        # on a clean tree: the rate is a pinned number, not decoration.
+        assert (
+            cli_main(
+                ["lint", "--flow", "--strict", "--min-resolution", "0.999"]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_flow_json_report_sections(self, capsys):
+        assert cli_main(["lint", "--flow", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(FIXTURE_FOR_RULE) | set(FLOW_FIXTURE_FOR_RULE) == {
+            r["id"] for r in payload["rules"]
+        }
+        assert payload["callgraph"]["rate"] >= payload["callgraph"]["floor"]
+        assert payload["baseline"]["new"] == 0
 
     def test_cli_strict_fails_on_fixtures(self, capsys):
         # The fixture directory is the positive control for the CI gate.
