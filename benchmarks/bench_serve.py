@@ -1,12 +1,20 @@
-"""Serving-layer latency under concurrent writes (``BENCH_serve.json``).
+"""Serving-layer latency and write throughput (``BENCH_serve.json``).
 
 Measures read-path p50/p99 while a background writer applies maintenance
-at three target write rates, with the WAL under ``fsync=always`` and
+at target write rates, with the WAL under ``fsync=always`` and
 ``fsync=never`` — the two ends of the durability matrix in
-``docs/serving.md``.  Because readers run against RCU-pinned snapshots,
-the interesting questions are (a) how much a concurrent writer perturbs
-read tail latency and (b) what per-op price the fsync policy charges the
-*writer* (reads never fsync).
+``docs/serving.md`` — and measures *sustained write throughput* with the
+base+delta overlay enabled versus disabled, which is the tentpole
+number: an O(changes) delta publish versus an O(n) recompile per
+mutation.
+
+The write generator is **open-loop**: the schedule of due times is fixed
+by the target rate and never slips to match the writer's actual speed,
+so a writer that cannot keep up accumulates *backlog* instead of
+silently redefining the experiment.  Every loaded cell reports its
+achieved-versus-target attainment and an explicit ``saturated`` flag —
+the earlier closed-loop generator topped out near 47 ops/s against a
+200/s target and reported nothing.
 
 Usage::
 
@@ -14,17 +22,19 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke --out /tmp/b.json
 
 Each cell reports an unloaded single-read baseline (warmup +
-median-of-repeats via :func:`bench_utils.measure`, the same timing
-discipline as the other BENCH_*.json reports), reader p50/p99/mean in
-milliseconds under load, achieved reader throughput, the writer's
-achieved ops/s against its target rate, and the mean per-mutation
-latency (which under ``fsync=always`` is dominated by the fsync itself).
-The per-mutation cost is further decomposed: the in-memory snapshot
-republish each mutation triggers is reported on its own
-(``publish_mean_ms``, from the index's health counters), and the durable
+median-of-repeats via :func:`bench_utils.measure`), reader p50/p99/mean
+in milliseconds under load, achieved reader throughput, the writer's
+achieved ops/s against its target with the saturation verdict, mean
+per-mutation latency, and the publish-path decomposition: publish
+p50/p99 (from the index's own sliding sample window), how many publishes
+rode the O(changes) delta path, and the compaction ledger.  The durable
 store checkpoint is timed as a separate explicit step
-(``checkpoint_ms``) so writer latency is attributable to WAL fsync vs
-snapshot compile vs checkpoint I/O.
+(``checkpoint_ms``).
+
+In ``--smoke`` mode the run additionally *asserts* that the delta path
+activated (delta publishes > 0 and overlay-on publish latency below
+overlay-off) so CI notices if a regression silently reverts every
+publish to a full recompile.
 """
 
 from __future__ import annotations
@@ -66,11 +76,24 @@ def run_cell(
     n: int,
     dims: int,
     fsync: str,
-    write_rate: int,
+    write_rate: "int | None",
     duration: float,
     seed: int,
+    overlay: bool = True,
+    readers: int = 2,
 ) -> dict:
-    """One (fsync policy, write rate) cell: readers race a paced writer."""
+    """One cell: readers race a paced (or flat-out) writer.
+
+    ``write_rate`` is mutations/second, ``0`` for no writer, or ``None``
+    for an *unpaced* writer issuing back-to-back — the sustained-write-
+    throughput measurement.  ``overlay`` toggles the O(changes) publish
+    path (``overlay_limit=0`` disables it, forcing the pre-overlay
+    recompile-per-mutation behaviour for comparison).  ``readers`` is
+    the number of spinning reader threads; the throughput cells run with
+    0 so the measured quantity is the write path itself, not GIL
+    arbitration between the writer and busy-looping readers (read
+    *latency* under write load is the paced cells' job).
+    """
     rng = np.random.default_rng(seed)
     dataset = uniform(n, dims, seed=seed)
     start_ids = list(range(n // 2))
@@ -85,6 +108,8 @@ def run_cell(
             checkpoint_interval=None,
             max_concurrent=8,
             max_waiting=64,
+            overlay_limit=128 if overlay else 0,
+            compact_interval=0.05 if overlay else None,
         )
         try:
             # Unloaded single-read baseline with the shared warmup +
@@ -96,34 +121,52 @@ def run_cell(
 
             latencies: list = []
             writer_latencies: list = []
+            scheduled = [0]
             stop = threading.Event()
 
+            def issue(state: dict) -> None:
+                """One alternating insert/delete mutation, timed."""
+                op_start = time.perf_counter()
+                if state["inserting"] and state["pending"]:
+                    rid = state["pending"].pop()
+                    index.insert(rid)
+                    state["alive"].add(rid)
+                elif state["alive"]:
+                    rid = state["alive"].pop()
+                    index.delete(rid)
+                    state["pending"].append(rid)
+                writer_latencies.append(time.perf_counter() - op_start)
+                state["inserting"] = not state["inserting"]
+
             def writer() -> None:
-                """Alternate insert/delete at the target rate."""
                 if write_rate == 0:
                     return
-                pending = list(range(n // 2, n))
-                alive = set(start_ids)
+                state = {
+                    "pending": list(range(n // 2, n)),
+                    "alive": set(start_ids),
+                    "inserting": True,
+                }
+                if write_rate is None:
+                    # Unpaced: sustained throughput is the measurement.
+                    while not stop.is_set():
+                        issue(state)
+                        scheduled[0] += 1
+                    return
+                # Open-loop pacing: due times advance on the wall clock,
+                # never on op completion.  A slow writer falls behind and
+                # catches up back-to-back; the schedule itself never
+                # slips, so attainment below 1.0 means saturation, not a
+                # quietly easier experiment.
                 period = 1.0 / write_rate
-                next_due = time.perf_counter()
-                inserting = True
+                origin = time.perf_counter()
                 while not stop.is_set():
+                    due = origin + scheduled[0] * period
                     now = time.perf_counter()
-                    if now < next_due:
-                        time.sleep(min(period, next_due - now))
+                    if now < due:
+                        time.sleep(min(period, due - now))
                         continue
-                    op_start = time.perf_counter()
-                    if inserting and pending:
-                        rid = pending.pop()
-                        index.insert(rid)
-                        alive.add(rid)
-                    elif alive:
-                        rid = alive.pop()
-                        index.delete(rid)
-                        pending.append(rid)
-                    writer_latencies.append(time.perf_counter() - op_start)
-                    inserting = not inserting
-                    next_due += period
+                    scheduled[0] += 1
+                    issue(state)
 
             def reader() -> None:
                 while not stop.is_set():
@@ -132,7 +175,8 @@ def run_cell(
                     latencies.append(time.perf_counter() - begin)
 
             threads = [threading.Thread(target=writer, daemon=True)] + [
-                threading.Thread(target=reader, daemon=True) for _ in range(2)
+                threading.Thread(target=reader, daemon=True)
+                for _ in range(readers)
             ]
             begin = time.perf_counter()
             for thread in threads:
@@ -142,11 +186,9 @@ def run_cell(
             for thread in threads:
                 thread.join(timeout=30)
             elapsed = time.perf_counter() - begin
-            # Decompose the writer's cost: the per-mutation figure above
-            # includes the in-memory snapshot republish (compile + swap),
-            # tracked by the index itself; the durable checkpoint (store
-            # file write + WAL truncation) is a separate, explicit step.
-            store_stats = index.health()["store"]
+            health = index.health()
+            store_stats = health["store"]
+            overlay_stats = health["overlay"]
             checkpoint_begin = time.perf_counter()
             index.checkpoint()
             checkpoint_ms = 1000.0 * (time.perf_counter() - checkpoint_begin)
@@ -157,42 +199,71 @@ def run_cell(
     publish_mean_ms = (
         publish["total_ms"] / publish["count"] if publish["count"] else None
     )
-
+    achieved_rate = len(writer_latencies) / elapsed
+    target = None if write_rate is None else float(write_rate)
+    attainment = (
+        achieved_rate / target if target else None
+    )
     reads_ms = [1000.0 * t for t in latencies]
     cell = {
         "n": n,
         "dims": dims,
         "fsync": fsync,
+        "overlay": overlay,
+        "reader_threads": readers,
         "target_write_rate": write_rate,
         "duration_seconds": elapsed,
         "read_unloaded_median_ms": 1000.0 * baseline["median_seconds"],
         "read_unloaded_timing": baseline,
         "reads": len(reads_ms),
-        "read_p50_ms": percentile(reads_ms, 50),
-        "read_p99_ms": percentile(reads_ms, 99),
-        "read_mean_ms": float(np.mean(reads_ms)),
+        "read_p50_ms": percentile(reads_ms, 50) if reads_ms else None,
+        "read_p99_ms": percentile(reads_ms, 99) if reads_ms else None,
+        "read_mean_ms": float(np.mean(reads_ms)) if reads_ms else None,
         "reads_per_second": len(reads_ms) / elapsed,
         "writes": len(writer_latencies),
-        "achieved_write_rate": len(writer_latencies) / elapsed,
+        "scheduled_writes": scheduled[0],
+        "achieved_write_rate": achieved_rate,
+        "write_target_attainment": attainment,
+        # Saturated = the writer could not hold its target schedule.
+        "saturated": (
+            attainment is not None and attainment < 0.95
+        ),
         "write_mean_ms": (
             1000.0 * float(np.mean(writer_latencies))
             if writer_latencies
             else None
         ),
-        # The write_mean_ms above includes the snapshot republish each
-        # mutation triggers; these break that cost out, and price the
-        # durable store checkpoint separately from the mutations.
+        # Publish-path decomposition: mean over the whole run plus the
+        # index's own sliding-window percentiles, and the overlay ledger
+        # that says *which* path those publishes took.
         "publish_count": publish["count"],
         "publish_mean_ms": publish_mean_ms,
-        "publish_last_ms": publish["last_ms"],
+        "publish_p50_ms": publish.get("p50_ms"),
+        "publish_p99_ms": publish.get("p99_ms"),
+        "delta_publishes": overlay_stats["delta_publishes"],
+        "compactions": overlay_stats["compactions"]["count"],
+        "forced_compactions": overlay_stats["compactions"]["forced"],
+        "overlay_fallbacks": overlay_stats["fallbacks"],
         "checkpoint_ms": checkpoint_ms,
     }
+    rate_label = "max" if write_rate is None else f"{write_rate}/s"
+    saturation_note = ""
+    if attainment is not None:
+        saturation_note = (
+            f"  attained={100 * attainment:5.1f}%"
+            + (" SATURATED" if cell["saturated"] else "")
+        )
+    p50 = cell["read_p50_ms"] or 0.0
+    p99 = cell["read_p99_ms"] or 0.0
     print(
-        f"fsync={fsync:<6} rate={write_rate:>4}/s  "
-        f"p50={cell['read_p50_ms']:7.3f}ms  p99={cell['read_p99_ms']:7.3f}ms  "
-        f"writes={cell['writes']:>4} "
-        f"(mean {cell['write_mean_ms'] or 0:.2f}ms, publish "
-        f"{publish_mean_ms or 0:.2f}ms, checkpoint {checkpoint_ms:.2f}ms)"
+        f"fsync={fsync:<6} overlay={str(overlay):<5} rate={rate_label:>6}  "
+        f"p50={p50:7.3f}ms  p99={p99:7.3f}ms  "
+        f"writes={cell['writes']:>5} ({achieved_rate:7.1f}/s)"
+        f"{saturation_note}  publish p50="
+        f"{cell['publish_p50_ms'] or 0:.3f}ms p99="
+        f"{cell['publish_p99_ms'] or 0:.3f}ms "
+        f"(delta {cell['delta_publishes']}, "
+        f"compactions {cell['compactions']})"
     )
     return cell
 
@@ -220,20 +291,64 @@ def main(argv=None) -> int:
         for fsync in ("always", "never")
         for rate in WRITE_RATES
     ]
+    # Sustained write throughput, overlay on vs off: the tentpole ratio.
+    throughput_cells = [
+        run_cell(
+            n, args.dims, fsync, None, duration, args.seed,
+            overlay=overlay, readers=0,
+        )
+        for fsync in ("always", "never")
+        for overlay in (False, True)
+    ]
+
+    def throughput(fsync: str, overlay: bool) -> float:
+        for cell in throughput_cells:
+            if cell["fsync"] == fsync and cell["overlay"] == overlay:
+                return cell["achieved_write_rate"]
+        raise KeyError((fsync, overlay))
+
+    speedups = {
+        fsync: throughput(fsync, True) / throughput(fsync, False)
+        for fsync in ("always", "never")
+    }
+    for fsync, ratio in speedups.items():
+        print(f"sustained write throughput, fsync={fsync}: "
+              f"overlay is {ratio:.1f}x the recompile-per-mutation path")
+
     report = {
         "benchmark": "serve_read_latency_under_writes",
         "workload": (
             "uniform data, linear reads (k=10, 2 reader threads) racing "
-            "one paced insert/delete writer"
+            "one open-loop paced insert/delete writer; plus unpaced "
+            "sustained-write-throughput cells with the delta overlay "
+            "on vs off"
         ),
         "smoke": args.smoke,
         "write_rates": list(WRITE_RATES),
         "results": cells,
+        "write_throughput": throughput_cells,
+        "overlay_write_speedup": speedups,
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}")
+
+    if args.smoke:
+        # CI tripwire: the O(changes) path must actually be taken.  If a
+        # regression silently reverts publishes to full recompiles, the
+        # delta counter goes to zero and overlay-on publish latency
+        # collapses onto overlay-off.
+        overlay_on = [c for c in throughput_cells if c["overlay"]]
+        assert all(c["delta_publishes"] > 0 for c in overlay_on), (
+            "smoke: no delta publishes happened with the overlay enabled"
+        )
+        assert speedups["never"] > 1.0, (
+            "smoke: overlay-on sustained write throughput did not beat "
+            f"recompile-per-mutation (speedups={speedups})"
+        )
+        print("smoke assertions passed: delta publishes active, "
+              f"fsync=never overlay speedup {speedups['never']:.1f}x")
     return 0
 
 

@@ -17,6 +17,7 @@ from repro.analysis.rules.public_api import PublicApiRule
 from repro.analysis.rules.worker_discipline import WorkerDisciplineRule
 from repro.analysis.rules.deadline_discipline import DeadlineDisciplineRule
 from repro.analysis.rules.mmap_discipline import MmapDisciplineRule
+from repro.analysis.rules.overlay_discipline import OverlayDisciplineRule
 
 #: Shipped rules, in catalog order.
 ALL_RULES = (
@@ -31,6 +32,7 @@ ALL_RULES = (
     WorkerDisciplineRule,
     DeadlineDisciplineRule,
     MmapDisciplineRule,
+    OverlayDisciplineRule,
 )
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "GuardCoverageRule",
     "MmapDisciplineRule",
+    "OverlayDisciplineRule",
     "PublicApiRule",
     "SnapshotImmutabilityRule",
     "StatsThreadingRule",

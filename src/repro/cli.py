@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -396,6 +397,35 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                 say(f"    - {issue}")
             if audit["orphans"]:
                 say(f"    orphans: {', '.join(audit['orphans'])}")
+        # Delta-overlay sidecar: derived data (the WAL is the durable
+        # truth), so a damaged or stale sidecar is reported but never
+        # fails the diagnosis.
+        sidecar_path = os.path.join(args.store, "delta-current.dgs")
+        if os.path.exists(sidecar_path):
+            from repro.store.deltastore import load_delta_store
+
+            try:
+                overlay, stamp = load_delta_store(sidecar_path)
+            except Exception as exc:  # repro: noqa[typed-errors] -- any unreadable sidecar is the same diagnosis: derived data to be discarded, not a failure
+                say(f"  overlay: sidecar unreadable "
+                    f"({type(exc).__name__}: {exc}); recovery ignores it")
+                report["overlay"] = {"sidecar": sidecar_path,
+                                     "error": str(exc)}
+            else:
+                say(f"  overlay: {overlay.delta_count} delta record(s), "
+                    f"{overlay.deleted_count} deleted row(s) over base "
+                    f"generation {stamp.generation} "
+                    f"(applied_seq {stamp.applied_seq})")
+                report["overlay"] = {
+                    "sidecar": sidecar_path,
+                    "delta_records": overlay.delta_count,
+                    "deleted_rows": overlay.deleted_count,
+                    "base_generation": stamp.generation,
+                    "applied_seq": stamp.applied_seq,
+                }
+        else:
+            say("  overlay: no delta sidecar (all changes folded)")
+            report["overlay"] = {"sidecar": None}
     wal_damaged = False
     if args.wal:
         from repro.serve.wal import scan_wal
@@ -796,12 +826,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ]
         for thread in threads:
             thread.start()
-        indexed = {
-            int(r)
-            for r in index.snapshot()
-            .compiled.record_ids[~index.snapshot().compiled.pseudo_mask]
-            .tolist()
-        }
+        indexed = {int(r) for r in index.snapshot().alive_ids().tolist()}
         pending = [
             rid
             for rid in range(len(index._graph.dataset))

@@ -313,6 +313,7 @@ class CompiledDG:
         stats: AccessCounter | None = None,
         algorithm: str = BATCH_ALGORITHM,
         deadline: Deadline | None = None,
+        exclude: np.ndarray | None = None,
     ) -> TopKResult:
         """Answer one top-k query: a batch of one through the kernel.
 
@@ -321,7 +322,8 @@ class CompiledDG:
         and the parallel fabric's ``full`` worker mode all land here.
         Parameters mirror
         :meth:`repro.core.advanced.AdvancedTraveler.top_k`; ``deadline``
-        is checked between layer chunks (see :func:`batch_top_k`).
+        is checked between layer chunks and ``exclude`` masks dense rows
+        out of the answer set (see :func:`batch_top_k`).
         """
         (result,) = batch_top_k(
             self,
@@ -331,6 +333,7 @@ class CompiledDG:
             stats=None if stats is None else [stats],
             algorithm=algorithm,
             deadline=deadline,
+            exclude=exclude,
         )
         return result
 
@@ -538,11 +541,13 @@ def _chunk_answerable(
     where: WherePredicate | None,
     lo: int,
     hi: int,
+    exclude: np.ndarray | None = None,
 ) -> np.ndarray:
     """The chunk's answerable mask, evaluating ``where`` once per record.
 
     Predicates always see the exact float64 vectors, never the fast
-    lane's float32 copies.
+    lane's float32 copies.  Rows masked by ``exclude`` never reach the
+    predicate: an overlay-deleted record must not leak to user code.
     """
     if where is None:
         return answerable[lo:hi]
@@ -551,7 +556,11 @@ def _chunk_answerable(
     block = np.zeros(hi - lo, dtype=bool)
     for offset in range(hi - lo):
         dense = lo + offset
-        block[offset] = not pseudo[dense] and bool(where(values[dense]))
+        block[offset] = (
+            not pseudo[dense]
+            and (exclude is None or not exclude[dense])
+            and bool(where(values[dense]))
+        )
     answerable[lo:hi] = block
     return block
 
@@ -590,6 +599,7 @@ def batch_top_k(
     stats: Sequence[AccessCounter] | None = None,
     algorithm: str = BATCH_ALGORITHM,
     deadline: Deadline | None = None,
+    exclude: np.ndarray | None = None,
 ) -> "list[TopKResult]":
     """Answer many top-k queries in one layer-progressive sweep.
 
@@ -641,6 +651,14 @@ def batch_top_k(
         the kernel's natural preemption points: within a chunk the work
         is one fused matrix pass, so checkpointing between them bounds
         overrun by a single chunk's scoring time.
+    exclude:
+        Optional boolean mask over *dense* rows (length ``num_records``);
+        ``True`` rows are scanned — they still bound retirement exactly
+        like pseudo records — but never reported and never shown to
+        ``where``.  The base+delta overlay passes its deleted-row mask
+        here, which is what keeps a masked base sweep exact: excluded
+        rows keep bounding their dominated descendants, so the layer
+        invariant's retirement argument is untouched.
 
     Peak memory is ``len(functions) * num_records * 4`` bytes of float32
     scores on the fast lane (``* 8`` float64 on the oracle lane); cap the
@@ -654,6 +672,14 @@ def batch_top_k(
             "CompiledDG is stale: the source DominantGraph mutated after "
             "compile(); rebuild the snapshot with graph.compile()"
         )
+    if exclude is not None:
+        if exclude.dtype != np.bool_ or exclude.shape != (
+            compiled.num_records,
+        ):
+            raise ValueError(
+                "exclude must be a boolean mask over the snapshot's "
+                f"{compiled.num_records} dense rows"
+            )
     num_queries = len(functions)
     if stats is None:
         counters = [AccessCounter() for _ in range(num_queries)]
@@ -684,10 +710,12 @@ def batch_top_k(
 
     if weights is not None and _f32_lane_applies(compiled, weights):
         return _f32_lane(
-            compiled, weights, k, where, counters, algorithm, deadline
+            compiled, weights, k, where, counters, algorithm, deadline,
+            exclude,
         )
     return _f64_lane(
-        compiled, functions, weights, k, where, counters, algorithm, deadline
+        compiled, functions, weights, k, where, counters, algorithm,
+        deadline, exclude,
     )
 
 
@@ -714,6 +742,7 @@ def _f32_lane(
     counters: "list[AccessCounter]",
     algorithm: str,
     deadline: Deadline | None = None,
+    exclude: np.ndarray | None = None,
 ) -> "list[TopKResult]":
     """The two-precision lane: float32 scan, exact float64 boundary re-check."""
     num_queries = int(weights.shape[0])
@@ -729,7 +758,7 @@ def _f32_lane(
     )
 
     if where is None:
-        answerable = ~pseudo
+        answerable = ~pseudo if exclude is None else ~pseudo & ~exclude
     else:
         answerable = np.zeros(n, dtype=bool)
 
@@ -757,7 +786,9 @@ def _f32_lane(
         for q in act_idx.tolist():
             counters[q].count_computed_batch(block_ids, pseudo=block_pseudo)
 
-        ans_block = _chunk_answerable(compiled, answerable, where, lo, hi)
+        ans_block = _chunk_answerable(
+            compiled, answerable, where, lo, hi, exclude
+        )
         num_answerable = int(ans_block.sum())
         if num_answerable:
             pool = np.concatenate(
@@ -829,6 +860,7 @@ def _f64_lane(
     counters: "list[AccessCounter]",
     algorithm: str,
     deadline: Deadline | None = None,
+    exclude: np.ndarray | None = None,
 ) -> "list[TopKResult]":
     """The exact float64 lane: the parity oracle for every function class.
 
@@ -845,7 +877,7 @@ def _f64_lane(
     bounds = compiled.layer_bounds()
 
     if where is None:
-        answerable = ~pseudo
+        answerable = ~pseudo if exclude is None else ~pseudo & ~exclude
     else:
         answerable = np.zeros(n, dtype=bool)
 
@@ -882,7 +914,9 @@ def _f64_lane(
         for q in act_idx.tolist():
             counters[q].count_computed_batch(block_ids, pseudo=block_pseudo)
 
-        ans_block = _chunk_answerable(compiled, answerable, where, lo, hi)
+        ans_block = _chunk_answerable(
+            compiled, answerable, where, lo, hi, exclude
+        )
         num_answerable = int(ans_block.sum())
         if num_answerable:
             pool = np.concatenate(

@@ -180,7 +180,10 @@ class Dataset:
 
     def take(self, record_ids: Iterable[int]) -> np.ndarray:
         """Value matrix restricted to the given record ids, in order."""
-        ids = np.fromiter(record_ids, dtype=np.intp)
+        if isinstance(record_ids, np.ndarray):
+            ids = record_ids.astype(np.intp, copy=False)
+        else:
+            ids = np.fromiter(record_ids, dtype=np.intp)
         return self._values[ids]
 
     def project(self, dimensions: Sequence[int]) -> "Dataset":

@@ -73,6 +73,17 @@ class DominantGraph:
         """Record ids of layer ``index`` (0-based; 0 is the topmost layer)."""
         return frozenset(self._layers[index])
 
+    def layer_width(self, index: int) -> int:
+        """Record count of layer ``index`` without copying the layer set."""
+        return len(self._layers[index])
+
+    def layer_array(self, index: int) -> np.ndarray:
+        """Sorted id array of layer ``index`` (no intermediate set copy)."""
+        members = self._layers[index]
+        ids = np.fromiter(members, dtype=np.intp, count=len(members))
+        ids.sort()
+        return ids
+
     def layers(self) -> list:
         """All layers, topmost first, as frozensets of record ids."""
         return [frozenset(layer) for layer in self._layers]
@@ -96,6 +107,27 @@ class DominantGraph:
     def real_ids(self) -> list:
         """Ids of indexed *real* (non-pseudo) records."""
         return [rid for rid in self._layer_of if not self.is_pseudo(rid)]
+
+    def indexed_arrays(self) -> tuple:
+        """Ids and layer indices of everything indexed, as parallel arrays.
+
+        Built with C-level iteration over the internal placement map, so
+        maintenance can snapshot an ``n``-record graph without ``n`` Python
+        calls.  Order is placement order (not layer order); callers that
+        need layer grouping sort the arrays themselves.
+        """
+        n = len(self._layer_of)
+        ids = np.fromiter(self._layer_of.keys(), dtype=np.intp, count=n)
+        layers = np.fromiter(self._layer_of.values(), dtype=np.intp, count=n)
+        return ids, layers
+
+    def pseudo_ids(self) -> list:
+        """Sorted ids of the *indexed* pseudo records.
+
+        Registered-but-unplaced pseudos (mid-construction) are excluded,
+        so the result always pairs with :meth:`indexed_arrays`.
+        """
+        return sorted(pid for pid in self._pseudo_vectors if pid in self._layer_of)
 
     def is_pseudo(self, record_id: int) -> bool:
         """True for pseudo records (Extended DG artificial parents)."""

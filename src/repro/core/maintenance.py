@@ -34,12 +34,20 @@ for deletion — mark the record as pseudo so the Advanced Traveler skips it
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 import numpy as np
 
-from repro.core.dominance import dominated_by, dominates, dominators_of
+from repro.core.compiled import CompiledDG
+from repro.core.dominance import (
+    dominance_matrix,
+    dominated_by,
+    dominates,
+    dominators_of,
+)
 from repro.core.graph import DominantGraph
+from repro.core.overlay import DeltaOverlay
 from repro.core.pseudo import count_pseudo_levels, pseudo_parent_vector
 from repro.errors import InvariantViolation
 
@@ -47,36 +55,40 @@ from repro.errors import InvariantViolation
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
-def _indexed_snapshot(graph: DominantGraph) -> tuple:
-    """Ids and value matrix of everything currently indexed.
+def _vectors_for(graph: DominantGraph, ids: np.ndarray) -> np.ndarray:
+    """Value matrix aligned row-for-row with ``ids``.
 
-    Real records are gathered in one vectorized dataset lookup; only the
-    (few) pseudo vectors are fetched individually.
+    Real rows come out of one vectorized dataset gather; only the (few)
+    pseudo vectors are fetched individually, so the fetch costs O(n)
+    numpy work rather than O(n) Python-level calls.
     """
-    ids = list(graph.iter_records())
-    if not ids:
-        return ids, np.empty((0, graph.dataset.dims), dtype=np.float64)
-    real = [rid for rid in ids if not graph.is_pseudo(rid)]
-    pseudo = [rid for rid in ids if graph.is_pseudo(rid)]
-    parts = []
-    if real:
-        parts.append(graph.dataset.take(real))
+    values = np.empty((ids.shape[0], graph.dataset.dims), dtype=np.float64)
+    pseudo = graph.pseudo_ids()
     if pseudo:
-        parts.append(np.vstack([graph.vector(rid) for rid in pseudo]))
-    return real + pseudo, np.vstack(parts)
+        pseudo_mask = np.isin(ids, np.asarray(pseudo, dtype=np.intp))
+    else:
+        pseudo_mask = np.zeros(ids.shape[0], dtype=bool)
+    real_pos = np.flatnonzero(~pseudo_mask)
+    if real_pos.size:
+        values[real_pos] = graph.dataset.take(ids[real_pos])
+    for pos in np.flatnonzero(pseudo_mask):
+        values[pos] = graph.vector(int(ids[pos]))
+    return values
+
+
+def _indexed_snapshot(graph: DominantGraph) -> tuple:
+    """Ids, layer indices, and value matrix of everything currently indexed.
+
+    All three arrays are parallel; order is the graph's placement order.
+    """
+    ids, layers = graph.indexed_arrays()
+    return ids, layers, _vectors_for(graph, ids)
 
 
 def _layer_block(graph: DominantGraph, index: int) -> tuple:
-    """Sorted ids and stacked vectors of one layer (vectorized fetch)."""
-    ids = sorted(graph.layer(index))
-    real = [rid for rid in ids if not graph.is_pseudo(rid)]
-    pseudo = [rid for rid in ids if graph.is_pseudo(rid)]
-    parts = []
-    if real:
-        parts.append(graph.dataset.take(real))
-    if pseudo:
-        parts.append(np.vstack([graph.vector(rid) for rid in pseudo]))
-    return real + pseudo, np.vstack(parts)
+    """Sorted id array and aligned vectors of one layer (vectorized fetch)."""
+    ids = graph.layer_array(index)
+    return ids, _vectors_for(graph, ids)
 
 
 def _rebuild_edges(graph: DominantGraph, record_ids) -> None:
@@ -99,14 +111,14 @@ def _rebuild_edges(graph: DominantGraph, record_ids) -> None:
     for rid in record_ids:
         layer = graph.layer_of(rid)
         vector = graph.vector(rid)
-        if layer > 0 and graph.layer(layer - 1):
+        if layer > 0 and graph.layer_width(layer - 1):
             above, above_block = block_for(layer - 1)
             for pos in np.flatnonzero(dominators_of(vector, above_block)):
-                graph.add_edge(above[pos], rid)
-        if layer + 1 < graph.num_layers and graph.layer(layer + 1):
+                graph.add_edge(int(above[pos]), rid)
+        if layer + 1 < graph.num_layers and graph.layer_width(layer + 1):
             below, below_block = block_for(layer + 1)
             for pos in np.flatnonzero(dominated_by(vector, below_block)):
-                graph.add_edge(rid, below[pos])
+                graph.add_edge(rid, int(below[pos]))
 
 
 # ----------------------------------------------------------------------
@@ -231,11 +243,13 @@ def _reattach_pseudo_parent(graph: DominantGraph, record_id: int) -> None:
 
 
 def _collect_childless_pseudo(graph: DominantGraph) -> list:
-    """Pseudo records with no children (useless parents, GC candidates)."""
+    """Pseudo records with no children (useless parents, GC candidates).
+
+    Sweeps only the pseudo ids — a handful per graph — instead of every
+    indexed record, so deletion GC stays O(pseudo) per pass.
+    """
     return [
-        rid
-        for rid in graph.iter_records()
-        if graph.is_pseudo(rid) and not graph.children_of(rid)
+        rid for rid in graph.pseudo_ids() if not graph.children_of(rid)
     ]
 
 
@@ -261,13 +275,9 @@ def insert_record(graph: DominantGraph, record_id: int) -> int:
     _repair_pseudo_cover(graph, vector)
     pseudo_levels = count_pseudo_levels(graph)
 
-    ids, vectors = _indexed_snapshot(graph)
-    id_array = np.asarray(ids, dtype=np.intp)
-    layer_array = np.fromiter(
-        (graph.layer_of(rid) for rid in ids), dtype=np.intp, count=len(ids)
-    )
+    id_array, layer_array, vectors = _indexed_snapshot(graph)
 
-    if ids:
+    if id_array.size:
         dominator_mask = dominators_of(vector, vectors)
     else:
         dominator_mask = np.zeros(0, dtype=bool)
@@ -279,11 +289,13 @@ def insert_record(graph: DominantGraph, record_id: int) -> int:
 
     # Affected set: everything the new record dominates can gain a longer
     # chain (by at most one hop through the new record).
-    if ids:
+    if id_array.size:
         affected_mask = dominated_by(vector, vectors)
-        affected = [int(s) for s in id_array[affected_mask]]
     else:
-        affected = []
+        affected_mask = np.zeros(0, dtype=bool)
+    affected_ids = id_array[affected_mask]
+    affected_layers = layer_array[affected_mask]
+    affected_vectors = vectors[affected_mask]
     graph.place_record(record_id, target)
 
     new_layer = {record_id: target}
@@ -293,24 +305,24 @@ def insert_record(graph: DominantGraph, record_id: int) -> int:
     # affected record's old layer is already >= target, and it moves down
     # exactly one layer iff a *mover into its own layer* dominates it —
     # the new record itself, or a cascade of previously bumped records.
-    # Processing old layers upward from `target` therefore needs dominance
-    # checks only against the (small) per-layer mover sets.
-    by_layer: dict = {}
-    for t in affected:
-        by_layer.setdefault(graph.layer_of(t), []).append(t)
+    # Processing old layers upward from `target` therefore needs one
+    # movers-vs-residents dominance matrix per layer, nothing per record.
     movers_into: dict = {target: [vector]}
-    for layer in sorted(by_layer):
+    for layer in np.unique(affected_layers):
+        layer = int(layer)
         arrivals = movers_into.get(layer)
         if not arrivals:
             continue
         arrival_block = np.vstack(arrivals)
-        residents = by_layer[layer]
-        block = graph.dataset.take(residents)
-        for row, t in enumerate(residents):
-            if dominators_of(block[row], arrival_block).any():
-                new_layer[t] = layer + 1
-                moved.append(t)
-                movers_into.setdefault(layer + 1, []).append(block[row])
+        sel = affected_layers == layer
+        residents = affected_ids[sel]
+        block = affected_vectors[sel]
+        bumped = dominance_matrix(arrival_block, block).any(axis=0)
+        for row in np.flatnonzero(bumped):
+            t = int(residents[row])
+            new_layer[t] = layer + 1
+            moved.append(t)
+            movers_into.setdefault(layer + 1, []).append(block[row])
 
     for t in moved:
         if t != record_id and graph.layer_of(t) != new_layer[t]:
@@ -491,3 +503,113 @@ def mark_deleted(graph: DominantGraph, record_id: int) -> None:
     if record_id not in graph:
         raise KeyError(f"record {record_id} is not indexed")
     graph.convert_to_pseudo(record_id)
+
+
+# ----------------------------------------------------------------------
+# Delta application: the mutable side of the base+delta overlay
+# ----------------------------------------------------------------------
+class OverlayBuilder:
+    """Accumulates changes since a compiled base into overlay form.
+
+    The maintenance functions above mutate the live
+    :class:`DominantGraph`; this builder records the *visible effect* of
+    each mutation relative to a frozen
+    :class:`~repro.core.compiled.CompiledDG` base, so the serving layer
+    can publish an O(changes) :class:`~repro.core.overlay.DeltaOverlay`
+    instead of recompiling.  One builder lives per base generation; a
+    compaction constructs a fresh one against the new base.
+
+    Visibility rules (what makes ``base+overlay`` ≡ recompile):
+
+    - ``insert``: the record joins the delta with its exact float64
+      vector.  If the base also holds a (previously deleted) row for the
+      id, that row is masked — the delta entry supersedes it.
+    - ``delete`` / ``mark_deleted``: a delta record is simply dropped
+      (it was never in the base); a base record's dense row joins the
+      deletion set.  Both operations have the same *answer* effect — a
+      marked-pseudo record is scanned but never reported, and a masked
+      base row is likewise scanned (it still bounds retirement) but
+      never reported.
+
+    The builder itself is writer-private and mutable; only
+    :meth:`freeze` output escapes to readers, and that output is frozen.
+    """
+
+    def __init__(self, base: CompiledDG) -> None:
+        pseudo = base.pseudo_mask
+        self._base_rows: "dict[int, int]" = {
+            int(rid): dense
+            for dense, rid in enumerate(base.record_ids.tolist())
+            if not pseudo[dense]
+        }
+        self._dims = int(base.values.shape[1])
+        self._delta: "dict[int, np.ndarray]" = {}
+        self._deleted: "set[int]" = set()
+        self._first_change: float | None = None
+
+    def _touch(self) -> None:
+        if self._first_change is None:
+            self._first_change = time.monotonic()
+
+    @property
+    def size(self) -> int:
+        """Overlay weight if frozen now — what publish caps compare."""
+        return len(self._delta) + len(self._deleted)
+
+    @property
+    def age(self) -> float:
+        """Seconds since the oldest unfolded change (0.0 when empty)."""
+        if self._first_change is None:
+            return 0.0
+        return time.monotonic() - self._first_change
+
+    def insert(self, record_id: int, vector: np.ndarray) -> None:
+        """Record an insert applied to the graph."""
+        self._touch()
+        self._delta[record_id] = np.array(
+            vector, dtype=np.float64, copy=True
+        )
+        row = self._base_rows.get(record_id)
+        if row is not None:
+            self._deleted.add(row)
+
+    def delete(self, record_id: int) -> None:
+        """Record a delete (or mark-deleted) applied to the graph."""
+        self._touch()
+        if record_id in self._delta:
+            del self._delta[record_id]
+            return
+        row = self._base_rows.get(record_id)
+        if row is None:
+            raise KeyError(
+                f"record {record_id} is neither in the overlay nor a "
+                "real record of the base snapshot"
+            )
+        self._deleted.add(row)
+
+    def mark_deleted(self, record_id: int) -> None:
+        """Same visible effect as :meth:`delete` (see class docstring)."""
+        self.delete(record_id)
+
+    def freeze(self) -> "DeltaOverlay | None":
+        """An immutable overlay of the changes so far (``None`` if none).
+
+        Builds fresh arrays every call — published overlays are never
+        shared with the builder's mutable state, so later mutations
+        cannot leak into a snapshot readers already pinned.
+        """
+        if not self._delta and not self._deleted:
+            return None
+        ids = sorted(self._delta)
+        if ids:
+            delta_values = np.stack([self._delta[rid] for rid in ids])
+        else:
+            delta_values = np.empty((0, self._dims), dtype=np.float64)
+        return DeltaOverlay(
+            delta_ids=np.asarray(ids, dtype=np.int64),
+            delta_values=delta_values,
+            deleted_rows=np.asarray(sorted(self._deleted), dtype=np.int64),
+            created_at=(
+                0.0 if self._first_change is None else self._first_change
+            ),
+        )

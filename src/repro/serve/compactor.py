@@ -1,0 +1,164 @@
+"""Background compaction: fold the delta overlay into the next base.
+
+The O(changes) publish path (:mod:`repro.core.overlay`) defers the
+O(n) ``graph.compile()`` until the overlay crosses a size or age
+threshold.  Someone has to notice the threshold when writes go quiet —
+a burst of inserts followed by silence would otherwise pin read cost at
+"base sweep + overlay scan" forever.  :class:`Compactor` is that
+someone: a daemon thread owned by the writer, shaped exactly like the
+store scrubber (:class:`~repro.store.scrub.StoreScrubber`) — idempotent
+start/stop, a public synchronous drive method for tests, a circuit
+breaker recording outcomes, JSON-ready :meth:`stats`.
+
+The thread never holds the decision and the fold apart: it calls the
+owner's ``should_compact`` probe and, when it fires, the owner's
+``compact`` callable with an explicit lock-acquisition ``timeout`` —
+the compactor must *clamp* how long it may stall behind the writer lock
+rather than queueing unboundedly behind a write burst (the
+``overlay-discipline`` lint rule pins this).  A compaction failure is
+recorded on the breaker and counted, never raised into the host: the
+serving index independently degrades to a full-recompile publish when
+the overlay overflows, so a broken compactor costs throughput, not
+correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Protocol
+
+
+class _Breaker(Protocol):
+    def record_success(self) -> None: ...
+
+    def record_failure(self) -> None: ...
+
+
+class Compactor:
+    """Fold the overlay into a new base when thresholds say so.
+
+    Parameters
+    ----------
+    should_compact:
+        Cheap probe (no locks beyond the owner's own) answering "is the
+        overlay past its size or age threshold?".
+    compact:
+        The fold itself; receives ``timeout`` — the longest the call may
+        wait for the writer lock — and returns ``True`` when a
+        compaction actually published, ``False`` when there was nothing
+        to fold or the lock stayed busy.  Exceptions count as failures.
+    interval:
+        Seconds between probes.
+    lock_timeout:
+        The clamp passed to ``compact``.
+    breaker:
+        Optional circuit breaker recording fold outcomes.
+    """
+
+    def __init__(
+        self,
+        should_compact: Callable[[], bool],
+        compact: Callable[[float], bool],
+        *,
+        interval: float = 0.05,
+        lock_timeout: float = 1.0,
+        breaker: "_Breaker | None" = None,
+    ) -> None:
+        self._should_compact = should_compact
+        self._compact = compact
+        self.interval = float(interval)
+        self.lock_timeout = float(lock_timeout)
+        self._breaker = breaker
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._compactions = 0
+        self._failures = 0
+        self._skipped = 0
+        self._last_ms = 0.0
+        self._total_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Compactor":
+        """Start the daemon thread.  Idempotent."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="overlay-compactor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread to exit and join it.  Idempotent."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # The compaction loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.compact_once()
+
+    def compact_once(self) -> bool:
+        """Probe and, if due, fold; returns whether a fold published.
+
+        Public so tests (and ``repro doctor``) can drive a compaction
+        synchronously instead of waiting out the interval.  Never
+        raises: failures land on the breaker and in :meth:`stats`, and
+        the owner's publish path degrades to full recompiles on its own.
+        """
+        try:
+            if not self._should_compact():
+                return False
+        except Exception:  # repro: noqa[typed-errors] -- a failing probe must never crash the compactor thread; it just skips this tick
+            with self._lock:
+                self._failures += 1
+            return False
+        started = time.perf_counter()
+        try:
+            folded = self._compact(self.lock_timeout)
+        except Exception:  # repro: noqa[typed-errors] -- fold failures land on the breaker; the owner degrades to full recompiles on its own
+            with self._lock:
+                self._failures += 1
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            return False
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._lock:
+            if folded:
+                self._compactions += 1
+                self._last_ms = elapsed_ms
+                self._total_ms += elapsed_ms
+            else:
+                self._skipped += 1
+        if folded and self._breaker is not None:
+            self._breaker.record_success()
+        return folded
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> "dict[str, object]":
+        """JSON-ready counters for health probes and BENCH reports."""
+        with self._lock:
+            return {
+                "running": bool(
+                    self._thread is not None and self._thread.is_alive()
+                ),
+                "compactions": self._compactions,
+                "failures": self._failures,
+                "skipped": self._skipped,
+                "last_ms": self._last_ms,
+                "total_ms": self._total_ms,
+                "interval_s": self.interval,
+                "lock_timeout_s": self.lock_timeout,
+            }

@@ -40,6 +40,29 @@ a bug, not an input — poisons the writer: the half-mutated graph is
 never published or logged, reads continue from the last good snapshot,
 and writes refuse until a restart recovers from checkpoint + WAL.
 
+**Base+delta overlay (O(changes) publish).**  Recompiling on every
+mutation makes publish cost O(n) regardless of batch size.  With
+``overlay_limit`` > 0 (the default) a publish instead keeps the last
+compiled :class:`CompiledDG` as an immutable *base* and describes the
+mutation in a :class:`~repro.core.overlay.DeltaOverlay` — fresh records
+plus a deletion mask over base rows — frozen from the writer's
+:class:`~repro.core.maintenance.OverlayBuilder` in O(overlay) time.
+Queries merge the masked base sweep with an exhaustive delta scan,
+bit-identical to a recompile (:mod:`repro.core.overlay` carries the
+argument; the parity suites enforce it).  When the overlay crosses
+``overlay_limit`` the publish folds it synchronously (a full recompile
+under the new epoch); a background :class:`~repro.serve.compactor.Compactor`
+(enabled via ``compact_interval``) folds earlier — on half the limit or
+on overlay age — *under the unchanged epoch*, which is sound because a
+compacted snapshot answers bit-identically to the base+overlay snapshot
+it replaces.  The fabric keeps serving whole compiled snapshots: batch
+reads ride the workers only while the overlay is empty, and compaction
+(not each mutation) republishes the shared segment.  Overlay-application
+failure and compactor failure both degrade to the full-recompile
+publish — never wrong, only slower.  Recovery replays the WAL and
+compiles from scratch, which *is* a compaction, so crash recovery is
+bit-identical to full WAL replay by construction.
+
 Query admission is bounded (:mod:`repro.serve.admission`): overload
 sheds instead of queueing without bound, transient engine faults are
 retried with backoff and then degraded to a scan *of the same pinned
@@ -51,6 +74,9 @@ Directory layout::
     <dir>/CURRENT               {"checkpoint": ..., "applied_seq": N}
     <dir>/checkpoint-<seq>.dgs  repro.store checkpoint (graph payload)
     <dir>/wal.log               repro.serve.wal
+    <dir>/delta-current.dgs     overlay sidecar (kind="delta"; derived
+                                data for doctor/tooling, rewritten per
+                                delta publish, removed at compaction)
     <dir>/snapshots/            fabric snapshot spool (store files, when
                                 workers > 0; derived data, never durable)
     <dir>/quarantine/           checkpoints that failed verification
@@ -70,7 +96,8 @@ import os
 import threading
 import time
 import warnings
-from dataclasses import dataclass, replace
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
 import numpy as np
@@ -83,11 +110,18 @@ from repro.core.graph import DominantGraph
 from repro.core.guard import BudgetedAccessCounter
 from repro.core.io import fsync_directory, load_graph, save_graph
 from repro.core.maintenance import (
+    OverlayBuilder,
     delete_record,
     insert_record,
     mark_deleted,
     validate_delete_batch,
     validate_insert_batch,
+)
+from repro.core.overlay import (
+    DeltaOverlay,
+    alive_record_ids,
+    overlay_batch_top_k,
+    overlay_top_k,
 )
 from repro.core.result import TopKResult
 from repro.metrics.counters import AccessCounter
@@ -106,6 +140,8 @@ from repro.resilience.deadline import Deadline
 from repro.resilience.policy import RetryPolicy, TimeoutPolicy
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheKey, ResultCache, cache_key
+from repro.serve.compactor import Compactor
+from repro.store.deltastore import save_delta_store
 from repro.store.graphstore import load_graph_store, save_graph_store
 from repro.store.mapped import MappedStore, open_store
 from repro.store.scrub import StoreScrubber
@@ -114,10 +150,17 @@ from repro.serve.wal import WriteAheadLog, create_wal, scan_wal
 CURRENT_NAME = "CURRENT"
 WAL_NAME = "wal.log"
 _CHECKPOINT_FMT = "checkpoint-{seq:016d}.dgs"
+#: Overlay sidecar name (kind="delta" store file; derived data).
+DELTA_SIDECAR = "delta-current.dgs"
 #: Subdirectory holding the fabric's snapshot spool (derived data).
 SNAPSHOT_SPOOL = "snapshots"
 #: Subdirectory where damaged checkpoints are preserved, never served.
 QUARANTINE_DIR = "quarantine"
+#: How many recent publish latencies back the p50/p99 health columns.
+_PUBLISH_SAMPLE_WINDOW = 512
+#: Sidecar spool throttle: at most one rewrite per this many seconds
+#: (the first delta publish after a fold always spools).
+_SIDECAR_MIN_INTERVAL = 0.1
 
 
 def _save_checkpoint(graph: DominantGraph, path: str, seq: int) -> str:
@@ -221,19 +264,34 @@ class ServingSnapshot:
     Attributes
     ----------
     compiled:
-        Detached :class:`~repro.core.compiled.CompiledDG`; safe for any
-        number of concurrent readers, forever.
+        Detached :class:`~repro.core.compiled.CompiledDG` — the *base*;
+        safe for any number of concurrent readers, forever.
     epoch:
         Monotone publish counter (one bump per completed maintenance
         batch).  A query's :attr:`~repro.core.result.TopKResult.epoch`
-        names the snapshot that answered it.
+        names the snapshot that answered it.  A background compaction
+        republishes under the *same* epoch: the folded snapshot answers
+        bit-identically, so the epoch's oracle is unchanged.
     seq:
         WAL sequence of the last operation this snapshot includes.
+    overlay:
+        Everything applied since ``compiled`` was built
+        (:class:`~repro.core.overlay.DeltaOverlay`), or ``None`` when
+        the base alone is current.  Immutable like the base.
     """
 
     compiled: CompiledDG
     epoch: int
     seq: int
+    overlay: DeltaOverlay | None = field(default=None)
+
+    def alive_ids(self) -> np.ndarray:
+        """Sorted ids of every answerable record in this snapshot.
+
+        Overlay-aware: the base's real-record list alone over-reports
+        deletions in flight and misses fresh inserts.
+        """
+        return alive_record_ids(self.compiled, self.overlay)
 
 
 def snapshot_scan(
@@ -242,6 +300,7 @@ def snapshot_scan(
     k: int,
     where: WherePredicate | None = None,
     stats: AccessCounter | None = None,
+    overlay: DeltaOverlay | None = None,
 ) -> TopKResult:
     """Full scan of a snapshot's real records: the serve-side oracle tier.
 
@@ -250,15 +309,29 @@ def snapshot_scan(
     immutable arrays, so a degraded answer is still epoch-consistent.
     Same answer contract as every other engine: non-increasing scores,
     ties broken by ascending record id, pseudo records never reported.
+
+    With ``overlay`` given the scan covers the same record set the
+    overlay query path serves: base rows minus the overlay's deletions,
+    plus the overlay's fresh records — still one exhaustive
+    ``score_many`` pass, still the oracle for that snapshot.
     """
     if k <= 0:
         raise ValueError("k must be positive")
     stats = stats if stats is not None else _fresh_stats()
-    real = ~compiled.pseudo_mask
-    ids = compiled.record_ids[real]
+    answerable = ~compiled.pseudo_mask
+    if overlay is not None:
+        deleted = overlay.deleted_mask(compiled.num_records)
+        if deleted is not None:
+            answerable = answerable & ~deleted
+    ids = compiled.record_ids[answerable]
+    values = compiled.values[answerable]
+    if overlay is not None and overlay.delta_count:
+        ids = np.concatenate([ids, overlay.delta_ids])
+        # A fresh owning copy either way: scoring functions and ``where``
+        # are entitled to writable inputs, and the overlay stays frozen.
+        values = np.concatenate([values, overlay.delta_values])
     if ids.size == 0:
         return TopKResult((), (), stats, algorithm="snapshot-scan")
-    values = compiled.values[real]
     scores = function.score_many(values)
     stats.count_computed_batch(ids)
     if where is not None:
@@ -336,6 +409,26 @@ class ServingIndex:
         Deadline-aware retry for transiently failing snapshot
         traversals (:class:`~repro.resilience.policy.RetryPolicy`);
         overrides ``query_retries``/``retry_base_delay`` when given.
+    overlay_limit:
+        Cap on the delta overlay's size (inserts + deletions) before a
+        publish folds it with a synchronous full recompile.  ``0`` or
+        ``None`` disables the overlay entirely — every publish then
+        recompiles, the pre-overlay behaviour.  The cap bounds the read
+        path's extra work (one exhaustive scan of at most this many
+        delta records per query), which is what keeps read p99 within
+        budget while writes stream.
+    compact_interval:
+        When set (> 0, seconds), start a background
+        :class:`~repro.serve.compactor.Compactor` that folds the
+        overlay into a fresh base once it reaches half of
+        ``overlay_limit`` or turns ``compact_age`` seconds old —
+        without consuming an epoch, since the folded snapshot answers
+        bit-identically.  ``None`` (default) leaves folding to the
+        synchronous overflow path and explicit :meth:`compact` calls,
+        which keeps single-threaded tests deterministic.
+    compact_age:
+        Age threshold (seconds since the overlay's oldest change) for
+        the background compactor; ``None`` disables age-based folding.
 
     Examples
     --------
@@ -367,6 +460,9 @@ class ServingIndex:
         timeout_policy: TimeoutPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
         scrub_interval: float | None = None,
+        overlay_limit: int | None = 128,
+        compact_interval: float | None = None,
+        compact_age: float | None = 2.0,
     ) -> None:
         self._directory = directory
         self._graph = graph
@@ -378,7 +474,26 @@ class ServingIndex:
         self._scrub_store: MappedStore | None = None
         self._store_recoveries = 0
         self._publish_stats = {"count": 0, "last_ms": 0.0, "total_ms": 0.0}
+        self._publish_samples: deque[float] = deque(
+            maxlen=_PUBLISH_SAMPLE_WINDOW
+        )
         self._checkpoint_stats = {"count": 0, "last_ms": 0.0, "total_ms": 0.0}
+        self._overlay_limit = int(overlay_limit or 0)
+        self._compact_age = compact_age
+        self._overlay_builder: OverlayBuilder | None = None
+        self._base_generation = 0
+        self._overlay_publishes = 0
+        self._overlay_fallbacks = 0
+        self._sidecar_enabled = self._overlay_limit > 0
+        self._last_sidecar_spool: float | None = None
+        self._compaction_stats = {
+            "count": 0,
+            "failed": 0,
+            "forced": 0,
+            "last_ms": 0.0,
+            "total_ms": 0.0,
+        }
+        self._compactor: Compactor | None = None
         self._timeouts = (
             TimeoutPolicy() if timeout_policy is None else timeout_policy
         )
@@ -404,6 +519,12 @@ class ServingIndex:
         self._snapshot = ServingSnapshot(
             compiled=graph.compile().detach(), epoch=0, seq=wal.last_seq
         )
+        if self._overlay_limit > 0:
+            self._overlay_builder = OverlayBuilder(self._snapshot.compiled)
+        # Recovery is an implicit compaction: the WAL was replayed into
+        # the graph and compiled from scratch, so any overlay sidecar on
+        # disk describes a base that no longer exists.
+        self._remove_delta_sidecar()
         self._cache = ResultCache(cache_size) if cache_size else None
         self._fabric: ParallelQueryExecutor | None = None
         if workers > 0:
@@ -428,6 +549,18 @@ class ServingIndex:
             )
             self._rearm_scrubber()
             self._scrubber.start()
+        if (
+            self._overlay_limit > 0
+            and compact_interval is not None
+            and compact_interval > 0
+        ):
+            self._compactor = Compactor(
+                self._compaction_due,
+                self._timed_compact,
+                interval=compact_interval,
+                breaker=self._breakers.get("compactor"),
+            )
+            self._compactor.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -549,11 +682,13 @@ class ServingIndex:
                 return True
             self._draining = True
         drained = self._admission.drain(timeout=drain_timeout)
-        # Stop the scrubber outside the writer lock: its corruption
-        # callback takes that lock, and stopping must not deadlock with
-        # a recovery already in flight.
+        # Stop the scrubber and compactor outside the writer lock: their
+        # callbacks take that lock, and stopping must not deadlock with
+        # a recovery or fold already in flight.
         if self._scrubber is not None:
             self._scrubber.stop()
+        if self._compactor is not None:
+            self._compactor.stop()
         with self._writer_lock:
             if checkpoint and self._poisoned is None:
                 self._checkpoint_locked()
@@ -655,9 +790,16 @@ class ServingIndex:
                     started=started,
                     deadline=deadline,
                 )
-                result = snap.compiled.top_k(
-                    function, k, where=where, stats=stats, deadline=deadline
-                )
+                if snap.overlay is not None:
+                    result = overlay_top_k(
+                        snap.compiled, snap.overlay, function, k,
+                        where=where, stats=stats, deadline=deadline,
+                    )
+                else:
+                    result = snap.compiled.top_k(
+                        function, k, where=where, stats=stats,
+                        deadline=deadline,
+                    )
                 stats.enforce()
                 return result
 
@@ -699,7 +841,8 @@ class ServingIndex:
                 )
                 try:
                     result = snapshot_scan(
-                        snap.compiled, function, k, where=where, stats=stats
+                        snap.compiled, function, k, where=where,
+                        stats=stats, overlay=snap.overlay,
                     )
                     stats.enforce()
                 except QueryBudgetExceeded as budget_exc:
@@ -799,9 +942,19 @@ class ServingIndex:
         mode: str,
         deadline: Deadline | None,
     ) -> list[TopKResult]:
-        """Run batch misses down the ladder: fabric → in-process → scan."""
+        """Run batch misses down the ladder: fabric → in-process → scan.
+
+        The fabric rung only serves overlay-free snapshots: workers hold
+        the shared-memory *base*, which is republished at compaction, so
+        while a delta overlay is live the batch runs the in-process
+        merge instead (still exact, still epoch-consistent).
+        """
         fabric_breaker = self._breakers.get("fabric")
-        if self._fabric is not None and fabric_breaker.allow():
+        if (
+            self._fabric is not None
+            and snap.overlay is None
+            and fabric_breaker.allow()
+        ):
             fabric_started = time.monotonic()
             try:
                 computed = [
@@ -829,7 +982,7 @@ class ServingIndex:
                     1000.0 * (time.monotonic() - fabric_started)
                 )
                 return computed
-        elif self._fabric is not None:
+        elif self._fabric is not None and snap.overlay is None:
             warnings.warn(
                 DegradedResultWarning(
                     f"fabric skipped: its circuit breaker is "
@@ -839,12 +992,19 @@ class ServingIndex:
                 stacklevel=3,
             )
         try:
-            return [
-                replace(result, tier="compiled", epoch=snap.epoch)
-                for result in batch_top_k(
+            if snap.overlay is not None:
+                swept = overlay_batch_top_k(
+                    snap.compiled, snap.overlay, miss_functions, k,
+                    where=where, deadline=deadline,
+                )
+            else:
+                swept = batch_top_k(
                     snap.compiled, miss_functions, k, where=where,
                     deadline=deadline,
                 )
+            return [
+                replace(result, tier="compiled", epoch=snap.epoch)
+                for result in swept
             ]
         except QueryBudgetExceeded:
             raise
@@ -862,7 +1022,8 @@ class ServingIndex:
                     deadline.check(stage="scan", tier="naive")
                 stats = BudgetedAccessCounter(deadline=deadline)
                 result = snapshot_scan(
-                    snap.compiled, function, k, where=where, stats=stats
+                    snap.compiled, function, k, where=where, stats=stats,
+                    overlay=snap.overlay,
                 )
                 computed.append(
                     replace(result, tier="naive", epoch=snap.epoch)
@@ -945,7 +1106,7 @@ class ServingIndex:
             except Exception as exc:  # repro: noqa[typed-errors] -- a failed WAL append of any kind leaves durability unknown; the writer must poison
                 self._poisoned = exc
                 raise
-            self._publish_locked()
+            self._publish_locked(op)
             self._ops_since_checkpoint += 1
             if (
                 self._checkpoint_interval
@@ -954,32 +1115,119 @@ class ServingIndex:
                 self._checkpoint_locked()
             return result
 
-    def _publish_locked(self) -> ServingSnapshot:
+    def _publish_locked(self, op: dict | None = None) -> ServingSnapshot:
+        """Publish the mutation just applied, preferring the O(changes) path.
+
+        With the overlay enabled and ``op`` describable as a delta, the
+        new snapshot reuses the current base and carries a freshly
+        frozen overlay — no compile, no fabric republish (batch reads
+        skip the fabric while an overlay is live).  Overlay overflow,
+        overlay-application failure, or a disabled overlay all fall
+        back to the full recompile under the same (new) epoch — the
+        degradation is in publish *cost*, never in answers.
+        """
         publish_started = time.monotonic()
         self._epoch += 1
+        snap: ServingSnapshot | None = None
+        builder = self._overlay_builder
+        if op is not None and builder is not None:
+            try:
+                self._apply_overlay_op(builder, op)
+            except Exception as exc:  # repro: noqa[typed-errors] -- an overlay that cannot express the op must degrade to a recompile, whatever went wrong
+                self._overlay_fallbacks += 1
+                self._overlay_builder = None  # rebuilt against the new base
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"overlay application failed "
+                        f"({type(exc).__name__}: {exc}); publishing via "
+                        "full recompile"
+                    ),
+                    stacklevel=3,
+                )
+            else:
+                if builder.size <= self._overlay_limit:
+                    snap = ServingSnapshot(
+                        compiled=self._snapshot.compiled,
+                        epoch=self._epoch,
+                        seq=self._wal.last_seq,
+                        overlay=builder.freeze(),
+                    )
+                    self._snapshot = snap  # atomic swap: the RCU publish
+                    self._overlay_publishes += 1
+                    self._spool_delta_sidecar(snap)
+        if snap is None:
+            snap = self._publish_base_locked(forced=op is not None)
+        if self._cache is not None:
+            # Old-epoch entries can never hit again (the epoch is part
+            # of the key); purging just reclaims their memory early.
+            self._cache.purge_other_epochs(snap.epoch)
+        # Publish cost, kept separate from WAL append and checkpoint
+        # cost so the write path's spend is attributable
+        # (benchmarks/bench_serve.py reports it as its own column).
+        elapsed_ms = 1000.0 * (time.monotonic() - publish_started)
+        self._publish_stats["count"] += 1
+        self._publish_stats["last_ms"] = elapsed_ms
+        self._publish_stats["total_ms"] += elapsed_ms
+        self._publish_samples.append(elapsed_ms)
+        return snap
+
+    def _publish_base_locked(self, *, forced: bool = False) -> ServingSnapshot:
+        """Full-recompile publish: compile, swap, republish the fabric.
+
+        The slow path — every pre-overlay publish looked like this.  It
+        also *is* the synchronous compaction: the overlay (if any) has
+        been folded into the graph all along, so compiling the graph
+        yields the next base, and a fresh builder starts empty against
+        it.  ``forced`` marks folds the overlay cap forced, for the
+        health report's compaction ledger.
+        """
+        started = time.monotonic()
         snap = ServingSnapshot(
             compiled=self._graph.compile().detach(),
             epoch=self._epoch,
             seq=self._wal.last_seq,
         )
         self._snapshot = snap  # atomic reference swap: the RCU publish
+        if self._overlay_limit > 0:
+            self._overlay_builder = OverlayBuilder(snap.compiled)
+            self._base_generation += 1
+            self._remove_delta_sidecar()
         if self._fabric is not None:
-            # Republish so fabric workers serve the new epoch (a store
+            # Republish so fabric workers serve the new base (a store
             # file in the snapshot spool); per-worker FIFO ordering
             # makes this a barrier.
             self._fabric.publish(snap.compiled, epoch=snap.epoch)
-        if self._cache is not None:
-            # Old-epoch entries can never hit again (the epoch is part
-            # of the key); purging just reclaims their memory early.
-            self._cache.purge_other_epochs(snap.epoch)
-        # Compile + republish cost, kept separate from WAL append and
-        # checkpoint cost so the write path's spend is attributable
-        # (benchmarks/bench_serve.py reports it as its own column).
-        elapsed_ms = 1000.0 * (time.monotonic() - publish_started)
-        self._publish_stats["count"] += 1
-        self._publish_stats["last_ms"] = elapsed_ms
-        self._publish_stats["total_ms"] += elapsed_ms
+        elapsed_ms = 1000.0 * (time.monotonic() - started)
+        if self._overlay_limit > 0:
+            self._compaction_stats["count"] += 1
+            if forced:
+                self._compaction_stats["forced"] += 1
+            self._compaction_stats["last_ms"] = elapsed_ms
+            self._compaction_stats["total_ms"] += elapsed_ms
         return snap
+
+    def _apply_overlay_op(self, builder: OverlayBuilder, op: dict) -> None:
+        """Mirror one WAL operation into the overlay builder.
+
+        Called *after* the op applied cleanly to the graph, so an
+        inserted record's exact float64 vector can be read back from
+        the graph — the same bits a recompile would snapshot.  Raising
+        here is safe: the caller degrades to a full-recompile publish.
+        """
+        kind = op.get("op")
+        if kind == "insert":
+            rid = int(op["rid"])
+            builder.insert(rid, self._graph.vector(rid))
+        elif kind in ("delete", "mark_deleted"):
+            builder.delete(int(op["rid"]))
+        elif kind == "insert_many":
+            for rid in op["rids"]:
+                builder.insert(int(rid), self._graph.vector(int(rid)))
+        elif kind == "delete_many":
+            for rid in op["rids"]:
+                builder.delete(int(rid))
+        else:
+            raise ValueError(f"unknown WAL operation {kind!r}")
 
     def _require_writable(self) -> None:
         if self._closed:
@@ -993,6 +1241,125 @@ class ServingIndex:
                 f"({type(self._poisoned).__name__}: {self._poisoned}); "
                 "restart to recover from checkpoint + WAL",
             )
+
+    # ------------------------------------------------------------------
+    # Compaction (folding the overlay into the next base)
+    # ------------------------------------------------------------------
+    def compact(self, *, lock_timeout: float | None = None) -> bool:
+        """Fold the live overlay into a fresh compiled base, now.
+
+        Publishes under the *unchanged* epoch: the folded snapshot
+        answers every query bit-identically to the base+overlay
+        snapshot it replaces, so epoch-keyed caches and oracles stay
+        valid.  The fabric is republished here (not per mutation), so
+        workers resume serving batches after the fold.  Returns ``True``
+        when a fold published, ``False`` when there was nothing to fold,
+        the writer is unavailable, or ``lock_timeout`` expired first —
+        the clamp that keeps the background compactor from queueing
+        unboundedly behind a write burst.
+        """
+        if lock_timeout is None:
+            acquired = self._writer_lock.acquire()
+        else:
+            acquired = self._writer_lock.acquire(timeout=lock_timeout)
+        if not acquired:
+            return False
+        try:
+            if self._closed or self._poisoned is not None:
+                return False
+            snap = self._snapshot
+            if snap.overlay is None or self._overlay_limit <= 0:
+                return False
+            started = time.monotonic()
+            folded = ServingSnapshot(
+                compiled=self._graph.compile().detach(),
+                epoch=snap.epoch,  # content-identical: no epoch consumed
+                seq=self._wal.last_seq,
+            )
+            self._snapshot = folded
+            self._overlay_builder = OverlayBuilder(folded.compiled)
+            self._base_generation += 1
+            self._remove_delta_sidecar()
+            if self._fabric is not None:
+                self._fabric.publish(folded.compiled, epoch=folded.epoch)
+            elapsed_ms = 1000.0 * (time.monotonic() - started)
+            self._compaction_stats["count"] += 1
+            self._compaction_stats["last_ms"] = elapsed_ms
+            self._compaction_stats["total_ms"] += elapsed_ms
+            return True
+        except Exception:  # repro: noqa[typed-errors] -- a failed fold must degrade (overflow still recompiles), never break the writer
+            self._compaction_stats["failed"] += 1
+            raise
+        finally:
+            self._writer_lock.release()
+
+    def _compaction_due(self) -> bool:
+        """The background compactor's probe: size or age threshold hit."""
+        snap = self._snapshot
+        overlay = snap.overlay
+        if overlay is None or self._closed or self._poisoned is not None:
+            return False
+        if 2 * overlay.size >= self._overlay_limit:
+            return True
+        return (
+            self._compact_age is not None
+            and overlay.created_at > 0.0
+            and time.monotonic() - overlay.created_at >= self._compact_age
+        )
+
+    def _timed_compact(self, lock_timeout: float) -> bool:
+        """The compactor thread's entry point: a fold clamped to a wait."""
+        return self.compact(lock_timeout=lock_timeout)
+
+    def _spool_delta_sidecar(self, snap: ServingSnapshot) -> None:
+        """Best-effort ``kind="delta"`` sidecar for doctor and tooling.
+
+        Derived data: the WAL is the durable truth and recovery never
+        reads the sidecar, so a write failure only disables spooling
+        (with one warning) — it must never poison the writer.
+
+        Throttled: the atomic temp+rename costs a few hundred
+        microseconds, which at a high write rate would dominate the
+        O(changes) publish it rides on.  The first delta after a fold
+        always spools (so a sidecar exists the moment an overlay does);
+        after that, at most one spool per ``_SIDECAR_MIN_INTERVAL``.
+        The ``applied_seq`` stamp keeps a throttled sidecar honest about
+        exactly how fresh it is.
+        """
+        if not self._sidecar_enabled or snap.overlay is None:
+            return
+        now = time.monotonic()
+        if (
+            self._last_sidecar_spool is not None
+            and now - self._last_sidecar_spool < _SIDECAR_MIN_INTERVAL
+        ):
+            return
+        self._last_sidecar_spool = now
+        try:
+            save_delta_store(
+                snap.overlay,
+                os.path.join(self._directory, DELTA_SIDECAR),
+                base_generation=self._base_generation,
+                applied_seq=snap.seq,
+                durable=False,
+            )
+        except Exception as exc:  # repro: noqa[typed-errors] -- sidecar spooling is advisory; any failure degrades to not spooling
+            self._sidecar_enabled = False
+            warnings.warn(
+                DegradedResultWarning(
+                    f"overlay sidecar write failed ({type(exc).__name__}: "
+                    f"{exc}); disabling sidecar spooling"
+                ),
+                stacklevel=2,
+            )
+
+    def _remove_delta_sidecar(self) -> None:
+        """Drop the sidecar after a fold (its overlay no longer exists)."""
+        self._last_sidecar_spool = None  # next delta publish spools
+        try:
+            os.unlink(os.path.join(self._directory, DELTA_SIDECAR))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -1117,12 +1484,23 @@ class ServingIndex:
             status = "degraded"
         else:
             status = "ok"
+        overlay = snap.overlay
+        records = snap.compiled.num_records
+        if overlay is not None:
+            records += overlay.delta_count - overlay.deleted_count
+        publish = dict(self._publish_stats)
+        if self._publish_samples:
+            samples = sorted(self._publish_samples)
+            publish["p50_ms"] = samples[len(samples) // 2]
+            publish["p99_ms"] = samples[
+                min(len(samples) - 1, (99 * len(samples)) // 100)
+            ]
         return {
             "status": status,
             "directory": self._directory,
             "epoch": snap.epoch,
             "applied_seq": snap.seq,
-            "records": snap.compiled.num_records,
+            "records": records,
             "pseudo": snap.compiled.num_pseudo,
             "edges": snap.compiled.num_edges,
             "wal": {
@@ -1147,7 +1525,7 @@ class ServingIndex:
                 self._fabric.stats() if self._fabric is not None else None
             ),
             "store": {
-                "publish": dict(self._publish_stats),
+                "publish": publish,
                 "checkpoint": dict(self._checkpoint_stats),
                 "scrubber": (
                     self._scrubber.stats()
@@ -1155,6 +1533,26 @@ class ServingIndex:
                     else None
                 ),
                 "recoveries": self._store_recoveries,
+            },
+            "overlay": {
+                "enabled": self._overlay_limit > 0,
+                "delta_records": (
+                    overlay.delta_count if overlay is not None else 0
+                ),
+                "deleted_rows": (
+                    overlay.deleted_count if overlay is not None else 0
+                ),
+                "size": overlay.size if overlay is not None else 0,
+                "limit": self._overlay_limit,
+                "base_generation": self._base_generation,
+                "delta_publishes": self._overlay_publishes,
+                "fallbacks": self._overlay_fallbacks,
+                "compactions": dict(self._compaction_stats),
+                "compactor": (
+                    self._compactor.stats()
+                    if self._compactor is not None
+                    else None
+                ),
             },
             "draining": self._draining,
             "poisoned": self._poisoned is not None,

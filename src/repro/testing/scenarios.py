@@ -211,15 +211,21 @@ class ChaosContext:
     # -- oracle --------------------------------------------------------
 
     def _register_epoch(self) -> None:
+        # The whole snapshot, not just its base: with the overlay
+        # enabled an epoch's answers come from base+delta.  A compaction
+        # republishes under the *same* epoch with content-identical
+        # answers, so entries never go stale.
         snap = self.index.snapshot()
-        self.oracle[snap.epoch] = snap.compiled
+        self.oracle[snap.epoch] = snap
 
     def expected(self, function: LinearFunction, epoch: int) -> "tuple | None":
         """Oracle answer ``(ids, scores)`` for ``function`` at ``epoch``."""
-        compiled = self.oracle.get(epoch)
-        if compiled is None:
+        snap = self.oracle.get(epoch)
+        if snap is None:
             return None
-        result = snapshot_scan(compiled, function, self.config.k)
+        result = snapshot_scan(
+            snap.compiled, function, self.config.k, overlay=snap.overlay
+        )
         return result.ids, result.scores
 
     # -- faults --------------------------------------------------------
@@ -352,25 +358,28 @@ class ChaosContext:
         return torn, stray
 
     def mutate(self) -> None:
-        """One writer operation (delete, or re-insert) → one publish."""
+        """One writer operation (delete, or re-insert) → one publish.
+
+        Scenarios use mutations to heal the fabric pool (\"the next
+        publish writes a clean generation\"), but the O(changes) publish
+        path deliberately does *not* republish workers — that happens at
+        compaction.  So each chaos mutation is followed by a synchronous
+        fold, which republishes the fabric under the same epoch and
+        keeps every heal-by-publish scenario exercising the exact
+        sequence production would: delta publish, then compaction.
+        """
         if self._deleted and self.rng.random() < 0.5:
             rid = self._deleted.pop(0)
             self.index.insert(rid)
             self.log(f"insert({rid}) published epoch {self.index.epoch}")
         else:
-            compiled = self.index.snapshot().compiled
-            real = sorted(
-                int(r)
-                for r, pseudo in zip(
-                    compiled.record_ids.tolist(),
-                    compiled.pseudo_mask.tolist(),
-                )
-                if not pseudo
-            )
-            rid = real[int(self.rng.integers(0, len(real)))]
+            alive = self.index.snapshot().alive_ids().tolist()
+            rid = int(alive[int(self.rng.integers(0, len(alive)))])
             self.index.delete(rid)
             self._deleted.append(rid)
             self.log(f"delete({rid}) published epoch {self.index.epoch}")
+        if self.index.compact():
+            self.log(f"compacted overlay at epoch {self.index.epoch}")
         self._register_epoch()
 
     # -- query rounds --------------------------------------------------

@@ -53,6 +53,7 @@ FIXTURE_FOR_RULE = {
     "worker-discipline": "worker_discipline_violation.py",
     "deadline-discipline": "deadline_discipline_violation.py",
     "mmap-discipline": "mmap_discipline_violation.py",
+    "overlay-discipline": "overlay_discipline_violation.py",
 }
 
 #: flow rule id -> (fixture file, relpath to lint it as).  The deadline

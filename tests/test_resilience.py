@@ -515,7 +515,7 @@ class TestCacheEpochRace:
         def register():
             snap = index.snapshot()
             with lock:
-                oracle[snap.epoch] = snap.compiled
+                oracle[snap.epoch] = snap
 
         register()
         functions = [
@@ -566,11 +566,13 @@ class TestCacheEpochRace:
         assert not errors, errors
         assert seen, "reader made no progress"
         for function, result in seen:
-            compiled = oracle.get(result.epoch)
-            assert compiled is not None, (
+            snap = oracle.get(result.epoch)
+            assert snap is not None, (
                 f"result claims unknown epoch {result.epoch}"
             )
-            expected = snapshot_scan(compiled, function, 5)
+            expected = snapshot_scan(
+                snap.compiled, function, 5, overlay=snap.overlay
+            )
             assert (result.ids, result.scores) == (
                 expected.ids,
                 expected.scores,

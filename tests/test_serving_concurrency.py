@@ -25,6 +25,7 @@ from repro.core.functions import LinearFunction
 from repro.core.verify import format_issues, verify_graph
 from repro.errors import ServiceUnavailable
 from repro.serve import ServingIndex
+from repro.serve.index import DELTA_SIDECAR
 from repro.testing import Rendezvous, crash_offsets, crashed_copy, run_threads
 
 FN = LinearFunction([0.5, 0.3, 0.2])
@@ -46,10 +47,9 @@ def partial(tmp_path, dataset):
 
 
 def survivors_of(index: ServingIndex) -> frozenset:
-    compiled = index.snapshot().compiled
-    return frozenset(
-        int(r) for r in compiled.record_ids[~compiled.pseudo_mask].tolist()
-    )
+    # Overlay-aware: the published snapshot may carry unfolded inserts
+    # and deletions on top of its compiled base.
+    return frozenset(int(r) for r in index.snapshot().alive_ids().tolist())
 
 
 class TestSnapshotIsolation:
@@ -270,3 +270,106 @@ class TestCrashRecovery:
         second.close(checkpoint=False)
         assert answer_one.ids == answer_two.ids
         assert answer_one.scores == answer_two.scores
+
+    def _assert_recovers_exactly(self, crash_dir, dataset, oracles):
+        """Recover ``crash_dir`` and hold it bit-identical to a rebuild."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # torn tails are expected
+            recovered = ServingIndex.open(crash_dir, fsync="never")
+        try:
+            issues = verify_graph(recovered._graph)
+            assert not issues, format_issues(issues)
+            # Recovery is an implicit compaction: whatever overlay state
+            # the crash interrupted, the reopened index starts folded
+            # and any sidecar debris has been discarded.
+            assert recovered.snapshot().overlay is None
+            sidecar = os.path.join(crash_dir, DELTA_SIDECAR)
+            assert not os.path.exists(sidecar)
+            key = survivors_of(recovered)
+            if key not in oracles:
+                rebuilt = build_dominant_graph(
+                    dataset, record_ids=sorted(key)
+                )
+                oracles[key] = CompiledAdvancedTraveler(rebuilt.compile())
+            for q in range(self.WEIGHT_VECTORS):
+                function = LinearFunction(
+                    np.random.default_rng(q).random(3) + 0.05
+                )
+                for k in self.K_VALUES:
+                    want = oracles[key].top_k(function, k)
+                    got = recovered.query(function, k)
+                    assert got.ids == want.ids
+                    assert got.scores == want.scores
+        finally:
+            recovered.close(checkpoint=False)
+
+    def test_kill_mid_delta_publish_at_every_offset(
+        self, tmp_path, partial, dataset
+    ):
+        """Crash with an unfolded overlay live: at every WAL truncation
+        point the on-disk state is the WAL plus a delta sidecar that is
+        stale relative to the cut (spooled for a later or earlier
+        publish, or torn by the crash itself).  Recovery must ignore the
+        sidecar entirely and come back bit-identical to a rebuild of the
+        surviving operations."""
+        index = partial
+        index.insert(40)
+        index.delete(8)
+        index.insert_many([41, 42])
+        index.mark_deleted(2)
+        index._wal.sync()
+        # Killed here: the overlay holds every op, the sidecar describes
+        # the final delta publish, nothing was compacted.
+        assert index.snapshot().overlay is not None
+        sidecar = os.path.join(index._directory, DELTA_SIDECAR)
+        assert os.path.exists(sidecar)
+
+        wal_path = os.path.join(index._directory, "wal.log")
+        offsets = crash_offsets(wal_path)
+        oracles: dict = {}
+        sidecar_size = os.path.getsize(sidecar)
+        for i, cut in enumerate(offsets):
+            crash_dir = crashed_copy(
+                index._directory, str(tmp_path / f"delta-crash-{cut}"), cut
+            )
+            # Vary the sidecar's own crash shape across cuts: intact,
+            # torn at a rotating offset, or already unlinked.
+            shape = i % 3
+            crashed_sidecar = os.path.join(crash_dir, DELTA_SIDECAR)
+            if shape == 1:
+                with open(crashed_sidecar, "rb+") as handle:
+                    handle.truncate(cut % sidecar_size)
+            elif shape == 2:
+                os.unlink(crashed_sidecar)
+            self._assert_recovers_exactly(crash_dir, dataset, oracles)
+
+    def test_kill_mid_compaction_recovers_exactly(
+        self, tmp_path, partial, dataset
+    ):
+        """Crash between a compaction's fold and its sidecar unlink: the
+        directory carries a sidecar describing an overlay the fold
+        already absorbed.  Replay must reproduce the folded state and
+        discard the stale sidecar."""
+        index = partial
+        index.insert(45)
+        index.delete(9)
+        index._wal.sync()
+        sidecar = os.path.join(index._directory, DELTA_SIDECAR)
+        stale_sidecar_bytes = open(sidecar, "rb").read()
+        assert index.compact() is True  # the fold ran; sidecar unlinked
+        assert not os.path.exists(sidecar)
+        index._wal.sync()
+
+        wal_path = os.path.join(index._directory, "wal.log")
+        oracles: dict = {}
+        for cut in crash_offsets(wal_path):
+            crash_dir = crashed_copy(
+                index._directory,
+                str(tmp_path / f"compact-crash-{cut}"),
+                cut,
+            )
+            # Resurrect the pre-fold sidecar: the state a kill between
+            # the snapshot swap and the unlink leaves behind.
+            with open(os.path.join(crash_dir, DELTA_SIDECAR), "wb") as f:
+                f.write(stale_sidecar_bytes)
+            self._assert_recovers_exactly(crash_dir, dataset, oracles)
